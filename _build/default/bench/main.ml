@@ -1,0 +1,502 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (Section 5):
+
+   - fig3     : schema-aware PPF vs schema-oblivious (Edge-like) PPF
+                (paper Figure 3)
+   - fig4     : PPF vs Edge-PPF vs MonetDB-sim vs Commercial vs XPath
+                Accelerator on XMark, small and large documents (paper
+                Figure 4 / Appendix C left table)
+   - dblp     : the same comparison on the DBLP workload (Appendix C
+                right table)
+   - tables   : the example translations of paper Tables 1 and 3-6
+   - ablation : PPF-specific design choices toggled off one at a time
+                (Section 4.4/4.5 optimizations; beyond the paper)
+   - sweep    : per-query engine series over growing document sizes
+                (crossover study; beyond the paper)
+   - extensions : twig joins (the paper's Section 7 future work) and the
+                extended query set (string functions, count())
+   - micro    : Bechamel micro-benchmarks of the substrate primitives,
+                plus one Bechamel test per paper table
+
+   Usage: dune exec bench/main.exe -- [section ...] [options]
+   Options: --small N (items/region, default 50)
+            --large N (default 200)
+            --dblp-entries N (default 3000)
+            --reps N  (default 3, median is reported)  *)
+
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Edge = Ppfx_shred.Edge
+module Translate = Ppfx_translate.Translate
+module Edge_translate = Ppfx_translate.Edge_translate
+module Accelerator = Ppfx_baselines.Accelerator
+module Monet_sim = Ppfx_baselines.Monet_sim
+module Commercial = Ppfx_baselines.Commercial
+module Twig = Ppfx_baselines.Twig
+module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+module Xmark = Ppfx_workloads.Xmark
+module Dblp = Ppfx_workloads.Dblp
+module Xparser = Ppfx_xpath.Parser
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  mutable small : int;
+  mutable large : int;
+  mutable dblp_entries : int;
+  mutable reps : int;
+  mutable sections : string list;
+}
+
+let config = { small = 50; large = 200; dblp_entries = 3000; reps = 3; sections = [] }
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--small" :: v :: rest ->
+      config.small <- int_of_string v;
+      go rest
+    | "--large" :: v :: rest ->
+      config.large <- int_of_string v;
+      go rest
+    | "--dblp-entries" :: v :: rest ->
+      config.dblp_entries <- int_of_string v;
+      go rest
+    | "--reps" :: v :: rest ->
+      config.reps <- int_of_string v;
+      go rest
+    | section :: rest ->
+      config.sections <- config.sections @ [ section ];
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let wants section =
+  config.sections = [] || List.mem section config.sections
+  || List.mem "all" config.sections
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stores = {
+  label : string;
+  doc : Doc.t;
+  schema_store : Loader.t;
+  edge_store : Edge.t;
+  accel_store : Accelerator.t;
+  monet : Monet_sim.t;
+}
+
+let build_stores label doc schema =
+  {
+    label;
+    doc;
+    schema_store = Loader.shred schema doc;
+    edge_store = Edge.shred doc;
+    accel_store = Accelerator.shred doc;
+    monet = Monet_sim.of_doc doc;
+  }
+
+let xmark_stores scale =
+  let doc = Doc.of_tree (Xmark.generate ~items_per_region:scale ()) in
+  build_stores (Printf.sprintf "XMark (%d elements)" (Doc.size doc)) doc (Xmark.schema ())
+
+let dblp_stores entries =
+  let doc = Doc.of_tree (Dblp.generate ~entries ()) in
+  build_stores (Printf.sprintf "DBLP (%d elements)" (Doc.size doc)) doc (Dblp.schema_of doc)
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | l -> List.nth l (List.length l / 2)
+
+let time_med f =
+  let runs =
+    List.init (max 1 config.reps) (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  median runs
+
+type engine_result = { nodes : int; seconds : float }
+
+let na = { nodes = -1; seconds = nan }
+
+let run_engine st engine query : engine_result =
+  let expr = Xparser.parse query in
+  let count run = { nodes = run (); seconds = time_med run } in
+  match engine with
+  | `Ppf ->
+    let tr = Translate.create st.schema_store.Loader.mapping in
+    count (fun () ->
+        match Translate.translate tr expr with
+        | None -> 0
+        | Some stmt ->
+          List.length (Translate.result_ids (Engine.run st.schema_store.Loader.db stmt)))
+  | `Edge_ppf ->
+    count (fun () ->
+        match Edge_translate.translate expr with
+        | None -> 0
+        | Some stmt ->
+          List.length (Edge_translate.result_ids (Engine.run st.edge_store.Edge.db stmt)))
+  | `Accel ->
+    count (fun () ->
+        match Accelerator.translate expr with
+        | None -> 0
+        | Some stmt ->
+          List.length
+            (Accelerator.result_ids (Engine.run st.accel_store.Accelerator.db stmt)))
+  | `Monet -> count (fun () -> List.length (Monet_sim.run st.monet expr))
+  | `Commercial ->
+    if not (Commercial.supports expr) then na
+    else
+      count (fun () ->
+          match Commercial.translate st.schema_store.Loader.mapping expr with
+          | None -> 0
+          | Some stmt ->
+            List.length (Commercial.result_ids (Engine.run st.schema_store.Loader.db stmt)))
+
+let fmt_time r = if Float.is_nan r.seconds then "    N/A" else Printf.sprintf "%7.3f" r.seconds
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 / Appendix C                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_for st queries =
+  Printf.printf "\n%s — median of %d runs, seconds\n" st.label config.reps;
+  Printf.printf "%-5s %8s %8s %9s %12s %11s %8s\n" "query" "#nodes" "PPF" "Edge-PPF"
+    "MonetDB-sim" "Commercial" "Accel";
+  List.iter
+    (fun (name, q) ->
+      let ppf = run_engine st `Ppf q in
+      let edge = run_engine st `Edge_ppf q in
+      let monet = run_engine st `Monet q in
+      let com = run_engine st `Commercial q in
+      let accel = run_engine st `Accel q in
+      let agree =
+        List.for_all (fun r -> r.nodes < 0 || r.nodes = ppf.nodes) [ edge; monet; com; accel ]
+      in
+      Printf.printf "%-5s %8d  %s  %s      %s     %s  %s%s\n" name ppf.nodes
+        (fmt_time ppf) (fmt_time edge) (fmt_time monet) (fmt_time com) (fmt_time accel)
+        (if agree then "" else "  <-- DISAGREEMENT");
+      flush stdout)
+    queries
+
+let fig4 () =
+  print_endline "\n== Figure 4 / Appendix C: comparison of all engines on XMark ==";
+  fig4_for (xmark_stores config.small) Xmark.queries;
+  fig4_for (xmark_stores config.large) Xmark.queries
+
+let dblp_table () =
+  print_endline "\n== Appendix C (right): comparison on DBLP ==";
+  fig4_for (dblp_stores config.dblp_entries) Dblp.queries
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_for st queries =
+  Printf.printf "\n%s\n" st.label;
+  Printf.printf "%-5s %8s %13s %14s %8s\n" "query" "#nodes" "schema-aware" "schema-obliv."
+    "ratio";
+  List.iter
+    (fun (name, q) ->
+      let ppf = run_engine st `Ppf q in
+      let edge = run_engine st `Edge_ppf q in
+      Printf.printf "%-5s %8d  %s       %s      %6.1fx\n" name ppf.nodes (fmt_time ppf)
+        (fmt_time edge)
+        (edge.seconds /. ppf.seconds);
+      flush stdout)
+    queries
+
+let fig3 () =
+  print_endline "\n== Figure 3: schema-aware vs schema-oblivious PPF-based processing ==";
+  fig3_for (xmark_stores config.small) Xmark.queries;
+  fig3_for (xmark_stores config.large) Xmark.queries;
+  fig3_for (dblp_stores config.dblp_entries) Dblp.queries
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1, 3-6: translation examples                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_schema () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.define b ~attrs:[ "x" ] "A" in
+  let bb = Graph.Builder.define b "B" in
+  let c = Graph.Builder.define b "C" in
+  let d = Graph.Builder.define b ~text:true "D" in
+  let e = Graph.Builder.define b "E" in
+  let f = Graph.Builder.define b ~text:true "F" in
+  let g = Graph.Builder.define b "G" in
+  Graph.Builder.add_child b ~parent:a bb;
+  Graph.Builder.add_child b ~parent:bb c;
+  Graph.Builder.add_child b ~parent:bb g;
+  Graph.Builder.add_child b ~parent:c d;
+  Graph.Builder.add_child b ~parent:c e;
+  Graph.Builder.add_child b ~parent:e f;
+  Graph.Builder.add_child b ~parent:g g;
+  Graph.Builder.finish b ~root:a
+
+let tables () =
+  print_endline "\n== Tables 1 and 3-6: translations over the paper's Figure 1 schema ==";
+  let schema = fig1_schema () in
+  let mapping = Ppfx_shred.Mapping.of_schema schema in
+  let show ?options q =
+    let tr = Translate.create ?options mapping in
+    match Translate.translate tr (Xparser.parse q) with
+    | Some stmt -> Printf.printf "\n%s\n  => %s\n" q (Sql.to_string stmt)
+    | None -> Printf.printf "\n%s\n  => (provably empty)\n" q
+  in
+  print_endline "\n-- Table 1: forward/backward paths as regular expressions --";
+  List.iter
+    (fun (path, pattern) -> Printf.printf "%-36s %s\n" path pattern)
+    [
+      ( "//B/C",
+        Ppfx_translate.Regex_of_path.forward ~anchored:false
+          [ { desc = true; name = Some "B" }; { desc = false; name = Some "C" } ] );
+      ( "/A/B//F",
+        Ppfx_translate.Regex_of_path.forward ~anchored:true
+          [
+            { desc = false; name = Some "A" };
+            { desc = false; name = Some "B" };
+            { desc = true; name = Some "F" };
+          ] );
+      ( "//C/*/F",
+        Ppfx_translate.Regex_of_path.forward ~anchored:false
+          [
+            { desc = true; name = Some "C" };
+            { desc = false; name = None };
+            { desc = false; name = Some "F" };
+          ] );
+      ( "/parent::F/ancestor::B/parent::A",
+        Ppfx_translate.Regex_of_path.backward ~context:(Some "F")
+          [ Ppfx_xpath.Ast.Parent, Some "D"; Ppfx_xpath.Ast.Ancestor, Some "B" ] );
+    ];
+  print_endline "\n-- Table 3: forward and backward PPF translations --";
+  let no_omit = { Translate.default_options with omit_path_filters = false } in
+  show ~options:no_omit "/A[@x = 3]/B/C//F";
+  show ~options:no_omit "/A[@x = 3]/B";
+  show "//F/parent::E/ancestor::B";
+  print_endline "\n-- Table 4: order-axis steps --";
+  show "//D/following-sibling::E";
+  show "//D/preceding::G";
+  print_endline "\n-- Table 5: predicates --";
+  show ~options:no_omit "/A/B[C/*/F = 2]";
+  show "//F[parent::E or ancestor::G]";
+  print_endline "\n-- Table 6: predicate splitting with OR --";
+  show ~options:no_omit "/A/B[C/*]";
+  print_endline "\n-- Section 4.4: SQL splitting on the backbone --";
+  show "/A/B/*"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline "\n== Ablation: PPF design choices toggled off (XMark) ==";
+  let st = xmark_stores config.small in
+  let variants =
+    [
+      "full", Translate.default_options;
+      ( "no 4.5 filter omission",
+        { Translate.default_options with omit_path_filters = false } );
+      "no forward merging", { Translate.default_options with merge_forward = false };
+      "no FK child joins", { Translate.default_options with fk_child_joins = false };
+      "fully per-step", { Translate.default_options with force_per_step = true };
+    ]
+  in
+  let queries = [ "Q1"; "Q2"; "Q3"; "Q4"; "Q5"; "Q6"; "Q12"; "Q13"; "Q21"; "Q23"; "QA" ] in
+  Printf.printf "%-22s" "variant";
+  List.iter (fun q -> Printf.printf " %8s" q) queries;
+  print_newline ();
+  List.iter
+    (fun (name, options) ->
+      Printf.printf "%-22s" name;
+      List.iter
+        (fun qname ->
+          let q = Xmark.query qname in
+          let expr = Xparser.parse q in
+          let tr = Translate.create ~options st.schema_store.Loader.mapping in
+          let t =
+            time_med (fun () ->
+                match Translate.translate tr expr with
+                | None -> 0
+                | Some stmt ->
+                  List.length (Engine.run st.schema_store.Loader.db stmt).Engine.rows)
+          in
+          Printf.printf " %8.4f" t)
+        queries;
+      print_newline ();
+      flush stdout)
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: where do the engines cross over?                        *)
+(* ------------------------------------------------------------------ *)
+
+let sweep () =
+  print_endline
+    "\n== Scale sweep: per-query series over document size (seconds) ==";
+  let scales = [ 5; 10; 25; 50; 100; 200 ] in
+  let queries = [ "Q3"; "Q6"; "Q10"; "Q13"; "QA" ] in
+  let stores = List.map (fun s -> s, xmark_stores s) scales in
+  List.iter
+    (fun qname ->
+      let q = Xmark.query qname in
+      Printf.printf "\n%s: %s\n" qname q;
+      Printf.printf "%-10s %10s %10s %10s %12s %10s\n" "elements" "#nodes" "PPF"
+        "Edge-PPF" "MonetDB-sim" "Accel";
+      List.iter
+        (fun (_, st) ->
+          let ppf = run_engine st `Ppf q in
+          let edge = run_engine st `Edge_ppf q in
+          let monet = run_engine st `Monet q in
+          let accel = run_engine st `Accel q in
+          Printf.printf "%-10d %10d %s    %s      %s   %s\n" (Doc.size st.doc)
+            ppf.nodes (fmt_time ppf) (fmt_time edge) (fmt_time monet) (fmt_time accel);
+          flush stdout)
+        stores)
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: twig joins (Section 7 future work) and the extended      *)
+(* query set                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let extensions () =
+  print_endline "\n== Extensions: twig joins (paper Section 7) and extended queries ==";
+  let st = xmark_stores config.small in
+  let twig_store = Twig.of_doc st.doc in
+  Printf.printf "\ntwig-join subset — PPF SQL vs stack-based twig joins\n";
+  Printf.printf "%-5s %8s %8s %8s\n" "query" "#nodes" "PPF" "Twig";
+  List.iter
+    (fun (name, q) ->
+      let expr = Xparser.parse q in
+      let ppf = run_engine st `Ppf q in
+      let t_twig = time_med (fun () -> List.length (Twig.run twig_store expr)) in
+      let n_twig = List.length (Twig.run twig_store expr) in
+      Printf.printf "%-5s %8d  %s  %s%s\n" name ppf.nodes (fmt_time ppf)
+        (fmt_time { nodes = n_twig; seconds = t_twig })
+        (if n_twig = ppf.nodes then "" else "  <-- DISAGREEMENT");
+      flush stdout)
+    Xmark.twig_queries;
+  Printf.printf
+    "\nextended queries (contains/starts-with/string-length/count) — PPF vs MonetDB-sim\n";
+  Printf.printf "%-5s %8s %8s %12s\n" "query" "#nodes" "PPF" "MonetDB-sim";
+  List.iter
+    (fun (name, q) ->
+      let ppf = run_engine st `Ppf q in
+      let monet = run_engine st `Monet q in
+      Printf.printf "%-5s %8d  %s      %s%s\n" name ppf.nodes (fmt_time ppf)
+        (fmt_time monet)
+        (if monet.nodes = ppf.nodes then "" else "  <-- DISAGREEMENT");
+      flush stdout)
+    Xmark.extension_queries
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "\n== Bechamel micro-benchmarks ==";
+  let open Bechamel in
+  let open Toolkit in
+  let dewey_a = Ppfx_dewey.Dewey.of_components [ 1; 4; 2; 9; 1 ] in
+  let dewey_b = Ppfx_dewey.Dewey.of_components [ 1; 4; 2; 9; 1; 3; 2 ] in
+  let regex =
+    Ppfx_regex.Regex.compile "^/site/regions/[^/]+/item/description/(.+/)?keyword$"
+  in
+  let subject = "/site/regions/africa/item/description/parlist/listitem/text/keyword" in
+  ignore (Ppfx_regex.Regex.search regex subject);
+  let btree = Ppfx_minidb.Btree.create ~width:1 () in
+  for i = 0 to 9999 do
+    Ppfx_minidb.Btree.insert btree [| Ppfx_minidb.Value.Int i |] i
+  done;
+  (* One Test.make per paper table/figure, at a tiny scale. *)
+  let tiny = xmark_stores 5 in
+  let tiny_dblp = dblp_stores 200 in
+  let run_all st queries engines () =
+    List.iter
+      (fun (_, q) ->
+        let expr = Xparser.parse q in
+        List.iter
+          (fun engine ->
+            match engine with
+            | `Ppf ->
+              let tr = Translate.create st.schema_store.Loader.mapping in
+              (match Translate.translate tr expr with
+               | None -> ()
+               | Some stmt -> ignore (Engine.run st.schema_store.Loader.db stmt))
+            | `Edge_ppf ->
+              (match Edge_translate.translate expr with
+               | None -> ()
+               | Some stmt -> ignore (Engine.run st.edge_store.Edge.db stmt))
+            | `Monet -> ignore (Monet_sim.run st.monet expr))
+          engines)
+      queries
+  in
+  let tests =
+    Test.make_grouped ~name:"ppfx"
+      [
+        Test.make ~name:"dewey:is_descendant"
+          (Staged.stage (fun () -> Ppfx_dewey.Dewey.is_descendant dewey_b ~of_:dewey_a));
+        Test.make ~name:"regex:path-filter"
+          (Staged.stage (fun () -> Ppfx_regex.Regex.search regex subject));
+        Test.make ~name:"btree:point-lookup"
+          (Staged.stage (fun () ->
+               Ppfx_minidb.Btree.find_equal btree [| Ppfx_minidb.Value.Int 4242 |]));
+        Test.make ~name:"monet:staircase-Q6"
+          (Staged.stage
+             (let expr = Xparser.parse (Xmark.query "Q6") in
+              fun () -> Monet_sim.run tiny.monet expr));
+        Test.make ~name:"fig3:xmark-ppf-vs-edge"
+          (Staged.stage (run_all tiny Xmark.queries [ `Ppf; `Edge_ppf ]));
+        Test.make ~name:"fig4:xmark-all-engines"
+          (Staged.stage (run_all tiny Xmark.queries [ `Ppf; `Edge_ppf; `Monet ]));
+        Test.make ~name:"appendixC:dblp-all-engines"
+          (Staged.stage (run_all tiny_dblp Dblp.queries [ `Ppf; `Edge_ppf; `Monet ]));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure_label by_test ->
+      if String.equal measure_label (Measure.label Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun test_name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-36s %14.0f ns/run\n" test_name est
+            | Some _ | None -> Printf.printf "%-36s (no estimate)\n" test_name)
+          by_test)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  Printf.printf "ppfx benchmark harness — scales: small=%d large=%d dblp=%d, reps=%d\n"
+    config.small config.large config.dblp_entries config.reps;
+  if wants "tables" then tables ();
+  if wants "fig3" then fig3 ();
+  if wants "fig4" then fig4 ();
+  if wants "dblp" then dblp_table ();
+  if wants "ablation" then ablation ();
+  if wants "sweep" then sweep ();
+  if wants "extensions" then extensions ();
+  if wants "micro" then micro ()

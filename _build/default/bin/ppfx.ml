@@ -1,0 +1,361 @@
+(* ppfx — PPF-based XPath execution on a relational backend.
+
+   Subcommands:
+     translate  print the SQL a query translates to
+     run        execute a query against a document through an engine
+     explain    show the relational plan for a translated query
+     stats      show the relational store a document shreds into
+     gen        generate XMark- or DBLP-like synthetic documents *)
+
+open Cmdliner
+
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Edge = Ppfx_shred.Edge
+module Translate = Ppfx_translate.Translate
+module Edge_translate = Ppfx_translate.Edge_translate
+module Accelerator = Ppfx_baselines.Accelerator
+module Monet_sim = Ppfx_baselines.Monet_sim
+module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+module Value = Ppfx_minidb.Value
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_doc path = Doc.of_tree (Ppfx_xml.Parser.parse (read_file path))
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let doc_arg =
+  let doc = "XML document (the schema is inferred from it unless --schema is given)." in
+  Arg.(required & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE" ~doc)
+
+let schema_arg =
+  let doc = "XML Schema (XSD) file describing the documents." in
+  Arg.(value & opt (some file) None & info [ "schema" ] ~docv:"XSD" ~doc)
+
+let schema_of ~schema_path doc =
+  match schema_path with
+  | None -> Graph.infer doc
+  | Some path ->
+    (match Ppfx_schema.Xsd.parse (read_file path) with
+     | s -> s
+     | exception Ppfx_schema.Xsd.Error msg ->
+       Printf.eprintf "XSD error: %s\n" msg;
+       exit 1)
+
+let query_arg =
+  let doc = "XPath query." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH" ~doc)
+
+let engine_arg =
+  let doc =
+    "Engine: ppf (schema-aware PPF SQL), edge (schema-oblivious PPF SQL), accel \
+     (XPath Accelerator SQL), monet (column-store simulator), eval (in-memory \
+     reference evaluator)."
+  in
+  Arg.(
+    value
+    & opt (enum [ "ppf", `Ppf; "edge", `Edge; "accel", `Accel; "monet", `Monet; "eval", `Eval ]) `Ppf
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let no_opt_arg =
+  let doc = "Disable the Section 4.5 path-filter omission." in
+  Arg.(value & flag & info [ "no-filter-omission" ] ~doc)
+
+let handle_errors f =
+  try f () with
+  | Ppfx_xml.Parser.Error { line; column; message } ->
+    Printf.eprintf "XML parse error at %d:%d: %s\n" line column message;
+    exit 1
+  | Ppfx_xpath.Parser.Error { position; message } ->
+    Printf.eprintf "XPath parse error at offset %d: %s\n" position message;
+    exit 1
+  | Translate.Unsupported msg | Edge_translate.Unsupported msg ->
+    Printf.eprintf "not translatable: %s\n" msg;
+    exit 1
+  | Loader.Rejected msg ->
+    Printf.eprintf "document rejected: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let translate_cmd =
+  let run doc_path schema_path query engine no_opt =
+    handle_errors @@ fun () ->
+    let expr = Ppfx_xpath.Parser.parse query in
+    let stmt =
+      match engine with
+      | `Ppf ->
+        let doc = load_doc doc_path in
+        let schema = schema_of ~schema_path doc in
+        let mapping = Ppfx_shred.Mapping.of_schema schema in
+        let options =
+          if no_opt then { Translate.default_options with omit_path_filters = false }
+          else Translate.default_options
+        in
+        Translate.translate (Translate.create ~options mapping) expr
+      | `Edge -> Edge_translate.translate expr
+      | `Accel -> Accelerator.translate expr
+      | `Monet | `Eval ->
+        Printf.eprintf "engine has no SQL translation; use ppf, edge or accel\n";
+        exit 1
+    in
+    match stmt with
+    | None -> print_endline "-- provably empty result"
+    | Some stmt -> print_endline (Sql.to_string stmt)
+  in
+  let term =
+    Term.(const run $ doc_arg $ schema_arg $ query_arg $ engine_arg $ no_opt_arg)
+  in
+  Cmd.v (Cmd.info "translate" ~doc:"Print the SQL a query translates to.") term
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run doc_path schema_path query engine =
+    handle_errors @@ fun () ->
+    let doc = load_doc doc_path in
+    let expr = Ppfx_xpath.Parser.parse query in
+    let ids =
+      match engine with
+      | `Eval -> Ppfx_xpath.Eval.select_elements doc expr
+      | `Monet -> Monet_sim.run (Monet_sim.of_doc doc) expr
+      | `Ppf ->
+        let store = Loader.shred (schema_of ~schema_path doc) doc in
+        (match Translate.translate (Translate.create store.Loader.mapping) expr with
+         | None -> []
+         | Some stmt -> Translate.result_ids (Engine.run store.Loader.db stmt))
+      | `Edge ->
+        let store = Edge.shred doc in
+        (match Edge_translate.translate expr with
+         | None -> []
+         | Some stmt -> Edge_translate.result_ids (Engine.run store.Edge.db stmt))
+      | `Accel ->
+        let store = Accelerator.shred doc in
+        (match Accelerator.translate expr with
+         | None -> []
+         | Some stmt -> Accelerator.result_ids (Engine.run store.Accelerator.db stmt))
+    in
+    Printf.printf "%d nodes\n" (List.length ids);
+    List.iter
+      (fun id ->
+        let e = Doc.element doc id in
+        let preview =
+          let s = e.Doc.string_value in
+          if String.length s > 60 then String.sub s 0 60 ^ "..." else s
+        in
+        Printf.printf "  %d  %-10s %-24s %s\n" id e.Doc.tag e.Doc.path preview)
+      ids
+  in
+  let term = Term.(const run $ doc_arg $ schema_arg $ query_arg $ engine_arg) in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a query against a document.") term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run doc_path schema_path query =
+    handle_errors @@ fun () ->
+    let doc = load_doc doc_path in
+    let store = Loader.shred (schema_of ~schema_path doc) doc in
+    let expr = Ppfx_xpath.Parser.parse query in
+    match Translate.translate (Translate.create store.Loader.mapping) expr with
+    | None -> print_endline "-- provably empty result"
+    | Some stmt ->
+      print_endline (Sql.to_string stmt);
+      print_endline "--";
+      print_string (Engine.explain store.Loader.db stmt);
+      print_endline "--";
+      let result, profiles = Engine.run_profiled store.Loader.db stmt in
+      List.iter
+        (fun (p : Engine.step_profile) ->
+          Printf.printf "step %s(%s): %s — examined %d, passed %d\n" p.Engine.table
+            p.Engine.alias p.Engine.access p.Engine.examined p.Engine.passed)
+        profiles;
+      Printf.printf "%d result rows\n" (List.length result.Engine.rows)
+  in
+  let term = Term.(const run $ doc_arg $ schema_arg $ query_arg) in
+  Cmd.v (Cmd.info "explain" ~doc:"Show the relational plan for a query.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run doc_path schema_path =
+    handle_errors @@ fun () ->
+    let doc = load_doc doc_path in
+    let schema = schema_of ~schema_path doc in
+    Printf.printf "%d elements, %d distinct root-to-node paths\n\n" (Doc.size doc)
+      (List.length (Doc.distinct_paths doc));
+    print_endline "schema marking (Section 4.5):";
+    List.iter
+      (fun def ->
+        let marking =
+          match Graph.classification schema def with
+          | Graph.Unique_path _ -> "U-P"
+          | Graph.Finite_paths ps -> Printf.sprintf "F-P(%d)" (List.length ps)
+          | Graph.Infinite_paths -> "I-P"
+        in
+        Printf.printf "  %-20s %s\n" def.Graph.name marking)
+      (Graph.defs schema);
+    let store = Loader.shred schema doc in
+    print_endline "\nrelational store:";
+    Format.printf "%a@." Ppfx_minidb.Database.pp_stats store.Loader.db
+  in
+  let term = Term.(const run $ doc_arg $ schema_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Show the relational store a document shreds into.") term
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ "xmark", `Xmark; "dblp", `Dblp ])) None
+      & info [] ~docv:"KIND" ~doc:"xmark or dblp")
+  in
+  let scale_arg =
+    Arg.(value & opt int 10 & info [ "s"; "scale" ] ~docv:"N"
+           ~doc:"Items per region (xmark) or entries (dblp).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout if omitted).")
+  in
+  let run kind scale seed out =
+    let tree =
+      match kind with
+      | `Xmark -> Ppfx_workloads.Xmark.generate ~seed ~items_per_region:scale ()
+      | `Dblp -> Ppfx_workloads.Dblp.generate ~seed ~entries:scale ()
+    in
+    match out with
+    | None -> Ppfx_xml.Printer.to_channel ~indent:2 stdout tree
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Ppfx_xml.Printer.to_channel ~indent:2 oc tree);
+      Printf.printf "wrote %s (%d elements)\n" path (Ppfx_xml.Tree.count_elements tree)
+  in
+  let term = Term.(const run $ kind_arg $ scale_arg $ seed_arg $ out_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark document.") term
+
+(* ------------------------------------------------------------------ *)
+(* shred: persist a store                                              *)
+(* ------------------------------------------------------------------ *)
+
+let store_type_arg =
+  Arg.(
+    value
+    & opt (enum [ "schema", `Schema; "edge", `Edge; "accel", `Accel ]) `Schema
+    & info [ "store" ] ~docv:"STORE"
+        ~doc:"Which shredded store to build: schema (schema-aware), edge, accel.")
+
+let build_store ~schema_path ~store doc =
+  match store with
+  | `Schema -> (Loader.shred (schema_of ~schema_path doc) doc).Loader.db
+  | `Edge -> (Edge.shred doc).Edge.db
+  | `Accel -> (Accelerator.shred doc).Accelerator.db
+
+let shred_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output database file.")
+  in
+  let run doc_path schema_path store out =
+    handle_errors @@ fun () ->
+    let doc = load_doc doc_path in
+    let db = build_store ~schema_path ~store doc in
+    Ppfx_minidb.Codec.save out db;
+    Printf.printf "wrote %s (%d tables, %d rows)\n" out
+      (List.length (Ppfx_minidb.Database.tables db))
+      (Ppfx_minidb.Database.total_rows db)
+  in
+  let term = Term.(const run $ doc_arg $ schema_arg $ store_type_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "shred" ~doc:"Shred a document and persist the relational store.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sql_cmd =
+  let db_arg =
+    Arg.(value & opt (some file) None & info [ "db" ] ~docv:"FILE"
+           ~doc:"A persisted store file produced by the shred subcommand \
+                 (alternative to --doc).")
+  in
+  let doc_opt_arg =
+    Arg.(value & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE"
+           ~doc:"XML document to shred on the fly.")
+  in
+  let sql_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL statement.")
+  in
+  let run doc_path db_path store sql =
+    handle_errors @@ fun () ->
+    let db =
+      match db_path, doc_path with
+      | Some path, _ ->
+        (match Ppfx_minidb.Codec.load path with
+         | db -> db
+         | exception Ppfx_minidb.Codec.Corrupt msg ->
+           Printf.eprintf "corrupt store: %s\n" msg;
+           exit 1)
+      | None, Some doc_path ->
+        build_store ~schema_path:None ~store (load_doc doc_path)
+      | None, None ->
+        Printf.eprintf "one of --doc or --db is required\n";
+        exit 1
+    in
+    match Ppfx_minidb.Sql_parser.parse sql with
+    | exception Ppfx_minidb.Sql_parser.Error { position; message } ->
+      Printf.eprintf "SQL parse error at offset %d: %s\n" position message;
+      exit 1
+    | stmt ->
+      (match Engine.run db stmt with
+       | exception Engine.Runtime_error msg ->
+         Printf.eprintf "runtime error: %s\n" msg;
+         exit 1
+       | result ->
+         print_endline (String.concat " | " result.Engine.columns);
+         List.iter
+           (fun row ->
+             print_endline
+               (String.concat " | "
+                  (Array.to_list (Array.map Value.to_string row))))
+           result.Engine.rows;
+         Printf.printf "(%d rows)\n" (List.length result.Engine.rows))
+  in
+  let term = Term.(const run $ doc_opt_arg $ db_arg $ store_type_arg $ sql_arg) in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run a SQL statement directly against a shredded document.")
+    term
+
+let () =
+  let info =
+    Cmd.info "ppfx" ~version:"1.0.0"
+      ~doc:"PPF-based XPath execution on a relational backend (EDBT 2006 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ translate_cmd; run_cmd; explain_cmd; stats_cmd; gen_cmd; shred_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_site.ml: Array List Ppfx_baselines Ppfx_minidb Ppfx_shred Ppfx_translate Ppfx_workloads Ppfx_xml Ppfx_xpath Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/bibliography.ml: Array List Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_translate Ppfx_workloads Ppfx_xml Ppfx_xpath Printf String Sys

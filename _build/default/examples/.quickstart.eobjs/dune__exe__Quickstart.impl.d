@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_translate Ppfx_xml Ppfx_xpath Printf

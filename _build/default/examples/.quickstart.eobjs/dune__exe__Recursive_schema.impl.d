@@ -1,0 +1,1 @@
+examples/recursive_schema.ml: List Ppfx_dewey Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_translate Ppfx_xml Ppfx_xpath Printf String

@@ -1,0 +1,1 @@
+lib/baselines/accelerator.ml: Array Format Int List Option Ppfx_dewey Ppfx_minidb Ppfx_regex Ppfx_translate Ppfx_xml Ppfx_xpath Printf String

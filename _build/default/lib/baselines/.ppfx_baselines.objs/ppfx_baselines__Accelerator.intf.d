@@ -1,0 +1,1 @@
+lib/baselines/accelerator.mli: Ppfx_minidb Ppfx_xml Ppfx_xpath

@@ -1,0 +1,1 @@
+lib/baselines/commercial.ml: Format List Ppfx_minidb Ppfx_translate Ppfx_xpath

@@ -1,0 +1,1 @@
+lib/baselines/commercial.mli: Ppfx_minidb Ppfx_shred Ppfx_xpath

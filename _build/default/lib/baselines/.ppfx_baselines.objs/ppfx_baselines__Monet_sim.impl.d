@@ -1,0 +1,1 @@
+lib/baselines/monet_sim.ml: Array Float Format Fun Hashtbl Int List Option Ppfx_dewey Ppfx_translate Ppfx_xml Ppfx_xpath String

@@ -1,0 +1,1 @@
+lib/baselines/monet_sim.mli: Ppfx_xml Ppfx_xpath

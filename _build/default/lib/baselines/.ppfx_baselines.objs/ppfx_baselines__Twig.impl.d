@@ -1,0 +1,1 @@
+lib/baselines/twig.ml: Array Format Fun Hashtbl Int List Option Ppfx_translate Ppfx_xml Ppfx_xpath

@@ -1,0 +1,1 @@
+lib/baselines/twig.mli: Ppfx_xml Ppfx_xpath

@@ -1,0 +1,76 @@
+module Ast = Ppfx_xpath.Ast
+module Sql = Ppfx_minidb.Sql
+module Translate = Ppfx_translate.Translate
+
+exception Not_supported of string
+
+let not_supported fmt = Format.kasprintf (fun m -> raise (Not_supported m)) fmt
+
+(* The built-in processor's subset: child-only steps with name tests,
+   predicates combining and/or/not over child-only relative paths,
+   attributes, and comparisons of those with literals, numbers or each
+   other. *)
+let rec supported_expr (e : Ast.expr) =
+  match e with
+  | Ast.Path p -> supported_backbone p
+  | Ast.Union _ | Ast.Binop _ | Ast.Neg _ | Ast.Literal _ | Ast.Number _ | Ast.Fn_not _
+  | Ast.Fn_count _ | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _
+  | Ast.Fn_starts_with _ | Ast.Fn_string_length _ ->
+    false
+
+and supported_backbone (p : Ast.path) =
+  p.Ast.absolute && List.for_all supported_step p.Ast.steps
+
+and supported_step (s : Ast.step) =
+  (match s.Ast.axis, s.Ast.test with
+   | Ast.Child, Ast.Name _ -> true
+   | _, _ -> false)
+  && List.for_all supported_predicate s.Ast.predicates
+
+and supported_predicate (e : Ast.expr) =
+  match e with
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) -> supported_predicate a && supported_predicate b
+  | Ast.Fn_not a -> supported_predicate a
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+    supported_operand a && supported_operand b
+  | Ast.Path p -> supported_relative p
+  | Ast.Union _ | Ast.Binop _ | Ast.Neg _ | Ast.Literal _ | Ast.Number _ | Ast.Fn_count _
+  | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _ | Ast.Fn_starts_with _
+  | Ast.Fn_string_length _ ->
+    false
+
+and supported_operand (e : Ast.expr) =
+  match e with
+  | Ast.Literal _ | Ast.Number _ -> true
+  | Ast.Path p -> supported_relative p
+  | Ast.Union _ | Ast.Binop _ | Ast.Neg _ | Ast.Fn_not _ | Ast.Fn_count _
+  | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _ | Ast.Fn_starts_with _
+  | Ast.Fn_string_length _ ->
+    false
+
+and supported_relative (p : Ast.path) =
+  (not p.Ast.absolute)
+  && List.for_all
+       (fun (s : Ast.step) ->
+         match s.Ast.axis, s.Ast.test with
+         | Ast.Child, Ast.Name _ -> s.Ast.predicates = []
+         | Ast.Attribute, Ast.Name _ -> s.Ast.predicates = []
+         | _, _ -> false)
+       p.Ast.steps
+
+let supports = supported_expr
+
+let options =
+  {
+    Translate.omit_path_filters = true;
+    merge_forward = false;
+    fk_child_joins = true;
+    force_per_step = true;
+  }
+
+let translate mapping (e : Ast.expr) =
+  if not (supports e) then
+    not_supported "the built-in XPath processor does not support: %s" (Ast.to_string e);
+  Translate.translate (Translate.create ~options mapping) e
+
+let result_ids = Translate.result_ids

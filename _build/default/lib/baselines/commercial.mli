@@ -1,0 +1,22 @@
+(** Stand-in for the major commercial RDBMS's built-in XML
+    shredding/XPath processor from the paper's Section 5 evaluation.
+
+    The paper reports that the built-in mechanism supports only three of
+    the XPathMark queries (Q23, Q24 and Q-A). This stand-in reproduces
+    both the feature restriction — child-axis-only backbones with
+    logical/value predicates over child-only relative paths and
+    attributes — and the conventional per-step foreign-key-join
+    translation profile over the schema-aware store. *)
+
+module Sql = Ppfx_minidb.Sql
+
+exception Not_supported of string
+(** The query uses a feature outside the built-in processor's subset. *)
+
+val supports : Ppfx_xpath.Ast.expr -> bool
+
+val translate : Ppfx_shred.Mapping.t -> Ppfx_xpath.Ast.expr -> Sql.statement option
+(** Conventional per-step translation. Raises {!Not_supported} when
+    {!supports} is false. *)
+
+val result_ids : Ppfx_minidb.Engine.result -> int list

@@ -1,0 +1,503 @@
+module Ast = Ppfx_xpath.Ast
+module Doc = Ppfx_xml.Doc
+module Ppf = Ppfx_translate.Ppf
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+type t = {
+  n : int;
+  post : int array;  (** by pre rank *)
+  parent : int array;  (** by pre rank; -1 for the root *)
+  subtree_end : int array;  (** largest pre rank inside the subtree *)
+  children : int array array;
+  tags : (string, int array) Hashtbl.t;  (** posting lists, sorted by pre *)
+  all : int array;
+  text : string array;
+  dtext : string array;
+  attrs : (string * string) list array;
+  absolute_cache : (string, string list) Hashtbl.t;
+      (** memoized string values of absolute predicate paths *)
+}
+
+let of_doc doc =
+  let n = Doc.size doc in
+  let post = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let subtree_end = Array.make n 0 in
+  let children = Array.make n [||] in
+  let text = Array.make n "" in
+  let dtext = Array.make n "" in
+  let attrs = Array.make n [] in
+  let tag_acc : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Doc.iter
+    (fun e ->
+      let pre = e.Doc.id - 1 in
+      post.(pre) <- e.Doc.region.Ppfx_dewey.Region.post;
+      parent.(pre) <- e.Doc.parent - 1;
+      children.(pre) <- Array.of_list (List.map (fun c -> c - 1) e.Doc.children);
+      text.(pre) <- e.Doc.string_value;
+      dtext.(pre) <- e.Doc.text;
+      attrs.(pre) <- e.Doc.attrs;
+      let cell =
+        match Hashtbl.find_opt tag_acc e.Doc.tag with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add tag_acc e.Doc.tag r;
+          r
+      in
+      cell := pre :: !cell)
+    doc;
+  (* subtree_end: iterate in reverse preorder. *)
+  for pre = n - 1 downto 0 do
+    subtree_end.(pre) <-
+      (match children.(pre) with
+       | [||] -> pre
+       | cs -> subtree_end.(cs.(Array.length cs - 1)))
+  done;
+  let tags = Hashtbl.create (Hashtbl.length tag_acc) in
+  Hashtbl.iter
+    (fun tag cell -> Hashtbl.replace tags tag (Array.of_list (List.rev !cell)))
+    tag_acc;
+  {
+    n;
+    post;
+    parent;
+    subtree_end;
+    children;
+    tags;
+    all = Array.init n Fun.id;
+    text;
+    dtext;
+    attrs;
+    absolute_cache = Hashtbl.create 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sorted-array set helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of first element >= x. *)
+let lower_bound (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem_sorted (a : int array) x =
+  let i = lower_bound a x in
+  i < Array.length a && a.(i) = x
+
+let posting t (test : Ast.node_test) =
+  match test with
+  | Ast.Name n -> Option.value ~default:[||] (Hashtbl.find_opt t.tags n)
+  | Ast.Wildcard | Ast.Any_node -> t.all
+  | Ast.Text -> unsupported "text() is not an element step"
+
+let sort_dedupe l = List.sort_uniq Int.compare l |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Axes, set-at-a-time                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Context [None] is the virtual document root. *)
+let axis_step t (ctx : int array option) (axis : Ast.axis) (test : Ast.node_test) :
+    int array =
+  match ctx, axis with
+  | None, Ast.Child ->
+    let tag_ok =
+      match test with
+      | Ast.Name n -> Hashtbl.mem t.tags n && mem_sorted (posting t test) 0
+      | Ast.Wildcard | Ast.Any_node -> true
+      | Ast.Text -> false
+    in
+    if tag_ok then [| 0 |] else [||]
+  | None, Ast.Descendant -> posting t test
+  | None, _ -> [||]
+  | Some ctx, Ast.Child ->
+    let list = posting t test in
+    if 16 * Array.length ctx < Array.length list then begin
+      (* Small context: enumerate children directly. *)
+      let match_test v =
+        match test with
+        | Ast.Name n ->
+          Hashtbl.find_opt t.tags n
+          |> Option.fold ~none:false ~some:(fun l -> mem_sorted l v)
+        | Ast.Wildcard | Ast.Any_node -> true
+        | Ast.Text -> false
+      in
+      let out = ref [] in
+      Array.iter
+        (fun c -> Array.iter (fun v -> if match_test v then out := v :: !out) t.children.(c))
+        ctx;
+      sort_dedupe !out
+    end
+    else begin
+      (* Scan the posting list, keep nodes whose parent is in context. *)
+      let out = ref [] in
+      Array.iter
+        (fun v ->
+          let p = t.parent.(v) in
+          if p >= 0 && mem_sorted ctx p then out := v :: !out)
+        list;
+      Array.of_list (List.rev !out)
+    end
+  | Some ctx, Ast.Descendant ->
+    (* Staircase join: prune nested context nodes, then take disjoint
+       posting-list slices per remaining context range. *)
+    let list = posting t test in
+    let out = ref [] in
+    let current_end = ref (-1) in
+    Array.iter
+      (fun c ->
+        if c > !current_end then begin
+          current_end := t.subtree_end.(c);
+          let lo = lower_bound list (c + 1) in
+          let hi = lower_bound list (!current_end + 1) in
+          for i = lo to hi - 1 do
+            out := list.(i) :: !out
+          done
+        end)
+      ctx;
+    Array.of_list (List.rev !out)
+  | Some ctx, Ast.Parent ->
+    let match_test v =
+      match test with
+      | Ast.Name n -> Hashtbl.find_opt t.tags n |> Option.fold ~none:false ~some:(fun l -> mem_sorted l v)
+      | Ast.Wildcard | Ast.Any_node -> true
+      | Ast.Text -> false
+    in
+    sort_dedupe
+      (Array.to_list ctx
+      |> List.filter_map (fun c ->
+             let p = t.parent.(c) in
+             if p >= 0 && match_test p then Some p else None))
+  | Some ctx, Ast.Ancestor ->
+    let match_test v =
+      match test with
+      | Ast.Name n -> Hashtbl.find_opt t.tags n |> Option.fold ~none:false ~some:(fun l -> mem_sorted l v)
+      | Ast.Wildcard | Ast.Any_node -> true
+      | Ast.Text -> false
+    in
+    if Array.length ctx <= 8 then begin
+      (* Small contexts (predicate evaluation): plain parent-chain walk
+         without the O(n) visited array. *)
+      let out = ref [] in
+      Array.iter
+        (fun c ->
+          let rec up v =
+            let p = t.parent.(v) in
+            if p >= 0 then begin
+              if match_test p then out := p :: !out;
+              up p
+            end
+          in
+          up c)
+        ctx;
+      sort_dedupe !out
+    end
+    else begin
+      let visited = Array.make t.n false in
+      let out = ref [] in
+      Array.iter
+        (fun c ->
+          let rec up v =
+            let p = t.parent.(v) in
+            if p >= 0 && not visited.(p) then begin
+              visited.(p) <- true;
+              if match_test p then out := p :: !out;
+              up p
+            end
+          in
+          up c)
+        ctx;
+      sort_dedupe !out
+    end
+  | Some ctx, Ast.Following ->
+    if Array.length ctx = 0 then [||]
+    else begin
+      (* v follows some c iff pre(v) > min over ctx of subtree_end(c). *)
+      let boundary = Array.fold_left (fun acc c -> min acc t.subtree_end.(c)) max_int ctx in
+      let list = posting t test in
+      let lo = lower_bound list (boundary + 1) in
+      Array.sub list lo (Array.length list - lo)
+    end
+  | Some ctx, Ast.Preceding ->
+    if Array.length ctx = 0 then [||]
+    else begin
+      (* v precedes some c iff subtree_end(v) < max over ctx of pre(c). *)
+      let boundary = ctx.(Array.length ctx - 1) in
+      let list = posting t test in
+      let out = ref [] in
+      Array.iter (fun v -> if t.subtree_end.(v) < boundary then out := v :: !out) list;
+      Array.of_list (List.rev !out)
+    end
+  | Some ctx, Ast.Following_sibling ->
+    let match_test v =
+      match test with
+      | Ast.Name n -> Hashtbl.find_opt t.tags n |> Option.fold ~none:false ~some:(fun l -> mem_sorted l v)
+      | Ast.Wildcard | Ast.Any_node -> true
+      | Ast.Text -> false
+    in
+    let out = ref [] in
+    Array.iter
+      (fun c ->
+        let p = t.parent.(c) in
+        if p >= 0 then
+          Array.iter
+            (fun s -> if s > c && match_test s then out := s :: !out)
+            t.children.(p))
+      ctx;
+    sort_dedupe !out
+  | Some ctx, Ast.Preceding_sibling ->
+    let match_test v =
+      match test with
+      | Ast.Name n -> Hashtbl.find_opt t.tags n |> Option.fold ~none:false ~some:(fun l -> mem_sorted l v)
+      | Ast.Wildcard | Ast.Any_node -> true
+      | Ast.Text -> false
+    in
+    let out = ref [] in
+    Array.iter
+      (fun c ->
+        let p = t.parent.(c) in
+        if p >= 0 then
+          Array.iter
+            (fun s -> if s < c && match_test s then out := s :: !out)
+            t.children.(p))
+      ctx;
+    sort_dedupe !out
+  | Some _, (Ast.Self | Ast.Descendant_or_self | Ast.Ancestor_or_self | Ast.Attribute) ->
+    unsupported "axis %s should have been normalized away" (Ast.axis_name axis)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates (node-at-a-time over the columns)                        *)
+(* ------------------------------------------------------------------ *)
+
+type pvalue =
+  | Vals of string list  (** string values of a node-set result *)
+  | Vstr of string
+  | Vnum of float
+  | Vbool of bool
+
+let num_of_string s =
+  match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan
+
+let rec eval_steps t (ctx : int array option) (steps : Ast.step list) : int array =
+  List.fold_left
+    (fun ctx (step : Ast.step) ->
+      let candidates = axis_step t ctx step.Ast.axis step.Ast.test in
+      let filtered =
+        List.fold_left
+          (fun cands pred ->
+            Array.of_list
+              (List.filter (fun v -> eval_predicate t v pred) (Array.to_list cands)))
+          candidates step.Ast.predicates
+      in
+      Some filtered)
+    ctx steps
+  |> function
+  | Some out -> out
+  | None -> [||]
+
+and eval_predicate t (v : int) (p : Ast.expr) : bool =
+  match eval_pexpr t v p with
+  | Vbool b -> b
+  | Vnum _ ->
+    (* Numeric predicates are positional in XPath 1.0. *)
+    unsupported "positional predicates are not supported"
+  | Vstr s -> String.length s > 0
+  | Vals l -> l <> []
+
+and eval_pexpr t (v : int) (p : Ast.expr) : pvalue =
+  match p with
+  | Ast.Literal s -> Vstr s
+  | Ast.Number f -> Vnum f
+  | Ast.Fn_not x -> Vbool (not (eval_predicate t v x))
+  | Ast.Fn_count (Ast.Path path) ->
+    Vnum (float_of_int (List.length (path_values t v path)))
+  | Ast.Fn_count _ -> unsupported "count() requires a path argument"
+  | Ast.Fn_position | Ast.Fn_last ->
+    unsupported "positional predicates are not supported"
+  | Ast.Neg x ->
+    (match eval_pexpr t v x with
+     | Vnum f -> Vnum (-.f)
+     | Vstr s -> Vnum (-.num_of_string s)
+     | Vbool _ | Vals _ -> unsupported "negation of a non-number")
+  | Ast.Binop (Ast.And, x, y) -> Vbool (eval_predicate t v x && eval_predicate t v y)
+  | Ast.Binop (Ast.Or, x, y) -> Vbool (eval_predicate t v x || eval_predicate t v y)
+  | Ast.Union (x, y) -> Vbool (eval_predicate t v x || eval_predicate t v y)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op, x, y) ->
+    let to_num = function
+      | Vnum f -> f
+      | Vstr s -> num_of_string s
+      | Vbool b -> if b then 1.0 else 0.0
+      | Vals [] -> Float.nan
+      | Vals (s :: _) -> num_of_string s
+    in
+    let a = to_num (eval_pexpr t v x) and b = to_num (eval_pexpr t v y) in
+    Vnum
+      (match op with
+       | Ast.Add -> a +. b
+       | Ast.Sub -> a -. b
+       | Ast.Mul -> a *. b
+       | Ast.Div -> a /. b
+       | Ast.Mod -> Float.rem a b
+       | _ -> assert false)
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, x, y) ->
+    Vbool (compare_pvalues op (eval_pexpr t v x) (eval_pexpr t v y))
+  | Ast.Fn_contains (x, y) ->
+    let sx = pvalue_to_string (eval_pexpr t v x)
+    and sy = pvalue_to_string (eval_pexpr t v y) in
+    let nx = String.length sx and ny = String.length sy in
+    let rec go i = i + ny <= nx && (String.sub sx i ny = sy || go (i + 1)) in
+    Vbool (go 0)
+  | Ast.Fn_starts_with (x, y) ->
+    let sx = pvalue_to_string (eval_pexpr t v x)
+    and sy = pvalue_to_string (eval_pexpr t v y) in
+    Vbool
+      (String.length sy <= String.length sx
+      && String.equal (String.sub sx 0 (String.length sy)) sy)
+  | Ast.Fn_string_length x ->
+    Vnum (float_of_int (String.length (pvalue_to_string (eval_pexpr t v x))))
+  | Ast.Path path -> Vals (path_values t v path)
+
+and pvalue_to_string = function
+  | Vstr s -> s
+  | Vnum f ->
+    if Float.is_nan f then "NaN"
+    else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+    else string_of_float f
+  | Vbool b -> if b then "true" else "false"
+  | Vals [] -> ""
+  | Vals (s :: _) -> s
+
+and compare_pvalues op a b =
+  let is_eq = match op with Ast.Eq | Ast.Ne -> true | _ -> false in
+  let test_num x y =
+    match op with
+    | Ast.Eq -> Float.equal x y
+    | Ast.Ne -> not (Float.equal x y)
+    | Ast.Lt -> x < y
+    | Ast.Le -> x <= y
+    | Ast.Gt -> x > y
+    | Ast.Ge -> x >= y
+    | _ -> assert false
+  in
+  let test_str x y =
+    if is_eq then
+      match op with
+      | Ast.Eq -> String.equal x y
+      | Ast.Ne -> not (String.equal x y)
+      | _ -> assert false
+    else test_num (num_of_string x) (num_of_string y)
+  in
+  match a, b with
+  | Vals l1, Vals l2 -> List.exists (fun x -> List.exists (test_str x) l2) l1
+  | Vals l, Vnum f -> List.exists (fun s -> test_num (num_of_string s) f) l
+  | Vnum f, Vals l -> List.exists (fun s -> test_num f (num_of_string s)) l
+  | Vals l, Vstr s -> List.exists (fun x -> test_str x s) l
+  | Vstr s, Vals l -> List.exists (fun x -> test_str s x) l
+  | Vals l, Vbool b | Vbool b, Vals l ->
+    test_num (if l <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
+  | Vnum x, Vnum y -> test_num x y
+  | Vstr x, Vstr y -> test_str x y
+  | Vnum x, Vstr s -> test_num x (num_of_string s)
+  | Vstr s, Vnum y -> test_num (num_of_string s) y
+  | Vbool x, (Vbool _ | Vnum _ | Vstr _) ->
+    test_num (if x then 1.0 else 0.0)
+      (match b with
+       | Vbool y -> if y then 1.0 else 0.0
+       | Vnum y -> y
+       | Vstr s -> num_of_string s
+       | Vals _ -> assert false)
+  | (Vnum _ | Vstr _), Vbool y ->
+    test_num
+      (match a with
+       | Vnum x -> x
+       | Vstr s -> num_of_string s
+       | Vbool _ | Vals _ -> assert false)
+      (if y then 1.0 else 0.0)
+
+(* String values of the nodes a predicate path selects from [v]. Absolute
+   paths are context-independent and memoized per store. *)
+and path_values t (v : int) (path : Ast.path) : string list =
+  if path.Ast.absolute then begin
+    let key = Ast.to_string (Ast.Path path) in
+    match Hashtbl.find_opt t.absolute_cache key with
+    | Some vals -> vals
+    | None ->
+      let vals = path_values_uncached t v path in
+      Hashtbl.add t.absolute_cache key vals;
+      vals
+  end
+  else path_values_uncached t v path
+
+and path_values_uncached t (v : int) (path : Ast.path) : string list =
+  let start = if path.Ast.absolute then None else Some [| v |] in
+  List.concat_map
+    (fun steps ->
+      match List.rev steps with
+      | { Ast.axis = Ast.Attribute; test; predicates = [] } :: rev_rest ->
+        let owners =
+          if rev_rest = [] then
+            match start with None -> [||] | Some ctx -> ctx
+          else eval_steps t start (List.rev rev_rest)
+        in
+        Array.to_list owners
+        |> List.concat_map (fun o ->
+               match test with
+               | Ast.Name n ->
+                 (match List.assoc_opt n t.attrs.(o) with Some v -> [ v ] | None -> [])
+               | Ast.Wildcard | Ast.Any_node -> List.map snd t.attrs.(o)
+               | Ast.Text -> [])
+      | { Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } :: rev_rest ->
+        let owners =
+          if rev_rest = [] then
+            match start with None -> [||] | Some ctx -> ctx
+          else eval_steps t start (List.rev rev_rest)
+        in
+        Array.to_list owners
+        |> List.filter_map (fun o ->
+               if String.length t.dtext.(o) > 0 then Some t.dtext.(o) else None)
+      | _ ->
+        (match steps, start with
+         | [], Some ctx -> Array.to_list ctx |> List.map (fun o -> t.text.(o))
+         | [], None -> []
+         | steps, start ->
+           Array.to_list (eval_steps t start steps) |> List.map (fun o -> t.text.(o))))
+    (Ppf.normalize_steps path.Ast.steps)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_paths (e : Ast.expr) : Ast.path list =
+  match e with
+  | Ast.Path p -> [ p ]
+  | Ast.Union (a, b) -> collect_paths a @ collect_paths b
+  | Ast.Binop _ | Ast.Neg _ | Ast.Literal _ | Ast.Number _ | Ast.Fn_not _ | Ast.Fn_count _
+  | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _ | Ast.Fn_starts_with _
+  | Ast.Fn_string_length _ ->
+    unsupported "top-level expression must be a path or a union of paths"
+
+let run t (e : Ast.expr) : int list =
+  let results =
+    List.concat_map
+      (fun (path : Ast.path) ->
+        List.concat_map
+          (fun steps ->
+            match List.rev steps with
+            | { Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } :: rev_rest ->
+              let owners = eval_steps t None (List.rev rev_rest) in
+              Array.to_list owners |> List.filter (fun o -> String.length t.dtext.(o) > 0)
+            | { Ast.axis = Ast.Attribute; _ } :: _ ->
+              unsupported "attribute-final backbones are not supported"
+            | _ -> Array.to_list (eval_steps t None steps))
+          (Ppf.normalize_steps path.Ast.steps))
+      (collect_paths e)
+  in
+  List.sort_uniq Int.compare results |> List.map (fun pre -> pre + 1)

@@ -1,0 +1,242 @@
+module Ast = Ppfx_xpath.Ast
+module Doc = Ppfx_xml.Doc
+module Ppf = Ppfx_translate.Ppf
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+type t = {
+  n : int;
+  subtree_end : int array;  (** by pre rank: last pre in the subtree *)
+  parent : int array;  (** by pre rank; -1 for the root *)
+  tags : (string, int array) Hashtbl.t;  (** sorted pre streams *)
+  all : int array;
+}
+
+let of_doc doc =
+  let n = Doc.size doc in
+  let subtree_end = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let children = Array.make n [||] in
+  let tag_acc : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Doc.iter
+    (fun e ->
+      let pre = e.Doc.id - 1 in
+      parent.(pre) <- e.Doc.parent - 1;
+      children.(pre) <- Array.of_list (List.map (fun c -> c - 1) e.Doc.children);
+      let cell =
+        match Hashtbl.find_opt tag_acc e.Doc.tag with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add tag_acc e.Doc.tag r;
+          r
+      in
+      cell := pre :: !cell)
+    doc;
+  for pre = n - 1 downto 0 do
+    subtree_end.(pre) <-
+      (match children.(pre) with
+       | [||] -> pre
+       | cs -> subtree_end.(cs.(Array.length cs - 1)))
+  done;
+  let tags = Hashtbl.create (Hashtbl.length tag_acc) in
+  Hashtbl.iter
+    (fun tag cell -> Hashtbl.replace tags tag (Array.of_list (List.rev !cell)))
+    tag_acc;
+  { n; subtree_end; parent; tags; all = Array.init n Fun.id }
+
+(* ------------------------------------------------------------------ *)
+(* Pattern extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type edge = Child | Desc
+
+type pattern = {
+  edge : edge;
+  test : string option;  (** [None] = wildcard *)
+  branches : pattern list;  (** existence predicates *)
+  next : pattern option;  (** continuation of the backbone/branch spine *)
+}
+
+let rec pattern_of_steps (steps : Ast.step list) : pattern =
+  match steps with
+  | [] -> unsupported "empty step list"
+  | step :: rest ->
+    let edge =
+      match step.Ast.axis with
+      | Ast.Child -> Child
+      | Ast.Descendant -> Desc
+      | axis -> unsupported "axis %s is outside the twig subset" (Ast.axis_name axis)
+    in
+    let test =
+      match step.Ast.test with
+      | Ast.Name n -> Some n
+      | Ast.Wildcard | Ast.Any_node -> None
+      | Ast.Text -> unsupported "text() is outside the twig subset"
+    in
+    let branches = List.concat_map branch_of_predicate step.Ast.predicates in
+    {
+      edge;
+      test;
+      branches;
+      next = (match rest with [] -> None | rest -> Some (pattern_of_steps rest));
+    }
+
+and branch_of_predicate (p : Ast.expr) : pattern list =
+  match p with
+  | Ast.Binop (Ast.And, a, b) -> branch_of_predicate a @ branch_of_predicate b
+  | Ast.Path { Ast.absolute = false; steps } ->
+    (match Ppf.normalize_steps steps with
+     | [ steps ] when steps <> [] -> [ pattern_of_steps steps ]
+     | _ -> unsupported "predicate is outside the twig subset")
+  | _ -> unsupported "only existence predicates combined with 'and' form twigs"
+
+let pattern_of_expr (e : Ast.expr) : pattern =
+  match e with
+  | Ast.Path { Ast.absolute = true; steps } ->
+    (match Ppf.normalize_steps steps with
+     | [ steps ] when steps <> [] -> pattern_of_steps steps
+     | _ -> unsupported "backbone is outside the twig subset")
+  | _ -> unsupported "only absolute paths form twigs"
+
+let supports e =
+  match pattern_of_expr e with
+  | _ -> true
+  | exception Unsupported _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Structural semi-joins over sorted streams                           *)
+(* ------------------------------------------------------------------ *)
+
+let stream t = function
+  | Some tag -> Option.value ~default:[||] (Hashtbl.find_opt t.tags tag)
+  | None -> t.all
+
+let lower_bound (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem_sorted a x =
+  let i = lower_bound a x in
+  i < Array.length a && a.(i) = x
+
+(* Descendant semi-join (PathStack merge kernel): members of [descs]
+   having an ancestor in [ancs]. Both inputs and the output are sorted by
+   preorder rank; ancestors on the current root-to-node chain form the
+   stack, pruned by subtree extents. *)
+let desc_semijoin t (ancs : int array) (descs : int array) : int array =
+  let out = ref [] in
+  let stack = ref [] in
+  let na = Array.length ancs in
+  let ai = ref 0 in
+  Array.iter
+    (fun d ->
+      (* push ancestors that start before d *)
+      while !ai < na && ancs.(!ai) < d do
+        let a = ancs.(!ai) in
+        (* pop finished ancestors first *)
+        while (match !stack with top :: _ -> t.subtree_end.(top) < a | [] -> false) do
+          stack := List.tl !stack
+        done;
+        stack := a :: !stack;
+        incr ai
+      done;
+      while (match !stack with top :: _ -> t.subtree_end.(top) < d | [] -> false) do
+        stack := List.tl !stack
+      done;
+      match !stack with
+      | top :: _ when d > top && d <= t.subtree_end.(top) -> out := d :: !out
+      | _ -> ())
+    descs;
+  Array.of_list (List.rev !out)
+
+(* Child semi-join: members of [childs] whose parent is in [parents]. *)
+let child_semijoin t (parents : int array) (childs : int array) : int array =
+  let out = ref [] in
+  Array.iter
+    (fun c ->
+      let p = t.parent.(c) in
+      if p >= 0 && mem_sorted parents p then out := c :: !out)
+    childs;
+  Array.of_list (List.rev !out)
+
+(* Reverse semi-joins for predicates: candidates having a matching
+   descendant / child. *)
+let has_desc_semijoin t (cands : int array) (descs : int array) : int array =
+  let out = ref [] in
+  Array.iter
+    (fun a ->
+      let i = lower_bound descs (a + 1) in
+      if i < Array.length descs && descs.(i) <= t.subtree_end.(a) then out := a :: !out)
+    cands;
+  Array.of_list (List.rev !out)
+
+let has_child_semijoin t (cands : int array) (childs : int array) : int array =
+  (* sorted set of parents of the child stream *)
+  let parents =
+    Array.to_list childs
+    |> List.filter_map (fun c -> if t.parent.(c) >= 0 then Some t.parent.(c) else None)
+    |> List.sort_uniq Int.compare
+    |> Array.of_list
+  in
+  let out = ref [] in
+  Array.iter (fun a -> if mem_sorted parents a then out := a :: !out) cands;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Bottom-up pruning: nodes of [p]'s stream (relative to an unconstrained
+   context) that root a match of the sub-twig below [p]. *)
+let rec satisfying t (p : pattern) : int array =
+  let base = stream t p.test in
+  let base =
+    List.fold_left
+      (fun acc branch -> prune_by_branch t acc branch)
+      base p.branches
+  in
+  match p.next with
+  | None -> base
+  | Some next ->
+    let below = satisfying t next in
+    (match next.edge with
+     | Desc -> has_desc_semijoin t base below
+     | Child -> has_child_semijoin t base below)
+
+and prune_by_branch t (cands : int array) (branch : pattern) : int array =
+  let below = satisfying t branch in
+  match branch.edge with
+  | Desc -> has_desc_semijoin t cands below
+  | Child -> has_child_semijoin t cands below
+
+(* Top-down evaluation along the backbone spine: each spine node's
+   candidates (branch-pruned) are filtered against the incoming context,
+   then passed down. The final spine node's survivors are the answer. *)
+let run t (e : Ast.expr) : int list =
+  let pattern = pattern_of_expr e in
+  let candidates (p : pattern) =
+    List.fold_left (fun acc b -> prune_by_branch t acc b) (stream t p.test) p.branches
+  in
+  let rec walk (p : pattern) (context : int array option) : int array =
+    let sat = candidates p in
+    let filtered =
+      match context, p.edge with
+      | None, Child ->
+        (* child of the virtual root: the document root element *)
+        Array.of_list (List.filter (fun v -> t.parent.(v) < 0) (Array.to_list sat))
+      | None, Desc -> sat
+      | Some ctx, Desc -> desc_semijoin t ctx sat
+      | Some ctx, Child -> child_semijoin t ctx sat
+    in
+    match p.next with
+    | None -> filtered
+    | Some next -> walk next (Some filtered)
+  in
+  Array.to_list (walk pattern None) |> List.map (fun pre -> pre + 1)

@@ -1,0 +1,38 @@
+(** Twig-pattern evaluation with stack-based structural joins — the
+    paper's Section 7 future-work direction ("PPF-based processing ...
+    can be combined with native XML join techniques such as twig join
+    [28]", Bruno/Koudas/Srivastava's holistic twig joins).
+
+    A twig pattern is the tree shape of an XPath backbone whose steps use
+    only the child and descendant axes, with existence-only branch
+    predicates. Evaluation works on per-tag node streams sorted by
+    preorder rank:
+
+    - descendant edges: a single-pass stack-based structural semi-join
+      (the merge kernel of PathStack/TwigStack), O(|ancestors| +
+      |descendants|);
+    - child edges: parent-rank membership probes on the sorted stream;
+    - branch predicates: reverse semi-joins pruning candidates bottom-up.
+
+    Since XPath results are node {e sets} (not match tuples), semi-joins
+    compute exactly the answer; the full TwigStack tuple enumeration is
+    unnecessary. The module rejects anything outside the twig subset with
+    {!Unsupported} — value predicates and the other axes remain the SQL
+    translators' business. *)
+
+exception Unsupported of string
+
+type t
+
+val of_doc : Ppfx_xml.Doc.t -> t
+(** Build the per-tag streams. *)
+
+val supports : Ppfx_xpath.Ast.expr -> bool
+(** True when the expression is within the twig subset: an absolute
+    child/descendant backbone with name or wildcard tests and
+    existence-only relative child/descendant predicates (combined with
+    [and]). *)
+
+val run : t -> Ppfx_xpath.Ast.expr -> int list
+(** Element ids in document order. Raises {!Unsupported} outside the
+    subset. *)

@@ -1,0 +1,1 @@
+lib/dewey/dewey.ml: Buffer Char Format List String

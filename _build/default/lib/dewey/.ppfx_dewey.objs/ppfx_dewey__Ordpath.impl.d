@@ -1,0 +1,1 @@
+lib/dewey/ordpath.ml: Buffer Char Format List String

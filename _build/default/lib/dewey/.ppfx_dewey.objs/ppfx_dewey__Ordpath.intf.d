@@ -1,0 +1,1 @@
+lib/dewey/ordpath.mli: Format

@@ -1,0 +1,1 @@
+lib/dewey/region.ml: Format

@@ -1,0 +1,85 @@
+type t = string
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun msg -> raise (Invalid msg)) fmt
+
+let component_max = 0x7FFFFF
+
+let component_bytes = 3
+
+let encode_component buf c =
+  if c < 0 || c > component_max then
+    invalid "dewey component %d out of range [0, %d]" c component_max;
+  Buffer.add_char buf (Char.chr ((c lsr 16) land 0x7F));
+  Buffer.add_char buf (Char.chr ((c lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (c land 0xFF))
+
+let of_components = function
+  | [] -> invalid "empty dewey component vector"
+  | components ->
+    let buf = Buffer.create (component_bytes * List.length components) in
+    List.iter (encode_component buf) components;
+    Buffer.contents buf
+
+let root = of_components [ 1 ]
+
+let to_components t =
+  let n = String.length t in
+  if n = 0 || n mod component_bytes <> 0 then
+    invalid "malformed dewey encoding of length %d" n;
+  let component i =
+    let b k = Char.code t.[(i * component_bytes) + k] in
+    if b 0 land 0x80 <> 0 then invalid "dewey component with top bit set";
+    (b 0 lsl 16) lor (b 1 lsl 8) lor b 2
+  in
+  List.init (n / component_bytes) component
+
+let of_string_exn s =
+  ignore (to_components s);
+  s
+
+let to_raw t = t
+
+let child t i =
+  let buf = Buffer.create (String.length t + component_bytes) in
+  Buffer.add_string buf t;
+  encode_component buf i;
+  Buffer.contents buf
+
+let level t = String.length t / component_bytes
+
+let parent t =
+  if level t <= 1 then None
+  else Some (String.sub t 0 (String.length t - component_bytes))
+
+let compare = String.compare
+
+let equal = String.equal
+
+let max_suffix = "\xFF"
+
+let upper_bound t = t ^ max_suffix
+
+let is_prefix a b =
+  String.length a <= String.length b && String.equal a (String.sub b 0 (String.length a))
+
+let is_descendant d ~of_:a = compare d a > 0 && String.compare d (upper_bound a) < 0
+
+let is_ancestor a ~of_:d = is_descendant d ~of_:a
+
+let is_following n2 ~of_:n1 = String.compare n2 (upper_bound n1) > 0
+
+let is_preceding n2 ~of_:n1 = String.compare n1 (upper_bound n2) > 0
+
+let is_sibling a b =
+  (not (String.equal a b))
+  &&
+  match parent a, parent b with
+  | None, None -> true
+  | Some pa, Some pb -> String.equal pa pb
+  | Some _, None | None, Some _ -> false
+
+let to_dotted t = String.concat "." (List.map string_of_int (to_components t))
+
+let pp ppf t = Format.pp_print_string ppf (to_dotted t)

@@ -1,0 +1,94 @@
+(** Dewey position encoding as binary strings (paper Section 4.2).
+
+    A node's Dewey position is the vector of local sibling positions on the
+    path from the document root to the node. Each vector component is
+    encoded as a 3-byte big-endian integer whose top bit is zero, i.e.
+    components range over [0 .. 0x7FFFFF], and the encoding of a vector is
+    the concatenation of its component encodings.
+
+    With this representation, plain lexicographic byte comparison of the
+    encodings realises every XPath axis test (Table 2 of the paper):
+    appending the sentinel byte [0xFF] ([max_suffix]) to an encoding [d]
+    yields a string strictly greater than every descendant of [d] and
+    strictly smaller than everything following [d] in document order. *)
+
+type t = private string
+(** An encoded Dewey position. The representation is exposed as a string so
+    the relational layer can store and compare it as a binary column, but
+    values can only be constructed through this interface. *)
+
+exception Invalid of string
+(** Raised when constructing from out-of-range components or decoding a
+    malformed encoding. *)
+
+val component_max : int
+(** Largest representable component value, [0x7FFFFF]. *)
+
+val root : t
+(** The Dewey position [1] of a document root element. *)
+
+val of_components : int list -> t
+(** Encode a non-empty component vector. Raises {!Invalid} if any component
+    is negative or exceeds {!component_max}, or if the list is empty. *)
+
+val to_components : t -> int list
+(** Decode back to the component vector. *)
+
+val of_string_exn : string -> t
+(** Re-validate a raw binary string (e.g. read back from a database
+    column). Raises {!Invalid} if not a well-formed encoding. *)
+
+val to_raw : t -> string
+(** The raw binary encoding (identity, but explicit at call sites). *)
+
+val child : t -> int -> t
+(** [child d i] is the position of the [i]-th child (1-based) of the node
+    at [d]. *)
+
+val parent : t -> t option
+(** Position of the parent, or [None] for a root (single-component)
+    position. *)
+
+val level : t -> int
+(** Number of components, i.e. the node's depth (root = 1). *)
+
+val compare : t -> t -> int
+(** Lexicographic byte order — identical to SQL comparison of the binary
+    column, and equal to document order on well-formed positions. *)
+
+val equal : t -> t -> bool
+
+val max_suffix : string
+(** The one-byte sentinel ['\xFF'] appended by the SQL translations
+    ([dewey_pos || 'f'] in the paper's Oracle hex notation). *)
+
+val upper_bound : t -> string
+(** [upper_bound d] is [to_raw d ^ max_suffix]: strictly greater than every
+    descendant of [d], strictly smaller than every following node. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix a b] — is [a]'s component vector a proper or equal prefix of
+    [b]'s? *)
+
+(** {2 Axis predicates (Lemmas 1-2 and Table 2)}
+
+    These are the ground-truth relational conditions; the SQL generator
+    emits exactly these comparisons. *)
+
+val is_descendant : t -> of_:t -> bool
+(** Strict descendant: [d > a && d < a || 'F'] (Lemma 1). *)
+
+val is_ancestor : t -> of_:t -> bool
+
+val is_following : t -> of_:t -> bool
+(** Document-order following, excluding descendants (Lemma 2). *)
+
+val is_preceding : t -> of_:t -> bool
+
+val is_sibling : t -> t -> bool
+(** Same parent (and distinct positions). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the dotted decimal form, e.g. [1.1.2]. *)
+
+val to_dotted : t -> string

@@ -1,0 +1,16 @@
+type t = { pre : int; post : int; level : int }
+
+let is_descendant v ~of_:c = v.pre > c.pre && v.post < c.post
+
+let is_ancestor v ~of_:c = v.pre < c.pre && v.post > c.post
+
+let is_following v ~of_:c = v.pre > c.pre && v.post > c.post
+
+let is_preceding v ~of_:c = v.pre < c.pre && v.post < c.post
+
+let is_child v ~of_:c = is_descendant v ~of_:c && v.level = c.level + 1
+
+let is_parent v ~of_:c = is_ancestor v ~of_:c && v.level = c.level - 1
+
+let pp ppf { pre; post; level } =
+  Format.fprintf ppf "(pre=%d, post=%d, level=%d)" pre post level

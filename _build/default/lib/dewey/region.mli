@@ -1,0 +1,25 @@
+(** Pre/post ("region") encoding used by the XPath Accelerator baseline
+    (Grust et al., cited as [2] in the paper).
+
+    Each node carries its preorder rank, postorder rank and level. The four
+    major axes partition the pre/post plane into quadrants around a context
+    node; the window predicates below are exactly the comparisons the
+    accelerator's SQL translations emit. *)
+
+type t = {
+  pre : int;  (** preorder rank, 0-based, also used as node id *)
+  post : int;  (** postorder rank, 0-based *)
+  level : int;  (** depth; document root element = 1 *)
+}
+
+val is_descendant : t -> of_:t -> bool
+val is_ancestor : t -> of_:t -> bool
+val is_following : t -> of_:t -> bool
+val is_preceding : t -> of_:t -> bool
+
+val is_child : t -> of_:t -> bool
+(** Descendant at exactly one level deeper. *)
+
+val is_parent : t -> of_:t -> bool
+
+val pp : Format.formatter -> t -> unit

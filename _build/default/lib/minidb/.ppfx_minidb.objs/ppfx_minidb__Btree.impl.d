@@ -1,0 +1,1 @@
+lib/minidb/btree.ml: Array Format List Printf Value

@@ -1,0 +1,1 @@
+lib/minidb/codec.ml: Array Database Format Fun Int64 List String Sys Table Value

@@ -1,0 +1,1 @@
+lib/minidb/codec.mli: Database

@@ -1,0 +1,1 @@
+lib/minidb/database.ml: Format Hashtbl List Printf String Table

@@ -1,0 +1,1 @@
+lib/minidb/database.mli: Format Table

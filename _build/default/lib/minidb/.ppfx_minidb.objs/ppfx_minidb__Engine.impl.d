@@ -1,0 +1,1 @@
+lib/minidb/engine.ml: Array Btree Buffer Database Float Format Fun Hashtbl Int List Option Ppfx_regex Printf Set Sql String Table Value

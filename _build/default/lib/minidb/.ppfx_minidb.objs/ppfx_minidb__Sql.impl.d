@@ -1,0 +1,1 @@
+lib/minidb/sql.ml: Format List Option Set String Value

@@ -1,0 +1,1 @@
+lib/minidb/sql_parser.ml: Array Buffer Char Format List Option Printf Sql String Value

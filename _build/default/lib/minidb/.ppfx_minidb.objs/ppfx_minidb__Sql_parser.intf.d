@@ -1,0 +1,1 @@
+lib/minidb/sql_parser.mli: Sql

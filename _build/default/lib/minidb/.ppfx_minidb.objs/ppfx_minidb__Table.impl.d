@@ -1,0 +1,1 @@
+lib/minidb/table.ml: Array Btree Format Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/minidb/value.ml: Char Float Format Int String

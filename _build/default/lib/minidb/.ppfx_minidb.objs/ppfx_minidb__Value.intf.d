@@ -1,0 +1,1 @@
+lib/minidb/value.mli: Format

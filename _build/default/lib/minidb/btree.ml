@@ -1,0 +1,376 @@
+(* Entries are stored with the row id appended as a final key component, so
+   every stored key is unique and duplicate user keys order by row id. *)
+
+type entry = Value.t array
+
+type node =
+  | Leaf of leaf
+  | Internal of internal
+
+and leaf = {
+  mutable entries : entry array;
+  mutable next : leaf option;
+}
+
+and internal = {
+  mutable seps : entry array;  (** separator keys; child [i] < seps.(i) <= child [i+1] *)
+  mutable children : node array;
+}
+
+type t = {
+  mutable root : node;
+  mutable count : int;
+  order : int;
+  key_width : int;  (** user key width, excluding the row-id component *)
+}
+
+let create ?(order = 32) ~width () =
+  if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+  if width < 1 then invalid_arg "Btree.create: width must be >= 1";
+  { root = Leaf { entries = [||]; next = None }; count = 0; order; key_width = width }
+
+let width t = t.key_width
+
+let length t = t.count
+
+(* Compare two full stored entries (equal length: width + 1). *)
+let compare_entries (a : entry) (b : entry) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      match Value.compare_total a.(i) b.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+(* Compare a stored entry against a (possibly shorter) prefix bound. *)
+let compare_to_prefix (e : entry) (prefix : Value.t array) =
+  let n = Array.length prefix in
+  let rec go i =
+    if i >= n then 0
+    else
+      match Value.compare_total e.(i) prefix.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let row_of (e : entry) =
+  match e.(Array.length e - 1) with
+  | Value.Int r -> r
+  | Value.Null | Value.Float _ | Value.Str _ | Value.Bin _ -> assert false
+
+(* Index of the first entry in [arr] that is >= [e]; length if none. *)
+let lower_bound arr cmp e =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp arr.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+(* Route within an internal node: the child whose range contains [e]. *)
+let child_index node e =
+  let i = lower_bound node.seps compare_entries e in
+  (* seps.(i) <= e goes right of separator i. *)
+  if i < Array.length node.seps && compare_entries node.seps.(i) e <= 0 then i + 1 else i
+
+let rec insert_node t node entry =
+  match node with
+  | Leaf leaf ->
+    let i = lower_bound leaf.entries compare_entries entry in
+    leaf.entries <- array_insert leaf.entries i entry;
+    if Array.length leaf.entries > t.order then begin
+      let n = Array.length leaf.entries in
+      let mid = n / 2 in
+      let right_entries = Array.sub leaf.entries mid (n - mid) in
+      leaf.entries <- Array.sub leaf.entries 0 mid;
+      let right = { entries = right_entries; next = leaf.next } in
+      leaf.next <- Some right;
+      Some (right_entries.(0), Leaf right)
+    end
+    else None
+  | Internal inode ->
+    let ci = child_index inode entry in
+    (match insert_node t inode.children.(ci) entry with
+     | None -> None
+     | Some (sep, right) ->
+       inode.seps <- array_insert inode.seps ci sep;
+       inode.children <- array_insert inode.children (ci + 1) right;
+       if Array.length inode.children > t.order then begin
+         let n = Array.length inode.seps in
+         let mid = n / 2 in
+         let up = inode.seps.(mid) in
+         let right_node =
+           {
+             seps = Array.sub inode.seps (mid + 1) (n - mid - 1);
+             children = Array.sub inode.children (mid + 1) (n - mid);
+           }
+         in
+         inode.seps <- Array.sub inode.seps 0 mid;
+         inode.children <- Array.sub inode.children 0 (mid + 1);
+         Some (up, Internal right_node)
+       end
+       else None)
+
+let insert t key row =
+  if Array.length key <> t.key_width then
+    invalid_arg
+      (Printf.sprintf "Btree.insert: key width %d, expected %d" (Array.length key)
+         t.key_width);
+  let entry = Array.append key [| Value.Int row |] in
+  (match insert_node t t.root entry with
+   | None -> ()
+   | Some (sep, right) ->
+     t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] });
+  t.count <- t.count + 1
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) arr.(0) in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr (i + 1) out i (n - i - 1);
+  out
+
+(* Deletion with borrow/merge rebalancing. The minimum occupancy matches
+   check_invariants: order/2 entries for leaves, order/2 children for
+   internal nodes (root excepted). *)
+let delete t key row =
+  if Array.length key <> t.key_width then
+    invalid_arg
+      (Printf.sprintf "Btree.delete: key width %d, expected %d" (Array.length key)
+         t.key_width);
+  let entry = Array.append key [| Value.Int row |] in
+  let min_leaf = t.order / 2 and min_children = t.order / 2 in
+  let leaf_underfull leaf = Array.length leaf.entries < min_leaf in
+  let node_underfull = function
+    | Leaf leaf -> leaf_underfull leaf
+    | Internal inode -> Array.length inode.children < min_children
+  in
+  (* Rebalance the underfull child at index [ci] of [inode] by borrowing
+     from or merging with an adjacent sibling. *)
+  let fix_child (inode : internal) ci =
+    let merge_at li =
+      (* merge children li and li+1 *)
+      let sep = inode.seps.(li) in
+      (match inode.children.(li), inode.children.(li + 1) with
+       | Leaf left, Leaf right ->
+         left.entries <- Array.append left.entries right.entries;
+         left.next <- right.next
+       | Internal left, Internal right ->
+         left.seps <- Array.concat [ left.seps; [| sep |]; right.seps ];
+         left.children <- Array.append left.children right.children
+       | Leaf _, Internal _ | Internal _, Leaf _ -> assert false);
+      inode.seps <- array_remove inode.seps li;
+      inode.children <- array_remove inode.children (li + 1)
+    in
+    let borrow_from_left li =
+      (* move the tail of children.(li) to the head of children.(li+1) *)
+      match inode.children.(li), inode.children.(li + 1) with
+      | Leaf left, Leaf right ->
+        let n = Array.length left.entries in
+        let moved = left.entries.(n - 1) in
+        left.entries <- Array.sub left.entries 0 (n - 1);
+        right.entries <- Array.append [| moved |] right.entries;
+        inode.seps.(li) <- moved
+      | Internal left, Internal right ->
+        let nc = Array.length left.children in
+        let moved_child = left.children.(nc - 1) in
+        let moved_sep = left.seps.(Array.length left.seps - 1) in
+        left.children <- Array.sub left.children 0 (nc - 1);
+        left.seps <- Array.sub left.seps 0 (Array.length left.seps - 1);
+        right.children <- Array.append [| moved_child |] right.children;
+        right.seps <- Array.append [| inode.seps.(li) |] right.seps;
+        inode.seps.(li) <- moved_sep
+      | Leaf _, Internal _ | Internal _, Leaf _ -> assert false
+    in
+    let borrow_from_right li =
+      (* move the head of children.(li+1) to the tail of children.(li) *)
+      match inode.children.(li), inode.children.(li + 1) with
+      | Leaf left, Leaf right ->
+        let moved = right.entries.(0) in
+        right.entries <- array_remove right.entries 0;
+        left.entries <- Array.append left.entries [| moved |];
+        inode.seps.(li) <- right.entries.(0)
+      | Internal left, Internal right ->
+        let moved_child = right.children.(0) in
+        let moved_sep = right.seps.(0) in
+        right.children <- array_remove right.children 0;
+        right.seps <- array_remove right.seps 0;
+        left.children <- Array.append left.children [| moved_child |];
+        left.seps <- Array.append left.seps [| inode.seps.(li) |];
+        inode.seps.(li) <- moved_sep
+      | Leaf _, Internal _ | Internal _, Leaf _ -> assert false
+    in
+    let spare = function
+      | Leaf leaf -> Array.length leaf.entries > min_leaf
+      | Internal i -> Array.length i.children > min_children
+    in
+    if ci > 0 && spare inode.children.(ci - 1) then borrow_from_left (ci - 1)
+    else if ci < Array.length inode.children - 1 && spare inode.children.(ci + 1) then
+      borrow_from_right ci
+    else if ci > 0 then merge_at (ci - 1)
+    else merge_at ci
+  in
+  let rec del node =
+    match node with
+    | Leaf leaf ->
+      let i = lower_bound leaf.entries compare_entries entry in
+      if i < Array.length leaf.entries && compare_entries leaf.entries.(i) entry = 0
+      then begin
+        leaf.entries <- array_remove leaf.entries i;
+        true
+      end
+      else false
+    | Internal inode ->
+      let ci = child_index inode entry in
+      let removed = del inode.children.(ci) in
+      if removed && node_underfull inode.children.(ci) then fix_child inode ci;
+      removed
+  in
+  let removed = del t.root in
+  if removed then begin
+    t.count <- t.count - 1;
+    (* Collapse a root with a single child. *)
+    match t.root with
+    | Internal inode when Array.length inode.children = 1 ->
+      t.root <- inode.children.(0)
+    | Internal _ | Leaf _ -> ()
+  end;
+  removed
+
+type bound = { key : Value.t array; inclusive : bool }
+
+(* Leftmost leaf whose range may contain entries >= the prefix bound. *)
+let rec descend_lo node prefix =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal inode ->
+    (* First child that can contain an entry >= prefix: route like a search
+       for the smallest entry with this prefix. *)
+    let i = lower_bound inode.seps (fun sep p -> compare_to_prefix sep p) prefix in
+    descend_lo inode.children.(i) prefix
+
+let rec leftmost_leaf = function
+  | Leaf leaf -> leaf
+  | Internal inode -> leftmost_leaf inode.children.(0)
+
+let range t ~lo ~hi =
+  let start_leaf =
+    match lo with
+    | None -> leftmost_leaf t.root
+    | Some b -> descend_lo t.root b.key
+  in
+  let keep_lo e =
+    match lo with
+    | None -> true
+    | Some b ->
+      let c = compare_to_prefix e b.key in
+      if b.inclusive then c >= 0 else c > 0
+  in
+  let within_hi e =
+    match hi with
+    | None -> true
+    | Some b ->
+      let c = compare_to_prefix e b.key in
+      if b.inclusive then c <= 0 else c < 0
+  in
+  let acc = ref [] in
+  let rec walk leaf =
+    let stop = ref false in
+    Array.iter
+      (fun e ->
+        if not !stop then
+          if not (within_hi e) then stop := true
+          else if keep_lo e then acc := row_of e :: !acc)
+      leaf.entries;
+    if (not !stop) then
+      match leaf.next with
+      | Some next -> walk next
+      | None -> ()
+  in
+  walk start_leaf;
+  List.rev !acc
+
+let find_equal t key = range t ~lo:(Some { key; inclusive = true }) ~hi:(Some { key; inclusive = true })
+
+let iter f t =
+  let rec walk leaf =
+    Array.iter
+      (fun e -> f (Array.sub e 0 (Array.length e - 1)) (row_of e))
+      leaf.entries;
+    match leaf.next with Some next -> walk next | None -> ()
+  in
+  walk (leftmost_leaf t.root)
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal inode -> 1 + go inode.children.(0)
+  in
+  go t.root
+
+let check_invariants t =
+  let exception Bad of string in
+  let fail fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt in
+  (* Every node except the root must be at least half full; entries sorted;
+     children ranges respect separators; all leaves at equal depth and
+     linked left-to-right. *)
+  let leaves = ref [] in
+  let rec check node ~is_root ~depth_ =
+    (match node with
+     | Leaf leaf ->
+       if (not is_root) && Array.length leaf.entries < t.order / 2 then
+         fail "underfull leaf (%d entries)" (Array.length leaf.entries);
+       Array.iteri
+         (fun i e ->
+           if i > 0 && compare_entries leaf.entries.(i - 1) e >= 0 then
+             fail "leaf entries out of order")
+         leaf.entries;
+       leaves := (leaf, depth_) :: !leaves
+     | Internal inode ->
+       if Array.length inode.children <> Array.length inode.seps + 1 then
+         fail "internal arity mismatch";
+       if (not is_root) && Array.length inode.children < t.order / 2 then
+         fail "underfull internal node";
+       Array.iteri
+         (fun i sep ->
+           if i > 0 && compare_entries inode.seps.(i - 1) sep >= 0 then
+             fail "separators out of order";
+           ignore sep)
+         inode.seps;
+       Array.iter (fun c -> check c ~is_root:false ~depth_:(depth_ + 1)) inode.children)
+  in
+  (try
+     check t.root ~is_root:true ~depth_:1;
+     (match !leaves with
+      | [] -> ()
+      | (_, d0) :: rest ->
+        List.iter (fun (_, d) -> if d <> d0 then fail "leaves at unequal depth") rest);
+     (* The linked list must visit every entry in global order. *)
+     let total = ref 0 in
+     let prev = ref None in
+     let rec walk leaf =
+       Array.iter
+         (fun e ->
+           (match !prev with
+            | Some p when compare_entries p e >= 0 -> fail "linked leaves out of order"
+            | Some _ | None -> ());
+           prev := Some e;
+           incr total)
+         leaf.entries;
+       match leaf.next with Some next -> walk next | None -> ()
+     in
+     walk (leftmost_leaf t.root);
+     if !total <> t.count then fail "linked leaves visit %d entries, expected %d" !total t.count;
+     Ok ()
+   with Bad msg -> Error msg)

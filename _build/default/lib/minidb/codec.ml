@@ -1,0 +1,162 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun m -> raise (Corrupt m)) fmt
+
+let magic = "PPFXDB1"
+
+(* --- primitive writers --------------------------------------------- *)
+
+let write_varint oc n =
+  (* unsigned LEB128; negative ints are zigzag-encoded first *)
+  let n = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      output_byte oc byte;
+      continue_ := false
+    end
+    else output_byte oc (byte lor 0x80)
+  done
+
+let read_varint ic =
+  let rec go shift acc =
+    let byte = input_byte ic in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let write_string oc s =
+  write_varint oc (String.length s);
+  output_string oc s
+
+let read_string ic =
+  let n = read_varint ic in
+  if n < 0 then corrupt "negative string length";
+  really_input_string ic n
+
+(* --- values --------------------------------------------------------- *)
+
+let write_value oc (v : Value.t) =
+  match v with
+  | Value.Null -> output_byte oc 0
+  | Value.Int i ->
+    output_byte oc 1;
+    write_varint oc i
+  | Value.Float f ->
+    output_byte oc 2;
+    let bits = Int64.bits_of_float f in
+    for k = 0 to 7 do
+      output_byte oc (Int64.to_int (Int64.shift_right_logical bits (k * 8)) land 0xFF)
+    done
+  | Value.Str s ->
+    output_byte oc 3;
+    write_string oc s
+  | Value.Bin b ->
+    output_byte oc 4;
+    write_string oc b
+
+let read_value ic : Value.t =
+  match input_byte ic with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (read_varint ic)
+  | 2 ->
+    let bits = ref 0L in
+    for k = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (input_byte ic)) (k * 8))
+    done;
+    Value.Float (Int64.float_of_bits !bits)
+  | 3 -> Value.Str (read_string ic)
+  | 4 -> Value.Bin (read_string ic)
+  | tag -> corrupt "unknown value tag %d" tag
+
+let ty_code = function
+  | Value.Tint -> 0
+  | Value.Tfloat -> 1
+  | Value.Tstr -> 2
+  | Value.Tbin -> 3
+
+let ty_of_code = function
+  | 0 -> Value.Tint
+  | 1 -> Value.Tfloat
+  | 2 -> Value.Tstr
+  | 3 -> Value.Tbin
+  | c -> corrupt "unknown type code %d" c
+
+(* --- tables and databases ------------------------------------------- *)
+
+let write_table oc table =
+  write_string oc (Table.name table);
+  let columns = Table.columns table in
+  write_varint oc (List.length columns);
+  List.iter
+    (fun (c : Table.column) ->
+      write_string oc c.Table.name;
+      output_byte oc (ty_code c.Table.ty))
+    columns;
+  write_varint oc (Table.live_count table);
+  Table.iter_rows (fun _ row -> Array.iter (write_value oc) row) table;
+  let indexes = Table.indexes table in
+  write_varint oc (List.length indexes);
+  List.iter
+    (fun (cols, _) ->
+      write_varint oc (List.length cols);
+      List.iter (write_string oc) cols)
+    indexes
+
+let read_table db ic =
+  let name = read_string ic in
+  let ncols = read_varint ic in
+  if ncols <= 0 then corrupt "table %s has no columns" name;
+  let columns =
+    List.init ncols (fun _ ->
+        let cname = read_string ic in
+        let ty = ty_of_code (input_byte ic) in
+        { Table.name = cname; ty })
+  in
+  let table = Database.create_table db ~name ~columns in
+  let nrows = read_varint ic in
+  if nrows < 0 then corrupt "table %s has negative row count" name;
+  for _ = 1 to nrows do
+    let row = Array.init ncols (fun _ -> read_value ic) in
+    ignore (Table.insert table row)
+  done;
+  let nindexes = read_varint ic in
+  for _ = 1 to nindexes do
+    let n = read_varint ic in
+    let cols = List.init n (fun _ -> read_string ic) in
+    Table.create_index table cols
+  done;
+  ()
+
+let write_database oc db =
+  output_string oc magic;
+  let tables = Database.tables db in
+  write_varint oc (List.length tables);
+  List.iter (write_table oc) tables
+
+let read_database ic =
+  let m = try really_input_string ic (String.length magic) with End_of_file -> "" in
+  if not (String.equal m magic) then corrupt "bad magic (not a ppfx database file)";
+  let db = Database.create () in
+  (try
+     let ntables = read_varint ic in
+     if ntables < 0 then corrupt "negative table count";
+     for _ = 1 to ntables do
+       read_table db ic
+     done
+   with
+   | End_of_file -> corrupt "truncated database file"
+   | Invalid_argument msg -> corrupt "invalid content: %s" msg);
+  db
+
+let save path db =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_database oc db)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_database ic)

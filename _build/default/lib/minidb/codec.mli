@@ -1,0 +1,21 @@
+(** Binary persistence for databases.
+
+    A compact, self-describing format (magic ["PPFXDB1"], then per table:
+    name, typed column list, row count, length-prefixed values, index
+    column lists). Indexes are rebuilt on load rather than serialized —
+    they are derived data. Tombstoned rows are compacted away, so row ids
+    are {e not} stable across a save/load cycle unless no deletions
+    happened. *)
+
+exception Corrupt of string
+(** Raised on malformed input. *)
+
+val write_database : out_channel -> Database.t -> unit
+
+val read_database : in_channel -> Database.t
+(** Raises {!Corrupt}. *)
+
+val save : string -> Database.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Database.t

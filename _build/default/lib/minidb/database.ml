@@ -1,0 +1,37 @@
+type t = {
+  by_name : (string, Table.t) Hashtbl.t;
+  mutable ordered : Table.t list;  (** reverse creation order *)
+}
+
+let create () = { by_name = Hashtbl.create 16; ordered = [] }
+
+let create_table t ~name ~columns =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Database.create_table: table %s already exists" name);
+  let table = Table.create ~name ~columns in
+  Hashtbl.add t.by_name name table;
+  t.ordered <- table :: t.ordered;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let table_opt t name = Hashtbl.find_opt t.by_name name
+
+let tables t = List.rev t.ordered
+
+let total_rows t = List.fold_left (fun acc tbl -> acc + Table.row_count tbl) 0 (tables t)
+
+let pp_stats ppf t =
+  List.iter
+    (fun tbl ->
+      Format.fprintf ppf "%-24s %8d rows" (Table.name tbl) (Table.row_count tbl);
+      let idx = Table.indexes tbl in
+      if idx <> [] then
+        Format.fprintf ppf "  indexes: %s"
+          (String.concat ", "
+             (List.map (fun (cols, _) -> "(" ^ String.concat "," cols ^ ")") idx));
+      Format.fprintf ppf "@.")
+    (tables t)

@@ -1,0 +1,21 @@
+(** The database catalog: a set of named tables. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> name:string -> columns:Table.column list -> Table.t
+(** Raises [Invalid_argument] if the name is taken. *)
+
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_opt : t -> string -> Table.t option
+
+val tables : t -> Table.t list
+(** In creation order. *)
+
+val total_rows : t -> int
+
+val pp_stats : Format.formatter -> t -> unit
+(** Per-table row counts and indexes — a [\d+]-style catalog dump. *)

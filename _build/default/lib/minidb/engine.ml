@@ -1,0 +1,951 @@
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+}
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+(* A binding assigns a row to every alias slot; slot order is outer-query
+   slots first, then the local aliases in plan order. *)
+type binding = Value.t array array
+
+type value_fn = binding -> Value.t
+
+type pred_fn = binding -> bool option
+
+type ctx = {
+  db : Database.t;
+  slots : (string * Table.t) array;
+  naive : bool;
+}
+
+let slot_of ctx alias =
+  (* Search from the end: inner FROM aliases shadow outer ones. *)
+  let rec go i =
+    if i < 0 then error "unknown alias %s" alias
+    else if String.equal (fst ctx.slots.(i)) alias then i
+    else go (i - 1)
+  in
+  go (Array.length ctx.slots - 1)
+
+let column_slot ctx alias col =
+  let slot = slot_of ctx alias in
+  let table = snd ctx.slots.(slot) in
+  match Table.column_index table col with
+  | Some i -> slot, i
+  | None -> error "table %s (alias %s) has no column %s" (Table.name table) alias col
+
+(* Static type of an expression, when derivable; used to gate EXISTS
+   decorrelation on hash-compatible comparison types. *)
+let rec static_ty ctx = function
+  | Sql.Col (alias, col) ->
+    let slot = slot_of ctx alias in
+    Table.column_ty (snd ctx.slots.(slot)) col
+  | Sql.Const v -> Value.type_of v
+  | Sql.Concat (a, _) ->
+    (match static_ty ctx a with
+     | Some Value.Tbin -> Some Value.Tbin
+     | Some _ | None -> Some Value.Tstr)
+  | Sql.To_number _ -> Some Value.Tfloat
+  | Sql.Arith _ -> Some Value.Tfloat
+  | Sql.Length _ | Sql.Count_subquery _ -> Some Value.Tint
+  | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
+  | Sql.Regexp_like _ | Sql.Exists _ | Sql.Is_not_null _ | Sql.Bool_const _ ->
+    None
+
+let rec compile_value ctx (e : Sql.expr) : value_fn =
+  match e with
+  | Sql.Col (alias, col) ->
+    let slot, i = column_slot ctx alias col in
+    fun b -> b.(slot).(i)
+  | Sql.Const v -> fun _ -> v
+  | Sql.Concat (a, b) ->
+    let fa = compile_value ctx a and fb = compile_value ctx b in
+    fun bind -> Value.concat (fa bind) (fb bind)
+  | Sql.To_number a ->
+    let fa = compile_value ctx a in
+    fun bind ->
+      (match Value.to_float (fa bind) with
+       | Some f -> Value.Float f
+       | None -> Value.Null)
+  | Sql.Arith (op, a, b) ->
+    let fa = compile_value ctx a and fb = compile_value ctx b in
+    fun bind ->
+      (match Value.to_float (fa bind), Value.to_float (fb bind) with
+       | Some x, Some y ->
+         (match op with
+          | Sql.Add -> Value.Float (x +. y)
+          | Sql.Sub -> Value.Float (x -. y)
+          | Sql.Mul -> Value.Float (x *. y)
+          | Sql.Div -> Value.Float (x /. y)
+          | Sql.Mod -> Value.Float (Float.rem x y))
+       | None, _ | _, None -> Value.Null)
+  | Sql.Length a ->
+    let fa = compile_value ctx a in
+    fun bind ->
+      (match fa bind with
+       | Value.Str s | Value.Bin s -> Value.Int (String.length s)
+       | Value.Null -> Value.Null
+       | Value.Int _ | Value.Float _ ->
+         error "LENGTH applied to a numeric value")
+  | Sql.Count_subquery sel ->
+    (* Correlated scalar COUNT: plan once, count matching bindings per
+       outer row. *)
+    let _ctx', env_slots, pre_filters, steps, _, _, _, total = plan_select ctx sel in
+    fun outer ->
+      let bind = Array.make total [||] in
+      Array.blit outer 0 bind 0 env_slots;
+      if not (List.for_all (fun p -> p bind = Some true) pre_filters) then Value.Int 0
+      else begin
+        let n = ref 0 in
+        exec_steps steps bind (fun _ -> incr n);
+        Value.Int !n
+      end
+  | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
+  | Sql.Regexp_like _ | Sql.Exists _ | Sql.Is_not_null _ | Sql.Bool_const _ ->
+    error "boolean expression used where a value is required: %s"
+      (Format.asprintf "%a" Sql.pp_expr e)
+
+and compile_pred ctx (e : Sql.expr) : pred_fn =
+  match e with
+  | Sql.Cmp (op, a, b) ->
+    let fa = compile_value ctx a and fb = compile_value ctx b in
+    let test c =
+      match op with
+      | Sql.Eq -> c = 0
+      | Sql.Ne -> c <> 0
+      | Sql.Lt -> c < 0
+      | Sql.Le -> c <= 0
+      | Sql.Gt -> c > 0
+      | Sql.Ge -> c >= 0
+    in
+    fun bind -> Option.map test (Value.compare_sql (fa bind) (fb bind))
+  | Sql.Between (e, lo, hi) ->
+    let fe = compile_value ctx e
+    and flo = compile_value ctx lo
+    and fhi = compile_value ctx hi in
+    fun bind ->
+      let v = fe bind in
+      (match Value.compare_sql v (flo bind), Value.compare_sql v (fhi bind) with
+       | Some a, Some b -> Some (a >= 0 && b <= 0)
+       | None, _ | _, None -> None)
+  | Sql.And (a, b) ->
+    let fa = compile_pred ctx a and fb = compile_pred ctx b in
+    fun bind ->
+      (* Kleene conjunction. *)
+      (match fa bind, fb bind with
+       | Some false, _ | _, Some false -> Some false
+       | Some true, Some true -> Some true
+       | None, _ | _, None -> None)
+  | Sql.Or (a, b) ->
+    let fa = compile_pred ctx a and fb = compile_pred ctx b in
+    fun bind ->
+      (match fa bind, fb bind with
+       | Some true, _ | _, Some true -> Some true
+       | Some false, Some false -> Some false
+       | None, _ | _, None -> None)
+  | Sql.Not a ->
+    let fa = compile_pred ctx a in
+    fun bind -> Option.map not (fa bind)
+  | Sql.Regexp_like (e, pattern) ->
+    let fe = compile_value ctx e in
+    let re =
+      try Ppfx_regex.Regex.compile pattern
+      with Ppfx_regex.Regex.Parse_error msg ->
+        error "invalid regular expression %S: %s" pattern msg
+    in
+    fun bind ->
+      (match fe bind with
+       | Value.Null -> None
+       | Value.Str s | Value.Bin s -> Some (Ppfx_regex.Regex.search re s)
+       | Value.Int i -> Some (Ppfx_regex.Regex.search re (string_of_int i))
+       | Value.Float f -> Some (Ppfx_regex.Regex.search re (string_of_float f)))
+  | Sql.Exists sel -> compile_exists ctx sel
+  | Sql.Is_not_null a ->
+    let fa = compile_value ctx a in
+    fun bind -> Some (match fa bind with Value.Null -> false | _ -> true)
+  | Sql.Bool_const b -> fun _ -> Some b
+  | Sql.Col _ | Sql.Const _ | Sql.Concat _ | Sql.Arith _ | Sql.To_number _
+  | Sql.Length _ | Sql.Count_subquery _ ->
+    error "value expression used where a condition is required: %s"
+      (Format.asprintf "%a" Sql.pp_expr e)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and plan_select ctx (sel : Sql.select) =
+  (* Extend the slot table with the select's own aliases. *)
+  let local_aliases =
+    List.map
+      (fun (table, alias) ->
+        match Database.table_opt ctx.db table with
+        | Some t -> alias, t
+        | None -> error "unknown table %s" table)
+      sel.Sql.from
+  in
+  (* Duplicate aliases in one FROM clause would make column references
+     ambiguous and break slot binding. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (alias, _) ->
+      if Hashtbl.mem seen alias then error "duplicate alias %s in FROM" alias;
+      Hashtbl.add seen alias ())
+    local_aliases;
+  let env_slots = Array.length ctx.slots in
+  let ctx = { ctx with slots = Array.append ctx.slots (Array.of_list local_aliases) } in
+  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
+  let local_names = List.map fst local_aliases in
+  let is_local a = List.mem a local_names in
+  (* Greedy join-order selection. *)
+  let order =
+    if ctx.naive then List.mapi (fun i _ -> env_slots + i) local_aliases
+    else begin
+      let bound = ref [] in
+      let remaining = ref (List.mapi (fun i (a, t) -> i + env_slots, a, t) local_aliases) in
+      let order = ref [] in
+      let outer_bound a = not (is_local a) in
+      let applicable alias conj =
+        let free = Sql.free_aliases conj in
+        List.mem alias free
+        && List.for_all (fun f -> String.equal f alias || outer_bound f || List.mem f !bound) free
+      in
+      (* Estimated rows this alias contributes per outer binding, using
+         cached per-column distinct counts for equality conjuncts. *)
+      let estimate alias table =
+        let n = float_of_int (max 1 (Table.row_count table)) in
+        let eq_sel col = 1.0 /. float_of_int (Table.distinct_estimate table col) in
+        let sel_of conj =
+          match conj with
+          | Sql.Cmp (Sql.Eq, Sql.Col (a, col), _) when String.equal a alias -> eq_sel col
+          | Sql.Cmp (Sql.Eq, _, Sql.Col (a, col)) when String.equal a alias -> eq_sel col
+          | Sql.Cmp (Sql.Eq, _, _) -> 0.05
+          | Sql.Between _ -> 0.02
+          | Sql.Cmp ((Sql.Lt | Sql.Le | Sql.Gt | Sql.Ge), _, _) -> 0.25
+          | Sql.Regexp_like _ -> 0.2
+          | Sql.Cmp (Sql.Ne, _, _) -> 0.9
+          | Sql.And _ | Sql.Or _ | Sql.Not _ | Sql.Exists _ -> 0.5
+          | Sql.Is_not_null _ -> 0.9
+          | Sql.Bool_const _ -> 1.0
+          | Sql.Col _ | Sql.Const _ | Sql.Concat _ | Sql.Arith _ | Sql.To_number _
+          | Sql.Length _ | Sql.Count_subquery _ -> 1.0
+        in
+        List.fold_left
+          (fun acc conj -> if applicable alias conj then acc *. sel_of conj else acc)
+          n conjuncts
+      in
+      let connected alias =
+        List.exists
+          (fun conj ->
+            let free = Sql.free_aliases conj in
+            List.mem alias free
+            && List.exists
+                 (fun f -> (not (String.equal f alias)) && (outer_bound f || List.mem f !bound))
+                 free)
+          conjuncts
+      in
+      while !remaining <> [] do
+        let scored =
+          List.map
+            (fun (slot, alias, table) ->
+              let cost = estimate alias table in
+              let penalty =
+                if !bound = [] && env_slots = 0 then 1.0
+                else if connected alias then 1.0
+                else 1e6
+              in
+              (cost *. penalty, slot, alias))
+            !remaining
+        in
+        let best =
+          List.fold_left
+            (fun acc entry ->
+              match acc with
+              | None -> Some entry
+              | Some (c, _, _) ->
+                let c', _, _ = entry in
+                if c' < c then Some entry else acc)
+            None scored
+        in
+        (match best with
+         | None -> assert false
+         | Some (_, slot, alias) ->
+           order := slot :: !order;
+           bound := alias :: !bound;
+           remaining := List.filter (fun (s, _, _) -> s <> slot) !remaining)
+      done;
+      List.rev !order
+    end
+  in
+  (* Assign each conjunct to the earliest step after which it is fully
+     bound, and choose access paths. *)
+  let alias_of_slot slot = fst ctx.slots.(slot) in
+  let bound_after i alias =
+    (* aliases bound once steps 0..i (in [order]) have run *)
+    (not (is_local alias))
+    ||
+    let rec go j = function
+      | [] -> false
+      | slot :: rest ->
+        if j > i then false
+        else if String.equal (alias_of_slot slot) alias then true
+        else go (j + 1) rest
+    in
+    go 0 order
+  in
+  let step_of_conjunct conj =
+    let free = Sql.free_aliases conj in
+    let rec earliest i =
+      if i >= List.length order then
+        (* references only outer aliases: evaluate before any local step *)
+        -1
+      else if List.for_all (bound_after i) free then i
+      else earliest (i + 1)
+    in
+    if List.for_all (fun a -> not (is_local a)) free then -1
+    else earliest 0
+  in
+  let assigned = List.map (fun c -> step_of_conjunct c, c) conjuncts in
+  let pre_filters =
+    List.filter_map (fun (i, c) -> if i = -1 then Some (compile_pred ctx c) else None) assigned
+  in
+  let steps =
+    List.mapi
+      (fun i slot ->
+        let alias = alias_of_slot slot in
+        let table = snd ctx.slots.(slot) in
+        let my_conjuncts = List.filter_map (fun (j, c) -> if j = i then Some c else None) assigned in
+        let access =
+          if ctx.naive then `Scan
+          else choose_access ctx ~table ~alias ~bound:(bound_after (i - 1)) conjuncts
+        in
+        let filters = List.map (compile_pred ctx) my_conjuncts in
+        (slot, table, access, filters))
+      order
+  in
+  let projections =
+    List.map (fun (e, name) -> compile_value ctx e, name) sel.Sql.projections
+  in
+  let order_by = List.map (compile_value ctx) sel.Sql.order_by in
+  ( ctx,
+    env_slots,
+    pre_filters,
+    steps,
+    projections,
+    sel.Sql.distinct,
+    order_by,
+    Array.length ctx.slots )
+
+(* Pick the best index access for [table]/[alias], given that [bound]
+   tells which other aliases are already available. Returns a strategy
+   that computes B+tree bounds per binding. All conjuncts are re-checked
+   as filters afterwards, so a lossy-but-superset access is sound. *)
+and choose_access ctx ~table ~alias ~bound conjuncts =
+  let bound_expr e =
+    List.for_all (fun a -> (not (String.equal a alias)) && bound a) (Sql.free_aliases e)
+    || Sql.free_aliases e = []
+  in
+  (* Ancestor-prefix candidates: [e BETWEEN col AND col || sfx] holds
+     exactly when col is a byte-prefix of e, so the matching rows can be
+     fetched by equality lookups on every prefix of e's value — turning a
+     Dewey ancestor join into O(depth) index probes. *)
+  let prefix_lookup =
+    List.find_map
+      (fun conj ->
+        match conj with
+        | Sql.Between (e, Sql.Col (a1, c1), Sql.Concat (Sql.Col (a2, c2), _))
+          when String.equal a1 alias && String.equal a2 alias && String.equal c1 c2
+               && bound_expr e ->
+          (match Table.index_with_prefix table [ c1 ] with
+           | Some (tree, _) -> Some (tree, compile_value ctx e)
+           | None -> None)
+        | _ -> None)
+      conjuncts
+  in
+  (* Equality candidates: col = <bound expr>. *)
+  let equalities =
+    List.filter_map
+      (fun conj ->
+        match conj with
+        | Sql.Cmp (Sql.Eq, Sql.Col (a, col), e) when String.equal a alias && bound_expr e ->
+          Some (col, e)
+        | Sql.Cmp (Sql.Eq, e, Sql.Col (a, col)) when String.equal a alias && bound_expr e ->
+          Some (col, e)
+        | _ -> None)
+      conjuncts
+  in
+  (* Range candidates: col cmp <bound expr>, plus the sound relaxations of
+     concat comparisons (col || suffix < e implies col < e). *)
+  let ranges =
+    List.filter_map
+      (fun conj ->
+        match conj with
+        | Sql.Between (Sql.Col (a, col), lo, hi)
+          when String.equal a alias && bound_expr lo && bound_expr hi ->
+          Some (col, Some (lo, true), Some (hi, true))
+        | Sql.Cmp (op, Sql.Col (a, col), e) when String.equal a alias && bound_expr e ->
+          (match op with
+           | Sql.Lt -> Some (col, None, Some (e, false))
+           | Sql.Le -> Some (col, None, Some (e, true))
+           | Sql.Gt -> Some (col, Some ((e, false) : Sql.expr * bool), None)
+           | Sql.Ge -> Some (col, Some (e, true), None)
+           | Sql.Eq | Sql.Ne -> None)
+        | Sql.Cmp (op, e, Sql.Col (a, col)) when String.equal a alias && bound_expr e ->
+          (match op with
+           | Sql.Gt -> Some (col, None, Some (e, false))
+           | Sql.Ge -> Some (col, None, Some (e, true))
+           | Sql.Lt -> Some (col, Some (e, false), None)
+           | Sql.Le -> Some (col, Some (e, true), None)
+           | Sql.Eq | Sql.Ne -> None)
+        | Sql.Cmp ((Sql.Lt | Sql.Le), Sql.Concat (Sql.Col (a, col), _), e)
+          when String.equal a alias && bound_expr e ->
+          (* col || sfx <= e implies col < e (sfx non-empty). *)
+          Some (col, None, Some (e, false))
+        | Sql.Cmp ((Sql.Gt | Sql.Ge), e, Sql.Concat (Sql.Col (a, col), _))
+          when String.equal a alias && bound_expr e ->
+          Some (col, None, Some (e, false))
+        | _ -> None)
+      conjuncts
+  in
+  (* Cost-based choice: estimate the rows each candidate access path
+     fetches. Equality selectivity comes from cached per-column distinct
+     counts; ranges use a fixed factor. Lowest estimate wins; residual
+     filters re-check everything, so estimates only affect speed. *)
+  let n_rows = float_of_int (max 1 (Table.row_count table)) in
+  let eq_selectivity col = 1.0 /. float_of_int (Table.distinct_estimate table col) in
+  let range_selectivity = 0.25 in
+  let best = ref None in
+  let consider cost access =
+    match !best with
+    | Some (c, _) when c <= cost -> ()
+    | Some _ | None -> best := Some (cost, access)
+  in
+  List.iter
+    (fun (cols, tree) ->
+      let rec eq_prefix acc sel = function
+        | [] -> List.rev acc, sel, []
+        | col :: rest ->
+          (match List.assoc_opt col equalities with
+           | Some e -> eq_prefix (e :: acc) (sel *. eq_selectivity col) rest
+           | None -> List.rev acc, sel, col :: rest)
+      in
+      let eqs, sel, rest = eq_prefix [] 1.0 cols in
+      let range_next =
+        match rest with
+        | [] -> None
+        | col :: _ ->
+          List.fold_left
+            (fun acc (rcol, lo, hi) ->
+              if String.equal rcol col then
+                match acc with
+                | None -> Some (lo, hi)
+                | Some (lo0, hi0) ->
+                  (* Merge: keep any bound we have. *)
+                  Some
+                    ( (match lo0 with None -> lo | some -> some),
+                      match hi0 with None -> hi | some -> some )
+              else acc)
+            None ranges
+      in
+      match eqs, range_next with
+      | [], None -> ()
+      | eqs, None ->
+        let fns = Array.of_list (List.map (compile_value ctx) eqs) in
+        consider (n_rows *. sel) (`Index_eq (tree, fns))
+      | eqs, Some (lo, hi) ->
+        let fns = Array.of_list (List.map (compile_value ctx) eqs) in
+        let cbound = Option.map (fun (e, incl) -> compile_value ctx e, incl) in
+        let rsel = if lo <> None && hi <> None then range_selectivity /. 2.0 else range_selectivity in
+        consider (n_rows *. sel *. rsel) (`Index_range (tree, fns, cbound lo, cbound hi)))
+    (Table.indexes table);
+  (match prefix_lookup with
+   | Some (tree, fn) ->
+     (* One probe per prefix length: bounded by the key depth. *)
+     consider 24.0 (`Prefix_lookup (tree, fn))
+   | None -> ());
+  match !best with
+  | Some (_, access) -> access
+  | None -> `Scan
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and iter_access table access (bind : binding) (f : int -> unit) =
+  match access with
+  | `Scan -> Table.iter_rows (fun id _ -> f id) table
+  | `Prefix_lookup (tree, fn) ->
+    (match fn bind with
+     | Value.Bin v | Value.Str v ->
+       for k = 1 to String.length v do
+         List.iter f (Btree.find_equal tree [| Value.Bin (String.sub v 0 k) |])
+       done
+     | Value.Null | Value.Int _ | Value.Float _ -> ())
+  | `Index_eq (tree, fns) ->
+    let key = Array.map (fun fn -> fn bind) fns in
+    if Array.exists (function Value.Null -> true | _ -> false) key then ()
+    else List.iter f (Btree.find_equal tree key)
+  | `Index_range (tree, fns, lo, hi) ->
+    let prefix = Array.map (fun fn -> fn bind) fns in
+    if Array.exists (function Value.Null -> true | _ -> false) prefix then ()
+    else begin
+      let bound side =
+        match side with
+        | None -> Some { Btree.key = prefix; inclusive = true }
+        | Some (fn, inclusive) ->
+          (match fn bind with
+           | Value.Null -> None
+           | v -> Some { Btree.key = Array.append prefix [| v |]; inclusive })
+      in
+      (* A NULL range bound means the comparison is unknown: no rows. *)
+      let lo_b = bound lo and hi_b = bound hi in
+      match lo, lo_b, hi, hi_b with
+      | Some _, None, _, _ | _, _, Some _, None -> ()
+      | _, lo_b, _, hi_b -> List.iter f (Btree.range tree ~lo:lo_b ~hi:hi_b)
+    end
+
+and exec_steps steps bind emit =
+  match steps with
+  | [] -> emit bind
+  | (slot, table, access, filters) :: rest ->
+    iter_access table access bind (fun row_id ->
+        bind.(slot) <- Table.row table row_id;
+        if List.for_all (fun p -> p bind = Some true) filters then
+          exec_steps rest bind emit)
+
+and compile_exists ctx (sel : Sql.select) : pred_fn =
+  match (if ctx.naive then None else decorrelate_exists ctx sel) with
+  | Some pred -> pred
+  | None ->
+    (* Correlated evaluation with early exit. Plan once, execute per
+       binding. *)
+    let _ctx', env_slots, pre_filters, steps, _, _, _, total = plan_select ctx sel in
+    let exception Found in
+    fun outer ->
+      let bind = Array.make total [||] in
+      Array.blit outer 0 bind 0 env_slots;
+      if not (List.for_all (fun p -> p bind = Some true) pre_filters) then Some false
+      else
+        (try
+           exec_steps steps bind (fun _ -> raise Found);
+           Some false
+         with Found -> Some true)
+
+(* Semi-join rewrite: if every correlated conjunct of the EXISTS is an
+   equality between an inner expression and an outer expression, and the
+   compared types hash consistently (both string-like or both numeric),
+   evaluate the inner query once, collect the distinct inner key tuples,
+   and turn the EXISTS into a hash-set membership test. *)
+and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
+  let outer_aliases =
+    Array.to_list (Array.map fst ctx.slots)
+  in
+  let local_names = List.map snd sel.Sql.from in
+  (* A name is outer if it is not bound by the inner FROM. *)
+  let is_outer a = (not (List.mem a local_names)) && List.mem a outer_aliases in
+  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
+  let correlated, uncorrelated =
+    List.partition (fun c -> List.exists is_outer (Sql.free_aliases c)) conjuncts
+  in
+  if correlated = [] then begin
+    (* Fully uncorrelated: evaluate once, cache the boolean. *)
+    let _ctx', env_slots, pre_filters, steps, _, _, _, total =
+      plan_select ctx { sel with Sql.where = (match conjuncts with [] -> None | c :: cs -> List.fold_left (fun acc x -> Some (Sql.And (Option.get acc, x))) (Some c) cs) }
+    in
+    let cache = ref None in
+    let exception Found in
+    Some
+      (fun outer ->
+        match !cache with
+        | Some b -> Some b
+        | None ->
+          let bind = Array.make total [||] in
+          Array.blit outer 0 bind 0 env_slots;
+          let b =
+            List.for_all (fun p -> p bind = Some true) pre_filters
+            &&
+            (try
+               exec_steps steps bind (fun _ -> raise Found);
+               false
+             with Found -> true)
+          in
+          cache := Some b;
+          Some b)
+  end
+  else begin
+    let split = function
+      | Sql.Cmp (Sql.Eq, a, b) ->
+        let a_outer = List.for_all is_outer (Sql.free_aliases a)
+        and b_outer = List.for_all is_outer (Sql.free_aliases b) in
+        let a_inner =
+          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases a)
+          && Sql.free_aliases a <> []
+        and b_inner =
+          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases b)
+          && Sql.free_aliases b <> []
+        in
+        if a_outer && b_inner then Some (a, b)
+        else if b_outer && a_inner then Some (b, a)
+        else None
+      | _ -> None
+    in
+    let pairs = List.map split correlated in
+    if List.exists (fun p -> p = None) pairs then None
+    else begin
+      let pairs = List.filter_map Fun.id pairs in
+      (* Check hash-compatible types for each pair. *)
+      let key_kind (outer_e, inner_e) =
+        (* Inner expression types must be derived with inner aliases in
+           scope; extend the slot table the same way plan_select will. *)
+        let inner_ctx =
+          {
+            ctx with
+            slots =
+              Array.append ctx.slots
+                (Array.of_list
+                   (List.map
+                      (fun (table, alias) ->
+                        match Database.table_opt ctx.db table with
+                        | Some t -> alias, t
+                        | None -> error "unknown table %s" table)
+                      sel.Sql.from));
+          }
+        in
+        match static_ty ctx outer_e, static_ty inner_ctx inner_e with
+        | Some (Value.Tstr | Value.Tbin), Some (Value.Tstr | Value.Tbin) -> Some `Str
+        | Some (Value.Tint | Value.Tfloat), Some (Value.Tint | Value.Tfloat) -> Some `Num
+        | _ -> None
+      in
+      let kinds = List.map key_kind pairs in
+      if List.exists (fun k -> k = None) kinds then None
+      else begin
+        let kinds = List.filter_map Fun.id kinds in
+        (* Canonical hash key for a value under a kind. *)
+        let canon kind v =
+          match kind, v with
+          | _, Value.Null -> None
+          | `Str, (Value.Str s | Value.Bin s) -> Some s
+          | `Str, (Value.Int _ | Value.Float _) -> None
+          | `Num, v ->
+            (match Value.to_float v with
+             | Some f -> Some (string_of_float f)
+             | None -> None)
+        in
+        (* Build the uncorrelated inner query projecting the inner key
+           expressions. *)
+        let inner_sel =
+          {
+            sel with
+            Sql.where =
+              (match uncorrelated with
+               | [] -> None
+               | c :: cs -> Some (List.fold_left (fun acc x -> Sql.And (acc, x)) c cs));
+            Sql.projections =
+              List.mapi (fun i (_, inner_e) -> inner_e, Printf.sprintf "k%d" i) pairs;
+            Sql.distinct = true;
+            Sql.order_by = [];
+          }
+        in
+        (* The inner query must now be completely uncorrelated. *)
+        let still_correlated =
+          List.exists
+            (fun (e, _) -> List.exists is_outer (Sql.free_aliases e))
+            inner_sel.Sql.projections
+        in
+        if still_correlated then None
+        else begin
+          let outer_fns = List.map (fun (o, _) -> compile_value ctx o) pairs in
+          let table = ref None in
+          let build outer =
+            match !table with
+            | Some t -> t
+            | None ->
+              let t = Hashtbl.create 1024 in
+              (* The inner query sees no outer slots it depends on; pass
+                 the current binding anyway (harmless). *)
+              iter_select_rows ctx inner_sel outer (fun row ->
+                  let key =
+                    List.map2 (fun kind v -> canon kind v) kinds (Array.to_list row)
+                  in
+                  if List.for_all Option.is_some key then
+                    Hashtbl.replace t (List.map Option.get key) ());
+              table := Some t;
+              t
+          in
+          Some
+            (fun outer ->
+              let t = build outer in
+              let key =
+                List.map2 (fun kind fn -> canon kind (fn outer)) kinds outer_fns
+              in
+              if List.exists Option.is_none key then Some false
+              else Some (Hashtbl.mem t (List.map Option.get key)))
+        end
+      end
+    end
+  end
+
+(* Run a select and emit each projected row (no distinct/order). *)
+and iter_select_rows ctx sel outer emit_row =
+  let _ctx', env_slots, pre_filters, steps, projections, _, _, total =
+    plan_select ctx sel
+  in
+  let bind = Array.make total [||] in
+  Array.blit outer 0 bind 0 env_slots;
+  if List.for_all (fun p -> p bind = Some true) pre_filters then
+    exec_steps steps bind (fun b ->
+        emit_row (Array.of_list (List.map (fun (fn, _) -> fn b) projections)))
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then Int.compare (Array.length a) (Array.length b)
+    else
+      match Value.compare_total a.(i) b.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+module Row_set = Set.Make (struct
+  type t = Value.t array
+
+  let compare = compare_rows
+end)
+
+let run_select ~naive db (sel : Sql.select) =
+  let ctx = { db; slots = [||]; naive } in
+  let _ctx', _env, pre_filters, steps, projections, distinct, order_by, total =
+    plan_select ctx sel
+  in
+  let bind = Array.make total [||] in
+  let out = ref [] in
+  if List.for_all (fun p -> p bind = Some true) pre_filters then
+    exec_steps steps bind (fun b ->
+        let row = Array.of_list (List.map (fun (fn, _) -> fn b) projections) in
+        let keys = Array.of_list (List.map (fun fn -> fn b) order_by) in
+        out := (keys, row) :: !out);
+  let rows = List.rev !out in
+  let rows =
+    if distinct then begin
+      let seen = ref Row_set.empty in
+      List.filter
+        (fun (_, row) ->
+          if Row_set.mem row !seen then false
+          else begin
+            seen := Row_set.add row !seen;
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  let rows =
+    if order_by = [] then rows
+    else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
+  in
+  { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
+
+let run_statement ~naive db = function
+  | Sql.Select sel -> run_select ~naive db sel
+  | Sql.Select_count sel ->
+    let counted =
+      run_select ~naive db
+        {
+          sel with
+          Sql.distinct = false;
+          projections = [ Sql.Const (Value.Int 1), "one" ];
+          order_by = [];
+        }
+    in
+    { columns = [ "count" ]; rows = [ [| Value.Int (List.length counted.rows) |] ] }
+  | Sql.Union (branches, order_cols) ->
+    (match branches with
+     | [] -> { columns = []; rows = [] }
+     | first :: _ ->
+       let arity = List.length first.Sql.projections in
+       List.iter
+         (fun b ->
+           if List.length b.Sql.projections <> arity then
+             error "UNION branches project different arities")
+         branches;
+       let all = List.concat_map (fun b -> (run_select ~naive db b).rows) branches in
+       let seen = ref Row_set.empty in
+       let rows =
+         List.filter
+           (fun row ->
+             if Row_set.mem row !seen then false
+             else begin
+               seen := Row_set.add row !seen;
+               true
+             end)
+           all
+       in
+       let rows =
+         if order_cols = [] then rows
+         else
+           List.stable_sort
+             (fun a b ->
+               let rec go = function
+                 | [] -> 0
+                 | i :: rest ->
+                   (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
+               in
+               go order_cols)
+             rows
+       in
+       { columns = List.map snd first.Sql.projections; rows })
+
+type step_profile = {
+  table : string;
+  alias : string;
+  access : string;
+  examined : int;
+  passed : int;
+}
+
+let access_label = function
+  | `Scan -> "full scan"
+  | `Index_eq _ -> "index eq lookup"
+  | `Index_range _ -> "index range scan"
+  | `Prefix_lookup _ -> "prefix lookups"
+
+(* EXPLAIN-ANALYZE style execution of one select: like [run_select] with
+   per-step row counters. *)
+let run_select_profiled db (sel : Sql.select) =
+  let ctx = { db; slots = [||]; naive = false } in
+  let ctx', _env, pre_filters, steps, projections, distinct, order_by, total =
+    plan_select ctx sel
+  in
+  let nsteps = List.length steps in
+  let examined = Array.make nsteps 0 in
+  let passed = Array.make nsteps 0 in
+  let steps_arr = Array.of_list steps in
+  let bind = Array.make total [||] in
+  let out = ref [] in
+  let rec exec i =
+    if i >= nsteps then begin
+      let row = Array.of_list (List.map (fun (fn, _) -> fn bind) projections) in
+      let keys = Array.of_list (List.map (fun fn -> fn bind) order_by) in
+      out := (keys, row) :: !out
+    end
+    else begin
+      let slot, table, access, filters = steps_arr.(i) in
+      iter_access table access bind (fun row_id ->
+          examined.(i) <- examined.(i) + 1;
+          bind.(slot) <- Table.row table row_id;
+          if List.for_all (fun p -> p bind = Some true) filters then begin
+            passed.(i) <- passed.(i) + 1;
+            exec (i + 1)
+          end)
+    end
+  in
+  if List.for_all (fun p -> p bind = Some true) pre_filters then exec 0;
+  let rows = List.rev !out in
+  let rows =
+    if distinct then begin
+      let seen = ref Row_set.empty in
+      List.filter
+        (fun (_, row) ->
+          if Row_set.mem row !seen then false
+          else begin
+            seen := Row_set.add row !seen;
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  let rows =
+    if order_by = [] then rows
+    else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
+  in
+  let profiles =
+    List.mapi
+      (fun i (slot, table, access, _) ->
+        {
+          table = Table.name table;
+          alias = fst ctx'.slots.(slot);
+          access = access_label access;
+          examined = examined.(i);
+          passed = passed.(i);
+        })
+      steps
+  in
+  ( { columns = List.map snd sel.Sql.projections; rows = List.map snd rows },
+    profiles )
+
+let run_profiled db = function
+  | Sql.Select sel -> run_select_profiled db sel
+  | Sql.Select_count sel ->
+    let counted, profiles =
+      run_select_profiled db
+        {
+          sel with
+          Sql.distinct = false;
+          projections = [ Sql.Const (Value.Int 1), "one" ];
+          order_by = [];
+        }
+    in
+    ( { columns = [ "count" ]; rows = [ [| Value.Int (List.length counted.rows) |] ] },
+      profiles )
+  | Sql.Union (branches, order_cols) ->
+    let results = List.map (run_select_profiled db) branches in
+    let union =
+      run_statement ~naive:false db
+        (Sql.Union (branches, order_cols))
+    in
+    union, List.concat_map snd results
+
+let run db stmt = run_statement ~naive:false db stmt
+
+let run_naive db stmt = run_statement ~naive:true db stmt
+
+let explain db stmt =
+  let buf = Buffer.create 256 in
+  let describe_select prefix (sel : Sql.select) =
+    let ctx = { db; slots = [||]; naive = false } in
+    let ctx', _env, pre, steps, _, distinct, order_by, _ = plan_select ctx sel in
+    if pre <> [] then
+      Buffer.add_string buf (Printf.sprintf "%sconstant filters: %d\n" prefix (List.length pre));
+    List.iter
+      (fun (slot, table, access, filters) ->
+        let alias = fst ctx'.slots.(slot) in
+        let access_str =
+          match access with
+          | `Scan -> "full scan"
+          | `Index_eq (tree, fns) ->
+            Printf.sprintf "index eq lookup (%d cols, width %d)" (Array.length fns)
+              (Btree.width tree)
+          | `Index_range (tree, fns, lo, hi) ->
+            Printf.sprintf "index range scan (eq prefix %d, lo %s, hi %s, width %d)"
+              (Array.length fns)
+              (if lo = None then "-inf" else "bound")
+              (if hi = None then "+inf" else "bound")
+              (Btree.width tree)
+          | `Prefix_lookup (tree, _) ->
+            Printf.sprintf "prefix lookups (width %d)" (Btree.width tree)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%sstep %s(%s): %s, %d residual filters\n" prefix
+             (Table.name table) alias access_str (List.length filters)))
+      steps;
+    if distinct then Buffer.add_string buf (Printf.sprintf "%sdistinct\n" prefix);
+    if order_by <> [] then
+      Buffer.add_string buf (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length order_by))
+  in
+  (match stmt with
+   | Sql.Select sel | Sql.Select_count sel -> describe_select "" sel
+   | Sql.Union (branches, _) ->
+     List.iteri
+       (fun i b ->
+         Buffer.add_string buf (Printf.sprintf "union branch %d:\n" i);
+         describe_select "  " b)
+       branches);
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Query planning and execution.
+
+    The planner turns a {!Sql.statement} into a pipeline of index-driven
+    steps: WHERE conjuncts are classified per table alias, a greedy
+    join-order heuristic picks the cheapest next table, and each step
+    accesses its table through the best available B+tree path — equality
+    lookup, range scan (the dewey structural-join windows of paper
+    Section 4.2 become per-outer-row index range scans), a memoized hash
+    semi-join for decorrelated [EXISTS], or a full scan. All conjuncts are
+    re-checked as residual filters, so access-path choice can never change
+    results, only speed.
+
+    [run_naive] executes the same statement by brute-force cross products
+    and is used as the test oracle for the planner. *)
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+}
+
+exception Runtime_error of string
+(** Type errors detected during execution, e.g. a boolean expression used
+    as a value, or an unknown table or column. *)
+
+val run : Database.t -> Sql.statement -> result
+
+val run_naive : Database.t -> Sql.statement -> result
+(** Cross-product evaluation, no indexes, no decorrelation. *)
+
+val explain : Database.t -> Sql.statement -> string
+(** Human-readable plan: one line per step with its access path. *)
+
+type step_profile = {
+  table : string;
+  alias : string;
+  access : string;
+  examined : int;  (** rows fetched through the access path *)
+  passed : int;  (** rows surviving this step's residual filters *)
+}
+
+val run_profiled : Database.t -> Sql.statement -> result * step_profile list
+(** Like {!run}, additionally reporting per-step row counts for the
+    top-level select(s) (EXPLAIN-ANALYZE style; sub-queries are not
+    instrumented). Union branches concatenate their profiles. *)

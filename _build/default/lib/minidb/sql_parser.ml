@@ -1,0 +1,517 @@
+exception Error of { position : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bin_lit of string
+  | Sym of string  (** one of ( ) , . || = <> != < <= > >= + - * / *)
+  | Eof
+
+type lexed = { token : token; pos : int }
+
+let keywordize s = String.uppercase_ascii s
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let fail pos fmt =
+    Format.kasprintf (fun message -> raise (Error { position = pos; message })) fmt
+  in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if (c = 'x' || c = 'X') && !i + 1 < n && src.[!i + 1] = '\'' then begin
+      (* hex binary literal x'AB01' *)
+      i := !i + 2;
+      let buf = Buffer.create 8 in
+      let hex_val ch =
+        match ch with
+        | '0' .. '9' -> Char.code ch - Char.code '0'
+        | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+        | _ -> fail pos "invalid hex digit %C" ch
+      in
+      let rec loop () =
+        if !i >= n then fail pos "unterminated binary literal"
+        else if src.[!i] = '\'' then incr i
+        else begin
+          if !i + 1 >= n then fail pos "odd-length binary literal";
+          Buffer.add_char buf (Char.chr ((hex_val src.[!i] * 16) + hex_val src.[!i + 1]));
+          i := !i + 2;
+          loop ()
+        end
+      in
+      loop ();
+      out := { token = Bin_lit (Buffer.contents buf); pos } :: !out
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      out := { token = Ident (String.sub src start (!i - start)); pos } :: !out
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9'
+      then begin
+        incr i;
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          incr i
+        done;
+        out :=
+          { token = Float_lit (float_of_string (String.sub src start (!i - start))); pos }
+          :: !out
+      end
+      else
+        out :=
+          { token = Int_lit (int_of_string (String.sub src start (!i - start))); pos }
+          :: !out
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !i >= n then fail pos "unterminated string literal"
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            loop ()
+          end
+          else incr i
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          loop ()
+        end
+      in
+      loop ();
+      out := { token = Str_lit (Buffer.contents buf); pos } :: !out
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "||" | "<>" | "!=" | "<=" | ">=" ->
+        i := !i + 2;
+        out := { token = Sym two; pos } :: !out
+      | _ ->
+        (match c with
+         | '(' | ')' | ',' | '.' | '=' | '<' | '>' | '+' | '-' | '*' | '/' ->
+           incr i;
+           out := { token = Sym (String.make 1 c); pos } :: !out
+         | c -> fail pos "unexpected character %C" c)
+    end
+  done;
+  Array.of_list (List.rev ({ token = Eof; pos = n } :: !out))
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { tokens : lexed array; mutable cursor : int }
+
+let fail st fmt =
+  let pos = st.tokens.(st.cursor).pos in
+  Format.kasprintf (fun message -> raise (Error { position = pos; message })) fmt
+
+let peek st = st.tokens.(st.cursor).token
+
+let advance st = st.cursor <- st.cursor + 1
+
+let keyword st kw =
+  match peek st with
+  | Ident id when String.equal (keywordize id) kw -> true
+  | _ -> false
+
+let eat_keyword st kw =
+  if keyword st kw then advance st else fail st "expected %s" kw
+
+let try_keyword st kw =
+  if keyword st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let try_sym st sym =
+  match peek st with
+  | Sym s when String.equal s sym ->
+    advance st;
+    true
+  | _ -> false
+
+let eat_sym st sym = if not (try_sym st sym) then fail st "expected '%s'" sym
+
+let parse_ident st =
+  match peek st with
+  | Ident id -> advance st; id
+  | _ -> fail st "expected an identifier"
+
+(* Bare (unqualified) columns are parsed with a "" alias and resolved once
+   the FROM clause is known. *)
+let rec resolve_cols aliases (e : Sql.expr) : Sql.expr =
+  let r = resolve_cols aliases in
+  match e with
+  | Sql.Col ("", col) ->
+    (match aliases with
+     | [ (_, alias) ] -> Sql.Col (alias, col)
+     | _ ->
+       raise
+         (Error
+            {
+              position = 0;
+              message =
+                Printf.sprintf
+                  "unqualified column %s needs a single-table FROM clause" col;
+            }))
+  | Sql.Col _ | Sql.Const _ | Sql.Bool_const _ -> e
+  | Sql.Cmp (op, a, b) -> Sql.Cmp (op, r a, r b)
+  | Sql.Between (a, b, c) -> Sql.Between (r a, r b, r c)
+  | Sql.And (a, b) -> Sql.And (r a, r b)
+  | Sql.Or (a, b) -> Sql.Or (r a, r b)
+  | Sql.Not a -> Sql.Not (r a)
+  | Sql.Concat (a, b) -> Sql.Concat (r a, r b)
+  | Sql.Regexp_like (a, p) -> Sql.Regexp_like (r a, p)
+  | Sql.Exists sel -> Sql.Exists sel (* inner select resolved on its own FROM *)
+  | Sql.Count_subquery sel -> Sql.Count_subquery sel
+  | Sql.Arith (op, a, b) -> Sql.Arith (op, r a, r b)
+  | Sql.To_number a -> Sql.To_number (r a)
+  | Sql.Length a -> Sql.Length (r a)
+  | Sql.Is_not_null a -> Sql.Is_not_null (r a)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if try_keyword st "OR" then Sql.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if try_keyword st "AND" then Sql.And (left, parse_and st) else left
+
+and parse_not st =
+  if try_keyword st "NOT" then Sql.Not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  if try_keyword st "BETWEEN" then begin
+    let lo = parse_additive st in
+    eat_keyword st "AND";
+    let hi = parse_additive st in
+    Sql.Between (left, lo, hi)
+  end
+  else if keyword st "IS" then begin
+    advance st;
+    eat_keyword st "NOT";
+    eat_keyword st "NULL";
+    Sql.Is_not_null left
+  end
+  else begin
+    let op =
+      if try_sym st "=" then Some Sql.Eq
+      else if try_sym st "<>" || try_sym st "!=" then Some Sql.Ne
+      else if try_sym st "<=" then Some Sql.Le
+      else if try_sym st ">=" then Some Sql.Ge
+      else if try_sym st "<" then Some Sql.Lt
+      else if try_sym st ">" then Some Sql.Gt
+      else None
+    in
+    match op with
+    | None -> left
+    | Some op ->
+      let right = parse_additive st in
+      (* Recognise the Bool_const rendering 1=1 / 1=0. *)
+      (match op, left, right with
+       | Sql.Eq, Sql.Const (Value.Int 1), Sql.Const (Value.Int 1) -> Sql.Bool_const true
+       | Sql.Eq, Sql.Const (Value.Int 1), Sql.Const (Value.Int 0) -> Sql.Bool_const false
+       | _ -> Sql.Cmp (op, left, right))
+  end
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  let rec loop left =
+    if try_sym st "+" then loop (Sql.Arith (Sql.Add, left, parse_multiplicative st))
+    else if try_sym st "-" then loop (Sql.Arith (Sql.Sub, left, parse_multiplicative st))
+    else left
+  in
+  loop left
+
+and parse_multiplicative st =
+  let left = parse_concat st in
+  let rec loop left =
+    if try_sym st "*" then loop (Sql.Arith (Sql.Mul, left, parse_concat st))
+    else if try_sym st "/" then loop (Sql.Arith (Sql.Div, left, parse_concat st))
+    else left
+  in
+  loop left
+
+and parse_concat st =
+  let left = parse_atom st in
+  let rec loop left =
+    if try_sym st "||" then loop (Sql.Concat (left, parse_atom st)) else left
+  in
+  loop left
+
+and parse_atom st =
+  match peek st with
+  | Int_lit v ->
+    advance st;
+    Sql.Const (Value.Int v)
+  | Float_lit v ->
+    advance st;
+    Sql.Const (Value.Float v)
+  | Str_lit s ->
+    advance st;
+    Sql.Const (Value.Str s)
+  | Bin_lit b ->
+    advance st;
+    Sql.Const (Value.Bin b)
+  | Sym "(" ->
+    advance st;
+    if keyword st "SELECT" then begin
+      (* scalar sub-query: ( SELECT COUNT ( * ) FROM ... [WHERE ...] ) *)
+      advance st;
+      eat_keyword st "COUNT";
+      eat_sym st "(";
+      eat_sym st "*";
+      eat_sym st ")";
+      eat_keyword st "FROM";
+      let rec sources acc =
+        let table = parse_ident st in
+        let alias =
+          match peek st with
+          | Ident id when not (List.mem (keywordize id) [ "WHERE"; "AS" ]) ->
+            advance st;
+            id
+          | Ident id when String.equal (keywordize id) "AS" ->
+            advance st;
+            parse_ident st
+          | _ -> table
+        in
+        let acc = (table, alias) :: acc in
+        if try_sym st "," then sources acc else List.rev acc
+      in
+      let from = sources [] in
+      let where = if try_keyword st "WHERE" then Some (parse_or st) else None in
+      eat_sym st ")";
+      Sql.Count_subquery
+        {
+          Sql.distinct = false;
+          projections = [ Sql.Const Value.Null, "count" ];
+          from;
+          where = Option.map (resolve_cols from) where;
+          order_by = [];
+        }
+    end
+    else begin
+      let e = parse_or st in
+      eat_sym st ")";
+      e
+    end
+  | Sym "-" ->
+    advance st;
+    (match parse_atom st with
+     | Sql.Const (Value.Int v) -> Sql.Const (Value.Int (-v))
+     | Sql.Const (Value.Float v) -> Sql.Const (Value.Float (-.v))
+     | e -> Sql.Arith (Sql.Sub, Sql.Const (Value.Int 0), e))
+  | Ident id ->
+    (match keywordize id with
+     | "NULL" ->
+       advance st;
+       Sql.Const Value.Null
+     | "EXISTS" ->
+       advance st;
+       eat_sym st "(";
+       let sel, raw_order = parse_select st in
+       let sel = { sel with Sql.order_by = List.map (resolve_cols sel.Sql.from) raw_order } in
+       eat_sym st ")";
+       Sql.Exists sel
+     | "REGEXP_LIKE" ->
+       advance st;
+       eat_sym st "(";
+       let e = parse_or st in
+       eat_sym st ",";
+       let pat =
+         match peek st with
+         | Str_lit s -> advance st; s
+         | _ -> fail st "REGEXP_LIKE needs a string pattern"
+       in
+       eat_sym st ")";
+       Sql.Regexp_like (e, pat)
+     | "TO_NUMBER" ->
+       advance st;
+       eat_sym st "(";
+       let e = parse_or st in
+       eat_sym st ")";
+       Sql.To_number e
+     | "LENGTH" ->
+       advance st;
+       eat_sym st "(";
+       let e = parse_or st in
+       eat_sym st ")";
+       Sql.Length e
+     | "MOD" ->
+       advance st;
+       eat_sym st "(";
+       let a = parse_or st in
+       eat_sym st ",";
+       let b = parse_or st in
+       eat_sym st ")";
+       Sql.Arith (Sql.Mod, a, b)
+     | _ ->
+       advance st;
+       if try_sym st "." then
+         let col = parse_ident st in
+         Sql.Col (id, col)
+       else Sql.Col ("", id))
+  | Sym s -> fail st "unexpected '%s'" s
+  | Eof -> fail st "unexpected end of input"
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select st : Sql.select * Sql.expr list =
+  eat_keyword st "SELECT";
+  let distinct = try_keyword st "DISTINCT" in
+  let rec projections acc idx =
+    let e = parse_or st in
+    let name =
+      if try_keyword st "AS" then parse_ident st
+      else
+        match e with
+        | Sql.Col (_, col) -> col
+        | Sql.Const Value.Null -> Printf.sprintf "col%d" idx
+        | _ -> Printf.sprintf "col%d" idx
+    in
+    let acc = (e, name) :: acc in
+    if try_sym st "," then projections acc (idx + 1) else List.rev acc
+  in
+  let projections = projections [] 0 in
+  eat_keyword st "FROM";
+  let rec sources acc =
+    let table = parse_ident st in
+    let alias =
+      match peek st with
+      | Ident id when not (List.mem (keywordize id) [ "WHERE"; "ORDER"; "UNION"; "AS" ]) ->
+        advance st;
+        id
+      | Ident id when String.equal (keywordize id) "AS" ->
+        advance st;
+        parse_ident st
+      | _ -> table
+    in
+    let acc = (table, alias) :: acc in
+    if try_sym st "," then sources acc else List.rev acc
+  in
+  let from = sources [] in
+  let where = if try_keyword st "WHERE" then Some (parse_or st) else None in
+  let order_by =
+    if keyword st "ORDER" then begin
+      advance st;
+      eat_keyword st "BY";
+      let rec exprs acc =
+        let e = parse_or st in
+        let acc = e :: acc in
+        if try_sym st "," then exprs acc else List.rev acc
+      in
+      exprs []
+    end
+    else []
+  in
+  let resolve = resolve_cols from in
+  (* order_by resolution is deferred: after UNION the trailing ORDER BY
+     names output columns, not table columns. *)
+  ( {
+      Sql.distinct;
+      projections = List.map (fun (e, name) -> resolve e, name) projections;
+      from;
+      where = Option.map resolve where;
+      order_by = [];
+    },
+    order_by )
+
+(* Is this a top-level SELECT COUNT statement? *)
+let is_count_select st =
+  match st.tokens.(st.cursor).token, st.tokens.(st.cursor + 1).token with
+  | Ident s, Ident c ->
+    String.equal (keywordize s) "SELECT" && String.equal (keywordize c) "COUNT"
+  | _ -> false
+
+let parse src =
+  let st = { tokens = lex src; cursor = 0 } in
+  if is_count_select st then begin
+    (* Reuse the scalar sub-query grammar by wrapping in parens. *)
+    match parse_atom { tokens = lex ("(" ^ src ^ ")"); cursor = 0 } with
+    | Sql.Count_subquery sel -> Sql.Select_count sel
+    | _ -> fail st "malformed SELECT COUNT statement"
+  end
+  else
+  let first, first_order = parse_select st in
+  if not (keyword st "UNION") then begin
+    (match peek st with
+     | Eof -> ()
+     | _ -> fail st "unexpected trailing input");
+    Sql.Select
+      { first with Sql.order_by = List.map (resolve_cols first.Sql.from) first_order }
+  end
+  else begin
+    if first_order <> [] then fail st "ORDER BY is only allowed after the last UNION branch";
+    let rec more acc =
+      if try_keyword st "UNION" then begin
+        let sel, raw_order = parse_select st in
+        if keyword st "UNION" && raw_order <> [] then
+          fail st "ORDER BY is only allowed after the last UNION branch";
+        more ((sel, raw_order) :: acc)
+      end
+      else List.rev acc
+    in
+    let rest = more [] in
+    let branches = first :: List.map fst rest in
+    let order_exprs =
+      match List.rev rest with
+      | (_, raw_order) :: _ -> raw_order
+      | [] -> []
+    in
+    let order_cols =
+      List.map
+        (fun e ->
+          match e with
+          | Sql.Col ("", name) ->
+            (match
+               List.find_index
+                 (fun (_, out_name) -> String.equal out_name name)
+                 first.Sql.projections
+             with
+             | Some i -> i
+             | None -> fail st "ORDER BY column %s is not an output column" name)
+          | _ -> fail st "UNION ORDER BY must reference output columns")
+        order_exprs
+    in
+    (match peek st with
+     | Eof -> ()
+     | _ -> fail st "unexpected trailing input");
+    Sql.Union (branches, order_cols)
+  end
+
+let parse_expr ~aliases src =
+  let st = { tokens = lex src; cursor = 0 } in
+  let e = parse_or st in
+  (match peek st with
+   | Eof -> ()
+   | _ -> fail st "unexpected trailing input");
+  resolve_cols aliases e

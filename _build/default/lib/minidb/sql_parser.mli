@@ -1,0 +1,30 @@
+(** SQL text parser for the engine's dialect — the inverse of
+    {!Sql.to_string}.
+
+    Grammar (case-insensitive keywords):
+    {v
+      statement  ::= select [UNION select ...] [ORDER BY column, ...]
+      select     ::= SELECT [DISTINCT] projection, ...
+                     FROM source, ... [WHERE expr] [ORDER BY expr, ...]
+      projection ::= expr [AS ident] | NULL
+      source     ::= ident [ident]            -- table, optional alias
+      expr       ::= OR-tree over AND / NOT / comparisons / BETWEEN /
+                     IS NOT NULL / REGEXP_LIKE / EXISTS / concatenation,
+                     arithmetic, TO_NUMBER, LENGTH, literals
+                     and column references alias.col or col
+    v}
+
+    Unqualified column references are resolved against the select's FROM
+    clause when it has exactly one source; otherwise they are an error.
+
+    For a [Union] statement, the trailing ORDER BY columns must name
+    output columns of the first branch. *)
+
+exception Error of { position : int; message : string }
+
+val parse : string -> Sql.statement
+(** Raises {!Error} on malformed input. *)
+
+val parse_expr : aliases:(string * string) list -> string -> Sql.expr
+(** Parse a bare expression; [aliases] is the (table, alias) environment
+    used to resolve unqualified columns (single-source only). *)

@@ -1,0 +1,178 @@
+type column = { name : string; ty : Value.ty }
+
+type t = {
+  name : string;
+  columns : column array;
+  (* rows is a grow-doubling array of value arrays *)
+  mutable rows : Value.t array array;  (** grow-doubling array *)
+  mutable row_count : int;
+  mutable indexes : (string list * int array * Btree.t) list;
+      (** (columns, column positions, tree) *)
+  mutable distinct_cache : (string * (int * int)) list;
+      (** column -> (row count at computation, distinct estimate) *)
+}
+
+let create ~name ~(columns : column list) =
+  (match columns with
+   | [] -> invalid_arg "Table.create: no columns"
+   | _ -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : column) ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg (Printf.sprintf "Table.create: duplicate column %s" c.name);
+      Hashtbl.add seen c.name ())
+    columns;
+  {
+    name;
+    columns = Array.of_list columns;
+    rows = [||];
+    row_count = 0;
+    indexes = [];
+    distinct_cache = [];
+  }
+
+let name t = t.name
+
+let columns t = Array.to_list t.columns
+
+let column_index t col =
+  let rec go i =
+    if i >= Array.length t.columns then None
+    else if String.equal t.columns.(i).name col then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let column_ty t col =
+  Option.map (fun i -> t.columns.(i).ty) (column_index t col)
+
+let type_ok ty v =
+  match v, ty with
+  | Value.Null, _ -> true
+  | Value.Int _, Value.Tint
+  | Value.Float _, Value.Tfloat
+  | Value.Str _, Value.Tstr
+  | Value.Bin _, Value.Tbin ->
+    true
+  | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bin _), _ -> false
+
+let insert t values =
+  if Array.length values <> Array.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): %d values for %d columns" t.name
+         (Array.length values) (Array.length t.columns));
+  Array.iteri
+    (fun i v ->
+      if not (type_ok t.columns.(i).ty v) then
+        invalid_arg
+          (Printf.sprintf "Table.insert(%s): value %s does not match column %s : %s"
+             t.name (Value.to_string v) t.columns.(i).name
+             (Format.asprintf "%a" Value.pp_ty t.columns.(i).ty)))
+    values;
+  if t.row_count = Array.length t.rows then begin
+    let cap = max 16 (2 * Array.length t.rows) in
+    let bigger = Array.make cap [||] in
+    Array.blit t.rows 0 bigger 0 t.row_count;
+    t.rows <- bigger
+  end;
+  let id = t.row_count in
+  t.rows.(id) <- values;
+  t.row_count <- id + 1;
+  List.iter
+    (fun (_, positions, tree) ->
+      Btree.insert tree (Array.map (fun p -> values.(p)) positions) id)
+    t.indexes;
+  id
+
+let delete t id =
+  if id < 0 || id >= t.row_count || Array.length t.rows.(id) = 0 then false
+  else begin
+    let values = t.rows.(id) in
+    List.iter
+      (fun (_, positions, tree) ->
+        ignore (Btree.delete tree (Array.map (fun p -> values.(p)) positions) id))
+      t.indexes;
+    t.rows.(id) <- [||];
+    (* Invalidate cached statistics. *)
+    t.distinct_cache <- [];
+    true
+  end
+
+let row_count t = t.row_count
+
+let live_count t =
+  let n = ref 0 in
+  for id = 0 to t.row_count - 1 do
+    if Array.length t.rows.(id) > 0 then incr n
+  done;
+  !n
+
+let row t id =
+  if id < 0 || id >= t.row_count then
+    invalid_arg (Printf.sprintf "Table.row(%s): id %d out of range" t.name id);
+  t.rows.(id)
+
+let iter_rows f t =
+  for id = 0 to t.row_count - 1 do
+    if Array.length t.rows.(id) > 0 then f id t.rows.(id)
+  done
+
+let create_index t cols =
+  if List.exists (fun (existing, _, _) -> existing = cols) t.indexes then ()
+  else begin
+    let positions =
+      Array.of_list
+        (List.map
+           (fun c ->
+             match column_index t c with
+             | Some i -> i
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "Table.create_index(%s): no column %s" t.name c))
+           cols)
+    in
+    let tree = Btree.create ~width:(Array.length positions) () in
+    iter_rows
+      (fun id values -> Btree.insert tree (Array.map (fun p -> values.(p)) positions) id)
+      t;
+    t.indexes <- t.indexes @ [ (cols, positions, tree) ]
+  end
+
+let index_on t cols =
+  List.find_map
+    (fun (existing, _, tree) -> if existing = cols then Some tree else None)
+    t.indexes
+
+let rec is_prefix prefix l =
+  match prefix, l with
+  | [], _ -> true
+  | p :: ps, x :: xs -> String.equal p x && is_prefix ps xs
+  | _ :: _, [] -> false
+
+let index_with_prefix t cols =
+  List.find_map
+    (fun (existing, _, tree) ->
+      if is_prefix cols existing then Some (tree, List.length existing) else None)
+    t.indexes
+
+let indexes t = List.map (fun (cols, _, tree) -> cols, tree) t.indexes
+
+let distinct_estimate t col =
+  match column_index t col with
+  | None -> 1
+  | Some pos ->
+    (match List.assoc_opt col t.distinct_cache with
+     | Some (stamp, d) when stamp = t.row_count -> d
+     | Some _ | None ->
+       let seen = Hashtbl.create 256 in
+       for id = 0 to t.row_count - 1 do
+         if Array.length t.rows.(id) > 0 then
+           match t.rows.(id).(pos) with
+           | Value.Null -> ()
+           | v -> Hashtbl.replace seen (Value.to_string v) ()
+       done;
+       let d = max 1 (Hashtbl.length seen) in
+       t.distinct_cache <-
+         (col, (t.row_count, d)) :: List.remove_assoc col t.distinct_cache;
+       d)

@@ -1,0 +1,50 @@
+(** Heap tables with typed columns and attached B+tree indexes. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val create : name:string -> columns:column list -> t
+
+val name : t -> string
+val columns : t -> column list
+val column_index : t -> string -> int option
+val column_ty : t -> string -> Value.ty option
+
+val insert : t -> Value.t array -> int
+(** Append a row; returns its row id. Values must match the column count;
+    non-null values must match the column types. All indexes are
+    maintained. *)
+
+val delete : t -> int -> bool
+(** Tombstone a row: it disappears from every index and from
+    {!iter_rows}; its id is never reused. Returns false when the id is
+    out of range or already deleted. *)
+
+val live_count : t -> int
+(** Rows minus tombstones. *)
+
+val row_count : t -> int
+val row : t -> int -> Value.t array
+(** Row by id. Do not mutate. *)
+
+val iter_rows : (int -> Value.t array -> unit) -> t -> unit
+
+val create_index : t -> string list -> unit
+(** Create (and backfill) a B+tree index on the given columns. Idempotent
+    for an identical column list. *)
+
+val index_on : t -> string list -> Btree.t option
+(** Exact-columns index lookup. *)
+
+val index_with_prefix : t -> string list -> (Btree.t * int) option
+(** An index whose leading columns are exactly the given list; returns the
+    index and its total width. Preferred for range scans where only a
+    prefix is constrained. *)
+
+val indexes : t -> (string list * Btree.t) list
+
+val distinct_estimate : t -> string -> int
+(** Estimated number of distinct non-null values in a column (computed by
+    one scan, cached until the row count changes). Used by the planner's
+    selectivity model. Returns 1 for unknown columns. *)

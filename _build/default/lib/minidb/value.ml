@@ -1,0 +1,82 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bin of string
+
+type ty = Tint | Tfloat | Tstr | Tbin
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+  | Bin _ -> Some Tbin
+
+let rank = function Null -> 0 | Int _ | Float _ -> 1 | Str _ -> 2 | Bin _ -> 3
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Str s -> float_of_string_opt (String.trim s)
+  | Null | Bin _ -> None
+
+let compare_total a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bin x, Bin y -> String.compare x y
+  | (Null | Int _ | Float _ | Str _ | Bin _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare_total a b = 0
+
+let compare_sql a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (Int.compare x y)
+  | (Int _ | Float _), (Int _ | Float _ | Str _)
+  | Str _, (Int _ | Float _) ->
+    (match to_float a, to_float b with
+     | Some x, Some y -> Some (Float.compare x y)
+     | None, _ | _, None -> None)
+  | Str x, Str y -> Some (String.compare x y)
+  | Bin x, (Bin y | Str y) | Str x, Bin y -> Some (String.compare x y)
+  | Bin _, (Int _ | Float _) | (Int _ | Float _), Bin _ -> None
+
+let concat a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | (Int _ | Float _ | Str _ | Bin _), (Int _ | Float _ | Str _ | Bin _) ->
+    let s = function
+      | Int i -> string_of_int i
+      | Float f -> string_of_float f
+      | Str s | Bin s -> s
+      | Null -> assert false
+    in
+    let binary = function Bin _ -> true | Null | Int _ | Float _ | Str _ -> false in
+    if binary a || binary b then Bin (s a ^ s b) else Str (s a ^ s b)
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Bin b ->
+    Format.pp_print_string ppf "x'";
+    String.iter (fun c -> Format.fprintf ppf "%02X" (Char.code c)) b;
+    Format.pp_print_string ppf "'"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with
+     | Tint -> "INTEGER"
+     | Tfloat -> "FLOAT"
+     | Tstr -> "VARCHAR"
+     | Tbin -> "RAW")

@@ -1,0 +1,45 @@
+(** SQL values and their comparison semantics.
+
+    [Bin] carries binary strings compared bytewise — the representation of
+    the [dewey_pos] column (paper Section 4.2); the other constructors
+    cover the scalar column types the shredders produce. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bin of string  (** binary string, bytewise lexicographic order *)
+
+type ty = Tint | Tfloat | Tstr | Tbin
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val compare_total : t -> t -> int
+(** Total order used for sorting, DISTINCT and index keys: Null first, then
+    by type, then by value. Numeric types compare together. *)
+
+val compare_sql : t -> t -> int option
+(** Three-valued SQL comparison: [None] when either side is [Null] or the
+    values are incomparable. Numbers compare numerically; a [Str] compared
+    against a number is coerced through numeric parsing ([None] when
+    unparsable) — matching XPath 1.0 comparison semantics, which the
+    translator relies on. [Bin] compares bytewise against [Bin] or [Str]. *)
+
+val equal : t -> t -> bool
+(** Equality under {!compare_total}. *)
+
+val to_float : t -> float option
+(** Numeric interpretation: numbers directly, strings via parsing. *)
+
+val concat : t -> t -> t
+(** SQL [||]: string/binary concatenation. If either side is [Bin] the
+    result is [Bin]. [Null] absorbs. *)
+
+val pp : Format.formatter -> t -> unit
+(** SQL-literal style printing; binary strings as hex. *)
+
+val to_string : t -> string
+
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,1 @@
+lib/regex/dfa.ml: Array Char Hashtbl Int List Nfa String

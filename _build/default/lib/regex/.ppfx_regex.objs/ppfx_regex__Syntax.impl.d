@@ -1,0 +1,1 @@
+lib/regex/syntax.ml: Char Format List Printf String

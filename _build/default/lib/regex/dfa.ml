@@ -1,0 +1,163 @@
+(* Lazy DFA (subset construction with memoized transitions) over the
+   Thompson NFA. Matching through the DFA costs one table lookup per
+   input byte once a transition is warm, which is what makes path-filter
+   regexes cheap enough to run over the whole Paths relation.
+
+   Anchors: begin-of-line edges are only traversable in the closure taken
+   at position 0, so the automaton distinguishes the initial closure from
+   later ones; end-of-line edges contribute to a per-state
+   [accept_at_eol] flag checked when input is exhausted.
+
+   [reseed] builds the search variant: the start state's closure is
+   re-injected before every transition, giving unanchored-substring
+   semantics without restarting the scan. *)
+
+type state = {
+  id : int;
+  nfa_states : int list;  (** sorted *)
+  trans : int array;  (** by byte; -1 = not yet computed *)
+  accept_now : bool;
+  accept_at_eol : bool;
+}
+
+type t = {
+  nfa : Nfa.t;
+  reseed : bool;
+  mutable states : state array;  (** grow-doubling *)
+  mutable count : int;
+  index : (int list, int) Hashtbl.t;
+  start_mid : int list;  (** start closure without BOL edges, for reseeding *)
+  start_id : int;
+}
+
+(* Epsilon-closure over a sorted work list; [at_bol] gates Eps_bol edges.
+   Eps_eol edges are never taken here — they only matter for acceptance,
+   handled by [eol_accepts]. *)
+let closure nfa ~at_bol seed =
+  let n = Array.length nfa.Nfa.transitions in
+  let mark = Array.make n false in
+  let rec visit s =
+    if not mark.(s) then begin
+      mark.(s) <- true;
+      List.iter
+        (fun (edge, dst) ->
+          match edge with
+          | Nfa.Eps -> visit dst
+          | Nfa.Eps_bol -> if at_bol then visit dst
+          | Nfa.Eps_eol | Nfa.Sym _ -> ())
+        nfa.Nfa.transitions.(s)
+    end
+  in
+  List.iter visit seed;
+  let out = ref [] in
+  for s = n - 1 downto 0 do
+    if mark.(s) then out := s :: !out
+  done;
+  !out
+
+(* Can the accept state be reached from [set] using only epsilon and
+   end-of-line edges? *)
+let eol_accepts nfa set =
+  let n = Array.length nfa.Nfa.transitions in
+  let mark = Array.make n false in
+  let rec visit s =
+    if not mark.(s) then begin
+      mark.(s) <- true;
+      List.iter
+        (fun (edge, dst) ->
+          match edge with
+          | Nfa.Eps | Nfa.Eps_eol -> visit dst
+          | Nfa.Eps_bol | Nfa.Sym _ -> ())
+        nfa.Nfa.transitions.(s)
+    end
+  in
+  List.iter visit set;
+  mark.(nfa.Nfa.accept)
+
+let intern t nfa_states =
+  match Hashtbl.find_opt t.index nfa_states with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    let state =
+      {
+        id;
+        nfa_states;
+        trans = Array.make 256 (-1);
+        accept_now = List.mem t.nfa.Nfa.accept nfa_states;
+        accept_at_eol = eol_accepts t.nfa nfa_states;
+      }
+    in
+    if t.count = Array.length t.states then begin
+      let bigger = Array.make (max 16 (2 * t.count)) state in
+      Array.blit t.states 0 bigger 0 t.count;
+      t.states <- bigger
+    end;
+    t.states.(t.count) <- state;
+    t.count <- t.count + 1;
+    Hashtbl.add t.index nfa_states id;
+    id
+
+let create nfa ~reseed =
+  let start_mid = closure nfa ~at_bol:false [ nfa.Nfa.start ] in
+  let t =
+    {
+      nfa;
+      reseed;
+      states = [||];
+      count = 0;
+      index = Hashtbl.create 64;
+      start_mid;
+      start_id = 0;
+    }
+  in
+  let start_set = closure nfa ~at_bol:true [ nfa.Nfa.start ] in
+  let start_set =
+    if reseed then List.sort_uniq Int.compare (start_set @ start_mid) else start_set
+  in
+  let id = intern t start_set in
+  { t with start_id = id }
+
+let step t state_id c =
+  let state = t.states.(state_id) in
+  let cached = state.trans.(Char.code c) in
+  if cached >= 0 then cached
+  else begin
+    let moved = ref [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (edge, dst) ->
+            match edge with
+            | Nfa.Sym pred -> if pred c then moved := dst :: !moved
+            | Nfa.Eps | Nfa.Eps_bol | Nfa.Eps_eol -> ())
+          t.nfa.Nfa.transitions.(s))
+      state.nfa_states;
+    let next = closure t.nfa ~at_bol:false !moved in
+    let next =
+      if t.reseed then List.sort_uniq Int.compare (next @ t.start_mid) else next
+    in
+    let id = intern t next in
+    state.trans.(Char.code c) <- id;
+    id
+  end
+
+(* Search semantics ([reseed = true]): accept as soon as any prefix of the
+   remaining scan completes a match. *)
+let search t subject =
+  let n = String.length subject in
+  let rec go state i =
+    if t.states.(state).accept_now then true
+    else if i >= n then t.states.(state).accept_at_eol
+    else go (step t state subject.[i]) (i + 1)
+  in
+  go t.start_id 0
+
+(* Whole-subject match ([reseed = false]). *)
+let matches t subject =
+  let n = String.length subject in
+  let rec go state i =
+    if i >= n then t.states.(state).accept_at_eol
+    else go (step t state subject.[i]) (i + 1)
+  in
+  go t.start_id 0

@@ -1,0 +1,226 @@
+(** Thompson NFA construction and simulation.
+
+    Matching is linear in the subject: the simulation carries a set of live
+    states across the input, re-seeding the start state at every position to
+    obtain unanchored-search semantics (the behaviour of [REGEXP_LIKE]).
+    Anchors ([^] and [$]) are modelled as conditional epsilon edges that can
+    only be crossed at the corresponding subject positions. *)
+
+type edge =
+  | Eps
+  | Eps_bol  (** traversable only at the beginning of the subject *)
+  | Eps_eol  (** traversable only at the end of the subject *)
+  | Sym of (char -> bool)
+
+type t = {
+  transitions : (edge * int) list array;  (** adjacency, indexed by state *)
+  start : int;
+  accept : int;
+}
+
+(* Compilation context: a growable list of states. *)
+type builder = { mutable edges : (edge * int) list list; mutable count : int }
+
+let new_state b =
+  let s = b.count in
+  b.count <- s + 1;
+  b.edges <- [] :: b.edges;
+  s
+
+(* [edges] is kept reversed; patch after the fact through an array. *)
+let build root =
+  let b = { edges = []; count = 0 } in
+  let arr = ref [||] in
+  let add_edge src edge dst =
+    !arr.(src) <- (edge, dst) :: !arr.(src)
+  in
+  (* Pre-allocate generously: each AST node adds at most 2 states, bounded
+     repetition expands first. *)
+  let rec count_states = function
+    | Syntax.Empty | Syntax.Char _ | Syntax.Any | Syntax.Class _
+    | Syntax.Bol | Syntax.Eol ->
+      2
+    | Syntax.Seq (a, b2) | Syntax.Alt (a, b2) -> 2 + count_states a + count_states b2
+    | Syntax.Star a | Syntax.Plus a | Syntax.Opt a -> 2 + count_states a
+    | Syntax.Repeat (a, lo, hi) ->
+      let reps = match hi with None -> lo + 1 | Some hi -> max hi 1 in
+      2 + (reps * (2 + count_states a))
+  in
+  ignore (count_states root);
+  let class_pred negated items c =
+    let member = function
+      | Syntax.Single x -> Char.equal x c
+      | Syntax.Range (a, z) -> Char.compare a c <= 0 && Char.compare c z <= 0
+    in
+    let hit = List.exists member items in
+    if negated then not hit else hit
+  in
+  (* Expand bounded repetition structurally before compiling. *)
+  let rec expand r =
+    match r with
+    | Syntax.Repeat (a, lo, hi) ->
+      let a = expand a in
+      let rec mandatory n = if n <= 0 then Syntax.Empty else Syntax.Seq (a, mandatory (n - 1)) in
+      let tail =
+        match hi with
+        | None -> Syntax.Star a
+        | Some hi ->
+          let rec optional n =
+            if n <= 0 then Syntax.Empty else Syntax.Opt (Syntax.Seq (a, optional (n - 1)))
+          in
+          optional (hi - lo)
+      in
+      Syntax.Seq (mandatory lo, tail)
+    | Syntax.Seq (a, b2) -> Syntax.Seq (expand a, expand b2)
+    | Syntax.Alt (a, b2) -> Syntax.Alt (expand a, expand b2)
+    | Syntax.Star a -> Syntax.Star (expand a)
+    | Syntax.Plus a -> Syntax.Plus (expand a)
+    | Syntax.Opt a -> Syntax.Opt (expand a)
+    | (Syntax.Empty | Syntax.Char _ | Syntax.Any | Syntax.Class _ | Syntax.Bol | Syntax.Eol) as r
+      ->
+      r
+  in
+  let root = expand root in
+  (* First pass: allocate all states so the array can be sized. Compile by
+     returning (entry, exit) state pairs and queuing edges. *)
+  let pending : (int * edge * int) list ref = ref [] in
+  let queue src edge dst = pending := (src, edge, dst) :: !pending in
+  let rec compile r =
+    let entry = new_state b and exit_ = new_state b in
+    (match r with
+     | Syntax.Empty -> queue entry Eps exit_
+     | Syntax.Char c -> queue entry (Sym (Char.equal c)) exit_
+     | Syntax.Any -> queue entry (Sym (fun _ -> true)) exit_
+     | Syntax.Class (neg, items) -> queue entry (Sym (class_pred neg items)) exit_
+     | Syntax.Bol -> queue entry Eps_bol exit_
+     | Syntax.Eol -> queue entry Eps_eol exit_
+     | Syntax.Seq (a, b2) ->
+       let ea, xa = compile a in
+       let eb, xb = compile b2 in
+       queue entry Eps ea;
+       queue xa Eps eb;
+       queue xb Eps exit_
+     | Syntax.Alt (a, b2) ->
+       let ea, xa = compile a in
+       let eb, xb = compile b2 in
+       queue entry Eps ea;
+       queue entry Eps eb;
+       queue xa Eps exit_;
+       queue xb Eps exit_
+     | Syntax.Star a ->
+       let ea, xa = compile a in
+       queue entry Eps ea;
+       queue entry Eps exit_;
+       queue xa Eps ea;
+       queue xa Eps exit_
+     | Syntax.Plus a ->
+       let ea, xa = compile a in
+       queue entry Eps ea;
+       queue xa Eps ea;
+       queue xa Eps exit_
+     | Syntax.Opt a ->
+       let ea, xa = compile a in
+       queue entry Eps ea;
+       queue entry Eps exit_;
+       queue xa Eps exit_
+     | Syntax.Repeat _ -> assert false (* removed by [expand] *));
+    entry, exit_
+  in
+  let start, accept = compile root in
+  arr := Array.make b.count [];
+  List.iter (fun (src, edge, dst) -> add_edge src edge dst) !pending;
+  { transitions = !arr; start; accept }
+
+(* Position flags used to gate anchor edges. *)
+type pos = { at_bol : bool; at_eol : bool }
+
+(* Epsilon-closure of [seed] into boolean set [set], respecting anchors. *)
+let closure nfa pos set seed =
+  let stack = ref seed in
+  let push s =
+    if not set.(s) then begin
+      set.(s) <- true;
+      stack := s :: !stack
+    end
+  in
+  List.iter (fun s -> if not set.(s) then (set.(s) <- true)) seed;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      List.iter
+        (fun (edge, dst) ->
+          match edge with
+          | Eps -> push dst
+          | Eps_bol -> if pos.at_bol then push dst
+          | Eps_eol -> if pos.at_eol then push dst
+          | Sym _ -> ())
+        nfa.transitions.(s);
+      drain ()
+  in
+  drain ()
+
+(** [search nfa subject] tests whether any substring of [subject] matches. *)
+let search nfa subject =
+  let n = String.length subject in
+  let current = Array.make (Array.length nfa.transitions) false in
+  let next = Array.make (Array.length nfa.transitions) false in
+  let pos_flags i = { at_bol = i = 0; at_eol = i = n } in
+  (* Seed the start state (unanchored search) and take closure. *)
+  closure nfa (pos_flags 0) current [ nfa.start ];
+  if current.(nfa.accept) then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i < n do
+      let c = subject.[!i] in
+      Array.fill next 0 (Array.length next) false;
+      let moved = ref [] in
+      Array.iteri
+        (fun s live ->
+          if live then
+            List.iter
+              (fun (edge, dst) ->
+                match edge with
+                | Sym pred -> if pred c then moved := dst :: !moved
+                | Eps | Eps_bol | Eps_eol -> ())
+              nfa.transitions.(s))
+        current;
+      let flags = pos_flags (!i + 1) in
+      closure nfa flags next !moved;
+      (* Re-seed for unanchored search at the next position. *)
+      closure nfa flags next [ nfa.start ];
+      if next.(nfa.accept) then found := true;
+      Array.blit next 0 current 0 (Array.length next);
+      incr i
+    done;
+    !found
+  end
+
+(** [matches nfa subject] tests whether the whole subject matches
+    (anchored at both ends). *)
+let matches nfa subject =
+  let n = String.length subject in
+  let current = Array.make (Array.length nfa.transitions) false in
+  let next = Array.make (Array.length nfa.transitions) false in
+  let pos_flags i = { at_bol = i = 0; at_eol = i = n } in
+  closure nfa (pos_flags 0) current [ nfa.start ];
+  for i = 0 to n - 1 do
+    let c = subject.[i] in
+    Array.fill next 0 (Array.length next) false;
+    let moved = ref [] in
+    Array.iteri
+      (fun s live ->
+        if live then
+          List.iter
+            (fun (edge, dst) ->
+              match edge with
+              | Sym pred -> if pred c then moved := dst :: !moved
+              | Eps | Eps_bol | Eps_eol -> ())
+            nfa.transitions.(s))
+      current;
+    closure nfa (pos_flags (i + 1)) next !moved;
+    Array.blit next 0 current 0 (Array.length next)
+  done;
+  current.(nfa.accept)

@@ -1,0 +1,162 @@
+(** Recursive-descent parser for POSIX Extended Regular Expressions.
+
+    Grammar (standard ERE):
+    {v
+      alternation ::= sequence ('|' sequence)*
+      sequence    ::= repetition*
+      repetition  ::= atom ('*' | '+' | '?' | '{' bounds '}')*
+      atom        ::= char | '.' | '[' class ']' | '(' alternation ')'
+                    | '^' | '$' | '\' escaped
+    v} *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st c =
+  match peek st with
+  | Some c' when Char.equal c c' -> advance st
+  | Some c' -> error "expected '%c' but found '%c' at offset %d" c c' st.pos
+  | None -> error "expected '%c' but found end of pattern" c
+
+let parse_escaped st =
+  match peek st with
+  | None -> error "dangling backslash at end of pattern"
+  | Some c ->
+    advance st;
+    (* POSIX ERE: a backslash makes the following special character
+       literal. We also accept the common escapes for convenience. *)
+    (match c with
+     | 'n' -> Syntax.Char '\n'
+     | 't' -> Syntax.Char '\t'
+     | 'r' -> Syntax.Char '\r'
+     | c -> Syntax.Char c)
+
+(* Parse the body of a bracket expression, after the opening '['. *)
+let parse_class st =
+  let negated =
+    match peek st with
+    | Some '^' -> advance st; true
+    | _ -> false
+  in
+  let items = ref [] in
+  (* A ']' immediately after '[' or '[^' is a literal member. *)
+  (match peek st with
+   | Some ']' -> advance st; items := [ Syntax.Single ']' ]
+   | _ -> ());
+  let rec loop () =
+    match peek st with
+    | None -> error "unterminated bracket expression"
+    | Some ']' -> advance st
+    | Some c ->
+      advance st;
+      (match peek st with
+       | Some '-' when (st.pos + 1 < String.length st.src && st.src.[st.pos + 1] <> ']') ->
+         advance st;
+         (match peek st with
+          | Some hi ->
+            advance st;
+            if Char.compare c hi > 0 then
+              error "invalid range %c-%c in bracket expression" c hi;
+            items := Syntax.Range (c, hi) :: !items
+          | None -> error "unterminated bracket expression")
+       | _ -> items := Syntax.Single c :: !items);
+      loop ()
+  in
+  loop ();
+  Syntax.Class (negated, List.rev !items)
+
+let parse_int st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' -> advance st; loop ()
+    | _ -> ()
+  in
+  loop ();
+  if st.pos = start then error "expected integer in repetition bounds at offset %d" start;
+  int_of_string (String.sub st.src start (st.pos - start))
+
+(* Parse '{m}', '{m,}' or '{m,n}' after the opening '{'. *)
+let parse_bounds st =
+  let lo = parse_int st in
+  let hi =
+    match peek st with
+    | Some ',' ->
+      advance st;
+      (match peek st with
+       | Some '}' -> None
+       | _ -> Some (parse_int st))
+    | _ -> Some lo
+  in
+  eat st '}';
+  (match hi with
+   | Some hi when hi < lo -> error "repetition bounds {%d,%d} out of order" lo hi
+   | _ -> ());
+  lo, hi
+
+let rec parse_alternation st =
+  let left = parse_sequence st in
+  match peek st with
+  | Some '|' ->
+    advance st;
+    Syntax.Alt (left, parse_alternation st)
+  | _ -> left
+
+and parse_sequence st =
+  let rec loop acc =
+    match peek st with
+    | None | Some ('|' | ')') -> acc
+    | Some _ ->
+      let r = parse_repetition st in
+      loop (if acc = Syntax.Empty then r else Syntax.Seq (acc, r))
+  in
+  loop Syntax.Empty
+
+and parse_repetition st =
+  let atom = parse_atom st in
+  let rec postfix r =
+    match peek st with
+    | Some '*' -> advance st; postfix (Syntax.Star r)
+    | Some '+' -> advance st; postfix (Syntax.Plus r)
+    | Some '?' -> advance st; postfix (Syntax.Opt r)
+    | Some '{' ->
+      advance st;
+      let lo, hi = parse_bounds st in
+      postfix (Syntax.Repeat (r, lo, hi))
+    | _ -> r
+  in
+  postfix atom
+
+and parse_atom st =
+  match peek st with
+  | None -> error "expected an atom but found end of pattern"
+  | Some c ->
+    (match c with
+     | '(' ->
+       advance st;
+       let inner = parse_alternation st in
+       eat st ')';
+       inner
+     | '[' -> advance st; parse_class st
+     | '.' -> advance st; Syntax.Any
+     | '^' -> advance st; Syntax.Bol
+     | '$' -> advance st; Syntax.Eol
+     | '\\' -> advance st; parse_escaped st
+     | '*' | '+' | '?' -> error "repetition operator '%c' with nothing to repeat" c
+     | ')' -> error "unbalanced ')' at offset %d" st.pos
+     | c -> advance st; Syntax.Char c)
+
+(** Parse a full ERE pattern. Raises {!Error} on malformed input. *)
+let parse src =
+  let st = { src; pos = 0 } in
+  let r = parse_alternation st in
+  if st.pos < String.length src then
+    error "unexpected '%c' at offset %d" src.[st.pos] st.pos;
+  r

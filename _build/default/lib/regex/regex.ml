@@ -1,0 +1,41 @@
+exception Parse_error = Parse.Error
+
+type t = {
+  source : string;
+  ast : Syntax.t;
+  nfa : Nfa.t;
+  mutable search_dfa : Dfa.t option;
+  mutable match_dfa : Dfa.t option;
+}
+
+let compile source =
+  let ast = Parse.parse source in
+  { source; ast; nfa = Nfa.build ast; search_dfa = None; match_dfa = None }
+
+let search t subject =
+  let dfa =
+    match t.search_dfa with
+    | Some d -> d
+    | None ->
+      let d = Dfa.create t.nfa ~reseed:true in
+      t.search_dfa <- Some d;
+      d
+  in
+  Dfa.search dfa subject
+
+let matches t subject =
+  let dfa =
+    match t.match_dfa with
+    | Some d -> d
+    | None ->
+      let d = Dfa.create t.nfa ~reseed:false in
+      t.match_dfa <- Some d;
+      d
+  in
+  Dfa.matches dfa subject
+
+let pattern t = t.source
+
+let quote = Syntax.quote
+
+let ast t = t.ast

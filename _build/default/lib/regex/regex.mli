@@ -1,0 +1,33 @@
+(** POSIX-ERE regular expressions: the pattern language of the relational
+    substrate's [REGEXP_LIKE] (Section 4.1 of the paper).
+
+    Patterns follow the POSIX Extended Regular Expression syntax used by
+    Oracle 10g's [REGEXP_LIKE]: literals, [.], bracket expressions,
+    [* + ? {m,n}] repetition, alternation, grouping and the [^]/[$]
+    anchors. Matching uses a Thompson NFA, linear in the subject length. *)
+
+type t
+(** A compiled pattern. *)
+
+exception Parse_error of string
+(** Raised by {!compile} on a malformed pattern. *)
+
+val compile : string -> t
+(** Compile a pattern. Raises {!Parse_error} on syntax errors. *)
+
+val search : t -> string -> bool
+(** [search re subject] is [true] iff some substring of [subject] matches —
+    the semantics of SQL [REGEXP_LIKE(subject, pattern)]. Anchors restrict
+    matches to the subject's ends. *)
+
+val matches : t -> string -> bool
+(** [matches re subject] is [true] iff the entire subject matches. *)
+
+val pattern : t -> string
+(** The source pattern the value was compiled from. *)
+
+val quote : string -> string
+(** Escape a string so that it matches itself literally inside a pattern. *)
+
+val ast : t -> Syntax.t
+(** The parsed abstract syntax tree (exposed for tests and tooling). *)

@@ -1,0 +1,98 @@
+(** Abstract syntax for POSIX Extended Regular Expressions (ERE).
+
+    This is the pattern language accepted by the [REGEXP_LIKE] function of
+    the relational substrate ([Ppfx_minidb]); the translator of the paper
+    (Section 4.1, Table 1) emits patterns in exactly this dialect. *)
+
+(** A single bracket-expression item: either a literal character or an
+    inclusive character range such as [a-z]. *)
+type class_item =
+  | Single of char
+  | Range of char * char
+
+(** Regular-expression abstract syntax tree. *)
+type t =
+  | Empty  (** matches the empty string *)
+  | Char of char
+  | Any  (** [.] — any character *)
+  | Class of bool * class_item list
+      (** [Class (negated, items)] — a bracket expression [[...]]. *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option
+      (** [Repeat (r, lo, hi)] — bounded repetition [{lo,hi}]; [hi = None]
+          means unbounded. *)
+  | Bol  (** [^] — anchors at beginning of subject *)
+  | Eol  (** [$] — anchors at end of subject *)
+
+let rec equal a b =
+  match a, b with
+  | Empty, Empty | Any, Any | Bol, Bol | Eol, Eol -> true
+  | Char c1, Char c2 -> Char.equal c1 c2
+  | Class (n1, i1), Class (n2, i2) -> n1 = n2 && i1 = i2
+  | Seq (a1, a2), Seq (b1, b2) | Alt (a1, a2), Alt (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Star a, Star b | Plus a, Plus b | Opt a, Opt b -> equal a b
+  | Repeat (a, l1, h1), Repeat (b, l2, h2) -> equal a b && l1 = l2 && h1 = h2
+  | ( ( Empty | Char _ | Any | Class _ | Seq _ | Alt _ | Star _ | Plus _
+      | Opt _ | Repeat _ | Bol | Eol )
+    , _ ) ->
+    false
+
+let metachars = ".[]()*+?{}|^$\\"
+
+let is_meta c = String.contains metachars c
+
+(* Escape [c] so that it denotes itself in a pattern. *)
+let escape_char c =
+  if is_meta c then Printf.sprintf "\\%c" c else String.make 1 c
+
+(** Escape an arbitrary string so that it matches itself literally. *)
+let quote s = String.concat "" (List.map escape_char (List.init (String.length s) (String.get s)))
+
+(* Precedence levels for printing: 0 = alternation, 1 = sequence,
+   2 = repetition, 3 = atom. *)
+let rec pp_prec prec ppf r =
+  let open Format in
+  let paren p body =
+    if prec > p then fprintf ppf "(%t)" body else body ppf
+  in
+  match r with
+  | Empty ->
+    (* '()' so that Empty survives under repetition operators. *)
+    pp_print_string ppf "()"
+  | Char c -> pp_print_string ppf (escape_char c)
+  | Any -> pp_print_char ppf '.'
+  | Class (neg, items) ->
+    let item ppf = function
+      | Single c -> pp_print_char ppf c
+      | Range (a, b) -> fprintf ppf "%c-%c" a b
+    in
+    fprintf ppf "[%s%a]"
+      (if neg then "^" else "")
+      (pp_print_list ~pp_sep:(fun _ () -> ()) item)
+      items
+  | Seq (a, b) ->
+    paren 1 (fun ppf -> fprintf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b)
+  | Alt (a, b) ->
+    paren 0 (fun ppf -> fprintf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b)
+  | Star a -> paren 2 (fun ppf -> fprintf ppf "%a*" (pp_prec 3) a)
+  | Plus a -> paren 2 (fun ppf -> fprintf ppf "%a+" (pp_prec 3) a)
+  | Opt a -> paren 2 (fun ppf -> fprintf ppf "%a?" (pp_prec 3) a)
+  | Repeat (a, lo, hi) ->
+    let bounds =
+      match hi with
+      | Some hi when hi = lo -> Printf.sprintf "{%d}" lo
+      | Some hi -> Printf.sprintf "{%d,%d}" lo hi
+      | None -> Printf.sprintf "{%d,}" lo
+    in
+    paren 2 (fun ppf -> fprintf ppf "%a%s" (pp_prec 3) a bounds)
+  | Bol -> pp_print_char ppf '^'
+  | Eol -> pp_print_char ppf '$'
+
+let pp ppf r = pp_prec 0 ppf r
+
+let to_string r = Format.asprintf "%a" pp r

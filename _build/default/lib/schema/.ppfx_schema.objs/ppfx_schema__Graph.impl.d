@@ -1,0 +1,1 @@
+lib/schema/graph.ml: Array Format Hashtbl List Option Ppfx_xml Printf String

@@ -1,0 +1,1 @@
+lib/schema/graph.mli: Format Ppfx_xml

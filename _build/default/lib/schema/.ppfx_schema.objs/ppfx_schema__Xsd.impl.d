@@ -1,0 +1,1 @@
+lib/schema/xsd.ml: Format Graph Hashtbl List Ppfx_xml Printf String

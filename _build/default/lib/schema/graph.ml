@@ -1,0 +1,336 @@
+module Doc = Ppfx_xml.Doc
+
+type def = {
+  id : int;
+  name : string;
+  relation : string;
+  attrs : string list;
+  has_text : bool;
+}
+
+type classification =
+  | Unique_path of string
+  | Finite_paths of string list
+  | Infinite_paths
+
+type t = {
+  root : def;
+  defs : def array;  (** indexed by [def.id] *)
+  children : int list array;
+  parents : int list array;
+  class_ : classification array;
+  by_name : (string, int list) Hashtbl.t;
+  by_relation : (string, int) Hashtbl.t;
+}
+
+(* Beyond this many distinct root paths a vertex is treated as
+   Infinite_paths: the always-join-Paths fallback is safe, only slightly
+   pessimistic. *)
+let finite_paths_cap = 256
+
+module Builder = struct
+  type schema = t
+
+  type b = {
+    mutable count : int;
+    mutable rev_defs : def list;
+    mutable edges : (int * int) list;
+    name_counts : (string, int) Hashtbl.t;
+  }
+
+  let create () =
+    { count = 0; rev_defs = []; edges = []; name_counts = Hashtbl.create 16 }
+
+  let define b ?(attrs = []) ?(text = false) name =
+    let seq =
+      match Hashtbl.find_opt b.name_counts name with
+      | None -> 1
+      | Some n -> n + 1
+    in
+    Hashtbl.replace b.name_counts name seq;
+    let relation = if seq = 1 then name else Printf.sprintf "%s_%d" name seq in
+    let def = { id = b.count; name; relation; attrs; has_text = text } in
+    b.count <- b.count + 1;
+    b.rev_defs <- def :: b.rev_defs;
+    def
+
+  let add_child b ~parent child =
+    if not (List.mem (parent.id, child.id) b.edges) then
+      b.edges <- (parent.id, child.id) :: b.edges
+
+  (* Tarjan strongly-connected components; returns the set of vertices that
+     lie on some cycle (SCC of size > 1, or self-loop). *)
+  let cyclic_vertices n children =
+    let index = Array.make n (-1) in
+    let lowlink = Array.make n 0 in
+    let on_stack = Array.make n false in
+    let stack = ref [] in
+    let next_index = ref 0 in
+    let cyclic = Array.make n false in
+    let rec strongconnect v =
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      List.iter
+        (fun w ->
+          if index.(w) = -1 then begin
+            strongconnect w;
+            lowlink.(v) <- min lowlink.(v) lowlink.(w)
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+        children.(v);
+      if lowlink.(v) = index.(v) then begin
+        (* Pop the SCC rooted at v. *)
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        in
+        let scc = pop [] in
+        (match scc with
+         | [ w ] -> if List.mem w children.(w) then cyclic.(w) <- true
+         | scc -> List.iter (fun w -> cyclic.(w) <- true) scc)
+      end
+    in
+    for v = 0 to n - 1 do
+      if index.(v) = -1 then strongconnect v
+    done;
+    cyclic
+
+  let finish b ~root =
+    let n = b.count in
+    let defs = Array.make n root in
+    List.iter (fun d -> defs.(d.id) <- d) b.rev_defs;
+    let children = Array.make n [] in
+    let parents = Array.make n [] in
+    List.iter
+      (fun (p, c) ->
+        children.(p) <- c :: children.(p);
+        parents.(c) <- p :: parents.(c))
+      (List.rev b.edges);
+    (* Restore declaration order of edges. *)
+    Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+    Array.iteri (fun i l -> parents.(i) <- List.rev l) parents;
+    (* Reject sibling vertices with the same tag under one parent: element
+       instances could not be assigned a unique storage relation. *)
+    Array.iteri
+      (fun p cs ->
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun c ->
+            let tag = defs.(c).name in
+            if Hashtbl.mem seen tag then
+              invalid_arg
+                (Printf.sprintf
+                   "Schema.Builder.finish: vertex %s has two child definitions named %s"
+                   defs.(p).name tag);
+            Hashtbl.add seen tag ())
+          cs)
+      children;
+    (* Reachability from root. *)
+    let reachable = Array.make n false in
+    let rec reach v =
+      if not reachable.(v) then begin
+        reachable.(v) <- true;
+        List.iter reach children.(v)
+      end
+    in
+    reach root.id;
+    Array.iteri
+      (fun v r ->
+        if not r then
+          invalid_arg
+            (Printf.sprintf "Schema.Builder.finish: vertex %s unreachable from root"
+               defs.(v).name))
+      reachable;
+    (* Infinite-path vertices: reachable from a cyclic vertex. *)
+    let cyclic = cyclic_vertices n children in
+    let infinite = Array.make n false in
+    let rec mark v =
+      if not infinite.(v) then begin
+        infinite.(v) <- true;
+        List.iter mark children.(v)
+      end
+    in
+    Array.iteri (fun v c -> if c then mark v) cyclic;
+    (* Enumerate root paths for the finite vertices (memoized DFS over the
+       acyclic restriction of the graph). *)
+    let memo : string list option array = Array.make n None in
+    let rec paths_to v =
+      match memo.(v) with
+      | Some ps -> ps
+      | None ->
+        let ps =
+          if v = root.id then [ "/" ^ defs.(v).name ]
+          else
+            List.concat_map
+              (fun p ->
+                if infinite.(p) then []
+                else List.map (fun pp -> pp ^ "/" ^ defs.(v).name) (paths_to p))
+              parents.(v)
+        in
+        memo.(v) <- Some ps;
+        ps
+    in
+    let class_ =
+      Array.init n (fun v ->
+          if infinite.(v) then Infinite_paths
+          else
+            match paths_to v with
+            | [ p ] -> Unique_path p
+            | ps when List.length ps <= finite_paths_cap -> Finite_paths ps
+            | _ -> Infinite_paths)
+    in
+    let by_name = Hashtbl.create n in
+    let by_relation = Hashtbl.create n in
+    Array.iter
+      (fun d ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_name d.name) in
+        Hashtbl.replace by_name d.name (existing @ [ d.id ]);
+        Hashtbl.replace by_relation d.relation d.id)
+      defs;
+    { root; defs; children; parents; class_; by_name; by_relation }
+end
+
+let infer doc =
+  let b = Builder.create () in
+  let by_tag : (string, def) Hashtbl.t = Hashtbl.create 64 in
+  let attrs_of : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let text_of : (string, bool ref) Hashtbl.t = Hashtbl.create 64 in
+  let edges : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Doc.iter
+    (fun e ->
+      let attrs =
+        match Hashtbl.find_opt attrs_of e.Doc.tag with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add attrs_of e.Doc.tag r;
+          r
+      in
+      List.iter
+        (fun (a, _) -> if not (List.mem a !attrs) then attrs := !attrs @ [ a ])
+        e.Doc.attrs;
+      let text =
+        match Hashtbl.find_opt text_of e.Doc.tag with
+        | Some r -> r
+        | None ->
+          let r = ref false in
+          Hashtbl.add text_of e.Doc.tag r;
+          r
+      in
+      if String.length (String.trim e.Doc.text) > 0 then text := true)
+    doc;
+  Doc.iter
+    (fun e ->
+      List.map (Doc.element doc) e.Doc.children
+      |> List.iter (fun c -> Hashtbl.replace edges (e.Doc.tag, c.Doc.tag) ()))
+    doc;
+  let define tag =
+    match Hashtbl.find_opt by_tag tag with
+    | Some d -> d
+    | None ->
+      let attrs =
+        match Hashtbl.find_opt attrs_of tag with Some r -> !r | None -> []
+      in
+      let text = match Hashtbl.find_opt text_of tag with Some r -> !r | None -> false in
+      let d = Builder.define b ~attrs ~text tag in
+      Hashtbl.add by_tag tag d;
+      d
+  in
+  Doc.iter (fun e -> ignore (define e.Doc.tag)) doc;
+  Hashtbl.iter
+    (fun (p, c) () -> Builder.add_child b ~parent:(define p) (define c))
+    edges;
+  Builder.finish b ~root:(define (Doc.root doc).Doc.tag)
+
+let root t = t.root
+
+let defs t = Array.to_list t.defs
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | None -> []
+  | Some ids -> List.map (fun i -> t.defs.(i)) ids
+
+let def_of_relation t rel =
+  Option.map (fun i -> t.defs.(i)) (Hashtbl.find_opt t.by_relation rel)
+
+let children t d = List.map (fun i -> t.defs.(i)) t.children.(d.id)
+
+let parents t d = List.map (fun i -> t.defs.(i)) t.parents.(d.id)
+
+let reach_from t adjacency d =
+  let n = Array.length t.defs in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      order := v :: !order;
+      List.iter go adjacency.(v)
+    end
+  in
+  List.iter go adjacency.(d.id);
+  List.rev_map (fun i -> t.defs.(i)) !order
+
+let descendants t d = List.rev (reach_from t t.children d)
+
+let ancestors t d = List.rev (reach_from t t.parents d)
+
+let classification t d = t.class_.(d.id)
+
+let root_paths t d =
+  match t.class_.(d.id) with
+  | Unique_path p -> Some [ p ]
+  | Finite_paths ps -> Some ps
+  | Infinite_paths -> None
+
+let matches_doc t doc =
+  let assign = Array.make (Doc.size doc + 1) (-1) in
+  let rec check (e : Doc.element) =
+    let vertex =
+      if e.Doc.parent = 0 then
+        if String.equal e.Doc.tag t.root.name then Some t.root
+        else None
+      else
+        let parent_vertex = t.defs.(assign.(e.Doc.parent)) in
+        List.find_opt (fun c -> String.equal c.name e.Doc.tag) (children t parent_vertex)
+    in
+    match vertex with
+    | None ->
+      Error
+        (Printf.sprintf "element %s at %s does not match the schema" e.Doc.tag
+           e.Doc.path)
+    | Some v ->
+      assign.(e.Doc.id) <- v.id;
+      let rec all = function
+        | [] -> Ok ()
+        | c :: rest ->
+          (match check (Doc.element doc c) with
+           | Ok () -> all rest
+           | Error _ as err -> err)
+      in
+      all e.Doc.children
+  in
+  check (Doc.root doc)
+
+let pp_def ppf d = Format.fprintf ppf "%s(#%d -> %s)" d.name d.id d.relation
+
+let pp ppf t =
+  Array.iter
+    (fun d ->
+      let class_str =
+        match t.class_.(d.id) with
+        | Unique_path p -> "U-P " ^ p
+        | Finite_paths ps -> Printf.sprintf "F-P (%d paths)" (List.length ps)
+        | Infinite_paths -> "I-P"
+      in
+      Format.fprintf ppf "%a [%s] -> {%s}@." pp_def d class_str
+        (String.concat ", " (List.map (fun c -> c.name) (children t d))))
+    t.defs

@@ -1,0 +1,93 @@
+(** Graph representation of an XML Schema (paper Sections 2.1 and 4.5).
+
+    Vertices are element definitions; edges are element–subelement nesting
+    relationships. Shared structures (globally-defined complex types, or
+    DTD-style global element declarations) are shared vertices, so the
+    graph is a general directed graph: a vertex may have several parents
+    (e.g. XMark's [item] under each region) and cycles model recursive
+    schemata (e.g. [G] containing [G] in the paper's Figure 1).
+
+    The relational mapping assigns one relation per vertex, which realises
+    both of the paper's mapping rules at once (a separate relation per
+    complex type, shared by every element definition of that type).
+
+    Each vertex is classified for the Section 4.5 optimization:
+    - [Unique_path]: exactly one root-to-node path — the Paths join can
+      always be omitted;
+    - [Finite_paths]: finitely many root paths, listed — the Paths join is
+      needed only if some path fails the query's regular expression;
+    - [Infinite_paths]: a cycle lies on some root path — always join. *)
+
+type def = {
+  id : int;  (** vertex id, unique within the schema *)
+  name : string;  (** element tag *)
+  relation : string;  (** name of the mapping relation for this vertex *)
+  attrs : string list;  (** attribute names, in declaration order *)
+  has_text : bool;  (** whether the element can carry text content *)
+}
+
+type classification =
+  | Unique_path of string  (** the single root-to-node path *)
+  | Finite_paths of string list  (** all root-to-node paths, > 1 of them *)
+  | Infinite_paths
+
+type t
+
+(** {2 Construction} *)
+
+module Builder : sig
+  type schema = t
+
+  type b
+
+  val create : unit -> b
+
+  val define : b -> ?attrs:string list -> ?text:bool -> string -> def
+  (** Add a vertex. Vertices sharing a tag get distinct relation names
+      ([tag], [tag_2], ...). *)
+
+  val add_child : b -> parent:def -> def -> unit
+  (** Add a nesting edge. Idempotent. *)
+
+  val finish : b -> root:def -> schema
+  (** Seal the graph, compute classifications. Raises [Invalid_argument]
+      if some vertex is unreachable from [root]. *)
+end
+
+val infer : Ppfx_xml.Doc.t -> t
+(** Infer a DTD-style schema from a document: one vertex per distinct tag,
+    edges from observed parent–child pairs, attributes and text-presence
+    from observed elements. Used for schema-less datasets such as DBLP. *)
+
+(** {2 Queries} *)
+
+val root : t -> def
+val defs : t -> def list
+(** All vertices, in definition order. *)
+
+val find : t -> string -> def list
+(** Vertices with the given tag name. *)
+
+val def_of_relation : t -> string -> def option
+
+val children : t -> def -> def list
+val parents : t -> def -> def list
+
+val descendants : t -> def -> def list
+(** Vertices strictly reachable below [def] (may include [def] itself when
+    the schema is recursive through it). *)
+
+val ancestors : t -> def -> def list
+
+val classification : t -> def -> classification
+
+val root_paths : t -> def -> string list option
+(** All root-to-node paths as ["/A/B/C"] strings; [None] when infinite. *)
+
+val matches_doc : t -> Ppfx_xml.Doc.t -> (unit, string) result
+(** Validate that every element of the document instantiates a schema
+    vertex reachable by its actual path (structure only; content models
+    are not checked). *)
+
+val pp_def : Format.formatter -> def -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+module Tree = Ppfx_xml.Tree
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+let local_name tag =
+  match String.rindex_opt tag ':' with
+  | Some i -> String.sub tag (i + 1) (String.length tag - i - 1)
+  | None -> tag
+
+let is_xsd tag name = String.equal (local_name tag) name
+
+let child_elements (e : Tree.element) =
+  List.filter_map
+    (function Tree.Element c -> Some c | Tree.Text _ -> None)
+    e.Tree.children
+
+let attr e name = Tree.attr e name
+
+(* Built-in simple types are recognised by the xs:* prefix or a known
+   local name; anything else with a [type] attribute is looked up among
+   the global complex types. *)
+let simple_type_names =
+  [
+    "string"; "integer"; "int"; "long"; "short"; "decimal"; "float"; "double";
+    "boolean"; "date"; "dateTime"; "time"; "anyURI"; "token"; "NMTOKEN"; "ID";
+    "IDREF"; "positiveInteger"; "nonNegativeInteger"; "gYear";
+  ]
+
+let is_simple_type_name ty = List.mem (local_name ty) simple_type_names
+
+type ctx = {
+  builder : Graph.Builder.b;
+  global_elements : (string, Tree.element) Hashtbl.t;
+  global_types : (string, Tree.element) Hashtbl.t;
+  (* (element name, type identity) -> vertex; realises the paper's
+     complex-type sharing and terminates recursion. *)
+  memo : (string, Graph.def) Hashtbl.t;
+  inline_ids : (Tree.element, int) Hashtbl.t;
+  mutable next_inline : int;
+}
+
+let type_identity ctx (node : Tree.element option) (type_name : string option) =
+  match type_name, node with
+  | Some ty, _ -> "named:" ^ local_name ty
+  | None, Some node ->
+    let id =
+      match Hashtbl.find_opt ctx.inline_ids node with
+      | Some id -> id
+      | None ->
+        let id = ctx.next_inline in
+        ctx.next_inline <- id + 1;
+        Hashtbl.add ctx.inline_ids node id;
+        id
+    in
+    Printf.sprintf "inline:%d" id
+  | None, None -> "leaf"
+
+(* Collect the attribute names, text-carrying flag and child element
+   declarations of a complexType node. Group structure (sequence, choice,
+   all, nested groups, occurrence bounds) is flattened: the schema graph
+   of Section 2.1 only captures nesting edges. *)
+let rec analyze_complex_type (ct : Tree.element) =
+  let attrs = ref [] in
+  let has_text = ref (attr ct "mixed" = Some "true") in
+  let elements = ref [] in
+  let rec walk (e : Tree.element) =
+    List.iter
+      (fun (c : Tree.element) ->
+        match local_name c.Tree.tag with
+        | "attribute" ->
+          (match attr c "name" with
+           | Some name -> if not (List.mem name !attrs) then attrs := !attrs @ [ name ]
+           | None -> ())
+        | "element" -> elements := !elements @ [ c ]
+        | "sequence" | "choice" | "all" | "group" -> walk c
+        | "simpleContent" | "extension" | "restriction" ->
+          has_text := true;
+          walk c
+        | "complexContent" -> walk c
+        | "annotation" | "documentation" | "anyAttribute" | "any" -> ()
+        | other -> error "unsupported XSD construct xs:%s" other)
+      (child_elements e)
+  in
+  walk ct;
+  !attrs, !has_text, !elements
+
+and instantiate ctx ~(name : string) ~(ct : Tree.element option) ~(type_name : string option)
+    ~(text_leaf : bool) : Graph.def =
+  let ct, type_name =
+    (* Resolve a named complex type. *)
+    match ct, type_name with
+    | Some _, _ -> ct, type_name
+    | None, Some ty when not (is_simple_type_name ty) ->
+      (match Hashtbl.find_opt ctx.global_types (local_name ty) with
+       | Some node -> Some node, type_name
+       | None -> error "unknown type %s for element %s" ty name)
+    | None, _ -> None, type_name
+  in
+  let key = name ^ "\x00" ^ type_identity ctx ct type_name in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some def -> def
+  | None ->
+    (match ct with
+     | None ->
+       (* Simple-typed or untyped leaf element. *)
+       ignore text_leaf;
+       (* A leaf declaration (simple-typed or untyped) always carries text. *)
+       let def = Graph.Builder.define ctx.builder ~text:true name in
+       Hashtbl.add ctx.memo key def;
+       def
+     | Some ct_node ->
+       let attrs, has_text, elements = analyze_complex_type ct_node in
+       let def = Graph.Builder.define ctx.builder ~attrs ~text:has_text name in
+       Hashtbl.add ctx.memo key def;
+       List.iter
+         (fun child_decl ->
+           let child_def = instantiate_element ctx child_decl in
+           Graph.Builder.add_child ctx.builder ~parent:def child_def)
+         elements;
+       def)
+
+and instantiate_element ctx (e : Tree.element) : Graph.def =
+  match attr e "ref" with
+  | Some ref_name ->
+    (match Hashtbl.find_opt ctx.global_elements (local_name ref_name) with
+     | Some decl -> instantiate_element ctx decl
+     | None -> error "unknown element reference %s" ref_name)
+  | None ->
+    let name =
+      match attr e "name" with
+      | Some n -> n
+      | None -> error "element declaration without name or ref"
+    in
+    let inline_ct =
+      List.find_opt
+        (fun (c : Tree.element) -> is_xsd c.Tree.tag "complexType")
+        (child_elements e)
+    in
+    let type_name = attr e "type" in
+    (match inline_ct, type_name with
+     | Some ct, _ -> instantiate ctx ~name ~ct:(Some ct) ~type_name:None ~text_leaf:false
+     | None, Some ty when is_simple_type_name ty ->
+       instantiate ctx ~name ~ct:None ~type_name:None ~text_leaf:true
+     | None, Some ty -> instantiate ctx ~name ~ct:None ~type_name:(Some ty) ~text_leaf:false
+     | None, None ->
+       (* xs:simpleType child, or nothing: a text leaf. *)
+       instantiate ctx ~name ~ct:None ~type_name:None ~text_leaf:true)
+
+let parse ?root src =
+  let doc =
+    match Ppfx_xml.Parser.parse src with
+    | Tree.Element e -> e
+    | Tree.Text _ -> error "not an XML document"
+    | exception Ppfx_xml.Parser.Error { line; column; message } ->
+      error "XML error at %d:%d: %s" line column message
+  in
+  if not (is_xsd doc.Tree.tag "schema") then
+    error "root element is %s, expected xs:schema" doc.Tree.tag;
+  let ctx =
+    {
+      builder = Graph.Builder.create ();
+      global_elements = Hashtbl.create 16;
+      global_types = Hashtbl.create 16;
+      memo = Hashtbl.create 16;
+      inline_ids = Hashtbl.create 16;
+      next_inline = 0;
+    }
+  in
+  let global_order = ref [] in
+  List.iter
+    (fun (c : Tree.element) ->
+      match local_name c.Tree.tag with
+      | "element" ->
+        (match attr c "name" with
+         | Some name ->
+           Hashtbl.replace ctx.global_elements name c;
+           global_order := name :: !global_order
+         | None -> error "global element without a name")
+      | "complexType" ->
+        (match attr c "name" with
+         | Some name -> Hashtbl.replace ctx.global_types name c
+         | None -> error "global complexType without a name")
+      | "annotation" | "import" | "include" | "simpleType" -> ()
+      | other -> error "unsupported top-level construct xs:%s" other)
+    (child_elements doc);
+  let root_name =
+    match root with
+    | Some r -> r
+    | None ->
+      (match List.rev !global_order with
+       | first :: _ -> first
+       | [] -> error "schema declares no global elements")
+  in
+  let root_decl =
+    match Hashtbl.find_opt ctx.global_elements root_name with
+    | Some decl -> decl
+    | None -> error "no global element named %s" root_name
+  in
+  let root_def = instantiate_element ctx root_decl in
+  Graph.Builder.finish ctx.builder ~root:root_def

@@ -1,0 +1,30 @@
+(** A parser for the XML Schema (XSD) subset the relational mapping needs,
+    producing the {!Graph} representation of paper Section 2.1.
+
+    Supported constructs:
+    - [xs:schema] with one or more global [xs:element] declarations (the
+      first one is the document root unless [root] is given);
+    - [xs:element] with [name] + inline [xs:complexType], [name] + [type]
+      referencing a global complex type, [name] + a simple [type]
+      (becomes a text-carrying leaf), or [ref] to a global element;
+    - [xs:complexType] (global or inline) containing [xs:sequence],
+      [xs:choice] or [xs:all] groups (arbitrarily nested — occurrence
+      structure is flattened, since the graph only captures nesting
+      edges), [xs:attribute] declarations, [xs:simpleContent]/[mixed]
+      for text content;
+    - recursion through global element or type references.
+
+    The namespace prefix is recognised by the [xmlns:*] binding to
+    ["http://www.w3.org/2001/XMLSchema"], defaulting to accepting both
+    ["xs"] and ["xsd"] prefixes when no binding is present.
+
+    Shared global declarations become shared graph vertices, which is
+    exactly the paper's rule "each complex type is mapped into a separate
+    relation" (one relation per vertex; see {!Graph}). *)
+
+exception Error of string
+
+val parse : ?root:string -> string -> Graph.t
+(** Parse an XSD document (as a string). [root] selects the global element
+    used as the document root; defaults to the first global element.
+    Raises {!Error} on malformed or out-of-subset schemas. *)

@@ -1,0 +1,1 @@
+lib/shred/edge.ml: Array Buffer Char List Ppfx_dewey Ppfx_minidb Ppfx_xml String

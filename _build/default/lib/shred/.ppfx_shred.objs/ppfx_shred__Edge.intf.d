@@ -1,0 +1,1 @@
+lib/shred/edge.mli: Ppfx_minidb Ppfx_xml

@@ -1,0 +1,1 @@
+lib/shred/loader.ml: Array Buffer Char Format Hashtbl List Mapping Ppfx_dewey Ppfx_minidb Ppfx_schema Ppfx_xml String

@@ -1,0 +1,1 @@
+lib/shred/loader.mli: Mapping Ppfx_minidb Ppfx_schema Ppfx_xml

@@ -1,0 +1,1 @@
+lib/shred/mapping.ml: List Ppfx_minidb Ppfx_schema Printf

@@ -1,0 +1,1 @@
+lib/shred/mapping.mli: Ppfx_minidb Ppfx_schema

@@ -1,0 +1,44 @@
+(** Shredding XML documents into the schema-aware relational store. *)
+
+module Graph = Ppfx_schema.Graph
+module Doc = Ppfx_xml.Doc
+
+type t = {
+  mapping : Mapping.t;
+  db : Ppfx_minidb.Database.t;
+  docs : Doc.t list;  (** loaded documents, in [doc_id] order starting at 1 *)
+}
+(** A loaded store instance. *)
+
+exception Rejected of string
+(** Raised when a document does not conform to the mapping's schema. *)
+
+val create : Mapping.t -> t
+(** Create the store: all mapping relations and indexes, no data. *)
+
+val load : t -> Doc.t -> t
+(** Shred one document into the store; assigns the next [doc_id]. The
+    [Paths] relation grows with any paths not seen before (Section 3.1).
+
+    Element ids are made globally unique by offsetting each document's
+    preorder ids past the previous documents', and Dewey positions are
+    prefixed with a [doc_id] component (every document root becomes a
+    child of a virtual collection root). Structural joins therefore never
+    cross documents; the order axes see the store as one forest ordered
+    by [doc_id]. Raises {!Rejected} on schema mismatch. *)
+
+val locate : t -> int -> int * int
+(** [locate t global_id] is [(doc_index, local_id)]: which loaded
+    document (0-based) a global element id belongs to, and its preorder
+    id within that document. Raises [Invalid_argument] when out of
+    range. *)
+
+val shred : Graph.t -> Doc.t -> t
+(** Convenience: mapping + create + load of a single document. *)
+
+val path_id : t -> string -> int option
+(** Look up a root-to-node path in the [Paths] relation. *)
+
+val def_of_element : t -> doc:Doc.t -> int -> Graph.def
+(** The schema vertex an element instantiates (computed from its path).
+    Raises [Not_found] for unknown paths. *)

@@ -1,0 +1,1 @@
+lib/translate/edge_translate.ml: Array Float Format Hashtbl Int List Option Ppf Ppfx_minidb Ppfx_regex Ppfx_shred Ppfx_xpath Printf Regex_of_path String

@@ -1,0 +1,1 @@
+lib/translate/edge_translate.mli: Ppfx_minidb Ppfx_xpath

@@ -1,0 +1,1 @@
+lib/translate/ppf.ml: Format List Option Ppfx_xpath String

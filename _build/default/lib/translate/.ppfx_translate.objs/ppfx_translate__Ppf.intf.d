@@ -1,0 +1,1 @@
+lib/translate/ppf.mli: Ppfx_xpath

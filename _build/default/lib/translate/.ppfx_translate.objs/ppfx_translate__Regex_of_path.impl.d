@@ -1,0 +1,1 @@
+lib/translate/regex_of_path.ml: Buffer List Ppfx_regex Ppfx_xpath

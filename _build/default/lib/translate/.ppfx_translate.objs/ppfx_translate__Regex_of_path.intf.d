@@ -1,0 +1,1 @@
+lib/translate/regex_of_path.mli: Ppfx_xpath

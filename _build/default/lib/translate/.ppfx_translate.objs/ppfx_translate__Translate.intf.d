@@ -1,0 +1,1 @@
+lib/translate/translate.mli: Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_xpath

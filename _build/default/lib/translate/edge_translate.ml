@@ -1,0 +1,702 @@
+module Ast = Ppfx_xpath.Ast
+module Edge = Ppfx_shred.Edge
+module Sql = Ppfx_minidb.Sql
+module Value = Ppfx_minidb.Value
+module Engine = Ppfx_minidb.Engine
+module Rx = Regex_of_path
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Branch state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type node_ctx = {
+  alias : string;
+  tag : string option;  (** statically-known tag (None for wildcards) *)
+  chain : Rx.seg list option;  (** anchored forward chain, as in Translate *)
+  paths_alias : string option;
+}
+
+type branch = {
+  from_ : (string * string) list;  (** reversed *)
+  conj : Sql.expr list;  (** reversed *)
+  cur : node_ctx option;
+}
+
+let empty_branch = { from_ = []; conj = []; cur = None }
+
+let add_from b table alias = { b with from_ = (table, alias) :: b.from_ }
+
+let add_conj b e = { b with conj = e :: b.conj }
+
+type env = { counter : (string, int) Hashtbl.t }
+
+let fresh env base =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt env.counter base) in
+  Hashtbl.replace env.counter base n;
+  if n = 1 then base else Printf.sprintf "%s%d" base n
+
+let col alias c = Sql.Col (alias, c)
+
+let dewey alias = col alias "dewey_pos"
+
+let dewey_upper alias = Sql.Concat (dewey alias, Sql.Const (Value.Bin "\xFF"))
+
+(* Every structural join here is a self-join of [edge]; the strict lower
+   bound keeps a node from matching itself (Lemma 1 is strict). *)
+let descendant_join ~anc ~desc =
+  Sql.And
+    ( Sql.Between (dewey desc.alias, dewey anc.alias, dewey_upper anc.alias),
+      Sql.Cmp (Sql.Gt, dewey desc.alias, dewey anc.alias) )
+
+let level_eq ~shallow ~deep k =
+  Sql.Cmp
+    ( Sql.Eq,
+      Sql.Length (dewey deep),
+      Sql.Arith (Sql.Add, Sql.Length (dewey shallow), Sql.Const (Value.Int (3 * k))) )
+
+(* Minimum distance: [deep] is at least [k] levels below [shallow]. *)
+let level_ge ~shallow ~deep k =
+  Sql.Cmp
+    ( Sql.Ge,
+      Sql.Length (dewey deep),
+      Sql.Arith (Sql.Add, Sql.Length (dewey shallow), Sql.Const (Value.Int (3 * k))) )
+
+let tag_condition alias (test : Ast.node_test) =
+  match test with
+  | Ast.Name n -> Some (Sql.Cmp (Sql.Eq, col alias "tag", Sql.Const (Value.Str n)))
+  | Ast.Wildcard | Ast.Any_node -> None
+  | Ast.Text -> unsupported "text() is not an element step"
+
+let name_of_test = function
+  | Ast.Name n -> Some n
+  | Ast.Wildcard | Ast.Any_node -> None
+  | Ast.Text -> unsupported "text() is not an element step"
+
+(* Join [node] with the Paths relation (lossless). *)
+let ensure_paths_join b (node : node_ctx) =
+  match node.paths_alias with
+  | Some pa -> b, node, pa
+  | None ->
+    let pa = node.alias ^ "_paths" in
+    let b = add_from b Edge.paths_table pa in
+    let b = add_conj b (Sql.Cmp (Sql.Eq, col node.alias "path_id", col pa "id")) in
+    b, { node with paths_alias = Some pa }, pa
+
+let apply_path_filter b (node : node_ctx) pattern =
+  let b, node, pa = ensure_paths_join b node in
+  add_conj b (Sql.Regexp_like (col pa "path", pattern)), node
+
+(* ------------------------------------------------------------------ *)
+(* Fragments                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec translate_steps env (b : branch) (steps : Ast.step list) : branch list =
+  let ppfs = Ppf.split steps in
+  List.fold_left
+    (fun branches ppf -> List.concat_map (fun b -> translate_ppf env b ppf) branches)
+    [ b ] ppfs
+
+and translate_ppf env (b : branch) (ppf : Ppf.t) : branch list =
+  match ppf with
+  | Ppf.Forward steps -> translate_forward env b steps
+  | Ppf.Backward steps -> translate_backward env b steps
+  | Ppf.Order step -> translate_order env b step
+
+and translate_forward env (b : branch) (steps : Ast.step list) : branch list =
+  let segs =
+    List.map
+      (fun s ->
+        match Rx.seg_of_step s with
+        | Some seg -> seg
+        | None -> unsupported "unsupported node test in forward step")
+      steps
+  in
+  let cur_chain = match b.cur with None -> Some [] | Some c -> c.chain in
+  let mode =
+    match b.cur, cur_chain with
+    | None, _ -> `Anchored []
+    | Some _, Some prefix when Rx.fixed_depth prefix -> `Anchored prefix
+    | Some _, Some prefix when Rx.fixed_depth segs -> `Child_exact prefix
+    | Some _, Some prefix when List.length segs = 1 -> `Single_desc prefix
+    | Some _, (Some _ | None) -> `Per_step
+  in
+  match mode with
+  | `Per_step -> translate_per_step env b steps
+  | (`Anchored prefix | `Child_exact prefix | `Single_desc prefix) as mode ->
+    let full_segs = prefix @ segs in
+    let pattern = Rx.forward ~anchored:true full_segs in
+    let alias = fresh env "e" in
+    let last_step = List.nth steps (List.length steps - 1) in
+    let node =
+      { alias; tag = name_of_test last_step.Ast.test; chain = Some full_segs; paths_alias = None }
+    in
+    let b = add_from b Edge.edge_table alias in
+    let b =
+      match b.cur with
+      | None -> b
+      | Some prev ->
+        (match steps with
+         | [ { Ast.axis = Ast.Child; _ } ] ->
+           add_conj b (Sql.Cmp (Sql.Eq, col node.alias "par_id", col prev.alias "id"))
+         | _ ->
+           let b = add_conj b (descendant_join ~anc:prev ~desc:node) in
+           (match mode with
+            | `Child_exact _ ->
+              add_conj b (level_eq ~shallow:prev.alias ~deep:node.alias (List.length segs))
+            | `Anchored _ | `Single_desc _ -> b))
+    in
+    let b, node = apply_path_filter b node pattern in
+    let b = { b with cur = Some node } in
+    translate_predicates env b ~step:last_step
+      (List.concat_map (fun s -> s.Ast.predicates) steps)
+
+and translate_per_step env (b : branch) (steps : Ast.step list) : branch list =
+  List.fold_left
+    (fun branches (step : Ast.step) ->
+      List.concat_map (fun b -> translate_single_step env b step) branches)
+    [ b ] steps
+
+and translate_single_step env (b : branch) (step : Ast.step) : branch list =
+  let alias = fresh env "e" in
+  let node =
+    { alias; tag = name_of_test step.Ast.test; chain = None; paths_alias = None }
+  in
+  let b = add_from b Edge.edge_table alias in
+  let b =
+    match tag_condition alias step.Ast.test with Some c -> add_conj b c | None -> b
+  in
+  let joined =
+    match b.cur, step.Ast.axis with
+    | None, Ast.Child ->
+      (* A child of the virtual root: the document root element. *)
+      Some (add_conj b (Sql.Not (Sql.Is_not_null (col alias "par_id"))))
+    | None, Ast.Descendant -> Some b
+    | None, _ -> None
+    | Some prev, Ast.Child ->
+      Some (add_conj b (Sql.Cmp (Sql.Eq, col alias "par_id", col prev.alias "id")))
+    | Some prev, Ast.Parent ->
+      Some (add_conj b (Sql.Cmp (Sql.Eq, col prev.alias "par_id", col alias "id")))
+    | Some prev, Ast.Descendant -> Some (add_conj b (descendant_join ~anc:prev ~desc:node))
+    | Some prev, Ast.Ancestor -> Some (add_conj b (descendant_join ~anc:node ~desc:prev))
+    | Some prev, (Ast.Following | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling)
+      ->
+      Some (order_join b ~prev ~node step.Ast.axis)
+    | Some _, (Ast.Self | Ast.Descendant_or_self | Ast.Ancestor_or_self | Ast.Attribute) ->
+      unsupported "axis %s should have been normalized away" (Ast.axis_name step.Ast.axis)
+  in
+  match joined with
+  | None -> []
+  | Some b ->
+    let b = { b with cur = Some node } in
+    translate_predicates env b ~step step.Ast.predicates
+
+and translate_backward env (b : branch) (steps : Ast.step list) : branch list =
+  let prev =
+    match b.cur with
+    | Some prev -> prev
+    | None -> unsupported "backward fragment at the start of a path"
+  in
+  let axes = List.map (fun (s : Ast.step) -> s.Ast.axis) steps in
+  (* Exact holistic shapes: parent* with an optional single trailing
+     ancestor. Longer ancestor tails cannot pin which ancestor the Dewey
+     join selects (see DESIGN.md), so they fall back to per-step joins
+     unless the prominent definition is provably unique per root path. *)
+  let rec parents_then_one_ancestor = function
+    | Ast.Parent :: rest -> parents_then_one_ancestor rest
+    | [ Ast.Ancestor ] -> true
+    | _ -> false
+  in
+  let all_parents = List.for_all (fun a -> a = Ast.Parent) axes in
+  let mode =
+    match steps with
+    | [ { Ast.axis = Ast.Parent; _ } ] -> `Fk
+    | _ when all_parents -> `Dewey_exact
+    | _ when parents_then_one_ancestor axes -> `Dewey
+    | _ -> `Per_step
+  in
+  match mode with
+  | `Per_step -> translate_per_step env b steps
+  | (`Fk | `Dewey | `Dewey_exact) as mode ->
+    let backward_steps =
+      List.map (fun (s : Ast.step) -> s.Ast.axis, name_of_test s.Ast.test) steps
+    in
+    let pattern = Rx.backward ~context:prev.tag backward_steps in
+    let alias = fresh env "e" in
+    let last_step = List.nth steps (List.length steps - 1) in
+    let node =
+      { alias; tag = name_of_test last_step.Ast.test; chain = None; paths_alias = None }
+    in
+    let b = add_from b Edge.edge_table alias in
+    let b =
+      match tag_condition alias last_step.Ast.test with
+      | Some c -> add_conj b c
+      | None -> b
+    in
+    let b =
+      match mode with
+      | `Fk -> add_conj b (Sql.Cmp (Sql.Eq, col prev.alias "par_id", col alias "id"))
+      | `Dewey ->
+        add_conj
+          (add_conj b (descendant_join ~anc:node ~desc:prev))
+          (level_ge ~shallow:node.alias ~deep:prev.alias (List.length steps))
+      | `Dewey_exact ->
+        add_conj
+          (add_conj b (descendant_join ~anc:node ~desc:prev))
+          (level_eq ~shallow:node.alias ~deep:prev.alias (List.length steps))
+    in
+    let b, _prev_with_paths = apply_path_filter b prev pattern in
+    let b = { b with cur = Some node } in
+    translate_predicates env b (List.concat_map (fun s -> s.Ast.predicates) steps)
+
+and order_join (b : branch) ~prev ~node axis =
+  match axis with
+  | Ast.Following -> add_conj b (Sql.Cmp (Sql.Gt, dewey node.alias, dewey_upper prev.alias))
+  | Ast.Preceding -> add_conj b (Sql.Cmp (Sql.Gt, dewey prev.alias, dewey_upper node.alias))
+  | Ast.Following_sibling ->
+    add_conj
+      (add_conj b (Sql.Cmp (Sql.Gt, dewey node.alias, dewey prev.alias)))
+      (Sql.Cmp (Sql.Eq, col node.alias "par_id", col prev.alias "par_id"))
+  | Ast.Preceding_sibling ->
+    add_conj
+      (add_conj b (Sql.Cmp (Sql.Lt, dewey node.alias, dewey prev.alias)))
+      (Sql.Cmp (Sql.Eq, col node.alias "par_id", col prev.alias "par_id"))
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self | Ast.Parent
+  | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Attribute ->
+    assert false
+
+and translate_order env (b : branch) (step : Ast.step) : branch list =
+  translate_single_step env b step
+
+(* --- Predicates ------------------------------------------------------ *)
+
+(* Positional predicates as the FIRST predicate of a child::name step:
+   position()/last() are the stored same-tag sibling ordinal and count. *)
+and positional_condition (node : node_ctx) (p : Ast.expr) : Sql.expr option =
+  let ord = col node.alias "ord" in
+  let last = col node.alias "sibs" in
+  let num f =
+    if Float.is_integer f then Some (Sql.Const (Value.Int (int_of_float f))) else None
+  in
+  let sql_op = function
+    | Ast.Eq -> Some Sql.Eq
+    | Ast.Ne -> Some Sql.Ne
+    | Ast.Lt -> Some Sql.Lt
+    | Ast.Le -> Some Sql.Le
+    | Ast.Gt -> Some Sql.Gt
+    | Ast.Ge -> Some Sql.Ge
+    | _ -> None
+  in
+  let flip = function
+    | Sql.Eq -> Sql.Eq
+    | Sql.Ne -> Sql.Ne
+    | Sql.Lt -> Sql.Gt
+    | Sql.Le -> Sql.Ge
+    | Sql.Gt -> Sql.Lt
+    | Sql.Ge -> Sql.Le
+  in
+  match p with
+  | Ast.Number f ->
+    (match num f with
+     | Some n -> Some (Sql.Cmp (Sql.Eq, ord, n))
+     | None -> Some (Sql.Bool_const false))
+  | Ast.Fn_position -> Some (Sql.Bool_const true)
+  | Ast.Fn_last -> Some (Sql.Cmp (Sql.Eq, ord, last))
+  | Ast.Binop (op, Ast.Fn_position, Ast.Number f) ->
+    (match sql_op op, num f with
+     | Some op, Some n -> Some (Sql.Cmp (op, ord, n))
+     | _ -> None)
+  | Ast.Binop (op, Ast.Number f, Ast.Fn_position) ->
+    (match sql_op op, num f with
+     | Some op, Some n -> Some (Sql.Cmp (flip op, ord, n))
+     | _ -> None)
+  | Ast.Binop (op, Ast.Fn_position, Ast.Fn_last) ->
+    (match sql_op op with Some op -> Some (Sql.Cmp (op, ord, last)) | None -> None)
+  | Ast.Binop (op, Ast.Fn_last, Ast.Fn_position) ->
+    (match sql_op op with Some op -> Some (Sql.Cmp (flip op, ord, last)) | None -> None)
+  | _ -> None
+
+and translate_predicates env (b : branch) ?step (predicates : Ast.expr list) :
+    branch list =
+  match predicates with
+  | [] -> [ b ]
+  | p :: rest ->
+    let node =
+      match b.cur with Some n -> n | None -> unsupported "predicate without context"
+    in
+    let positional =
+      match step with
+      | Some { Ast.axis = Ast.Child; test = Ast.Name _; _ } -> positional_condition node p
+      | _ -> None
+    in
+    let b, cond =
+      match positional with
+      | Some cond -> b, cond
+      | None -> translate_predicate env b node p
+    in
+    let b =
+      match Sql.simplify cond with
+      | Sql.Bool_const true -> b
+      | cond -> add_conj b cond
+    in
+    translate_predicates env b rest
+
+and translate_predicate env (b : branch) (node : node_ctx) (p : Ast.expr) :
+    branch * Sql.expr =
+  (* A sub-predicate may extend the branch (e.g. add the node's Paths
+     join); later siblings must see the updated node context. *)
+  let refresh b node =
+    match b.cur with
+    | Some n when String.equal n.alias node.alias -> n
+    | Some _ | None -> node
+  in
+  match p with
+  | Ast.Binop (Ast.And, x, y) ->
+    let b, cx = translate_predicate env b node x in
+    let b, cy = translate_predicate env b (refresh b node) y in
+    b, Sql.And (cx, cy)
+  | Ast.Binop (Ast.Or, x, y) | Ast.Union (x, y) ->
+    let b, cx = translate_predicate env b node x in
+    let b, cy = translate_predicate env b (refresh b node) y in
+    b, Sql.Or (cx, cy)
+  | Ast.Fn_not x ->
+    let b, cx = translate_predicate env b node x in
+    b, Sql.Not cx
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, x, y) ->
+    translate_comparison env b node op x y
+  | Ast.Path path -> translate_path_predicate env b node path
+  | Ast.Literal s -> b, Sql.Bool_const (String.length s > 0)
+  | Ast.Number _ | Ast.Fn_position | Ast.Fn_last ->
+    unsupported "positional predicates are not translatable to SQL in this scheme"
+  | Ast.Fn_count _ -> unsupported "count() in predicates is not supported"
+  | Ast.Fn_contains (x, y) | Ast.Fn_starts_with (x, y) ->
+    (* contains()/starts-with() over a single-valued operand and a
+       constant pattern become REGEXP_LIKE filters. *)
+    let anchored = match p with Ast.Fn_starts_with _ -> true | _ -> false in
+    let empty_literal = match y with Ast.Literal "" -> true | _ -> false in
+    let pattern =
+      match y with
+      | Ast.Literal s ->
+        (if anchored then "^" else "") ^ Ppfx_regex.Regex.quote s
+      | _ -> unsupported "the second argument of contains()/starts-with() must be a literal"
+    in
+    (* XPath: contains(x, '') is always true (string conversion), even when
+       x converts from an empty node-set; a NULL SQL column would wrongly
+       reject it. *)
+    if empty_literal then (b, Sql.Bool_const true)
+    else
+    (match as_value node x with
+     | Some v -> b, Sql.Regexp_like (v, pattern)
+     | None ->
+       unsupported
+         "contains()/starts-with() needs a single-valued operand (., @attr or text()); \
+          rewrite path operands as nested predicates, e.g. p[contains(., 's')]")
+  | Ast.Fn_string_length _ ->
+    unsupported "string-length() is only supported inside comparisons"
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), _, _) | Ast.Neg _ ->
+    unsupported "bare arithmetic used as a predicate"
+
+and attr_exists env (node : node_ctx) (name_test : Ast.node_test) extra =
+  let alias = fresh env "a" in
+  let conds =
+    [ Sql.Cmp (Sql.Eq, col alias "elem_id", col node.alias "id") ]
+    @ (match name_test with
+       | Ast.Name n -> [ Sql.Cmp (Sql.Eq, col alias "name", Sql.Const (Value.Str n)) ]
+       | Ast.Wildcard | Ast.Any_node -> []
+       | Ast.Text -> assert false)
+    @ List.map (fun f -> f (col alias "value")) extra
+  in
+  Sql.Exists
+    {
+      Sql.distinct = false;
+      projections = [ Sql.Const Value.Null, "x" ];
+      from = [ Edge.attr_table, alias ];
+      where = Some (List.fold_left (fun a c -> Sql.And (a, c)) (List.hd conds) (List.tl conds));
+      order_by = [];
+    }
+
+and translate_path_predicate env (b : branch) (node : node_ctx) (path : Ast.path) :
+    branch * Sql.expr =
+  if path.Ast.absolute then translate_exists env b node path []
+  else begin
+    let variants = Ppf.normalize_steps path.Ast.steps in
+    if variants = [] then b, Sql.Bool_const false
+    else begin
+      let refresh b node =
+        match b.cur with
+        | Some n when String.equal n.alias node.alias -> n
+        | Some _ | None -> node
+      in
+      let b, conds =
+        List.fold_left
+          (fun (b, conds) steps ->
+            let b, c = translate_path_variant env b (refresh b node) steps in
+            b, c :: conds)
+          (b, []) variants
+      in
+      match List.rev conds with
+      | [] -> b, Sql.Bool_const false
+      | c :: cs -> b, List.fold_left (fun acc x -> Sql.Or (acc, x)) c cs
+    end
+  end
+
+and translate_path_variant env (b : branch) (node : node_ctx) (steps : Ast.step list) :
+    branch * Sql.expr =
+  match steps with
+  | [] -> b, Sql.Bool_const true
+  | [ { Ast.axis = Ast.Attribute; test; predicates = [] } ] ->
+    b, attr_exists env node test []
+  | [ { Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } ] ->
+    b, Sql.Cmp (Sql.Ne, col node.alias "dtext", Sql.Const (Value.Str ""))
+  | _ when Ppf.backward_simple steps ->
+    let backward_steps =
+      List.map (fun (s : Ast.step) -> s.Ast.axis, name_of_test s.Ast.test) steps
+    in
+    let pattern = Rx.backward ~context:node.tag backward_steps in
+    let b, node', pa = ensure_paths_join b node in
+    let b = if b.cur = Some node then { b with cur = Some node' } else b in
+    b, Sql.Regexp_like (col pa "path", pattern)
+  | _ -> translate_exists env b node { Ast.absolute = false; steps } []
+
+(* Trailing value steps become value expressions on the final node. *)
+and strip_final_value_step (steps : Ast.step list) =
+  match List.rev steps with
+  | { Ast.axis = Ast.Attribute; test; predicates = [] } :: rev_rest ->
+    List.rev rev_rest, `Attr test
+  | { Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } :: rev_rest ->
+    List.rev rev_rest, `Text
+  | _ -> steps, `Element
+
+and translate_exists env (b : branch) (node : node_ctx) (path : Ast.path)
+    (extra : (Sql.expr -> Sql.expr) list) : branch * Sql.expr =
+  let start : branch =
+    if path.Ast.absolute then empty_branch
+    else { empty_branch with cur = Some { node with paths_alias = None } }
+  in
+  let variants = Ppf.normalize_steps path.Ast.steps in
+  let sub_branches =
+    List.concat_map
+      (fun steps ->
+        let steps, final_kind = strip_final_value_step steps in
+        if steps = [] then [ (start, final_kind) ]
+        else List.map (fun br -> br, final_kind) (translate_steps env start steps))
+      variants
+  in
+  let conds =
+    List.filter_map
+      (fun ((sub : branch), final_kind) ->
+        match sub.cur with
+        | None -> None
+        | Some final ->
+          if sub.from_ = [] then begin
+            (* Collapsed onto the predicated node itself. *)
+            match final_kind with
+            | `Element ->
+              let conds = List.map (fun f -> f (col final.alias "text")) extra in
+              (match conds with
+               | [] -> Some (Sql.Bool_const true)
+               | c :: cs -> Some (List.fold_left (fun a x -> Sql.And (a, x)) c cs))
+            | `Text ->
+              let guard =
+                Sql.Cmp (Sql.Ne, col final.alias "dtext", Sql.Const (Value.Str ""))
+              in
+              let conds = List.map (fun f -> f (col final.alias "dtext")) extra in
+              Some (List.fold_left (fun a x -> Sql.And (a, x)) guard conds)
+            | `Attr test -> Some (attr_exists env final test extra)
+          end
+          else begin
+            let where = List.rev sub.conj in
+            let value_conds =
+              match final_kind with
+              | `Element -> List.map (fun f -> f (col final.alias "text")) extra
+              | `Text ->
+                Sql.Cmp (Sql.Ne, col final.alias "dtext", Sql.Const (Value.Str ""))
+                :: List.map (fun f -> f (col final.alias "dtext")) extra
+              | `Attr test -> [ attr_exists env final test extra ]
+            in
+            let all = where @ value_conds in
+            let where_expr =
+              match all with
+              | [] -> None
+              | c :: cs -> Some (List.fold_left (fun a x -> Sql.And (a, x)) c cs)
+            in
+            Some
+              (Sql.Exists
+                 {
+                   Sql.distinct = false;
+                   projections = [ Sql.Const Value.Null, "x" ];
+                   from = List.rev sub.from_;
+                   where = where_expr;
+                   order_by = [];
+                 })
+          end)
+      sub_branches
+  in
+  match conds with
+  | [] -> b, Sql.Bool_const false
+  | c :: cs -> b, List.fold_left (fun acc x -> Sql.Or (acc, x)) c cs
+
+and as_value (node : node_ctx) (e : Ast.expr) : Sql.expr option =
+  match e with
+  | Ast.Literal s -> Some (Sql.Const (Value.Str s))
+  | Ast.Number f -> Some (Sql.Const (Value.Float f))
+  | Ast.Neg a ->
+    Option.map (fun v -> Sql.Arith (Sql.Sub, Sql.Const (Value.Int 0), v)) (as_value node a)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op, a, b) ->
+    (match as_value node a, as_value node b with
+     | Some va, Some vb ->
+       let sop =
+         match op with
+         | Ast.Add -> Sql.Add
+         | Ast.Sub -> Sql.Sub
+         | Ast.Mul -> Sql.Mul
+         | Ast.Div -> Sql.Div
+         | Ast.Mod -> Sql.Mod
+         | _ -> assert false
+       in
+       Some (Sql.Arith (sop, va, vb))
+     | _ -> None)
+  | Ast.Path { Ast.absolute = false; steps } ->
+    (match Ppf.normalize_steps steps with
+     | [ [] ] -> Some (col node.alias "text")
+     | [ [ { Ast.axis = Ast.Child; test = Ast.Text; predicates = [] } ] ] ->
+       Some (col node.alias "dtext")
+     | _ -> None)
+  | Ast.Fn_string_length a -> Option.map (fun v -> Sql.Length v) (as_value node a)
+  | Ast.Path _ | Ast.Union _ | Ast.Binop _ | Ast.Fn_not _ | Ast.Fn_count _
+  | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _ | Ast.Fn_starts_with _ ->
+    None
+
+and translate_comparison env (b : branch) (node : node_ctx) (op : Ast.binop) (x : Ast.expr)
+    (y : Ast.expr) : branch * Sql.expr =
+  let sql_op =
+    match op with
+    | Ast.Eq -> Sql.Eq
+    | Ast.Ne -> Sql.Ne
+    | Ast.Lt -> Sql.Lt
+    | Ast.Le -> Sql.Le
+    | Ast.Gt -> Sql.Gt
+    | Ast.Ge -> Sql.Ge
+    | _ -> assert false
+  in
+  let flip = function
+    | Sql.Eq -> Sql.Eq
+    | Sql.Ne -> Sql.Ne
+    | Sql.Lt -> Sql.Gt
+    | Sql.Le -> Sql.Ge
+    | Sql.Gt -> Sql.Lt
+    | Sql.Ge -> Sql.Le
+  in
+  let vx = as_value node x and vy = as_value node y in
+  match vx, vy with
+  | Some ex, Some ey -> b, Sql.Cmp (sql_op, ex, ey)
+  | Some ex, None ->
+    (match y with
+     | Ast.Path p ->
+       translate_exists env b node p [ (fun v -> Sql.Cmp (flip sql_op, v, ex)) ]
+     | _ -> unsupported "unsupported comparison operand: %s" (Ast.to_string y))
+  | None, Some ey ->
+    (match x with
+     | Ast.Path p -> translate_exists env b node p [ (fun v -> Sql.Cmp (sql_op, v, ey)) ]
+     | _ -> unsupported "unsupported comparison operand: %s" (Ast.to_string x))
+  | None, None ->
+    (match x, y with
+     | Ast.Path px, Ast.Path py ->
+       translate_exists env b node px
+         [
+           (fun vx ->
+             let _, cond =
+               translate_exists env b node py
+                 [
+                   (fun vy ->
+                     match sql_op with
+                     | Sql.Eq | Sql.Ne -> Sql.Cmp (sql_op, vx, vy)
+                     | Sql.Lt | Sql.Le | Sql.Gt | Sql.Ge ->
+                       Sql.Cmp (sql_op, Sql.To_number vx, Sql.To_number vy));
+                 ]
+             in
+             cond);
+         ]
+     | _ ->
+       unsupported "unsupported comparison: %s vs %s" (Ast.to_string x) (Ast.to_string y))
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let finalize (branches : (branch * [ `Element | `Text | `Attr of Ast.node_test ]) list) :
+    Sql.statement option =
+  let selects =
+    List.filter_map
+      (fun ((b : branch), kind) ->
+        match b.cur with
+        | None -> None
+        | Some node ->
+          let value, guards =
+            match kind with
+            | `Element -> col node.alias "text", []
+            | `Text ->
+              ( col node.alias "dtext",
+                [ Sql.Cmp (Sql.Ne, col node.alias "dtext", Sql.Const (Value.Str "")) ] )
+            | `Attr _ -> unsupported "attribute-final backbones are not supported"
+          in
+          let conjs = List.rev b.conj @ guards in
+          if List.mem (Sql.Bool_const false) conjs then None else
+          let where =
+            match conjs with
+            | [] -> None
+            | c :: cs -> Some (List.fold_left (fun a x -> Sql.And (a, x)) c cs)
+          in
+          Some
+            {
+              Sql.distinct = true;
+              projections =
+                [ col node.alias "id", "id"; dewey node.alias, "dewey_pos"; value, "value" ];
+              from = List.rev b.from_;
+              where;
+              order_by = [ dewey node.alias ];
+            })
+      branches
+  in
+  match selects with
+  | [] -> None
+  | [ s ] -> Some (Sql.Select s)
+  | ss -> Some (Sql.Union (List.map (fun s -> { s with Sql.order_by = [] }) ss, [ 1 ]))
+
+let translate_path env (path : Ast.path) =
+  let variants = Ppf.normalize_steps path.Ast.steps in
+  List.concat_map
+    (fun steps ->
+      let steps, kind = strip_final_value_step steps in
+      let kind =
+        match kind with
+        | `Element -> `Element
+        | `Text -> `Text
+        | `Attr t -> `Attr t
+      in
+      if steps = [] then []
+      else List.map (fun b -> b, kind) (translate_steps env empty_branch steps))
+    variants
+
+let rec collect_paths (e : Ast.expr) : Ast.path list =
+  match e with
+  | Ast.Path p -> [ p ]
+  | Ast.Union (a, b) -> collect_paths a @ collect_paths b
+  | Ast.Binop _ | Ast.Neg _ | Ast.Literal _ | Ast.Number _ | Ast.Fn_not _ | Ast.Fn_count _
+  | Ast.Fn_position | Ast.Fn_last | Ast.Fn_contains _ | Ast.Fn_starts_with _
+  | Ast.Fn_string_length _ ->
+    unsupported "top-level expression must be a path or a union of paths"
+
+let translate (e : Ast.expr) : Sql.statement option =
+  let env = { counter = Hashtbl.create 16 } in
+  let branches = List.concat_map (translate_path env) (collect_paths e) in
+  finalize branches
+
+let result_ids (r : Engine.result) =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun row -> match row.(0) with Value.Int id -> Some id | _ -> None)
+       r.Engine.rows)

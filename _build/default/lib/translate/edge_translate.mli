@@ -1,0 +1,20 @@
+(** PPF-based XPath-to-SQL translation over the schema-oblivious Edge
+    mapping — the paper's Section 5.1 comparison point ("Edge-like PPF").
+
+    The same PPF machinery as {!Translate}, retargeted at the single
+    [edge] relation: every fragment joins [edge] with the [Paths] relation
+    under a path regex (there is no schema, so path filters can never be
+    omitted), structural joins are Dewey self-joins on [edge], child and
+    parent steps use the [par_id] foreign key, and attribute predicates
+    join the separate [attr] relation (paper footnote 3). Wildcards never
+    cause SQL splitting here: the single central relation absorbs them. *)
+
+module Sql = Ppfx_minidb.Sql
+
+exception Unsupported of string
+
+val translate : Ppfx_xpath.Ast.expr -> Sql.statement option
+(** Translate for a store created by {!Ppfx_shred.Edge}. Projects
+    [(id, dewey_pos, value)] in document order. *)
+
+val result_ids : Ppfx_minidb.Engine.result -> int list

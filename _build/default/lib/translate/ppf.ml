@@ -1,0 +1,112 @@
+module Ast = Ppfx_xpath.Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+(* Expand descendant-or-self / ancestor-or-self into descendant/ancestor
+   or a merge into the previous step, and drop plain self steps. Returns
+   the list of step-list variants (the "or-self" alternatives). *)
+let normalize_steps steps =
+  let merge_self_into_prev rev_prev test predicates =
+    (* self::T constrains the previous step's node test and inherits the
+       predicates. Returns None when the combination is impossible. *)
+    match rev_prev with
+    | [] -> None (* self of the virtual root never matches a test *)
+    | prev :: rest ->
+      let combined_test =
+        match prev.Ast.test, test with
+        | t, (Ast.Any_node | Ast.Wildcard) -> Some t
+        | (Ast.Any_node | Ast.Wildcard), t -> Some t
+        | Ast.Name a, Ast.Name b -> if String.equal a b then Some (Ast.Name a) else None
+        | Ast.Text, Ast.Text -> Some Ast.Text
+        | Ast.Name _, Ast.Text | Ast.Text, Ast.Name _ -> None
+      in
+      Option.map
+        (fun test ->
+          { prev with Ast.test; predicates = prev.Ast.predicates @ predicates } :: rest)
+        combined_test
+  in
+  let rec go rev_acc = function
+    | [] -> [ List.rev rev_acc ]
+    | (step : Ast.step) :: rest ->
+      (match step.Ast.axis with
+       | Ast.Self ->
+         (match merge_self_into_prev rev_acc step.Ast.test step.Ast.predicates with
+          | Some rev_acc' -> go rev_acc' rest
+          | None ->
+            if rev_acc = [] && step.Ast.test = Ast.Any_node && step.Ast.predicates = []
+            then go rev_acc rest
+            else [])
+       | Ast.Descendant_or_self ->
+         let as_descendant = go ({ step with Ast.axis = Ast.Descendant } :: rev_acc) rest in
+         let as_self =
+           match merge_self_into_prev rev_acc step.Ast.test step.Ast.predicates with
+           | Some rev_acc' -> go rev_acc' rest
+           | None -> []
+         in
+         as_descendant @ as_self
+       | Ast.Ancestor_or_self ->
+         let as_ancestor = go ({ step with Ast.axis = Ast.Ancestor } :: rev_acc) rest in
+         let as_self =
+           match merge_self_into_prev rev_acc step.Ast.test step.Ast.predicates with
+           | Some rev_acc' -> go rev_acc' rest
+           | None -> []
+         in
+         as_ancestor @ as_self
+       | Ast.Child | Ast.Descendant | Ast.Parent | Ast.Ancestor | Ast.Following
+       | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling | Ast.Attribute ->
+         go (step :: rev_acc) rest)
+  in
+  go [] steps
+
+
+type t =
+  | Forward of Ast.step list
+  | Backward of Ast.step list
+  | Order of Ast.step
+
+(* Split a normalized backbone into PPFs: maximal forward or backward
+   runs (a predicate ends its run), order-axis steps standalone. *)
+let split steps =
+  let kind (s : Ast.step) =
+    match s.Ast.axis with
+    | Ast.Child | Ast.Descendant -> `F
+    | Ast.Parent | Ast.Ancestor -> `B
+    | Ast.Following | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling -> `O
+    | Ast.Attribute -> `A
+    | Ast.Self | Ast.Descendant_or_self | Ast.Ancestor_or_self ->
+      unsupported "axis %s should have been normalized away" (Ast.axis_name s.Ast.axis)
+  in
+  let rec go acc run run_kind = function
+    | [] ->
+      let acc = if run = [] then acc else close acc run run_kind in
+      List.rev acc
+    | s :: rest ->
+      (match kind s with
+       | `A -> unsupported "attribute steps are only allowed as the final step"
+       | `O ->
+         let acc = if run = [] then acc else close acc run run_kind in
+         go (Order s :: acc) [] `F rest
+       | (`F | `B) as k ->
+         let acc, run = if run <> [] && k <> run_kind then close acc run run_kind, [] else acc, run in
+         let run = run @ [ s ] in
+         if s.Ast.predicates <> [] then go (close acc run k) [] k rest
+         else go acc run k rest)
+  and close acc run = function
+    | `F -> Forward run :: acc
+    | `B -> Backward run :: acc
+  in
+  go [] [] `F steps
+
+
+let backward_simple (steps : Ast.step list) =
+  List.for_all
+    (fun (s : Ast.step) ->
+      (match s.Ast.axis with
+       | Ast.Parent | Ast.Ancestor -> true
+       | _ -> false)
+      && s.Ast.predicates = []
+      && match s.Ast.test with Ast.Name _ | Ast.Wildcard | Ast.Any_node -> true | Ast.Text -> false)
+    steps
+

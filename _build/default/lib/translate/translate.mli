@@ -1,0 +1,62 @@
+(** PPF-based XPath-to-SQL translation over the schema-aware mapping — the
+    paper's primary contribution (Section 4).
+
+    The expression's backbone and predicate paths are split into Primitive
+    Path Fragments. Forward PPFs are evaluated holistically: the prominent
+    relation joins the [Paths] relation under a regular-expression filter
+    covering the maximal forward path (Section 4.1); consecutive PPFs
+    combine through a single Dewey structural join (Section 4.2), with
+    [child]/[parent] single steps using foreign-key equijoins instead.
+    Predicates become [EXISTS] sub-selects, except backward-simple-path
+    predicates which fold into extra regex filters on the predicated
+    step's path (Table 5 (2)). Wildcard prominent steps split the
+    statement into a [UNION] (Section 4.4) — predicates split into [OR]'d
+    sub-selects instead (Table 6) — and the U-P/F-P/I-P schema marking
+    omits provably redundant path filters (Section 4.5).
+
+    {b Soundness refinement} (documented in DESIGN.md): the paper's
+    holistic regex+join treatment can overmatch when the regular
+    expression cannot pin the context node's depth (recursive names,
+    descendant steps both before and inside a fragment). This
+    implementation detects those cases statically and falls back to exact
+    per-step joins for the affected fragment only; every benchmark query
+    keeps its holistic plan. *)
+
+module Graph = Ppfx_schema.Graph
+module Sql = Ppfx_minidb.Sql
+
+exception Unsupported of string
+(** Raised for XPath constructs outside the supported subset
+    (positional predicates, [count()] in predicates, attribute steps in
+    mid-path). *)
+
+type options = {
+  omit_path_filters : bool;
+      (** Section 4.5: skip Paths joins proven redundant by U-P/F-P
+          marking (default true). *)
+  merge_forward : bool;
+      (** Section 4.1: merge consecutive forward PPFs into one regex
+          (default true). When off, every fragment after the first is
+          translated per-step. *)
+  fk_child_joins : bool;
+      (** Section 4.2: use foreign-key equijoins for single child/parent
+          steps instead of Dewey comparisons (default true). *)
+  force_per_step : bool;
+      (** Translate every fragment with exact per-step joins (the
+          conventional schema-aware translation, used by the commercial
+          baseline; default false). *)
+}
+
+val default_options : options
+
+type t
+
+val create : ?options:options -> Ppfx_shred.Mapping.t -> t
+
+val translate : t -> Ppfx_xpath.Ast.expr -> Sql.statement option
+(** [None] when the schema proves the result empty. The statement
+    projects [(id, dewey_pos, value)] of the result nodes, in document
+    order. Raises {!Unsupported} on out-of-subset constructs. *)
+
+val result_ids : Ppfx_minidb.Engine.result -> int list
+(** Element ids of a translated statement's result, sorted. *)

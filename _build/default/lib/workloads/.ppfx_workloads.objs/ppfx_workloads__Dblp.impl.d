@@ -1,0 +1,1 @@
+lib/workloads/dblp.ml: Array List Ppfx_schema Ppfx_xml Prng String

@@ -1,0 +1,1 @@
+lib/workloads/dblp.mli: Ppfx_schema Ppfx_xml

@@ -1,0 +1,1 @@
+lib/workloads/xmark.ml: Array List Ppfx_schema Ppfx_xml Printf Prng String

@@ -1,0 +1,1 @@
+lib/workloads/xmark.mli: Ppfx_schema Ppfx_xml

@@ -1,0 +1,122 @@
+module Tree = Ppfx_xml.Tree
+
+let el ?(attrs = []) tag children = Tree.Element { tag; attrs; children }
+
+let txt s = Tree.Text s
+
+let first_names =
+  [| "Alice"; "Bruno"; "Chen"; "Dana"; "Elif"; "Farid"; "Grace"; "Hiro"; "Ines"; "Jonas" |]
+
+let last_names =
+  [| "Meyer"; "Tanaka"; "Garcia"; "Novak"; "Okafor"; "Silva"; "Kumar"; "Berg"; "Rossi" |]
+
+let title_words =
+  [|
+    "Efficient"; "Scalable"; "Adaptive"; "Query"; "Processing"; "XML"; "Relational";
+    "Storage"; "Indexing"; "Path"; "Evaluation"; "Optimization"; "Databases"; "Systems";
+    "Streams"; "Joins"; "Views"; "Integration"; "Schemas"; "Algebra";
+  |]
+
+let venues = [| "VLDB"; "SIGMOD"; "ICDE"; "EDBT"; "CIKM"; "WWW" |]
+
+let special_author = "Harold G. Longbotham"
+
+let author_pool rng n =
+  Array.init n (fun _ -> Prng.pick rng first_names ^ " " ^ Prng.pick rng last_names)
+
+(* Title mark-up: some titles carry nested sub/sup/i chains. QD4 needs
+   article titles with an i two levels under a sub. *)
+let rec markup rng depth tag =
+  let inner =
+    if depth <= 0 then [ txt "x" ]
+    else begin
+      let next =
+        match tag with
+        | "sub" -> [| "sup"; "i" |]
+        | "sup" -> [| "sub"; "i" |]
+        | _ -> [| "sub"; "sup" |]
+      in
+      if Prng.chance rng 0.6 then [ txt "n"; markup rng (depth - 1) (Prng.pick rng next) ]
+      else [ txt "y" ]
+    end
+  in
+  el tag inner
+
+let title rng ~markup_depth ~forced_chain =
+  let base = List.init (2 + Prng.int rng 4) (fun _ -> Prng.pick rng title_words) in
+  let parts = [ txt (String.concat " " base) ] in
+  let parts =
+    if forced_chain then
+      (* Guarantee a sub > sup > i chain (QD4). *)
+      parts @ [ el "sub" [ txt "2"; el "sup" [ txt "3"; el "i" [ txt "4" ] ] ] ]
+    else if markup_depth > 0 && Prng.chance rng 0.3 then
+      parts @ [ markup rng markup_depth (Prng.pick rng [| "sub"; "sup"; "i" |]) ]
+    else parts
+  in
+  el "title" parts
+
+let entry rng ~tag ~authors ~pool ~year ~forced_chain ~special =
+  let author_elems =
+    List.init authors (fun k ->
+        let name = if special && k = 0 then special_author else Prng.pick rng pool in
+        el "author" [ txt name ])
+  in
+  let venue = Prng.pick rng venues in
+  el tag
+    (author_elems
+    @ [
+        title rng ~markup_depth:3 ~forced_chain;
+        el "year" [ txt (string_of_int year) ];
+      ]
+    @ (match tag with
+       | "inproceedings" -> [ el "booktitle" [ txt venue ]; el "pages" [ txt "1-12" ] ]
+       | "article" -> [ el "journal" [ txt (venue ^ " Journal") ]; el "volume" [ txt (string_of_int (1 + Prng.int rng 30)) ] ]
+       | _ -> [ el "publisher" [ txt "ACM Press" ] ]))
+
+let generate ?(seed = 7) ~entries () =
+  let rng = Prng.create seed in
+  let n = max 3 entries in
+  let pool = author_pool rng (max 8 (n / 2)) in
+  (* Plant shared authors between books and inproceedings for QD5. *)
+  let inproceedings =
+    List.init n (fun i ->
+        entry rng ~tag:"inproceedings"
+          ~authors:(1 + Prng.int rng 3)
+          ~pool
+          ~year:(1985 + Prng.int rng 21)
+          ~forced_chain:false
+          ~special:(i mod (max 10 (n / 2)) = 0))
+  in
+  let articles =
+    List.init
+      (max 1 (n / 3))
+      (fun i ->
+        entry rng ~tag:"article"
+          ~authors:(1 + Prng.int rng 2)
+          ~pool
+          ~year:(1985 + Prng.int rng 21)
+          ~forced_chain:(i = 0 || Prng.chance rng 0.15)
+          ~special:false)
+  in
+  let books =
+    List.init
+      (max 1 (n / 8))
+      (fun _ ->
+        entry rng ~tag:"book" ~authors:(1 + Prng.int rng 2) ~pool
+          ~year:(1985 + Prng.int rng 21)
+          ~forced_chain:false ~special:false)
+  in
+  el "dblp" (inproceedings @ articles @ books)
+
+let schema_of doc = Ppfx_schema.Graph.infer doc
+
+let queries =
+  [
+    "QD1", "//inproceedings/title[preceding-sibling::author = 'Harold G. Longbotham']";
+    "QD2", "/dblp/inproceedings[year >= 1994]//sup";
+    "QD3", "/dblp/inproceedings/title/sup";
+    "QD4", "//i[parent::*/parent::sub/ancestor::article]";
+    "QD5", "/dblp/inproceedings[author = /dblp/book/author]/title";
+  ]
+
+let query name = List.assoc name queries

@@ -1,0 +1,25 @@
+(** DBLP-like bibliography documents and the paper's QD1–QD5 query set
+    (Section 5, Table 7).
+
+    The generator reproduces the structural features those queries
+    exercise: [inproceedings], [article] and [book] entries with authors
+    drawn from a shared pool (so the QD5 join between inproceedings and
+    book authors is non-empty), years spanning 1985–2005 (QD2's range
+    predicate), and recursive [sub]/[sup]/[i] mark-up inside titles —
+    including article titles with [sub]-anchored depth-3 chains so that
+    QD4's backward path matches. The exact author
+    "Harold G. Longbotham" of QD1 is planted on a few entries. *)
+
+val generate : ?seed:int -> entries:int -> unit -> Ppfx_xml.Tree.node
+(** [entries] is the number of [inproceedings]; articles and books scale
+    along ([entries/3] and [entries/8]). *)
+
+val schema_of : Ppfx_xml.Doc.t -> Ppfx_schema.Graph.t
+(** The paper's DBLP dataset ships without an XML Schema: the relational
+    mapping uses a DTD-style schema inferred from the document
+    ({!Ppfx_schema.Graph.infer}). *)
+
+val queries : (string * string) list
+(** QD1–QD5 (name, XPath). *)
+
+val query : string -> string

@@ -1,0 +1,15 @@
+(** Deterministic pseudo-random numbers (splitmix64) for reproducible
+    workload generation: the same seed always yields the same document,
+    so benchmark numbers and test expectations are stable. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound). [bound > 0]. *)
+
+val pick : t -> 'a array -> 'a
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)

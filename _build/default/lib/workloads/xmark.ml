@@ -1,0 +1,398 @@
+module Tree = Ppfx_xml.Tree
+module Graph = Ppfx_schema.Graph
+
+let el ?(attrs = []) tag children = Tree.Element { tag; attrs; children }
+
+let txt s = Tree.Text s
+
+let words =
+  [|
+    "gold"; "silver"; "vintage"; "rare"; "mint"; "classic"; "signed"; "original";
+    "antique"; "modern"; "large"; "small"; "blue"; "red"; "green"; "heavy"; "light";
+    "fast"; "slow"; "deep"; "bright"; "quiet"; "loud"; "smooth"; "rough"; "sharp";
+    "round"; "square"; "open"; "closed"; "early"; "late"; "first"; "second"; "third";
+    "prime"; "select"; "choice"; "grade"; "special";
+  |]
+
+let cities = [| "athens"; "paris"; "tokyo"; "lima"; "cairo"; "oslo"; "dublin"; "quito" |]
+
+let countries = [| "greece"; "france"; "japan"; "peru"; "egypt"; "norway"; "ireland" |]
+
+let dates = [| "01/01/2000"; "02/14/2000"; "03/30/2000"; "07/04/2000"; "12/25/2000" |]
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Prng.pick rng words))
+
+(* A 'text' element: mixed content with keyword children. *)
+let text_element rng ~keywords =
+  let rec parts k acc =
+    if k = 0 then List.rev (txt (sentence rng (1 + Prng.int rng 4)) :: acc)
+    else
+      parts (k - 1)
+        (txt (sentence rng (1 + Prng.int rng 3))
+         :: el "keyword" [ txt (sentence rng (1 + Prng.int rng 2)) ]
+         :: acc)
+  in
+  el "text" (parts keywords [])
+
+(* description: text or a parlist of listitems, recursively. *)
+let rec description rng ~depth ~force_keyword =
+  let kw () = if force_keyword then 1 + Prng.int rng 2 else Prng.int rng 3 in
+  if depth <= 0 || Prng.chance rng 0.6 then
+    el "description" [ text_element rng ~keywords:(kw ()) ]
+  else el "description" [ parlist rng ~depth ~force_keyword ]
+
+and parlist rng ~depth ~force_keyword =
+  let items = 1 + Prng.int rng 2 in
+  el "parlist"
+    (List.init items (fun i ->
+         let force = force_keyword && i = 0 in
+         if depth > 1 && Prng.chance rng 0.3 then
+           el "listitem" [ parlist rng ~depth:(depth - 1) ~force_keyword:force ]
+         else
+           el "listitem"
+             [ text_element rng ~keywords:(if force then 1 + Prng.int rng 2 else Prng.int rng 3) ]))
+
+let mail rng =
+  el "mail"
+    [
+      el "from" [ txt (sentence rng 2) ];
+      el "to" [ txt (sentence rng 2) ];
+      el "date" [ txt (Prng.pick rng dates) ];
+      text_element rng ~keywords:(Prng.int rng 2);
+    ]
+
+let item rng ~id ~ncats =
+  let attrs =
+    ("id", Printf.sprintf "item%d" id)
+    :: (if id = 0 || Prng.chance rng 0.1 then [ "featured", "yes" ] else [])
+  in
+  let incategories =
+    List.init
+      (1 + Prng.int rng 2)
+      (fun _ ->
+        el ~attrs:[ "category", Printf.sprintf "category%d" (Prng.int rng ncats) ]
+          "incategory" [])
+  in
+  let mails = List.init (Prng.int rng 2) (fun _ -> mail rng) in
+  el ~attrs "item"
+    ([
+       el "location" [ txt (Prng.pick rng countries) ];
+       el "quantity" [ txt (string_of_int (1 + Prng.int rng 5)) ];
+       el "name" [ txt (sentence rng 2) ];
+       el "payment" [ txt "Cash Check" ];
+       description rng ~depth:3 ~force_keyword:(id = 0);
+       el "shipping" [ txt "Will ship internationally" ];
+     ]
+    @ incategories
+    @ [ el "mailbox" mails ])
+
+let person rng ~id =
+  let name = sentence rng 2 in
+  let optional p node = if Prng.chance rng p then [ node ] else [] in
+  el
+    ~attrs:[ "id", Printf.sprintf "person%d" id ]
+    "person"
+    ([
+       el "name" [ txt name ];
+       el "emailaddress" [ txt (Printf.sprintf "mailto:%d@example.org" id) ];
+     ]
+    @ optional 0.6 (el "phone" [ txt (Printf.sprintf "+%d" (1000 + Prng.int rng 9000)) ])
+    @ optional 0.7
+        (el "address"
+           [
+             el "street" [ txt (Printf.sprintf "%d main st" (1 + Prng.int rng 99)) ];
+             el "city" [ txt (Prng.pick rng cities) ];
+             el "country" [ txt (Prng.pick rng countries) ];
+             el "zipcode" [ txt (string_of_int (10000 + Prng.int rng 89999)) ];
+           ])
+    @ optional 0.45 (el "homepage" [ txt (Printf.sprintf "http://example.org/~p%d" id) ])
+    @ optional 0.5 (el "creditcard" [ txt "1234 5678 9012 3456" ])
+    @ [
+        el
+          ~attrs:[ "income", string_of_int (20000 + Prng.int rng 80000) ]
+          "profile"
+          ([
+             el
+               ~attrs:[ "category", Printf.sprintf "category%d" (Prng.int rng 3) ]
+               "interest" [];
+           ]
+          @ optional 0.5 (el "education" [ txt "Graduate School" ])
+          @ optional 0.5 (el "gender" [ txt (if Prng.chance rng 0.5 then "male" else "female") ])
+          @ [ el "business" [ txt (if Prng.chance rng 0.5 then "Yes" else "No") ] ]
+          @ optional 0.5 (el "age" [ txt (string_of_int (18 + Prng.int rng 60)) ]));
+        el "watches"
+          (List.init (Prng.int rng 2) (fun _ ->
+               el
+                 ~attrs:[ "open_auction", Printf.sprintf "open_auction%d" (Prng.int rng 5) ]
+                 "watch" []));
+      ])
+
+let bidder rng ~person_id ~date =
+  el "bidder"
+    [
+      el "date" [ txt date ];
+      el "time" [ txt (Printf.sprintf "%02d:%02d:00" (Prng.int rng 24) (Prng.int rng 60)) ];
+      el ~attrs:[ "person", Printf.sprintf "person%d" person_id ] "personref" [];
+      el "increase" [ txt (string_of_int (1 + (3 * Prng.int rng 10))) ];
+    ]
+
+let open_auction rng ~id ~nitems ~npeople =
+  let interval_start = Prng.pick rng dates in
+  (* Q-A needs bidder/date = interval/start on some auctions. *)
+  let nbidders = if id = 0 then 3 else Prng.int rng 4 in
+  let bidders =
+    List.init nbidders (fun k ->
+        let person_id = if id = 0 && k = 0 then 0 else if id = 0 && k = 1 then 1 else Prng.int rng npeople in
+        let date = if Prng.chance rng 0.25 then interval_start else Prng.pick rng dates in
+        bidder rng ~person_id ~date)
+  in
+  let optional p node = if Prng.chance rng p then [ node ] else [] in
+  el
+    ~attrs:[ "id", Printf.sprintf "open_auction%d" id ]
+    "open_auction"
+    ([ el "initial" [ txt (string_of_int (10 + Prng.int rng 200)) ] ]
+    @ optional 0.5 (el "reserve" [ txt (string_of_int (50 + Prng.int rng 400)) ])
+    @ bidders
+    @ [
+        el "current" [ txt (string_of_int (20 + Prng.int rng 500)) ];
+      ]
+    @ optional 0.4 (el "privacy" [ txt "Yes" ])
+    @ [
+        el ~attrs:[ "item", Printf.sprintf "item%d" (Prng.int rng nitems) ] "itemref" [];
+        el ~attrs:[ "person", Printf.sprintf "person%d" (Prng.int rng npeople) ] "seller" [];
+        el "annotation"
+          [
+            el ~attrs:[ "person", Printf.sprintf "person%d" (Prng.int rng npeople) ] "author" [];
+            description rng ~depth:2 ~force_keyword:false;
+            el "happiness" [ txt (string_of_int (1 + Prng.int rng 10)) ];
+          ];
+        el "quantity" [ txt (string_of_int (1 + Prng.int rng 3)) ];
+        el "type" [ txt (if Prng.chance rng 0.5 then "Regular" else "Featured") ];
+        el "interval"
+          [ el "start" [ txt interval_start ]; el "end" [ txt (Prng.pick rng dates) ] ];
+      ])
+
+let closed_auction rng ~nitems ~npeople =
+  el "closed_auction"
+    [
+      el ~attrs:[ "person", Printf.sprintf "person%d" (Prng.int rng npeople) ] "seller" [];
+      el ~attrs:[ "person", Printf.sprintf "person%d" (Prng.int rng npeople) ] "buyer" [];
+      el ~attrs:[ "item", Printf.sprintf "item%d" (Prng.int rng nitems) ] "itemref" [];
+      el "price" [ txt (string_of_int (10 + Prng.int rng 990)) ];
+      el "date" [ txt (Prng.pick rng dates) ];
+      el "quantity" [ txt (string_of_int (1 + Prng.int rng 3)) ];
+      el "type" [ txt (if Prng.chance rng 0.5 then "Regular" else "Featured") ];
+      el "annotation"
+        [
+          el ~attrs:[ "person", Printf.sprintf "person%d" (Prng.int rng npeople) ] "author" [];
+          description rng ~depth:2 ~force_keyword:false;
+          el "happiness" [ txt (string_of_int (1 + Prng.int rng 10)) ];
+        ];
+    ]
+
+let generate ?(seed = 42) ~items_per_region () =
+  let rng = Prng.create seed in
+  let n = max 1 items_per_region in
+  let nitems = 6 * n in
+  let npeople = 2 * nitems in
+  let nopen = max 5 nitems in
+  let nclosed = max 2 (nitems / 2) in
+  let ncats = max 2 (nitems / 5) in
+  let next_item = ref 0 in
+  let region name =
+    el name
+      (List.init n (fun _ ->
+           let id = !next_item in
+           incr next_item;
+           item rng ~id ~ncats))
+  in
+  el "site"
+    [
+      el "regions" (Array.to_list (Array.map region regions));
+      el "categories"
+        (List.init ncats (fun i ->
+             el
+               ~attrs:[ "id", Printf.sprintf "category%d" i ]
+               "category"
+               [ el "name" [ txt (sentence rng 2) ]; description rng ~depth:1 ~force_keyword:false ]));
+      el "catgraph"
+        (List.init ncats (fun i ->
+             el
+               ~attrs:
+                 [
+                   "from", Printf.sprintf "category%d" i;
+                   "to", Printf.sprintf "category%d" (Prng.int rng ncats);
+                 ]
+               "edge" []));
+      el "people" (List.init npeople (fun i -> person rng ~id:i));
+      el "open_auctions"
+        (List.init nopen (fun i -> open_auction rng ~id:i ~nitems ~npeople));
+      el "closed_auctions"
+        (List.init nclosed (fun _ -> closed_auction rng ~nitems ~npeople));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema () =
+  let b = Graph.Builder.create () in
+  let def = Graph.Builder.define b in
+  let site = def "site" in
+  let regions_d = def "regions" in
+  let region_defs = Array.map (fun r -> def r) regions in
+  let item = def ~attrs:[ "id"; "featured" ] "item" in
+  let location = def ~text:true "location" in
+  let quantity = def ~text:true "quantity" in
+  let name = def ~text:true "name" in
+  let payment = def ~text:true "payment" in
+  let description = def "description" in
+  let shipping = def ~text:true "shipping" in
+  let incategory = def ~attrs:[ "category" ] "incategory" in
+  let mailbox = def "mailbox" in
+  let mail = def "mail" in
+  let from = def ~text:true "from" in
+  let to_ = def ~text:true "to" in
+  let date = def ~text:true "date" in
+  let text = def ~text:true "text" in
+  let keyword = def ~text:true "keyword" in
+  let parlist = def "parlist" in
+  let listitem = def "listitem" in
+  let categories = def "categories" in
+  let category = def ~attrs:[ "id" ] "category" in
+  let catgraph = def "catgraph" in
+  let edge = def ~attrs:[ "from"; "to" ] "edge" in
+  let people = def "people" in
+  let person = def ~attrs:[ "id" ] "person" in
+  let emailaddress = def ~text:true "emailaddress" in
+  let phone = def ~text:true "phone" in
+  let address = def "address" in
+  let street = def ~text:true "street" in
+  let city = def ~text:true "city" in
+  let country = def ~text:true "country" in
+  let zipcode = def ~text:true "zipcode" in
+  let homepage = def ~text:true "homepage" in
+  let creditcard = def ~text:true "creditcard" in
+  let profile = def ~attrs:[ "income" ] "profile" in
+  let interest = def ~attrs:[ "category" ] "interest" in
+  let education = def ~text:true "education" in
+  let gender = def ~text:true "gender" in
+  let business = def ~text:true "business" in
+  let age = def ~text:true "age" in
+  let watches = def "watches" in
+  let watch = def ~attrs:[ "open_auction" ] "watch" in
+  let open_auctions = def "open_auctions" in
+  let open_auction = def ~attrs:[ "id" ] "open_auction" in
+  let initial = def ~text:true "initial" in
+  let reserve = def ~text:true "reserve" in
+  let bidder = def "bidder" in
+  let time = def ~text:true "time" in
+  let personref = def ~attrs:[ "person" ] "personref" in
+  let increase = def ~text:true "increase" in
+  let current = def ~text:true "current" in
+  let privacy = def ~text:true "privacy" in
+  let itemref = def ~attrs:[ "item" ] "itemref" in
+  let seller = def ~attrs:[ "person" ] "seller" in
+  let annotation = def "annotation" in
+  let author = def ~attrs:[ "person" ] "author" in
+  let happiness = def ~text:true "happiness" in
+  let type_ = def ~text:true "type" in
+  let interval = def "interval" in
+  let start = def ~text:true "start" in
+  let end_ = def ~text:true "end" in
+  let closed_auctions = def "closed_auctions" in
+  let closed_auction = def "closed_auction" in
+  let buyer = def ~attrs:[ "person" ] "buyer" in
+  let price = def ~text:true "price" in
+  let child parent c = Graph.Builder.add_child b ~parent c in
+  let children parent cs = List.iter (child parent) cs in
+  children site [ regions_d; categories; catgraph; people; open_auctions; closed_auctions ];
+  Array.iter (fun r -> child regions_d r) region_defs;
+  Array.iter (fun r -> child r item) region_defs;
+  children item
+    [ location; quantity; name; payment; description; shipping; incategory; mailbox ];
+  children description [ text; parlist ];
+  children parlist [ listitem ];
+  children listitem [ text; parlist ];
+  children text [ keyword ];
+  children mailbox [ mail ];
+  children mail [ from; to_; date; text ];
+  children categories [ category ];
+  children category [ name; description ];
+  children catgraph [ edge ];
+  children people [ person ];
+  children person
+    [ name; emailaddress; phone; address; homepage; creditcard; profile; watches ];
+  children address [ street; city; country; zipcode ];
+  children profile [ interest; education; gender; business; age ];
+  children watches [ watch ];
+  children open_auctions [ open_auction ];
+  children open_auction
+    [
+      initial; reserve; bidder; current; privacy; itemref; seller; annotation; quantity;
+      type_; interval;
+    ];
+  children bidder [ date; time; personref; increase ];
+  children annotation [ author; description; happiness ];
+  children interval [ start; end_ ];
+  children closed_auctions [ closed_auction ];
+  children closed_auction
+    [ seller; buyer; itemref; price; date; quantity; type_; annotation ];
+  Graph.Builder.finish b ~root:site
+
+(* ------------------------------------------------------------------ *)
+(* The XPathMark query set (paper Appendix B)                           *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    "Q1", "/site/regions/*/item";
+    ( "Q2",
+      "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword"
+    );
+    "Q3", "//keyword";
+    "Q4", "/descendant-or-self::listitem/descendant-or-self::keyword";
+    "Q5", "/site/regions/*/item[parent::namerica or parent::samerica]";
+    "Q6", "//keyword/ancestor::listitem";
+    "Q7", "//keyword/ancestor-or-self::mail";
+    ( "Q9",
+      "/site/open_auctions/open_auction[@id='open_auction0']/bidder/preceding-sibling::bidder"
+    );
+    "Q10", "/site/regions/*/item[@id='item0']/following::item";
+    ( "Q11",
+      "/site/open_auctions/open_auction/bidder[personref/@person='person1']/preceding::bidder[personref/@person='person0']"
+    );
+    "Q12", "//item[@featured='yes']";
+    "Q13", "//*[@id]";
+    "Q21", "/site/regions/*/item[@id='item0']/description//keyword/text()";
+    "Q22", "/site/regions/namerica/item | /site/regions/samerica/item";
+    "Q23", "/site/people/person[address and (phone or homepage)]";
+    "Q24", "/site/people/person[not(homepage)]";
+    "QA", "/site/open_auctions/open_auction[bidder/date = interval/start]";
+  ]
+
+let query name = List.assoc name queries
+
+(* Extensions beyond the paper's subset (README "Supported XPath
+   subset"): string functions and count() comparisons. *)
+let extension_queries =
+  [
+    "XE1", "//item[location[contains(., 'france')]]";
+    "XE2", "//person[emailaddress[starts-with(., 'mailto:1')]]";
+    "XE3", "/site/open_auctions/open_auction[count(bidder) > 2]";
+    "XE4", "//item[count(incategory) = 2]";
+    "XE5", "//keyword[string-length(.) > 10]";
+    "XE6", "//parlist[count(listitem) >= 2]";
+  ]
+
+(* The benchmark queries inside the twig subset. *)
+let twig_queries =
+  [
+    "Q1", List.assoc "Q1" queries;
+    "Q2", List.assoc "Q2" queries;
+    "Q3", List.assoc "Q3" queries;
+    "Q4", List.assoc "Q4" queries;
+  ]

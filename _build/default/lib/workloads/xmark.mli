@@ -1,0 +1,39 @@
+(** XMark-like synthetic auction documents and the XPathMark query set
+    (paper Section 5, references [20] and [21]).
+
+    The generator reproduces the XMark vocabulary the paper's 17
+    benchmark queries touch: six continent regions with items (featured
+    flags, nested description mark-up with recursive
+    [parlist]/[listitem]/[text] structure and [keyword]s, mailboxes),
+    people (optional address/phone/homepage), open auctions (bidders with
+    personrefs, intervals) and closed auctions (annotations). Documents
+    are deterministic per seed and sized by [items_per_region].
+
+    Guaranteed features the queries rely on: [item0] exists, has a
+    keyword-bearing description and a featured flag; [open_auction0]
+    exists with at least three bidders including [person0] and [person1]
+    (in that order); some bidder dates equal interval starts (Q-A). *)
+
+val generate : ?seed:int -> items_per_region:int -> unit -> Ppfx_xml.Tree.node
+(** Build a document. Total element count is roughly
+    [65 * items_per_region]. *)
+
+val schema : unit -> Ppfx_schema.Graph.t
+(** The schema graph all generated documents conform to. *)
+
+val queries : (string * string) list
+(** The 17 benchmark queries: Q1–Q7, Q9–Q13, Q21–Q24 and Q-A (name,
+    XPath). *)
+
+val query : string -> string
+(** Lookup by name. Raises [Not_found]. *)
+
+val extension_queries : (string * string) list
+(** Queries beyond the paper's benchmark subset, exercising the
+    translator extensions: [contains()], [starts-with()],
+    [string-length()] and [count()] comparisons (XE1–XE6). *)
+
+val twig_queries : (string * string) list
+(** The benchmark queries that fall inside the twig-join subset
+    (child/descendant backbones with existence predicates), used by the
+    future-work twig comparison (paper Section 7). *)

@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Array Buffer Hashtbl List Ppfx_dewey Printf Tree

@@ -1,0 +1,1 @@
+lib/xml/doc.mli: Ppfx_dewey Tree

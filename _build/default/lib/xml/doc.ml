@@ -1,0 +1,130 @@
+module Dewey = Ppfx_dewey.Dewey
+module Region = Ppfx_dewey.Region
+
+type element = {
+  id : int;
+  parent : int;
+  tag : string;
+  attrs : (string * string) list;
+  text : string;
+  string_value : string;
+  dewey : Dewey.t;
+  region : Region.t;
+  path : string;
+  children : int list;
+}
+
+type t = { elements : element array }
+
+let of_tree root_node =
+  let root_elem =
+    match root_node with
+    | Tree.Element e -> e
+    | Tree.Text _ -> invalid_arg "Doc.of_tree: root must be an element"
+  in
+  let count = Tree.count_elements root_node in
+  let elements = Array.make count None in
+  let next_post = ref 0 in
+  (* Preorder numbering doubles as both the element id (1-based) and the
+     region encoding's [pre] (0-based). String values are assembled
+     bottom-up in this same pass — recomputing them per element through
+     [Tree.string_value] would be quadratic on deep documents. *)
+  let rec visit (e : Tree.element) ~parent_id ~pre ~dewey ~path ~level =
+    let id = pre + 1 in
+    let direct_text = Buffer.create 16 in
+    let sv = Buffer.create 16 in
+    let child_seq = ref 0 in
+    let next = ref (pre + 1) in
+    let child_ids = ref [] in
+    List.iter
+      (fun node ->
+        match node with
+        | Tree.Text s ->
+          Buffer.add_string direct_text s;
+          Buffer.add_string sv s
+        | Tree.Element c ->
+          incr child_seq;
+          let child_pre = !next in
+          let consumed, child_sv =
+            visit c ~parent_id:id ~pre:child_pre
+              ~dewey:(Dewey.child dewey !child_seq)
+              ~path:(path ^ "/" ^ c.tag)
+              ~level:(level + 1)
+          in
+          next := !next + consumed;
+          Buffer.add_string sv child_sv;
+          child_ids := (child_pre + 1) :: !child_ids)
+      e.children;
+    let post = !next_post in
+    incr next_post;
+    let string_value = Buffer.contents sv in
+    elements.(pre) <-
+      Some
+        {
+          id;
+          parent = parent_id;
+          tag = e.tag;
+          attrs = e.attrs;
+          text = Buffer.contents direct_text;
+          string_value;
+          dewey;
+          region = { Region.pre; post; level };
+          path;
+          children = List.rev !child_ids;
+        };
+    !next - pre, string_value
+  in
+  let consumed, _sv =
+    visit root_elem ~parent_id:0 ~pre:0 ~dewey:Dewey.root
+      ~path:("/" ^ root_elem.tag) ~level:1
+  in
+  assert (consumed = count);
+  let elements =
+    Array.map
+      (function Some e -> e | None -> assert false)
+      elements
+  in
+  { elements }
+
+let root t = t.elements.(0)
+
+let size t = Array.length t.elements
+
+let element t id =
+  if id < 1 || id > Array.length t.elements then
+    invalid_arg (Printf.sprintf "Doc.element: id %d out of range" id);
+  t.elements.(id - 1)
+
+let elements t = t.elements
+
+let parent t e = if e.parent = 0 then None else Some (element t e.parent)
+
+let children t e = List.map (element t) e.children
+
+let descendants t e =
+  (* Preorder ids of a subtree are contiguous: [id+1 .. id+subtree_size-1].
+     The subtree size is recoverable from the region encoding. *)
+  let rec last_descendant e =
+    match List.rev e.children with
+    | [] -> e.id
+    | last :: _ -> last_descendant (element t last)
+  in
+  let stop = last_descendant e in
+  let rec collect i acc = if i > stop then List.rev acc else collect (i + 1) (element t i :: acc) in
+  collect (e.id + 1) []
+
+let iter f t = Array.iter f t.elements
+
+let fold f init t = Array.fold_left f init t.elements
+
+let distinct_paths t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.path) then begin
+        Hashtbl.add seen e.path ();
+        acc := e.path :: !acc
+      end)
+    t.elements;
+  List.rev !acc

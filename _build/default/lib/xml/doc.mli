@@ -1,0 +1,59 @@
+(** Indexed documents: the element descriptors of paper Figure 1(c).
+
+    Flattens a parsed tree into arrays of per-element descriptors: preorder
+    id, parent id, tag, Dewey position, pre/post/level region encoding, the
+    root-to-node path string and the element's attributes and direct text.
+    Every storage engine and the reference XPath evaluator work from this
+    structure, so node identity (the preorder [id]) is comparable across
+    engines. *)
+
+type element = {
+  id : int;  (** preorder rank over elements, 1-based *)
+  parent : int;  (** parent element id, or 0 for the root *)
+  tag : string;
+  attrs : (string * string) list;
+  text : string;
+      (** concatenation of the direct text children, in order (the value
+          stored in the relational [text] column) *)
+  string_value : string;
+      (** XPath string-value: all descendant text concatenated *)
+  dewey : Ppfx_dewey.Dewey.t;
+  region : Ppfx_dewey.Region.t;
+  path : string;  (** root-to-node tag path, e.g. ["/A/B/C"] *)
+  children : int list;  (** ids of element children, in document order *)
+}
+
+type t
+
+val of_tree : Tree.node -> t
+(** Index a document. The root must be an element.
+
+    Cost: linear in the document size for bounded-depth documents. Dewey
+    positions and root-to-node paths are depth-linear per element by
+    design (paper Section 4.2), so pathologically deep documents cost
+    O(size x depth) space and time. *)
+
+val root : t -> element
+val size : t -> int
+(** Number of elements. *)
+
+val element : t -> int -> element
+(** Lookup by id (1-based). Raises [Invalid_argument] when out of range. *)
+
+val elements : t -> element array
+(** All elements in document (preorder) order. Do not mutate. *)
+
+val parent : t -> element -> element option
+
+val children : t -> element -> element list
+
+val descendants : t -> element -> element list
+(** Strict descendants in document order. *)
+
+val iter : (element -> unit) -> t -> unit
+
+val fold : ('a -> element -> 'a) -> 'a -> t -> 'a
+
+val distinct_paths : t -> string list
+(** All distinct root-to-node paths, in first-appearance order — the
+    contents of the [Paths] relation (paper Section 3.1). *)

@@ -1,0 +1,317 @@
+exception Error of { line : int; column : int; message : string }
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Error { line = st.line; column = st.pos - st.bol + 1; message }))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let skip st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+let skip_until st stop =
+  let n = String.length stop in
+  let rec loop () =
+    if st.pos + n > String.length st.src then fail st "unterminated construct (expected %S)" stop
+    else if looking_at st stop then skip st n
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  let rec loop () =
+    match peek st with
+    | Some c when is_space c -> advance st; loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+   | Some c when is_name_start c -> advance st
+   | Some c -> fail st "expected a name, found %C" c
+   | None -> fail st "expected a name, found end of input");
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c -> advance st; loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub st.src start (st.pos - start)
+
+(* Decode a reference after '&' has been consumed. *)
+let parse_reference st =
+  let name_start = st.pos in
+  let rec to_semi () =
+    match peek st with
+    | Some ';' ->
+      let body = String.sub st.src name_start (st.pos - name_start) in
+      advance st;
+      body
+    | Some _ -> advance st; to_semi ()
+    | None -> fail st "unterminated entity reference"
+  in
+  let body = to_semi () in
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail st "malformed character reference &%s;" body
+      in
+      if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
+      if code < 0x80 then String.make 1 (Char.chr code)
+      else begin
+        (* Encode as UTF-8. *)
+        let buf = Buffer.create 4 in
+        if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        Buffer.contents buf
+      end
+    end
+    else fail st "unknown entity &%s;" body
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st; q
+    | Some c -> fail st "expected attribute value, found %C" c
+    | None -> fail st "expected attribute value, found end of input"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when Char.equal c quote -> advance st
+    | Some '&' ->
+      advance st;
+      Buffer.add_string buf (parse_reference st);
+      loop ()
+    | Some '<' -> fail st "'<' is not allowed in attribute values"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_space st;
+      (match peek st with
+       | Some '=' -> advance st
+       | _ -> fail st "expected '=' after attribute name %s" name);
+      skip_space st;
+      let value = parse_attr_value st in
+      if List.mem_assoc name acc then fail st "duplicate attribute %s" name;
+      loop ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+(* Text content until the next '<'. Returns None for whitespace-only runs. *)
+let parse_text st =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    match peek st with
+    | None | Some '<' -> ()
+    | Some '&' ->
+      advance st;
+      Buffer.add_string buf (parse_reference st);
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  let s = Buffer.contents buf in
+  if String.for_all is_space s then None else Some s
+
+let rec parse_element st =
+  (* Caller consumed nothing: we are looking at '<'. *)
+  advance st (* '<' *);
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_space st;
+  match peek st with
+  | Some '/' ->
+    advance st;
+    (match peek st with
+     | Some '>' -> advance st
+     | _ -> fail st "expected '>' after '/' in empty-element tag");
+    Tree.Element { tag; attrs; children = [] }
+  | Some '>' ->
+    advance st;
+    let children = parse_content st tag in
+    Tree.Element { tag; attrs; children }
+  | Some c -> fail st "unexpected %C in start tag <%s ...>" c tag
+  | None -> fail st "unterminated start tag <%s" tag
+
+and parse_content st tag =
+  let rec loop acc =
+    match peek st with
+    | None -> fail st "missing closing tag </%s>" tag
+    | Some '<' ->
+      if looking_at st "</" then begin
+        skip st 2;
+        let close = parse_name st in
+        if not (String.equal close tag) then
+          fail st "mismatched closing tag </%s> (expected </%s>)" close tag;
+        skip_space st;
+        (match peek st with
+         | Some '>' -> advance st
+         | _ -> fail st "expected '>' in closing tag </%s>" close);
+        List.rev acc
+      end
+      else if looking_at st "<!--" then begin
+        skip st 4;
+        skip_until st "-->";
+        loop acc
+      end
+      else if looking_at st "<![CDATA[" then begin
+        skip st 9;
+        let start = st.pos in
+        let rec find () =
+          if looking_at st "]]>" then begin
+            let s = String.sub st.src start (st.pos - start) in
+            skip st 3;
+            s
+          end
+          else if st.pos >= String.length st.src then fail st "unterminated CDATA section"
+          else begin
+            advance st;
+            find ()
+          end
+        in
+        let s = find () in
+        loop (if String.length s = 0 then acc else Tree.Text s :: acc)
+      end
+      else if looking_at st "<?" then begin
+        skip st 2;
+        skip_until st "?>";
+        loop acc
+      end
+      else loop (parse_element st :: acc)
+    | Some _ ->
+      (match parse_text st with
+       | Some s -> loop (Tree.Text s :: acc)
+       | None -> loop acc)
+  in
+  loop []
+
+let skip_prolog st =
+  let rec loop () =
+    skip_space st;
+    if looking_at st "<?" then begin
+      skip st 2;
+      skip_until st "?>";
+      loop ()
+    end
+    else if looking_at st "<!--" then begin
+      skip st 4;
+      skip_until st "-->";
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      (* Skip to the matching '>'; internal subsets in brackets are skipped
+         without nesting (sufficient for data-centric documents). *)
+      let rec to_gt depth =
+        match peek st with
+        | None -> fail st "unterminated DOCTYPE declaration"
+        | Some '[' -> advance st; to_gt (depth + 1)
+        | Some ']' -> advance st; to_gt (depth - 1)
+        | Some '>' when depth = 0 -> advance st
+        | Some _ -> advance st; to_gt depth
+      in
+      skip st 9;
+      to_gt 0;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  skip_prolog st;
+  skip_space st;
+  match peek st with
+  | Some '<' ->
+    let root = parse_element st in
+    skip_space st;
+    (match peek st with
+     | None -> root
+     | Some c -> fail st "unexpected content %C after document root" c)
+  | Some c -> fail st "expected document root element, found %C" c
+  | None -> fail st "empty document"
+
+let parse_fragment src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  skip_prolog st;
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | None -> List.rev acc
+    | Some '<' -> loop (parse_element st :: acc)
+    | Some _ ->
+      (match parse_text st with
+       | Some s -> loop (Tree.Text s :: acc)
+       | None -> loop acc)
+  in
+  loop []

@@ -1,0 +1,20 @@
+(** A small, strict XML parser for the data-centric subset the system
+    stores.
+
+    Supported: the XML prolog, elements, attributes (single or double
+    quoted), character data, the five predefined entities plus numeric
+    character references, CDATA sections, comments and processing
+    instructions (both discarded).
+
+    Whitespace-only text between elements is dropped — the shredders store
+    data-centric documents where such whitespace is not meaningful. *)
+
+exception Error of { line : int; column : int; message : string }
+
+val parse : string -> Tree.node
+(** Parse a complete document; the result is the root {!Tree.Element}.
+    Raises {!Error} on malformed input. *)
+
+val parse_fragment : string -> Tree.node list
+(** Parse a sequence of top-level nodes (no single-root requirement);
+    useful in tests. *)

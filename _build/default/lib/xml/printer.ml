@@ -1,0 +1,110 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:true s;
+  Buffer.contents buf
+
+let has_text_child children =
+  List.exists (function Tree.Text _ -> true | Tree.Element _ -> false) children
+
+let write ~indent emit node =
+  let pad level = if indent > 0 then emit (String.make (level * indent) ' ') in
+  let newline () = if indent > 0 then emit "\n" in
+  let buf = Buffer.create 256 in
+  let flush () =
+    emit (Buffer.contents buf);
+    Buffer.clear buf
+  in
+  let rec go level node =
+    match node with
+    | Tree.Text s ->
+      escape buf ~attr:false s;
+      flush ()
+    | Tree.Element e ->
+      pad level;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape buf ~attr:true v;
+          Buffer.add_char buf '"')
+        e.attrs;
+      (match e.children with
+       | [] ->
+         Buffer.add_string buf "/>";
+         flush ();
+         newline ()
+       | children when has_text_child children ->
+         (* Mixed content: never introduce whitespace. *)
+         Buffer.add_char buf '>';
+         flush ();
+         List.iter (go_compact) children;
+         Buffer.add_string buf "</";
+         Buffer.add_string buf e.tag;
+         Buffer.add_char buf '>';
+         flush ();
+         newline ()
+       | children ->
+         Buffer.add_char buf '>';
+         flush ();
+         newline ();
+         List.iter (go (level + 1)) children;
+         pad level;
+         Buffer.add_string buf "</";
+         Buffer.add_string buf e.tag;
+         Buffer.add_char buf '>';
+         flush ();
+         newline ())
+  and go_compact node =
+    match node with
+    | Tree.Text s ->
+      escape buf ~attr:false s;
+      flush ()
+    | Tree.Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape buf ~attr:true v;
+          Buffer.add_char buf '"')
+        e.attrs;
+      (match e.children with
+       | [] -> Buffer.add_string buf "/>"; flush ()
+       | children ->
+         Buffer.add_char buf '>';
+         flush ();
+         List.iter go_compact children;
+         Buffer.add_string buf "</";
+         Buffer.add_string buf e.tag;
+         Buffer.add_char buf '>';
+         flush ())
+  in
+  if indent > 0 then go 0 node else go_compact node
+
+let to_string ?(indent = 0) node =
+  let out = Buffer.create 1024 in
+  write ~indent (Buffer.add_string out) node;
+  Buffer.contents out
+
+let to_channel ?(indent = 0) oc node = write ~indent (output_string oc) node

@@ -1,0 +1,15 @@
+(** XML serialization. Escapes the five predefined entities; attribute
+    values are double-quoted. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val to_string : ?indent:int -> Tree.node -> string
+(** Serialize. [indent = 0] (default) produces a compact single-line form
+    that round-trips exactly through {!Parser.parse}; a positive [indent]
+    pretty-prints element-only content with that many spaces per level
+    (mixed content is never reformatted). *)
+
+val to_channel : ?indent:int -> out_channel -> Tree.node -> unit
+(** Like {!to_string} but streams to a channel without building the whole
+    document in memory. *)

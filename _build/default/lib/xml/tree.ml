@@ -1,0 +1,48 @@
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+let element ?(attrs = []) ?(children = []) tag = Element { tag; attrs; children }
+
+let text s = Text s
+
+let attr e name = List.assoc_opt name e.attrs
+
+let string_value node =
+  let buf = Buffer.create 64 in
+  let rec collect = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter collect e.children
+  in
+  collect node;
+  Buffer.contents buf
+
+let rec count_elements = function
+  | Text _ -> 0
+  | Element e -> 1 + List.fold_left (fun acc c -> acc + count_elements c) 0 e.children
+
+let rec equal a b =
+  match a, b with
+  | Text s1, Text s2 -> String.equal s1 s2
+  | Element e1, Element e2 ->
+    String.equal e1.tag e2.tag
+    && e1.attrs = e2.attrs
+    && List.length e1.children = List.length e2.children
+    && List.for_all2 equal e1.children e2.children
+  | (Text _ | Element _), _ -> false
+
+let rec pp ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Element e ->
+    let pp_attr ppf (k, v) = Format.fprintf ppf " %s=%S" k v in
+    Format.fprintf ppf "<%s%a>%a</%s>" e.tag
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_attr)
+      e.attrs
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp)
+      e.children e.tag

@@ -1,0 +1,37 @@
+(** The XML data model: rooted, ordered, labeled trees (paper Section 2.1).
+
+    Only the constructs the paper's system stores are modelled: elements
+    with attributes, and text. Comments and processing instructions are
+    discarded at parse time. *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;  (** in document order, names unique *)
+  children : node list;
+}
+
+val element : ?attrs:(string * string) list -> ?children:node list -> string -> node
+(** Convenience constructor. *)
+
+val text : string -> node
+
+val attr : element -> string -> string option
+(** Attribute lookup by name. *)
+
+val string_value : node -> string
+(** XPath string-value: the concatenation of all descendant text, in
+    document order. *)
+
+val count_elements : node -> int
+(** Number of element nodes in the subtree (including the node itself if it
+    is an element). *)
+
+val equal : node -> node -> bool
+
+val pp : Format.formatter -> node -> unit
+(** Debug printer (compact, single line). For serialization use
+    {!Printer}. *)

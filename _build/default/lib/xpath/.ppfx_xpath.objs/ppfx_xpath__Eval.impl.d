@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Float Int List Option Ppfx_dewey Ppfx_xml String

@@ -1,0 +1,212 @@
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Following_sibling
+  | Preceding
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of string
+  | Wildcard
+  | Text
+  | Any_node
+
+type binop =
+  | Or
+  | And
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type step = {
+  axis : axis;
+  test : node_test;
+  predicates : expr list;
+}
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and expr =
+  | Path of path
+  | Union of expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Literal of string
+  | Number of float
+  | Fn_not of expr
+  | Fn_count of expr
+  | Fn_position
+  | Fn_last
+  | Fn_contains of expr * expr
+  | Fn_starts_with of expr * expr
+  | Fn_string_length of expr
+
+let is_forward_axis = function
+  | Child | Descendant | Descendant_or_self | Self | Attribute -> true
+  | Parent | Ancestor | Ancestor_or_self | Following | Following_sibling | Preceding
+  | Preceding_sibling ->
+    false
+
+let is_backward_axis = function
+  | Parent | Ancestor | Ancestor_or_self -> true
+  | Child | Descendant | Descendant_or_self | Self | Attribute | Following
+  | Following_sibling | Preceding | Preceding_sibling ->
+    false
+
+let is_order_axis = function
+  | Following | Following_sibling | Preceding | Preceding_sibling -> true
+  | Child | Descendant | Descendant_or_self | Self | Attribute | Parent | Ancestor
+  | Ancestor_or_self ->
+    false
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Following_sibling -> "following-sibling"
+  | Preceding -> "preceding"
+  | Preceding_sibling -> "preceding-sibling"
+  | Attribute -> "attribute"
+
+let binop_name = function
+  | Or -> "or"
+  | And -> "and"
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+
+(* Precedence: or=1, and=2, comparison=3, additive=4, multiplicative=5,
+   unary=6, union=7, path=8. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let pp_test ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Wildcard -> Format.pp_print_char ppf '*'
+  | Text -> Format.pp_print_string ppf "text()"
+  | Any_node -> Format.pp_print_string ppf "node()"
+
+let rec pp_prec prec ppf e =
+  let open Format in
+  let paren p body = if prec > p then fprintf ppf "(%t)" body else body ppf in
+  match e with
+  | Path p -> pp_path ppf p
+  | Union (a, b) ->
+    paren 7 (fun ppf -> fprintf ppf "%a | %a" (pp_prec 7) a (pp_prec 8) b)
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    paren p (fun ppf ->
+        fprintf ppf "%a %s %a" (pp_prec p) a (binop_name op) (pp_prec (p + 1)) b)
+  | Neg a -> paren 6 (fun ppf -> fprintf ppf "-%a" (pp_prec 6) a)
+  | Literal s -> fprintf ppf "'%s'" s
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      pp_print_string ppf (string_of_int (int_of_float f))
+    else fprintf ppf "%g" f
+  | Fn_not a -> fprintf ppf "not(%a)" (pp_prec 0) a
+  | Fn_count a -> fprintf ppf "count(%a)" (pp_prec 0) a
+  | Fn_position -> pp_print_string ppf "position()"
+  | Fn_last -> pp_print_string ppf "last()"
+  | Fn_contains (a, b) -> fprintf ppf "contains(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Fn_starts_with (a, b) ->
+    fprintf ppf "starts-with(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Fn_string_length a -> fprintf ppf "string-length(%a)" (pp_prec 0) a
+
+and pp_step ppf (s : step) =
+  let abbreviated =
+    match s.axis, s.test with
+    | Child, _ ->
+      pp_test ppf s.test;
+      true
+    | Attribute, Name n ->
+      Format.fprintf ppf "@%s" n;
+      true
+    | Attribute, Wildcard ->
+      Format.pp_print_string ppf "@*";
+      true
+    | Self, Any_node ->
+      Format.pp_print_string ppf ".";
+      true
+    | Parent, Any_node ->
+      Format.pp_print_string ppf "..";
+      true
+    | _ -> false
+  in
+  if not abbreviated then Format.fprintf ppf "%s::%a" (axis_name s.axis) pp_test s.test;
+  List.iter (fun p -> Format.fprintf ppf "[%a]" (pp_prec 0) p) s.predicates
+
+and pp_path ppf (p : path) =
+  let open Format in
+  if p.absolute then pp_print_char ppf '/';
+  pp_print_list
+    ~pp_sep:(fun ppf () -> pp_print_char ppf '/')
+    pp_step ppf p.steps
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let to_string e = Format.asprintf "%a" pp_expr e
+
+let rec equal_expr a b =
+  match a, b with
+  | Path p1, Path p2 -> equal_path p1 p2
+  | Union (a1, a2), Union (b1, b2) -> equal_expr a1 b1 && equal_expr a2 b2
+  | Binop (o1, a1, a2), Binop (o2, b1, b2) ->
+    o1 = o2 && equal_expr a1 b1 && equal_expr a2 b2
+  | Neg a, Neg b | Fn_not a, Fn_not b | Fn_count a, Fn_count b -> equal_expr a b
+  | Literal s1, Literal s2 -> String.equal s1 s2
+  | Number f1, Number f2 -> Float.equal f1 f2
+  | Fn_position, Fn_position | Fn_last, Fn_last -> true
+  | Fn_contains (a1, a2), Fn_contains (b1, b2)
+  | Fn_starts_with (a1, a2), Fn_starts_with (b1, b2) ->
+    equal_expr a1 b1 && equal_expr a2 b2
+  | Fn_string_length a, Fn_string_length b -> equal_expr a b
+  | ( ( Path _ | Union _ | Binop _ | Neg _ | Literal _ | Number _ | Fn_not _
+      | Fn_count _ | Fn_position | Fn_last | Fn_contains _ | Fn_starts_with _
+      | Fn_string_length _ )
+    , _ ) ->
+    false
+
+and equal_path p1 p2 =
+  p1.absolute = p2.absolute
+  && List.length p1.steps = List.length p2.steps
+  && List.for_all2 equal_step p1.steps p2.steps
+
+and equal_step s1 s2 =
+  s1.axis = s2.axis && s1.test = s2.test
+  && List.length s1.predicates = List.length s2.predicates
+  && List.for_all2 equal_expr s1.predicates s2.predicates

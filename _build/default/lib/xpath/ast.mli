@@ -1,0 +1,87 @@
+(** XPath abstract syntax for the subset the paper handles (Section 1):
+    all axes, wildcards, path union, nested path expressions, and logical,
+    arithmetic and position predicates. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Following_sibling
+  | Preceding
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of string
+  | Wildcard  (** [*] *)
+  | Text  (** [text()] *)
+  | Any_node  (** [node()] *)
+
+type binop =
+  | Or
+  | And
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type step = {
+  axis : axis;
+  test : node_test;
+  predicates : expr list;
+}
+
+and path = {
+  absolute : bool;  (** starts at the document root *)
+  steps : step list;
+}
+
+and expr =
+  | Path of path
+  | Union of expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Literal of string
+  | Number of float
+  | Fn_not of expr
+  | Fn_count of expr
+  | Fn_position
+  | Fn_last
+  | Fn_contains of expr * expr
+  | Fn_starts_with of expr * expr
+  | Fn_string_length of expr
+
+val is_forward_axis : axis -> bool
+(** Child, Descendant(_or_self), Self, Attribute. Order axes (following,
+    preceding and siblings) are neither forward nor backward for PPF
+    purposes. *)
+
+val is_backward_axis : axis -> bool
+(** Parent, Ancestor(_or_self). *)
+
+val is_order_axis : axis -> bool
+(** Following, Following_sibling, Preceding, Preceding_sibling. *)
+
+val axis_name : axis -> string
+(** The XPath surface name, e.g. ["descendant-or-self"]. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_path : Format.formatter -> path -> unit
+val pp_step : Format.formatter -> step -> unit
+
+val to_string : expr -> string
+(** Serialize back to XPath surface syntax (parseable by {!Parser}). *)
+
+val equal_expr : expr -> expr -> bool

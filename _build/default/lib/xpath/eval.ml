@@ -1,0 +1,368 @@
+module Doc = Ppfx_xml.Doc
+module Region = Ppfx_dewey.Region
+
+type item =
+  | Element of int
+  | Attr of int * string
+  | Text_node of int
+
+type value =
+  | Nodes of item list
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+(* The virtual document root is [Element 0]: it can be a context item but
+   never appears in results (no node test matches it). *)
+
+let owner_id = function Element i -> i | Attr (i, _) -> i | Text_node i -> i
+
+let kind_rank = function Element _ -> 0 | Attr _ -> 1 | Text_node _ -> 2
+
+let compare_items a b =
+  match Int.compare (owner_id a) (owner_id b) with
+  | 0 ->
+    (match Int.compare (kind_rank a) (kind_rank b) with
+     | 0 ->
+       (match a, b with
+        | Attr (_, n1), Attr (_, n2) -> String.compare n1 n2
+        | (Element _ | Attr _ | Text_node _), _ -> 0)
+     | c -> c)
+  | c -> c
+
+let string_value doc = function
+  | Element 0 -> (Doc.root doc).Doc.string_value
+  | Element i -> (Doc.element doc i).Doc.string_value
+  | Attr (i, name) ->
+    Option.value ~default:"" (List.assoc_opt name (Doc.element doc i).Doc.attrs)
+  | Text_node i -> (Doc.element doc i).Doc.text
+
+(* ------------------------------------------------------------------ *)
+(* Axes                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidates of an axis step, in axis order (reverse axes yield reverse
+   document order, as position() requires), already filtered by the node
+   test. *)
+let axis_candidates doc item (axis : Ast.axis) (test : Ast.node_test) : item list =
+  let elem i = Doc.element doc i in
+  let match_element i =
+    match test with
+    | Ast.Name n -> String.equal (elem i).Doc.tag n
+    | Ast.Wildcard | Ast.Any_node -> true
+    | Ast.Text -> false
+  in
+  let want_text =
+    match test with Ast.Text | Ast.Any_node -> true | Ast.Name _ | Ast.Wildcard -> false
+  in
+  let want_element =
+    match test with Ast.Name _ | Ast.Wildcard | Ast.Any_node -> true | Ast.Text -> false
+  in
+  let element_and_text i =
+    let es = if want_element && match_element i then [ Element i ] else [] in
+    let ts =
+      if want_text && String.length (elem i).Doc.text > 0 then [ Text_node i ] else []
+    in
+    es @ ts
+  in
+  let children_of i =
+    if i = 0 then
+      let root = Doc.root doc in
+      if want_element && match_element root.Doc.id then [ Element root.Doc.id ] else []
+    else
+      let e = elem i in
+      let elems =
+        List.concat_map
+          (fun c -> if want_element && match_element c then [ Element c ] else [])
+          e.Doc.children
+      in
+      let ts = if want_text && String.length e.Doc.text > 0 then [ Text_node i ] else [] in
+      elems @ ts
+  in
+  let descendants_of i ~or_self =
+    let base =
+      if i = 0 then Array.to_list (Array.map (fun e -> e.Doc.id) (Doc.elements doc))
+      else List.map (fun e -> e.Doc.id) (Doc.descendants doc (elem i))
+    in
+    let base = if or_self && i <> 0 then i :: base else base in
+    List.concat_map element_and_text base
+  in
+  let ancestors_of i ~or_self =
+    (* reverse document order: nearest ancestor first *)
+    let rec chain j = if j = 0 then [] else j :: chain (elem j).Doc.parent in
+    let anc = match chain i with [] -> [] | _self :: rest -> rest in
+    let ids = if or_self then i :: anc else anc in
+    List.filter_map (fun j -> if j <> 0 && want_element && match_element j then Some (Element j) else None) ids
+  in
+  match item with
+  | Attr (o, _) ->
+    (match axis with
+     | Ast.Self ->
+       (match test with
+        | Ast.Any_node -> [ item ]
+        | Ast.Name _ | Ast.Wildcard | Ast.Text -> [])
+     | Ast.Parent -> if match_element o && want_element then [ Element o ] else []
+     | Ast.Ancestor -> ancestors_of o ~or_self:true
+     | Ast.Ancestor_or_self -> ancestors_of o ~or_self:true
+     | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Following
+     | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling | Ast.Attribute ->
+       [])
+  | Text_node o ->
+    (match axis with
+     | Ast.Self ->
+       (match test with
+        | Ast.Text | Ast.Any_node -> [ item ]
+        | Ast.Name _ | Ast.Wildcard -> [])
+     | Ast.Parent -> if match_element o && want_element then [ Element o ] else []
+     | Ast.Ancestor -> ancestors_of o ~or_self:true
+     | Ast.Ancestor_or_self -> ancestors_of o ~or_self:true
+     | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Following
+     | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling | Ast.Attribute ->
+       [])
+  | Element i ->
+    (match axis with
+     | Ast.Child -> children_of i
+     | Ast.Descendant -> descendants_of i ~or_self:false
+     | Ast.Descendant_or_self -> descendants_of i ~or_self:true
+     | Ast.Self ->
+       if i = 0 then []
+       else begin
+         let es = if want_element && match_element i then [ Element i ] else [] in
+         es
+       end
+     | Ast.Parent ->
+       if i = 0 then []
+       else
+         let p = (elem i).Doc.parent in
+         if p = 0 then [] else if want_element && match_element p then [ Element p ] else []
+     | Ast.Ancestor -> if i = 0 then [] else ancestors_of i ~or_self:false
+     | Ast.Ancestor_or_self -> if i = 0 then [] else ancestors_of i ~or_self:true
+     | Ast.Following ->
+       if i = 0 then []
+       else begin
+         let me = (elem i).Doc.region in
+         Doc.fold
+           (fun acc e ->
+             if Region.is_following e.Doc.region ~of_:me then
+               acc @ element_and_text e.Doc.id
+             else acc)
+           [] doc
+       end
+     | Ast.Preceding ->
+       if i = 0 then []
+       else begin
+         let me = (elem i).Doc.region in
+         (* reverse document order *)
+         Doc.fold
+           (fun acc e ->
+             if Region.is_preceding e.Doc.region ~of_:me then
+               element_and_text e.Doc.id @ acc
+             else acc)
+           [] doc
+       end
+     | Ast.Following_sibling ->
+       if i = 0 then []
+       else begin
+         let p = (elem i).Doc.parent in
+         if p = 0 then []
+         else
+           let sibs = (elem p).Doc.children in
+           let after = List.filter (fun s -> s > i) sibs in
+           List.concat_map
+             (fun s -> if want_element && match_element s then [ Element s ] else [])
+             after
+       end
+     | Ast.Preceding_sibling ->
+       if i = 0 then []
+       else begin
+         let p = (elem i).Doc.parent in
+         if p = 0 then []
+         else
+           let sibs = (elem p).Doc.children in
+           let before = List.filter (fun s -> s < i) sibs in
+           (* reverse document order *)
+           List.concat_map
+             (fun s -> if want_element && match_element s then [ Element s ] else [])
+             (List.rev before)
+       end
+     | Ast.Attribute ->
+       if i = 0 then []
+       else
+         List.filter_map
+           (fun (name, _) ->
+             match test with
+             | Ast.Name n when String.equal n name -> Some (Attr (i, name))
+             | Ast.Wildcard -> Some (Attr (i, name))
+             | Ast.Name _ | Ast.Text | Ast.Any_node -> None)
+           (elem i).Doc.attrs)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type context = { item : item; position : int; size : int }
+
+let to_bool = function
+  | Bool b -> b
+  | Num f -> (not (Float.is_nan f)) && not (Float.equal f 0.0)
+  | Str s -> String.length s > 0
+  | Nodes l -> l <> []
+
+let num_of_string s =
+  match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan
+
+let to_num doc = function
+  | Num f -> f
+  | Bool true -> 1.0
+  | Bool false -> 0.0
+  | Str s -> num_of_string s
+  | Nodes [] -> Float.nan
+  | Nodes (first :: _) -> num_of_string (string_value doc first)
+
+let num_to_str f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else string_of_float f
+
+let to_str doc = function
+  | Str s -> s
+  | Num f -> num_to_str f
+  | Bool b -> if b then "true" else "false"
+  | Nodes [] -> ""
+  | Nodes (first :: _) -> string_value doc first
+
+let sort_dedupe items =
+  let sorted = List.sort_uniq compare_items items in
+  sorted
+
+let rec eval_expr doc ctx (e : Ast.expr) : value =
+  match e with
+  | Ast.Literal s -> Str s
+  | Ast.Number f -> Num f
+  | Ast.Fn_position -> Num (float_of_int ctx.position)
+  | Ast.Fn_last -> Num (float_of_int ctx.size)
+  | Ast.Fn_not a -> Bool (not (to_bool (eval_expr doc ctx a)))
+  | Ast.Fn_count a ->
+    (match eval_expr doc ctx a with
+     | Nodes l -> Num (float_of_int (List.length l))
+     | Bool _ | Num _ | Str _ -> invalid_arg "count() requires a node-set")
+  | Ast.Fn_contains (a, b) ->
+    let sa = to_str doc (eval_expr doc ctx a) and sb = to_str doc (eval_expr doc ctx b) in
+    let na = String.length sa and nb = String.length sb in
+    let rec go i = i + nb <= na && (String.sub sa i nb = sb || go (i + 1)) in
+    Bool (go 0)
+  | Ast.Fn_starts_with (a, b) ->
+    let sa = to_str doc (eval_expr doc ctx a) and sb = to_str doc (eval_expr doc ctx b) in
+    Bool
+      (String.length sb <= String.length sa
+      && String.equal (String.sub sa 0 (String.length sb)) sb)
+  | Ast.Fn_string_length a ->
+    Num (float_of_int (String.length (to_str doc (eval_expr doc ctx a))))
+  | Ast.Neg a -> Num (-.to_num doc (eval_expr doc ctx a))
+  | Ast.Union (a, b) ->
+    (match eval_expr doc ctx a, eval_expr doc ctx b with
+     | Nodes l1, Nodes l2 -> Nodes (sort_dedupe (l1 @ l2))
+     | _ -> invalid_arg "union requires node-sets")
+  | Ast.Binop (op, a, b) -> eval_binop doc ctx op a b
+  | Ast.Path p -> Nodes (eval_path doc ctx p)
+
+and eval_binop doc ctx op a b =
+  match op with
+  | Ast.Or ->
+    Bool (to_bool (eval_expr doc ctx a) || to_bool (eval_expr doc ctx b))
+  | Ast.And ->
+    Bool (to_bool (eval_expr doc ctx a) && to_bool (eval_expr doc ctx b))
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+    let x = to_num doc (eval_expr doc ctx a) and y = to_num doc (eval_expr doc ctx b) in
+    Num
+      (match op with
+       | Ast.Add -> x +. y
+       | Ast.Sub -> x -. y
+       | Ast.Mul -> x *. y
+       | Ast.Div -> x /. y
+       | Ast.Mod -> Float.rem x y
+       | _ -> assert false)
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    Bool (compare_values doc ctx op (eval_expr doc ctx a) (eval_expr doc ctx b))
+
+(* XPath 1.0 comparison semantics: existential over node-sets. *)
+and compare_values doc _ctx op va vb =
+  let is_equality = match op with Ast.Eq | Ast.Ne -> true | _ -> false in
+  let test_num x y =
+    match op with
+    | Ast.Eq -> Float.equal x y
+    | Ast.Ne -> not (Float.equal x y)
+    | Ast.Lt -> x < y
+    | Ast.Le -> x <= y
+    | Ast.Gt -> x > y
+    | Ast.Ge -> x >= y
+    | _ -> assert false
+  in
+  let test_str x y =
+    if is_equality then
+      match op with
+      | Ast.Eq -> String.equal x y
+      | Ast.Ne -> not (String.equal x y)
+      | _ -> assert false
+    else test_num (num_of_string x) (num_of_string y)
+  in
+  match va, vb with
+  | Nodes l1, Nodes l2 ->
+    List.exists
+      (fun n1 ->
+        let s1 = string_value doc n1 in
+        List.exists (fun n2 -> test_str s1 (string_value doc n2)) l2)
+      l1
+  | Nodes l, Num f -> List.exists (fun n -> test_num (num_of_string (string_value doc n)) f) l
+  | Num f, Nodes l -> List.exists (fun n -> test_num f (num_of_string (string_value doc n))) l
+  | Nodes l, Str s -> List.exists (fun n -> test_str (string_value doc n) s) l
+  | Str s, Nodes l -> List.exists (fun n -> test_str s (string_value doc n)) l
+  | Nodes l, Bool b -> test_num (if l <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
+  | Bool b, Nodes l -> test_num (if b then 1.0 else 0.0) (if l <> [] then 1.0 else 0.0)
+  | (Bool _ as x), y | y, (Bool _ as x) when is_equality ->
+    test_num (if to_bool x then 1.0 else 0.0) (if to_bool y then 1.0 else 0.0)
+  | x, y ->
+    if is_equality then
+      match x, y with
+      | Str s1, Str s2 -> test_str s1 s2
+      | _ -> test_num (to_num doc x) (to_num doc y)
+    else test_num (to_num doc x) (to_num doc y)
+
+and eval_path doc ctx (p : Ast.path) : item list =
+  let start = if p.Ast.absolute then [ Element 0 ] else [ ctx.item ] in
+  List.fold_left (fun current step -> eval_step doc current step) start p.Ast.steps
+
+and eval_step doc current (step : Ast.step) : item list =
+  let per_context item =
+    let candidates = axis_candidates doc item step.Ast.axis step.Ast.test in
+    List.fold_left
+      (fun cands pred ->
+        let size = List.length cands in
+        List.filteri
+          (fun i cand ->
+            let ctx = { item = cand; position = i + 1; size } in
+            match eval_expr doc ctx pred with
+            | Num f -> Float.equal f (float_of_int ctx.position)
+            | v -> to_bool v)
+          cands)
+      candidates step.Ast.predicates
+  in
+  sort_dedupe (List.concat_map per_context current)
+
+let eval doc e =
+  let ctx = { item = Element 0; position = 1; size = 1 } in
+  eval_expr doc ctx e
+
+let select doc e =
+  match eval doc e with
+  | Nodes l -> l
+  | Bool _ | Num _ | Str _ -> invalid_arg "Eval.select: expression is not a node-set"
+
+let select_elements doc e =
+  List.map
+    (function
+      | Element i -> i
+      | Text_node i -> i
+      | Attr _ -> invalid_arg "Eval.select_elements: attribute result")
+    (select doc e)
+  |> List.sort_uniq Int.compare

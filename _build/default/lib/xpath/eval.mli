@@ -1,0 +1,41 @@
+(** Reference XPath evaluator: a direct tree-walking implementation over
+    {!Ppfx_xml.Doc}, used as the ground-truth oracle every relational
+    engine is checked against.
+
+    Semantics follow XPath 1.0 (existential node-set comparisons, string
+    values, positional predicates) with two documented storage-model
+    alignments shared by every engine in this repository: adjacent text
+    runs of an element are merged into a single text node, and ['//step']
+    reads as [descendant::step] (see {!Parser}). *)
+
+type item =
+  | Element of int  (** element id in the document *)
+  | Attr of int * string  (** owning element id, attribute name *)
+  | Text_node of int  (** owning element id (merged text runs) *)
+
+type value =
+  | Nodes of item list  (** in document order, distinct *)
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+val eval : Ppfx_xml.Doc.t -> Ast.expr -> value
+(** Evaluate with the document root as context. *)
+
+val select : Ppfx_xml.Doc.t -> Ast.expr -> item list
+(** Like {!eval} but requires a node-set result; raises [Invalid_argument]
+    otherwise. *)
+
+val select_elements : Ppfx_xml.Doc.t -> Ast.expr -> int list
+(** Element ids of the node-set result, document order. Text nodes map to
+    their owning element; attribute results raise [Invalid_argument].
+    This is the comparison key used in cross-engine tests. *)
+
+val string_value : Ppfx_xml.Doc.t -> item -> string
+
+val to_str : Ppfx_xml.Doc.t -> value -> string
+(** XPath [string()] conversion of any value. *)
+
+val compare_items : item -> item -> int
+(** Document order; attributes sort directly after their element, text
+    after attributes. *)

@@ -1,0 +1,420 @@
+(* Hand-rolled recursive-descent parser. The classic XPath lexical
+   ambiguities ('*' as wildcard vs. multiplication, 'and'/'or'/'div'/'mod'
+   as names vs. operators) are resolved by parse position, as the spec
+   prescribes: operator readings are only attempted where an operand has
+   already been parsed.
+
+   One deliberate deviation from strict XPath 1.0: '//step' is desugared
+   to 'descendant::step' rather than 'descendant-or-self::node()/child::
+   step'. The two differ only for positional predicates directly on the
+   abbreviated step ('//B[1]'); the reference evaluator and every
+   translator in this repository share the descendant-axis reading, and no
+   benchmark query depends on the distinction. *)
+
+exception Error of { position : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st fmt =
+  Format.kasprintf (fun message -> raise (Error { position = st.pos; message })) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_at st k =
+  if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  let rec loop () =
+    match peek st with
+    | Some c when is_space c -> advance st; loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let looking_at st prefix =
+  skip_space st;
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let eat st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st "expected %S" prefix
+
+let try_eat st prefix =
+  if looking_at st prefix then begin
+    st.pos <- st.pos + String.length prefix;
+    true
+  end
+  else false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  skip_space st;
+  let start = st.pos in
+  (match peek st with
+   | Some c when is_name_start c -> advance st
+   | Some c -> fail st "expected a name, found %C" c
+   | None -> fail st "expected a name, found end of input");
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c -> advance st; loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub st.src start (st.pos - start)
+
+(* A word operator like 'and' must be a complete name. *)
+let try_eat_word st word =
+  skip_space st;
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+    && (match peek_at st n with
+        | Some c -> not (is_name_char c)
+        | None -> true)
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let axis_of_name st = function
+  | "child" -> Ast.Child
+  | "descendant" -> Ast.Descendant
+  | "descendant-or-self" -> Ast.Descendant_or_self
+  | "self" -> Ast.Self
+  | "parent" -> Ast.Parent
+  | "ancestor" -> Ast.Ancestor
+  | "ancestor-or-self" -> Ast.Ancestor_or_self
+  | "following" -> Ast.Following
+  | "following-sibling" -> Ast.Following_sibling
+  | "preceding" -> Ast.Preceding
+  | "preceding-sibling" -> Ast.Preceding_sibling
+  | "attribute" -> Ast.Attribute
+  | name -> fail st "unknown axis %s" name
+
+let parse_number st =
+  skip_space st;
+  let start = st.pos in
+  let rec digits () =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' -> advance st; digits ()
+    | Some _ | None -> ()
+  in
+  digits ();
+  if peek st = Some '.' && (match peek_at st 1 with Some c -> c >= '0' && c <= '9' | None -> false)
+  then begin
+    advance st;
+    digits ()
+  end;
+  if st.pos = start then fail st "expected a number";
+  float_of_string (String.sub st.src start (st.pos - start))
+
+let parse_literal st =
+  skip_space st;
+  let quote =
+    match peek st with
+    | Some (('\'' | '"') as q) -> advance st; q
+    | Some c -> fail st "expected a string literal, found %C" c
+    | None -> fail st "expected a string literal, found end of input"
+  in
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some c when Char.equal c quote ->
+      let s = String.sub st.src start (st.pos - start) in
+      advance st;
+      s
+    | Some _ -> advance st; loop ()
+    | None -> fail st "unterminated string literal"
+  in
+  loop ()
+
+let rec parse_expr st = parse_or st
+
+(* 'or', 'and' and '|' are left-associative (XPath 1.0 section 3.5). *)
+and parse_or st =
+  let rec loop left =
+    if try_eat_word st "or" then loop (Ast.Binop (Ast.Or, left, parse_and st)) else left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    if try_eat_word st "and" then loop (Ast.Binop (Ast.And, left, parse_cmp st)) else left
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let left = parse_additive st in
+  let rec loop left =
+    skip_space st;
+    let op =
+      if try_eat st "!=" then Some Ast.Ne
+      else if try_eat st "<=" then Some Ast.Le
+      else if try_eat st ">=" then Some Ast.Ge
+      else if try_eat st "=" then Some Ast.Eq
+      else if try_eat st "<" then Some Ast.Lt
+      else if try_eat st ">" then Some Ast.Gt
+      else None
+    in
+    match op with
+    | None -> left
+    | Some op -> loop (Ast.Binop (op, left, parse_additive st))
+  in
+  loop left
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  let rec loop left =
+    skip_space st;
+    if try_eat st "+" then loop (Ast.Binop (Ast.Add, left, parse_multiplicative st))
+    else if
+      (* '-' must not swallow the start of a following name ('x - y' vs the
+         name 'x-y'): the lexer has already consumed the full name, so a
+         standalone '-' here is always the operator. *)
+      try_eat st "-"
+    then loop (Ast.Binop (Ast.Sub, left, parse_multiplicative st))
+    else left
+  in
+  loop left
+
+and parse_multiplicative st =
+  let left = parse_unary st in
+  let rec loop left =
+    skip_space st;
+    if try_eat st "*" then loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    else if try_eat_word st "div" then loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    else if try_eat_word st "mod" then loop (Ast.Binop (Ast.Mod, left, parse_unary st))
+    else left
+  in
+  loop left
+
+and parse_unary st =
+  skip_space st;
+  if try_eat st "-" then Ast.Neg (parse_unary st) else parse_union st
+
+and parse_union st =
+  let rec loop left =
+    if looking_at st "|" && not (looking_at st "||") then begin
+      eat st "|";
+      loop (Ast.Union (left, parse_path_expr st))
+    end
+    else left
+  in
+  loop (parse_path_expr st)
+
+and parse_path_expr st =
+  skip_space st;
+  match peek st with
+  | Some ('\'' | '"') -> Ast.Literal (parse_literal st)
+  | Some c when c >= '0' && c <= '9' -> Ast.Number (parse_number st)
+  | Some '(' ->
+    advance st;
+    let e = parse_expr st in
+    skip_space st;
+    eat st ")";
+    (* A parenthesised expression can be followed by further steps only in
+       full XPath 2.0; the paper's subset does not need it. *)
+    e
+  | Some _ ->
+    (* Function call or location path. A word is a function call only when
+       immediately followed by '(' — otherwise it starts a step (so an
+       element named 'not' still parses). *)
+    let function_word word =
+      skip_space st;
+      let n = String.length word in
+      if
+        st.pos + n <= String.length st.src
+        && String.sub st.src st.pos n = word
+        && (let rest = { st with pos = st.pos + n } in
+            (match peek rest with
+             | Some c when is_name_char c -> false
+             | Some _ | None -> true)
+            && looking_at rest "(")
+      then begin
+        st.pos <- st.pos + n;
+        eat st "(";
+        true
+      end
+      else false
+    in
+    let two_args () =
+      let a = parse_expr st in
+      skip_space st;
+      eat st ",";
+      let b = parse_expr st in
+      skip_space st;
+      eat st ")";
+      a, b
+    in
+    if function_word "not" then begin
+      let e = parse_expr st in
+      skip_space st;
+      eat st ")";
+      Ast.Fn_not e
+    end
+    else if function_word "count" then begin
+      let e = parse_expr st in
+      skip_space st;
+      eat st ")";
+      Ast.Fn_count e
+    end
+    else if function_word "position" then begin
+      skip_space st;
+      eat st ")";
+      Ast.Fn_position
+    end
+    else if function_word "last" then begin
+      skip_space st;
+      eat st ")";
+      Ast.Fn_last
+    end
+    else if function_word "contains" then begin
+      let a, b = two_args () in
+      Ast.Fn_contains (a, b)
+    end
+    else if function_word "starts-with" then begin
+      let a, b = two_args () in
+      Ast.Fn_starts_with (a, b)
+    end
+    else if function_word "string-length" then begin
+      let a = parse_expr st in
+      skip_space st;
+      eat st ")";
+      Ast.Fn_string_length a
+    end
+    else Ast.Path (parse_location_path st)
+  | None -> fail st "expected an expression, found end of input"
+
+and parse_location_path st =
+  skip_space st;
+  if looking_at st "//" then begin
+    eat st "//";
+    let first = parse_step st ~implicit_descendant:true in
+    let steps = parse_more_steps st [ first ] in
+    { Ast.absolute = true; steps }
+  end
+  else if looking_at st "/" then begin
+    eat st "/";
+    skip_space st;
+    (* A bare '/' (document root) is valid XPath; the paper's subset always
+       has at least one step. *)
+    let first = parse_step st ~implicit_descendant:false in
+    let steps = parse_more_steps st [ first ] in
+    { Ast.absolute = true; steps }
+  end
+  else begin
+    let first = parse_step st ~implicit_descendant:false in
+    let steps = parse_more_steps st [ first ] in
+    { Ast.absolute = false; steps }
+  end
+
+and parse_more_steps st acc =
+  if looking_at st "//" then begin
+    eat st "//";
+    let s = parse_step st ~implicit_descendant:true in
+    parse_more_steps st (s :: acc)
+  end
+  else if looking_at st "/" then begin
+    eat st "/";
+    let s = parse_step st ~implicit_descendant:false in
+    parse_more_steps st (s :: acc)
+  end
+  else List.rev acc
+
+(* [implicit_descendant] is set when the step was introduced by '//'. *)
+and parse_step st ~implicit_descendant =
+  skip_space st;
+  let make axis test =
+    let axis =
+      if implicit_descendant then
+        match axis with
+        | Ast.Child -> Ast.Descendant
+        | Ast.Attribute | Ast.Descendant | Ast.Descendant_or_self | Ast.Self
+        | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following
+        | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling ->
+          fail st "'//' abbreviation must be followed by a child step in this subset"
+      else axis
+    in
+    let predicates = parse_predicates st in
+    { Ast.axis; test; predicates }
+  in
+  match peek st with
+  | Some '.' when peek_at st 1 = Some '.' ->
+    advance st;
+    advance st;
+    make Ast.Parent Ast.Any_node
+  | Some '.' ->
+    advance st;
+    make Ast.Self Ast.Any_node
+  | Some '@' ->
+    advance st;
+    skip_space st;
+    if try_eat st "*" then make Ast.Attribute Ast.Wildcard
+    else make Ast.Attribute (Ast.Name (parse_name st))
+  | Some '*' ->
+    advance st;
+    make Ast.Child Ast.Wildcard
+  | Some c when is_name_start c ->
+    let name = parse_name st in
+    if looking_at st "::" then begin
+      eat st "::";
+      let axis = axis_of_name st name in
+      skip_space st;
+      if try_eat st "*" then make axis Ast.Wildcard
+      else begin
+        let test_name = parse_name st in
+        if looking_at st "(" && (String.equal test_name "text" || String.equal test_name "node")
+        then begin
+          eat st "(";
+          skip_space st;
+          eat st ")";
+          make axis (if String.equal test_name "text" then Ast.Text else Ast.Any_node)
+        end
+        else make axis (Ast.Name test_name)
+      end
+    end
+    else if
+      looking_at st "(" && (String.equal name "text" || String.equal name "node")
+    then begin
+      eat st "(";
+      skip_space st;
+      eat st ")";
+      make Ast.Child (if String.equal name "text" then Ast.Text else Ast.Any_node)
+    end
+    else make Ast.Child (Ast.Name name)
+  | Some c -> fail st "expected a step, found %C" c
+  | None -> fail st "expected a step, found end of input"
+
+and parse_predicates st =
+  if looking_at st "[" then begin
+    eat st "[";
+    let e = parse_expr st in
+    skip_space st;
+    eat st "]";
+    e :: parse_predicates st
+  end
+  else []
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let e = parse_expr st in
+  skip_space st;
+  if st.pos < String.length src then fail st "unexpected trailing input";
+  e
+
+let parse_path src =
+  let st = { src; pos = 0 } in
+  match parse src with
+  | Ast.Path p -> p
+  | _ -> fail { st with pos = 0 } "expected a plain location path"

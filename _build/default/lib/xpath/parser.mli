@@ -1,0 +1,17 @@
+(** XPath parser (recursive descent over the abbreviated and unabbreviated
+    syntax).
+
+    Supports: absolute and relative location paths, every axis (explicit
+    [axis::test] and the abbreviations [@], [.], [..], [//]), the node
+    tests [name], [*], [text()], [node()], predicates, path union [|],
+    parenthesised expressions, the operators [or and = != < <= > >= + -
+    * div mod], unary minus, string literals, numbers, and the functions
+    [not()], [count()], [position()], [last()]. *)
+
+exception Error of { position : int; message : string }
+
+val parse : string -> Ast.expr
+(** Raises {!Error} on malformed input. *)
+
+val parse_path : string -> Ast.path
+(** Like {!parse} but requires the expression to be a plain location path. *)

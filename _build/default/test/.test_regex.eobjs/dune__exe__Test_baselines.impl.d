@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Lazy List Ppfx_baselines Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_xml Ppfx_xpath QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Array Gen List Ppfx_dewey Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_edge_translate.ml: Alcotest Lazy List Ppfx_minidb Ppfx_shred Ppfx_translate Ppfx_xml Ppfx_xpath QCheck QCheck_alcotest String

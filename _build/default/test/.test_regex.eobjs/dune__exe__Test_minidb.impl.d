@@ -1,0 +1,1 @@
+test/test_minidb.ml: Alcotest Array Filename Fun Hashtbl List Option Ppfx_minidb Printf QCheck QCheck_alcotest String Sys

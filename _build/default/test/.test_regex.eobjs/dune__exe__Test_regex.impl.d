@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Char List Ppfx_regex Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest List Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_translate Ppfx_xml Ppfx_xpath QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shred.ml: Alcotest Array List Ppfx_dewey Ppfx_minidb Ppfx_schema Ppfx_shred Ppfx_xml QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Lazy List Ppfx_schema Ppfx_workloads Ppfx_xml Ppfx_xpath Printexc

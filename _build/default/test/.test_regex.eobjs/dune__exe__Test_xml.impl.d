@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Buffer Format List Ppfx_dewey Ppfx_xml Printf QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Lazy List Ppfx_xml Ppfx_xpath Printf QCheck QCheck_alcotest

@@ -1,0 +1,306 @@
+(* Differential tests for the three baselines of the paper's evaluation:
+   XPath Accelerator (window-join SQL), the MonetDB/XQuery simulator
+   (staircase columns), and the commercial built-in stand-in. *)
+
+module Xparser = Ppfx_xpath.Parser
+module Eval = Ppfx_xpath.Eval
+module Doc = Ppfx_xml.Doc
+module Xml_parser = Ppfx_xml.Parser
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Accelerator = Ppfx_baselines.Accelerator
+module Monet_sim = Ppfx_baselines.Monet_sim
+module Commercial = Ppfx_baselines.Commercial
+module Twig = Ppfx_baselines.Twig
+module Engine = Ppfx_minidb.Engine
+
+let fig1_doc_src =
+  "<A x=\"3\"><B><C><D>d1</D></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>"
+
+let fig1 = lazy (Doc.of_tree (Xml_parser.parse fig1_doc_src))
+
+let accel = lazy (Accelerator.shred (Lazy.force fig1))
+
+let monet = lazy (Monet_sim.of_doc (Lazy.force fig1))
+
+let queries =
+  [
+    "/A"; "/A/B"; "/A/B/C"; "/A/B/C/D"; "/A/B/C/E/F"; "//F"; "//C"; "//G"; "/A//F";
+    "/A/B//F"; "/A/*"; "/A/B/*"; "/A/B/C/*/F"; "/A/*/C"; "//*";
+    "/A[@x = 3]/B/C//F"; "/A[@x = 3]/B"; "/A[@x = 4]//C"; "/A/*[C//F = 2]";
+    "//F/parent::E"; "//F/parent::E/parent::C"; "//F/ancestor::B"; "//F/ancestor::C";
+    "//F/parent::E/ancestor::B"; "//G/ancestor::G"; "//G/parent::G"; "//G/ancestor::B";
+    "//D/..";
+    "/descendant-or-self::G"; "//G/ancestor-or-self::G"; "//F/ancestor-or-self::B";
+    "/A/B/C/following-sibling::G"; "/A/B/C/following-sibling::C";
+    "//C/preceding-sibling::C"; "//D/following::F"; "//G/preceding::D";
+    "//D/following::G"; "//F/following-sibling::F";
+    "/A/B/C[E]"; "/A/B/C[D]"; "/A/B[C]"; "/A/B[G]"; "/A/B/C[E/F = 2]";
+    "/A/B/C[E/F = 3]"; "//F[. = 1]"; "//C[D = 'd1']"; "//B[C and G]"; "//B[C or G]";
+    "//B[not(C)]"; "//C[not(D)]"; "//F[parent::E]"; "//F[ancestor::B]";
+    "//G[parent::B or ancestor::G]"; "//G[parent::G]"; "//*[@x]"; "/A[@x]";
+    "/A[@x = 3]"; "/A[@x = '3']"; "/A[@x = 4]"; "//C[E/F]"; "/A/B[C/E/F = 2]";
+    "/A/B[C/D]"; "//B[.//F]";
+    "/A/B[C[E]]"; "/A/B[C[E/F = 1]]"; "//B[C[not(D)] and G]";
+    "/A/B[C/E/F = C/E/F]"; "/A/B/C[E/F = E/F]";
+    "/A/B/C/D | //F"; "//G | //F"; "/A/B | /A/B/C";
+    "//F/text()"; "/A/B/C/E/F/text()"; "//D/text()";
+    "/A/B/*[//F]"; "/A/B/C/*[F]";
+    "//F[. + 1 = 3]";
+    "/A/B/C[E/F = /A/B/C/E/F]"; "//C[D = /A/B/C/D]";
+    "/A/B/G//G"; "//G//G"; "/A/B[G/G]";
+    "//D[contains(., 'd')]"; "//D[contains(., 'z')]"; "//F[starts-with(., '1')]";
+    "//D[string-length(.) = 2]"; "//C[D[contains(., 'd1')]]";
+  ]
+
+let accel_query query () =
+  let doc = Lazy.force fig1 in
+  let store = Lazy.force accel in
+  let expr = Xparser.parse query in
+  let expected = Eval.select_elements doc expr in
+  let got =
+    match Accelerator.translate expr with
+    | None -> []
+    | Some stmt -> Accelerator.result_ids (Engine.run store.Accelerator.db stmt)
+  in
+  Alcotest.(check (list int)) query expected got
+
+let monet_query query () =
+  let doc = Lazy.force fig1 in
+  let store = Lazy.force monet in
+  let expr = Xparser.parse query in
+  let expected = Eval.select_elements doc expr in
+  Alcotest.(check (list int)) query expected (Monet_sim.run store expr)
+
+let commercial_tests =
+  [
+    ( "supports the Q23/Q24/QA feature profile",
+      fun () ->
+        List.iter
+          (fun q ->
+            Alcotest.(check bool) q true (Commercial.supports (Xparser.parse q)))
+          [
+            "/site/people/person[address and (phone or homepage)]";
+            "/site/people/person[not(homepage)]";
+            "/site/open_auctions/open_auction[bidder/date = interval/start]";
+            "/A/B[C/E/F = 2]";
+          ] );
+    ( "rejects everything else",
+      fun () ->
+        List.iter
+          (fun q ->
+            Alcotest.(check bool) q false (Commercial.supports (Xparser.parse q)))
+          [
+            "//keyword";
+            "/site/regions/*/item";
+            "/A/B/C/following-sibling::G";
+            "//F/ancestor::B";
+            "/A/B | /A/C";
+            "/A/B[.//F]";
+            "/A/B[2]";
+          ] );
+    ( "translation is correct on its subset",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        let schema = Graph.infer doc in
+        let instance = Loader.shred schema doc in
+        List.iter
+          (fun q ->
+            let expr = Xparser.parse q in
+            let expected = Eval.select_elements doc expr in
+            let got =
+              match Commercial.translate instance.Loader.mapping expr with
+              | None -> []
+              | Some stmt -> Commercial.result_ids (Engine.run instance.Loader.db stmt)
+            in
+            Alcotest.(check (list int)) q expected got)
+          [
+            "/A/B";
+            "/A/B/C";
+            "/A/B/C[E and D]";
+            "/A/B/C[E or D]";
+            "/A/B/C[not(D)]";
+            "/A/B/C[E/F = 2]";
+            "/A/B/C[E/F = E/F]";
+            "/A[@x = 3]/B";
+          ] );
+    ( "raises on unsupported queries",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        let schema = Graph.infer doc in
+        let instance = Loader.shred schema doc in
+        match Commercial.translate instance.Loader.mapping (Xparser.parse "//F") with
+        | _ -> Alcotest.fail "expected Not_supported"
+        | exception Commercial.Not_supported _ -> () );
+  ]
+
+let twig = lazy (Twig.of_doc (Lazy.force fig1))
+
+let twig_tests =
+  [
+    ( "supports the twig subset",
+      fun () ->
+        List.iter
+          (fun (q, expected) ->
+            Alcotest.(check bool) q expected (Twig.supports (Xparser.parse q)))
+          [
+            "/A/B/C", true;
+            "//F", true;
+            "/A//C[E]", true;
+            "/A/B[C/E and G]//F", true;
+          ] );
+    ( "twig subset membership",
+      fun () ->
+        List.iter
+          (fun (q, expected) ->
+            Alcotest.(check bool) q expected (Twig.supports (Xparser.parse q)))
+          [
+            "/A/B[C][G]", true;
+            "/A/*[C//F]", true;
+            "//F/parent::E", false;
+            "/A/B[C = 2]", false;
+            "/A/B[not(C)]", false;
+            "//F/following::G", false;
+            "/A/B | /A/C", false;
+          ] );
+    ( "differential against the reference evaluator",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        let store = Lazy.force twig in
+        List.iter
+          (fun q ->
+            let expr = Xparser.parse q in
+            let expected = Eval.select_elements doc expr in
+            Alcotest.(check (list int)) q expected (Twig.run store expr))
+          [
+            "/A"; "/A/B"; "/A/B/C"; "/A/B/C/D"; "//F"; "//G"; "/A//F"; "/A/B/*";
+            "/A/B/C/*/F"; "//*"; "/A/B[C]"; "/A/B[G]"; "/A/B[C][G]"; "/A/B/C[E]";
+            "/A/B/C[E/F]"; "/A/B[C/E/F]"; "//B[.//F]"; "/A/*[C//F]"; "//G//G";
+            "/A/B[G/G]"; "//C[E and D]"; "/A/B[C/D and C/E]";
+          ] );
+    ( "rejects out-of-subset queries at run time",
+      fun () ->
+        let store = Lazy.force twig in
+        match Twig.run store (Xparser.parse "//F/parent::E") with
+        | _ -> Alcotest.fail "expected Unsupported"
+        | exception Twig.Unsupported _ -> () );
+  ]
+
+(* Random cross-engine property: accelerator and monet simulator agree
+   with the reference evaluator on random queries. *)
+let gen_query =
+  let open QCheck.Gen in
+  let name = oneofl [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ] in
+  let test = oneof [ name; return "*" ] in
+  let step =
+    oneof
+      [
+        map (fun t -> "/" ^ t) test;
+        map (fun t -> "//" ^ t) test;
+        map (fun t -> "/parent::" ^ t) test;
+        map (fun t -> "/ancestor::" ^ t) test;
+        map (fun t -> "/following-sibling::" ^ t) test;
+        map (fun t -> "/preceding-sibling::" ^ t) test;
+        map (fun t -> "/following::" ^ t) test;
+        map (fun t -> "/preceding::" ^ t) test;
+      ]
+  in
+  let predicate =
+    oneof
+      [
+        map (fun n -> "[" ^ n ^ "]") name;
+        map (fun n -> "[not(" ^ n ^ ")]") name;
+        map (fun n -> "[.//" ^ n ^ "]") name;
+        map2 (fun n v -> "[" ^ n ^ " = " ^ string_of_int v ^ "]") name (int_bound 3);
+        map (fun n -> "[parent::" ^ n ^ "]") name;
+        map (fun n -> "[ancestor::" ^ n ^ "]") name;
+        return "[@x]";
+        return "[@x = 3]";
+      ]
+  in
+  map2
+    (fun steps first_name ->
+      let body = String.concat "" (List.map (fun (s, p) -> s ^ p) steps) in
+      "/" ^ first_name ^ body)
+    (list_size (int_range 0 3) (pair step (oneof [ return ""; predicate ])))
+    name
+
+let gen_twig_query =
+  let open QCheck.Gen in
+  let name = oneofl [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ] in
+  let test = oneof [ name; return "*" ] in
+  let step = oneof [ map (fun t -> "/" ^ t) test; map (fun t -> "//" ^ t) test ] in
+  let predicate =
+    oneof
+      [
+        map (fun n -> "[" ^ n ^ "]") name;
+        map (fun n -> "[.//" ^ n ^ "]") name;
+        map2 (fun a b -> "[" ^ a ^ " and .//" ^ b ^ "]") name name;
+        map2 (fun a b -> "[" ^ a ^ "/" ^ b ^ "]") name name;
+      ]
+  in
+  map2
+    (fun first steps ->
+      "/" ^ first ^ String.concat "" (List.map (fun (s, p) -> s ^ p) steps))
+    name
+    (list_size (int_range 0 4) (pair step (oneof [ return ""; predicate ])))
+
+let prop_twig_vs_eval =
+  QCheck.Test.make ~count:600 ~name:"twig joins agree with the evaluator"
+    (QCheck.make ~print:(fun q -> q) gen_twig_query)
+    (fun query ->
+      let doc = Lazy.force fig1 in
+      match Xparser.parse query with
+      | exception Xparser.Error _ -> QCheck.assume_fail ()
+      | expr ->
+        if not (Twig.supports expr) then QCheck.assume_fail ()
+        else begin
+          let expected = Eval.select_elements doc expr in
+          let got = Twig.run (Lazy.force twig) expr in
+          if got <> expected then
+            QCheck.Test.fail_reportf "twig on %s: expected [%s], got [%s]" query
+              (String.concat ";" (List.map string_of_int expected))
+              (String.concat ";" (List.map string_of_int got))
+          else true
+        end)
+
+let prop_baselines_vs_eval =
+  QCheck.Test.make ~count:600 ~name:"accelerator and monet agree with the evaluator"
+    (QCheck.make ~print:(fun q -> q) gen_query)
+    (fun query ->
+      let doc = Lazy.force fig1 in
+      match Xparser.parse query with
+      | exception Xparser.Error _ -> QCheck.assume_fail ()
+      | expr ->
+        let expected = Eval.select_elements doc expr in
+        let via_accel =
+          let store = Lazy.force accel in
+          match Accelerator.translate expr with
+          | None -> []
+          | Some stmt -> Accelerator.result_ids (Engine.run store.Accelerator.db stmt)
+        in
+        let via_monet = Monet_sim.run (Lazy.force monet) expr in
+        if via_accel <> expected then
+          QCheck.Test.fail_reportf "accelerator on %s: expected [%s], got [%s]" query
+            (String.concat ";" (List.map string_of_int expected))
+            (String.concat ";" (List.map string_of_int via_accel))
+        else if via_monet <> expected then
+          QCheck.Test.fail_reportf "monet on %s: expected [%s], got [%s]" query
+            (String.concat ";" (List.map string_of_int expected))
+            (String.concat ";" (List.map string_of_int via_monet))
+        else true)
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "baselines"
+    [
+      ( "accelerator",
+        List.map (fun q -> Alcotest.test_case q `Quick (accel_query q)) queries );
+      ( "monet-sim",
+        List.map (fun q -> Alcotest.test_case q `Quick (monet_query q)) queries );
+      "commercial", List.map tc commercial_tests;
+      "twig", List.map tc twig_tests;
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_baselines_vs_eval; prop_twig_vs_eval ] );
+    ]

@@ -1,0 +1,168 @@
+(* Differential tests for the schema-oblivious Edge-mapping PPF variant
+   (paper Section 5.1) against the reference evaluator. *)
+
+module Xparser = Ppfx_xpath.Parser
+module Eval = Ppfx_xpath.Eval
+module Doc = Ppfx_xml.Doc
+module Xml_parser = Ppfx_xml.Parser
+module Edge = Ppfx_shred.Edge
+module Edge_translate = Ppfx_translate.Edge_translate
+module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+
+let fig1_doc_src =
+  "<A x=\"3\"><B><C><D>d1</D></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>"
+
+let fig1 =
+  lazy
+    (let doc = Doc.of_tree (Xml_parser.parse fig1_doc_src) in
+     doc, Edge.shred doc)
+
+let check_query doc (store : Edge.t) query =
+  let expr = Xparser.parse query in
+  let expected = Eval.select_elements doc expr in
+  let got =
+    match Edge_translate.translate expr with
+    | None -> []
+    | Some stmt -> Edge_translate.result_ids (Engine.run store.Edge.db stmt)
+  in
+  Alcotest.(check (list int)) query expected got
+
+let fig1_query query () =
+  let doc, store = Lazy.force fig1 in
+  check_query doc store query
+
+(* The same corpus as the schema-aware translator tests: both variants
+   must agree with the evaluator (and hence with each other). *)
+let fig1_queries =
+  [
+    "/A"; "/A/B"; "/A/B/C"; "/A/B/C/D"; "/A/B/C/E/F"; "//F"; "//C"; "//G"; "/A//F";
+    "/A/B//F"; "/A/*"; "/A/B/*"; "/A/B/C/*/F"; "/A/*/C"; "//*";
+    "/A[@x = 3]/B/C//F"; "/A[@x = 3]/B"; "/A[@x = 4]//C"; "/A/*[C//F = 2]";
+    "//F/parent::E"; "//F/parent::E/parent::C"; "//F/ancestor::B"; "//F/ancestor::C";
+    "//F/parent::E/ancestor::B"; "//G/ancestor::G"; "//G/parent::G"; "//G/ancestor::B";
+    "//D/..";
+    "/descendant-or-self::G"; "//G/ancestor-or-self::G"; "//F/ancestor-or-self::B";
+    "/A/B/C/following-sibling::G"; "/A/B/C/following-sibling::C";
+    "//C/preceding-sibling::C"; "//D/following::F"; "//G/preceding::D";
+    "//D/following::G"; "//F/following-sibling::F";
+    "/A/B/C[E]"; "/A/B/C[D]"; "/A/B[C]"; "/A/B[G]"; "/A/B/C[E/F = 2]";
+    "/A/B/C[E/F = 3]"; "//F[. = 1]"; "//C[D = 'd1']"; "//B[C and G]"; "//B[C or G]";
+    "//B[not(C)]"; "//C[not(D)]"; "//F[parent::E]"; "//F[ancestor::B]";
+    "//G[parent::B or ancestor::G]"; "//G[parent::G]"; "//*[@x]"; "/A[@x]";
+    "/A[@x = 3]"; "/A[@x = '3']"; "/A[@x = 4]"; "//C[E/F]"; "/A/B[C/E/F = 2]";
+    "/A/B[C/D]"; "//B[.//F]";
+    "/A/B[C[E]]"; "/A/B[C[E/F = 1]]"; "//B[C[not(D)] and G]";
+    "/A/B[C/E/F = C/E/F]"; "/A/B/C[E/F = E/F]";
+    "/A/B/C/D | //F"; "//G | //F"; "/A/B | /A/B/C";
+    "//F/text()"; "/A/B/C/E/F/text()"; "//D/text()";
+    "/A/B/*[//F]"; "/A/B/C/*[F]";
+    "//F[. + 1 = 3]"; "//F[. * 2 = 2]";
+    "/A/B/C[E/F = /A/B/C/E/F]"; "//C[D = /A/B/C/D]";
+    "/A/B/G//G"; "//G//G"; "/A/B[G/G]";
+    "//D[contains(., 'd')]"; "//D[contains(., 'z')]"; "//F[starts-with(., '1')]";
+    "//D[string-length(.) = 2]"; "//C[D[contains(., 'd1')]]";
+    "/A/B[1]"; "/A/B[2]"; "/A/B/C[2]"; "/A/B/C[position() = 1]"; "/A/B/C[last()]";
+    "/A/B/C[position() < last()]"; "/A/B[2]/G"; "/A/B[C[1]]";
+    (* wildcards are free on the Edge mapping: no SQL splitting *)
+    "//*[@x]/B"; "/*/*";
+  ]
+
+let golden_tests =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  [
+    ( "wildcard prominent step does not split the statement",
+      fun () ->
+        match Edge_translate.translate (Xparser.parse "/A/B/*") with
+        | Some stmt ->
+          Alcotest.(check bool) "no union" false (contains (Sql.to_string stmt) "UNION")
+        | None -> Alcotest.fail "expected a statement" );
+    ( "every fragment filters the Paths relation",
+      fun () ->
+        match Edge_translate.translate (Xparser.parse "/A/B/C") with
+        | Some stmt ->
+          Alcotest.(check bool) "regexp" true
+            (contains (Sql.to_string stmt) "REGEXP_LIKE")
+        | None -> Alcotest.fail "expected a statement" );
+    ( "attribute predicates join the attr relation",
+      fun () ->
+        match Edge_translate.translate (Xparser.parse "/A[@x = 3]") with
+        | Some stmt ->
+          Alcotest.(check bool) "attr" true (contains (Sql.to_string stmt) "attr")
+        | None -> Alcotest.fail "expected a statement" );
+  ]
+
+(* Random differential property, same query generator family as the
+   schema-aware suite. *)
+let gen_query =
+  let open QCheck.Gen in
+  let name = oneofl [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ] in
+  let test = oneof [ name; return "*" ] in
+  let step =
+    oneof
+      [
+        map (fun t -> "/" ^ t) test;
+        map (fun t -> "//" ^ t) test;
+        map (fun t -> "/parent::" ^ t) test;
+        map (fun t -> "/ancestor::" ^ t) test;
+        map (fun t -> "/following-sibling::" ^ t) test;
+        map (fun t -> "/preceding-sibling::" ^ t) test;
+        map (fun t -> "/following::" ^ t) test;
+        map (fun t -> "/preceding::" ^ t) test;
+      ]
+  in
+  let predicate =
+    oneof
+      [
+        map (fun n -> "[" ^ n ^ "]") name;
+        map (fun n -> "[not(" ^ n ^ ")]") name;
+        map (fun n -> "[.//" ^ n ^ "]") name;
+        map2 (fun n v -> "[" ^ n ^ " = " ^ string_of_int v ^ "]") name (int_bound 3);
+        map (fun n -> "[parent::" ^ n ^ "]") name;
+        map (fun n -> "[ancestor::" ^ n ^ "]") name;
+        return "[@x]";
+        return "[@x = 3]";
+        map2 (fun a b -> "[" ^ a ^ " or " ^ b ^ "]") name name;
+        map2 (fun a b -> "[" ^ a ^ " and " ^ b ^ "]") name name;
+      ]
+  in
+  map2
+    (fun steps first_name ->
+      let body = String.concat "" (List.map (fun (s, p) -> s ^ p) steps) in
+      "/" ^ first_name ^ body)
+    (list_size (int_range 0 3) (pair step (oneof [ return ""; predicate ])))
+    name
+
+let prop_edge_vs_eval =
+  QCheck.Test.make ~count:800 ~name:"Edge PPF SQL agrees with reference evaluator"
+    (QCheck.make ~print:(fun q -> q) gen_query)
+    (fun query ->
+      let doc, store = Lazy.force fig1 in
+      match Xparser.parse query with
+      | exception Xparser.Error _ -> QCheck.assume_fail ()
+      | expr ->
+        let expected = Eval.select_elements doc expr in
+        let got =
+          match Edge_translate.translate expr with
+          | None -> []
+          | Some stmt -> Edge_translate.result_ids (Engine.run store.Edge.db stmt)
+        in
+        if got <> expected then
+          QCheck.Test.fail_reportf "query %s: expected [%s], got [%s]" query
+            (String.concat ";" (List.map string_of_int expected))
+            (String.concat ";" (List.map string_of_int got))
+        else true)
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "edge_translate"
+    [
+      ( "differential",
+        List.map (fun q -> Alcotest.test_case q `Quick (fig1_query q)) fig1_queries );
+      "golden", List.map tc golden_tests;
+      "properties", [ QCheck_alcotest.to_alcotest prop_edge_vs_eval ];
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the XML Schema graph: construction, U-P/F-P/I-P marking
+   (paper Section 4.5, Figure 2), path enumeration, inference, and
+   document validation. *)
+
+module Graph = Ppfx_schema.Graph
+module Doc = Ppfx_xml.Doc
+module Parser = Ppfx_xml.Parser
+
+(* The paper's Figure 1(a)/Figure 2 schema:
+   A -> B; B -> C, G; C -> D, E; E -> F; G -> G (recursive). *)
+let fig1_schema () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.define b ~attrs:[ "x" ] "A" in
+  let bb = Graph.Builder.define b "B" in
+  let c = Graph.Builder.define b "C" in
+  let d = Graph.Builder.define b ~text:true "D" in
+  let e = Graph.Builder.define b "E" in
+  let f = Graph.Builder.define b ~text:true "F" in
+  let g = Graph.Builder.define b "G" in
+  Graph.Builder.add_child b ~parent:a bb;
+  Graph.Builder.add_child b ~parent:bb c;
+  Graph.Builder.add_child b ~parent:bb g;
+  Graph.Builder.add_child b ~parent:c d;
+  Graph.Builder.add_child b ~parent:c e;
+  Graph.Builder.add_child b ~parent:e f;
+  Graph.Builder.add_child b ~parent:g g;
+  Graph.Builder.finish b ~root:a
+
+(* A DAG schema where one definition is shared by two parents, giving it
+   two finite root paths. *)
+let dag_schema () =
+  let b = Graph.Builder.create () in
+  let r = Graph.Builder.define b "r" in
+  let x = Graph.Builder.define b "x" in
+  let y = Graph.Builder.define b "y" in
+  let shared = Graph.Builder.define b "item" in
+  Graph.Builder.add_child b ~parent:r x;
+  Graph.Builder.add_child b ~parent:r y;
+  Graph.Builder.add_child b ~parent:x shared;
+  Graph.Builder.add_child b ~parent:y shared;
+  Graph.Builder.finish b ~root:r
+
+let find1 schema name =
+  match Graph.find schema name with
+  | [ d ] -> d
+  | l -> Alcotest.failf "expected one def for %s, got %d" name (List.length l)
+
+let classification_tests =
+  [
+    ( "U-P for unique paths (fig 2)",
+      fun () ->
+        let s = fig1_schema () in
+        List.iter
+          (fun (name, expected_path) ->
+            match Graph.classification s (find1 s name) with
+            | Graph.Unique_path p -> Alcotest.(check string) name expected_path p
+            | Graph.Finite_paths _ -> Alcotest.failf "%s classified F-P" name
+            | Graph.Infinite_paths -> Alcotest.failf "%s classified I-P" name)
+          [
+            "A", "/A"; "B", "/A/B"; "C", "/A/B/C"; "D", "/A/B/C/D"; "E", "/A/B/C/E";
+            "F", "/A/B/C/E/F";
+          ] );
+    ( "I-P for recursive G (fig 2)",
+      fun () ->
+        let s = fig1_schema () in
+        match Graph.classification s (find1 s "G") with
+        | Graph.Infinite_paths -> ()
+        | Graph.Unique_path _ | Graph.Finite_paths _ ->
+          Alcotest.fail "G should be I-P" );
+    ( "F-P for shared definition",
+      fun () ->
+        let s = dag_schema () in
+        match Graph.classification s (find1 s "item") with
+        | Graph.Finite_paths ps ->
+          Alcotest.(check (list string)) "paths" [ "/r/x/item"; "/r/y/item" ]
+            (List.sort compare ps)
+        | Graph.Unique_path _ | Graph.Infinite_paths ->
+          Alcotest.fail "item should be F-P" );
+    ( "root_paths for I-P is None",
+      fun () ->
+        let s = fig1_schema () in
+        Alcotest.(check bool) "None" true (Graph.root_paths s (find1 s "G") = None) );
+  ]
+
+let navigation_tests =
+  [
+    ( "children and parents",
+      fun () ->
+        let s = fig1_schema () in
+        Alcotest.(check (list string)) "children of B" [ "C"; "G" ]
+          (List.map (fun d -> d.Graph.name) (Graph.children s (find1 s "B")));
+        Alcotest.(check (list string)) "parents of G" [ "B"; "G" ]
+          (List.sort compare
+             (List.map (fun d -> d.Graph.name) (Graph.parents s (find1 s "G")))) );
+    ( "descendants follow cycles without looping",
+      fun () ->
+        let s = fig1_schema () in
+        let below_b =
+          List.sort compare (List.map (fun d -> d.Graph.name) (Graph.descendants s (find1 s "B")))
+        in
+        Alcotest.(check (list string)) "descendants of B" [ "C"; "D"; "E"; "F"; "G" ]
+          below_b;
+        (* G reaches itself through its self-loop. *)
+        let below_g = List.map (fun d -> d.Graph.name) (Graph.descendants s (find1 s "G")) in
+        Alcotest.(check (list string)) "descendants of G" [ "G" ] below_g );
+    ( "ancestors",
+      fun () ->
+        let s = fig1_schema () in
+        let above_f =
+          List.sort compare (List.map (fun d -> d.Graph.name) (Graph.ancestors s (find1 s "F")))
+        in
+        Alcotest.(check (list string)) "ancestors of F" [ "A"; "B"; "C"; "E" ] above_f );
+    ( "relation names disambiguate duplicate tags",
+      fun () ->
+        let b = Graph.Builder.create () in
+        let r = Graph.Builder.define b "r" in
+        let t1 = Graph.Builder.define b "t" in
+        let mid = Graph.Builder.define b "mid" in
+        let t2 = Graph.Builder.define b "t" in
+        Graph.Builder.add_child b ~parent:r t1;
+        Graph.Builder.add_child b ~parent:r mid;
+        Graph.Builder.add_child b ~parent:mid t2;
+        let s = Graph.Builder.finish b ~root:r in
+        let rels = List.sort compare (List.map (fun d -> d.Graph.relation) (Graph.find s "t")) in
+        Alcotest.(check (list string)) "relations" [ "t"; "t_2" ] rels );
+    ( "ambiguous sibling tags rejected",
+      fun () ->
+        let b = Graph.Builder.create () in
+        let r = Graph.Builder.define b "r" in
+        let t1 = Graph.Builder.define b "t" in
+        let t2 = Graph.Builder.define b "t" in
+        Graph.Builder.add_child b ~parent:r t1;
+        Graph.Builder.add_child b ~parent:r t2;
+        (match Graph.Builder.finish b ~root:r with
+         | _ -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()) );
+    ( "unreachable vertex rejected",
+      fun () ->
+        let b = Graph.Builder.create () in
+        let r = Graph.Builder.define b "r" in
+        let _orphan = Graph.Builder.define b "orphan" in
+        (match Graph.Builder.finish b ~root:r with
+         | _ -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()) );
+  ]
+
+let fig1_doc () =
+  Doc.of_tree
+    (Parser.parse
+       "<A><B><C><D/></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>")
+
+let validation_tests =
+  [
+    ( "figure 1 document validates",
+      fun () ->
+        let s = fig1_schema () in
+        match Graph.matches_doc s (fig1_doc ()) with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg );
+    ( "wrong nesting rejected",
+      fun () ->
+        let s = fig1_schema () in
+        let bad = Doc.of_tree (Parser.parse "<A><C/></A>") in
+        match Graph.matches_doc s bad with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected validation failure" );
+    ( "wrong root rejected",
+      fun () ->
+        let s = fig1_schema () in
+        let bad = Doc.of_tree (Parser.parse "<B/>") in
+        match Graph.matches_doc s bad with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected validation failure" );
+  ]
+
+let inference_tests =
+  [
+    ( "inferred schema validates its document",
+      fun () ->
+        let doc = fig1_doc () in
+        let s = Graph.infer doc in
+        match Graph.matches_doc s doc with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg );
+    ( "inference detects recursion",
+      fun () ->
+        let doc = fig1_doc () in
+        let s = Graph.infer doc in
+        match Graph.classification s (find1 s "G") with
+        | Graph.Infinite_paths -> ()
+        | Graph.Unique_path _ | Graph.Finite_paths _ ->
+          Alcotest.fail "inferred G should be I-P (observed G under G)" );
+    ( "inference collects attributes and text",
+      fun () ->
+        let doc =
+          Doc.of_tree (Parser.parse "<r><e a='1'>text</e><e b='2'/></r>")
+        in
+        let s = Graph.infer doc in
+        let e = find1 s "e" in
+        Alcotest.(check (list string)) "attrs" [ "a"; "b" ] (List.sort compare e.Graph.attrs);
+        Alcotest.(check bool) "text" true e.Graph.has_text );
+  ]
+
+(* Property: on random documents, the inferred schema always validates the
+   document it came from, and every element's path is consistent with the
+   classification of its vertex. *)
+let gen_doc =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  let rec gen n =
+    map2
+      (fun t children -> Ppfx_xml.Tree.Element { tag = t; attrs = []; children })
+      tag
+      (if n <= 0 then return [] else list_size (int_bound 3) (gen (n / 2)))
+  in
+  map (fun t -> Doc.of_tree t) (gen 4)
+
+(* Rebuild a tree for printing counter-examples. *)
+let tree_of doc =
+  let rec build id =
+    let e = Doc.element doc id in
+    Ppfx_xml.Tree.Element
+      { tag = e.Doc.tag; attrs = e.Doc.attrs; children = List.map build e.Doc.children }
+  in
+  build 1
+
+let prop_infer_validates =
+  QCheck.Test.make ~count:300 ~name:"inferred schema validates source document"
+    (QCheck.make ~print:(fun d -> Ppfx_xml.Printer.to_string (tree_of d)) gen_doc)
+    (fun doc -> Graph.matches_doc (Graph.infer doc) doc = Ok ())
+
+let prop_paths_match_classification =
+  QCheck.Test.make ~count:300 ~name:"document paths appear in vertex classifications"
+    (QCheck.make ~print:(fun d -> Ppfx_xml.Printer.to_string (tree_of d)) gen_doc)
+    (fun doc ->
+      let s = Graph.infer doc in
+      Doc.fold
+        (fun ok e ->
+          ok
+          &&
+          match Graph.find s e.Doc.tag with
+          | [ def ] ->
+            (match Graph.root_paths s def with
+             | None -> true (* I-P: any path allowed *)
+             | Some paths -> List.mem e.Doc.path paths)
+          | _ -> false)
+        true doc)
+
+(* ------------------------------------------------------------------ *)
+(* XSD parser                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Xsd = Ppfx_schema.Xsd
+
+(* The paper's Figure 1 schema expressed as an XSD, with the recursive G
+   definition via a global element reference. *)
+let fig1_xsd =
+  {xml|<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="B">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="C">
+                <xs:complexType>
+                  <xs:choice>
+                    <xs:element name="D" type="xs:string"/>
+                    <xs:element name="E">
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="F" type="xs:integer" maxOccurs="unbounded"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                  </xs:choice>
+                </xs:complexType>
+              </xs:element>
+              <xs:element ref="G"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="x"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="G">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="G" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>|xml}
+
+(* A catalogue where two elements share one global complex type. *)
+let shared_type_xsd =
+  {xml|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="personType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="email" type="xs:string"/>
+    </xs:sequence>
+    <xs:attribute name="id"/>
+  </xs:complexType>
+  <xs:element name="org">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="employee" type="personType" maxOccurs="unbounded"/>
+        <xs:element name="group">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="employee" type="personType" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>|xml}
+
+let xsd_tests =
+  [
+    ( "figure 1 schema parses with the right marking",
+      fun () ->
+        let s = Xsd.parse fig1_xsd in
+        Alcotest.(check string) "root" "A" (Graph.root s).Graph.name;
+        (match Graph.classification s (find1 s "D") with
+         | Graph.Unique_path p -> Alcotest.(check string) "D path" "/A/B/C/D" p
+         | _ -> Alcotest.fail "D should be U-P");
+        (match Graph.classification s (find1 s "G") with
+         | Graph.Infinite_paths -> ()
+         | _ -> Alcotest.fail "G should be I-P");
+        Alcotest.(check (list string)) "A attrs" [ "x" ] (find1 s "A").Graph.attrs;
+        Alcotest.(check bool) "D has text" true (find1 s "D").Graph.has_text );
+    ( "figure 1 XSD validates the figure 1 document",
+      fun () ->
+        let s = Xsd.parse fig1_xsd in
+        match Graph.matches_doc s (fig1_doc ()) with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m );
+    ( "shared global complex type becomes one vertex",
+      fun () ->
+        let s = Xsd.parse shared_type_xsd in
+        (* Both employee declarations have the same (name, type): one
+           vertex, two parents, hence F-P with two root paths. *)
+        (match Graph.find s "employee" with
+         | [ emp ] ->
+           (match Graph.classification s emp with
+            | Graph.Finite_paths ps ->
+              Alcotest.(check (list string)) "paths"
+                [ "/org/employee"; "/org/group/employee" ]
+                (List.sort compare ps)
+            | _ -> Alcotest.fail "employee should be F-P")
+         | l -> Alcotest.failf "expected one employee vertex, got %d" (List.length l));
+        Alcotest.(check int) "one name vertex" 1 (List.length (Graph.find s "name")) );
+    ( "root selection",
+      fun () ->
+        let s = Xsd.parse ~root:"G" fig1_xsd in
+        Alcotest.(check string) "root" "G" (Graph.root s).Graph.name );
+    ( "errors",
+      fun () ->
+        let expect_error src =
+          match Xsd.parse src with
+          | _ -> Alcotest.fail "expected Xsd.Error"
+          | exception Xsd.Error _ -> ()
+        in
+        expect_error "<not-a-schema/>";
+        expect_error "<xs:schema xmlns:xs='x'/>";
+        expect_error
+          "<xs:schema xmlns:xs='x'><xs:element name='a'><xs:complexType><xs:element            ref='missing'/></xs:complexType></xs:element></xs:schema>";
+        expect_error
+          "<xs:schema xmlns:xs='x'><xs:element name='a' type='nosuch'/></xs:schema>" );
+    ( "end to end: XSD -> shred -> translate -> run",
+      fun () ->
+        let s = Xsd.parse fig1_xsd in
+        let doc = fig1_doc () in
+        let store = Ppfx_shred.Loader.shred s doc in
+        let tr = Ppfx_translate.Translate.create store.Ppfx_shred.Loader.mapping in
+        List.iter
+          (fun q ->
+            let expr = Ppfx_xpath.Parser.parse q in
+            let expected = Ppfx_xpath.Eval.select_elements doc expr in
+            let got =
+              match Ppfx_translate.Translate.translate tr expr with
+              | None -> []
+              | Some stmt ->
+                Ppfx_translate.Translate.result_ids
+                  (Ppfx_minidb.Engine.run store.Ppfx_shred.Loader.db stmt)
+            in
+            Alcotest.(check (list int)) q expected got)
+          [ "/A/B/C/D"; "//F"; "//G//G"; "/A/B/C[E/F = 2]"; "/A/*" ] );
+  ]
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "schema"
+    [
+      "classification", List.map tc classification_tests;
+      "navigation", List.map tc navigation_tests;
+      "validation", List.map tc validation_tests;
+      "inference", List.map tc inference_tests;
+      "xsd", List.map tc xsd_tests;
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_infer_validates; prop_paths_match_classification ] );
+    ]

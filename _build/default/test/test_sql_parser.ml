@@ -1,0 +1,202 @@
+(* Tests for the SQL text parser: unit cases, error cases, and a
+   round-trip law — every statement the XPath translators emit must
+   survive print -> parse -> execute with identical results. *)
+
+module Sql = Ppfx_minidb.Sql
+module Sql_parser = Ppfx_minidb.Sql_parser
+module Engine = Ppfx_minidb.Engine
+module Value = Ppfx_minidb.Value
+module Table = Ppfx_minidb.Table
+module Database = Ppfx_minidb.Database
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Doc = Ppfx_xml.Doc
+module Translate = Ppfx_translate.Translate
+
+let unit_db () =
+  let db = Database.create () in
+  let t =
+    Database.create_table db ~name:"t"
+      ~columns:
+        [
+          { Table.name = "id"; ty = Value.Tint };
+          { Table.name = "name"; ty = Value.Tstr };
+          { Table.name = "bin"; ty = Value.Tbin };
+        ]
+  in
+  List.iter
+    (fun (id, name, b) ->
+      ignore (Table.insert t [| Value.Int id; Value.Str name; Value.Bin b |]))
+    [ 1, "alpha", "\x00\x01"; 2, "beta", "\x00\x02"; 3, "o'brien", "\x7F\xFF" ];
+  Table.create_index t [ "id" ];
+  db
+
+let run_sql db src = (Engine.run db (Sql_parser.parse src)).Engine.rows
+
+let unit_tests =
+  [
+    ( "simple select",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 3 (List.length (run_sql db "SELECT id FROM t")) );
+    ( "where with unqualified columns",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 1
+          (List.length (run_sql db "SELECT name FROM t WHERE id = 2")) );
+    ( "string literal with quote escape",
+      fun () ->
+        let db = unit_db () in
+        match run_sql db "SELECT id FROM t WHERE name = 'o''brien'" with
+        | [ [| Value.Int 3 |] ] -> ()
+        | _ -> Alcotest.fail "expected row 3" );
+    ( "hex binary literal and concat",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 2
+          (List.length
+             (run_sql db
+                "SELECT id FROM t WHERE bin BETWEEN x'0000' AND x'0002' || x'FF'")) );
+    ( "order by and alias",
+      fun () ->
+        let db = unit_db () in
+        match run_sql db "SELECT t.name AS n FROM t tt, t WHERE tt.id = t.id AND t.id < 3 ORDER BY t.id" with
+        | [ [| Value.Str "alpha" |]; [| Value.Str "beta" |] ] -> ()
+        | rows -> Alcotest.failf "unexpected rows (%d)" (List.length rows) );
+    ( "exists and regexp_like",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 1
+          (List.length
+             (run_sql db
+                "SELECT id FROM t WHERE EXISTS (SELECT NULL FROM t u WHERE u.id = t.id \
+                 AND REGEXP_LIKE(u.name, '^al'))")) );
+    ( "union with order by output column",
+      fun () ->
+        let db = unit_db () in
+        let rows =
+          run_sql db
+            "SELECT id FROM t WHERE id = 2 UNION SELECT id FROM t WHERE id = 1 ORDER BY id"
+        in
+        (match rows with
+         | [ [| Value.Int 1 |]; [| Value.Int 2 |] ] -> ()
+         | _ -> Alcotest.fail "expected sorted union") );
+    ( "arithmetic, length, to_number, is not null",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 3
+          (List.length
+             (run_sql db
+                "SELECT id FROM t WHERE LENGTH(name) + 1 > TO_NUMBER('2') AND name IS \
+                 NOT NULL")) );
+    ( "top-level SELECT COUNT",
+      fun () ->
+        let db = unit_db () in
+        (match run_sql db "SELECT COUNT(*) FROM t WHERE id > 1" with
+         | [ [| Value.Int 2 |] ] -> ()
+         | _ -> Alcotest.fail "expected count 2");
+        match run_sql db "select count(*) from t" with
+        | [ [| Value.Int 3 |] ] -> ()
+        | _ -> Alcotest.fail "expected count 3" );
+    ( "correlated scalar count sub-query",
+      fun () ->
+        let db = unit_db () in
+        (* rows whose id equals the number of rows with id <= theirs *)
+        match
+          run_sql db
+            "SELECT t.id FROM t WHERE (SELECT COUNT(*) FROM t u WHERE u.id <= t.id) = t.id"
+        with
+        | rows -> Alcotest.(check int) "all rows qualify" 3 (List.length rows) );
+    ( "case-insensitive keywords",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 3
+          (List.length (run_sql db "select id from t where not (id > 100)")) );
+    ( "distinct",
+      fun () ->
+        let db = unit_db () in
+        Alcotest.(check int) "rows" 1
+          (List.length (run_sql db "SELECT DISTINCT LENGTH(bin) AS l FROM t")) );
+  ]
+
+let error_tests =
+  let expect_error src () =
+    match Sql_parser.parse src with
+    | _ -> Alcotest.failf "expected parse error for %s" src
+    | exception Sql_parser.Error _ -> ()
+  in
+  [
+    "missing from", expect_error "SELECT id";
+    "trailing junk", expect_error "SELECT id FROM t garbage extra tokens (";
+    "bad string", expect_error "SELECT id FROM t WHERE name = 'oops";
+    "ambiguous bare column", expect_error "SELECT id FROM a, b";
+    "order by after middle union branch",
+      expect_error "SELECT id FROM t ORDER BY id UNION SELECT id FROM t";
+    "union order by non-output column",
+      expect_error "SELECT id FROM t UNION SELECT id FROM t ORDER BY nope";
+    "odd hex literal", expect_error "SELECT id FROM t WHERE bin = x'ABC'";
+  ]
+
+(* Round-trip law over the translator corpus: to_string -> parse -> run
+   gives the same rows as running the original statement. *)
+let fig1_schema () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.define b ~attrs:[ "x" ] "A" in
+  let bb = Graph.Builder.define b "B" in
+  let c = Graph.Builder.define b "C" in
+  let d = Graph.Builder.define b ~text:true "D" in
+  let e = Graph.Builder.define b "E" in
+  let f = Graph.Builder.define b ~text:true "F" in
+  let g = Graph.Builder.define b "G" in
+  Graph.Builder.add_child b ~parent:a bb;
+  Graph.Builder.add_child b ~parent:bb c;
+  Graph.Builder.add_child b ~parent:bb g;
+  Graph.Builder.add_child b ~parent:c d;
+  Graph.Builder.add_child b ~parent:c e;
+  Graph.Builder.add_child b ~parent:e f;
+  Graph.Builder.add_child b ~parent:g g;
+  Graph.Builder.finish b ~root:a
+
+let roundtrip_corpus =
+  [
+    "/A/B/C/E/F"; "//F"; "/A[@x = 3]/B/C//F"; "/A[@x = 3]/B"; "//F/ancestor::B";
+    "/A/B/C[E/F = 2]"; "//G/ancestor::G"; "/A/B/*"; "//D/following::F";
+    "/A/*[C//F = 2]"; "//F[parent::E or ancestor::G]"; "/A/B[C/*]";
+    "/A/B[C/E/F = C/E/F]"; "//F/text()"; "//*[@x]"; "//F[. + 1 = 3]";
+    "//D[contains(., 'd')]"; "/A/B/C/following-sibling::G"; "//E[count(F) = 2]";
+    "//C[count(E/F) + 1 = 3]";
+  ]
+
+let roundtrip_test () =
+  let doc =
+    Doc.of_tree
+      (Ppfx_xml.Parser.parse
+         "<A x=\"3\"><B><C><D>d1</D></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>")
+  in
+  let instance = Loader.shred (fig1_schema ()) doc in
+  let translator = Translate.create instance.Loader.mapping in
+  List.iter
+    (fun query ->
+      match Translate.translate translator (Ppfx_xpath.Parser.parse query) with
+      | None -> ()
+      | Some stmt ->
+        let text = Sql.to_string stmt in
+        (match Sql_parser.parse text with
+         | exception Sql_parser.Error { message; _ } ->
+           Alcotest.failf "%s: reparse failed on %s: %s" query text message
+         | reparsed ->
+           let original = (Engine.run instance.Loader.db stmt).Engine.rows in
+           let again = (Engine.run instance.Loader.db reparsed).Engine.rows in
+           if original <> again then
+             Alcotest.failf "%s: round-trip changed results (%d vs %d rows)" query
+               (List.length original) (List.length again)))
+    roundtrip_corpus
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "sql_parser"
+    [
+      "unit", List.map tc unit_tests;
+      "errors", List.map tc error_tests;
+      "roundtrip", [ Alcotest.test_case "translator corpus" `Quick roundtrip_test ];
+    ]

@@ -1,0 +1,568 @@
+(* Tests for the PPF-based XPath-to-SQL translator: golden translation
+   shapes (paper Tables 1 and 3-6), differential correctness against the
+   reference evaluator, option ablations, and a qcheck property over
+   random schema-valid queries. *)
+
+module Ast = Ppfx_xpath.Ast
+module Xparser = Ppfx_xpath.Parser
+module Eval = Ppfx_xpath.Eval
+module Doc = Ppfx_xml.Doc
+module Xml_parser = Ppfx_xml.Parser
+module Graph = Ppfx_schema.Graph
+module Mapping = Ppfx_shred.Mapping
+module Loader = Ppfx_shred.Loader
+module Translate = Ppfx_translate.Translate
+module Rx = Ppfx_translate.Regex_of_path
+module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: the paper's Figure 1 schema and document                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_schema () =
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.define b ~attrs:[ "x" ] "A" in
+  let bb = Graph.Builder.define b "B" in
+  let c = Graph.Builder.define b "C" in
+  let d = Graph.Builder.define b ~text:true "D" in
+  let e = Graph.Builder.define b "E" in
+  let f = Graph.Builder.define b ~text:true "F" in
+  let g = Graph.Builder.define b "G" in
+  Graph.Builder.add_child b ~parent:a bb;
+  Graph.Builder.add_child b ~parent:bb c;
+  Graph.Builder.add_child b ~parent:bb g;
+  Graph.Builder.add_child b ~parent:c d;
+  Graph.Builder.add_child b ~parent:c e;
+  Graph.Builder.add_child b ~parent:e f;
+  Graph.Builder.add_child b ~parent:g g;
+  Graph.Builder.finish b ~root:a
+
+let fig1_doc_src =
+  "<A x=\"3\"><B><C><D>d1</D></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>"
+
+let fig1 =
+  lazy
+    (let doc = Doc.of_tree (Xml_parser.parse fig1_doc_src) in
+     let schema = fig1_schema () in
+     let instance = Loader.shred schema doc in
+     doc, instance)
+
+(* Differential check: translated SQL against the reference evaluator. *)
+let check_query ?options doc (instance : Loader.t) query =
+  let expr = Xparser.parse query in
+  let expected = Eval.select_elements doc expr in
+  let translator = Translate.create ?options instance.Loader.mapping in
+  let got =
+    match Translate.translate translator expr with
+    | None -> []
+    | Some stmt -> Translate.result_ids (Engine.run instance.Loader.db stmt)
+  in
+  Alcotest.(check (list int)) query expected got
+
+let fig1_query query () =
+  let doc, instance = Lazy.force fig1 in
+  check_query doc instance query
+
+let fig1_queries =
+  [
+    (* forward paths *)
+    "/A";
+    "/A/B";
+    "/A/B/C";
+    "/A/B/C/D";
+    "/A/B/C/E/F";
+    "//F";
+    "//C";
+    "//G";
+    "/A//F";
+    "/A/B//F";
+    "/A/*";
+    "/A/B/*";
+    "/A/B/C/*/F";
+    "/A/*/C";
+    "//*";
+    (* paper running examples *)
+    "/A[@x = 3]/B/C//F";
+    "/A[@x = 3]/B";
+    "/A[@x = 4]//C";
+    "/A/*[C//F = 2]";
+    (* backward *)
+    "//F/parent::E";
+    "//F/parent::E/parent::C";
+    "//F/ancestor::B";
+    "//F/ancestor::C";
+    "//F/parent::E/ancestor::B";
+    "//G/ancestor::G";
+    "//G/parent::G";
+    "//G/ancestor::B";
+    "//D/..";
+    (* or-self axes *)
+    "/descendant-or-self::G";
+    "//G/ancestor-or-self::G";
+    "//F/ancestor-or-self::B";
+    (* order axes *)
+    "/A/B/C/following-sibling::G";
+    "/A/B/C/following-sibling::C";
+    "//C/preceding-sibling::C";
+    "//D/following::F";
+    "//G/preceding::D";
+    "//D/following::G";
+    "//F/following-sibling::F";
+    (* predicates *)
+    "/A/B/C[E]";
+    "/A/B/C[D]";
+    "/A/B[C]";
+    "/A/B[G]";
+    "/A/B/C[E/F = 2]";
+    "/A/B/C[E/F = 3]";
+    "//F[. = 1]";
+    "//F[. = 1.0]";
+    "//C[D = 'd1']";
+    "//B[C and G]";
+    "//B[C or G]";
+    "//B[not(C)]";
+    "//C[not(D)]";
+    "//F[parent::E]";
+    "//F[ancestor::B]";
+    "//G[parent::B or ancestor::G]";
+    "//G[parent::G]";
+    "//*[@x]";
+    "/A[@x]";
+    "/A[@x = 3]";
+    "/A[@x = '3']";
+    "/A[@x = 4]";
+    "//C[E/F]";
+    "/A/B[C/E/F = 2]";
+    "/A/B[C/D]";
+    "//B[.//F]";
+    (* nested predicates *)
+    "/A/B[C[E]]";
+    "/A/B[C[E/F = 1]]";
+    "//B[C[not(D)] and G]";
+    (* join predicate (paper Q-A style) *)
+    "/A/B[C/E/F = C/E/F]";
+    "/A/B/C[E/F = E/F]";
+    (* union *)
+    "/A/B/C/D | //F";
+    "//G | //F";
+    "/A/B | /A/B/C";
+    (* text() *)
+    "//F/text()";
+    "/A/B/C/E/F/text()";
+    "//D/text()";
+    (* wildcard backbone with predicate (SQL splitting, Table 6) *)
+    "/A/B/*[//F]";
+    "/A/B/C/*[F]";
+    "/A/B/*";
+    (* arithmetic predicate *)
+    "//F[. + 1 = 3]";
+    "//F[. * 2 = 2]";
+    (* absolute path inside predicate (QD5 style) *)
+    "/A/B/C[E/F = /A/B/C/E/F]";
+    "//C[D = /A/B/C/D]";
+    (* descendant into recursion *)
+    "/A/B/G//G";
+    "//G//G";
+    "/A/B[G/G]";
+    (* string functions (extension beyond the paper's subset) *)
+    "//D[contains(., 'd')]";
+    "//D[contains(., 'z')]";
+    "//D[contains(., '')]";
+    "//F[starts-with(., '1')]";
+    "/A[contains(@x, '3')]";
+    "/A[starts-with(@x, '9')]";
+    "//D[string-length(.) = 2]";
+    "//F[string-length(.) > 0]";
+    "//C[D[contains(., 'd1')]]";
+    (* positional predicates on child steps, via the ord column *)
+    "/A/B[1]";
+    "/A/B[2]";
+    "/A/B[3]";
+    "/A/B/C[2]";
+    "/A/B/C[position() = 1]";
+    "/A/B/C[position() > 1]";
+    "/A/B/C[position() <= 2]";
+    "/A/B/C[2][E]";
+    "/A/B/C[last()]";
+    "/A/B/C[position() = last()]";
+    "/A/B/C[position() < last()]";
+    "/A/B[last()]/G";
+    "//E/F[last()]";
+    "/A/B/C[last() = 2]";
+    "//B/C[2]";
+    "/A/B[2]/G";
+    "/A/B[C[1]]";
+    "/A/B/C[2]/E/F";
+    (* count() via scalar sub-queries *)
+    "//C[count(D) = 1]";
+    "//E[count(F) = 2]";
+    "//E[count(F) > 2]";
+    "/A/B[count(C) = 2]";
+    "/A/B[count(*) = 3]";
+    "//B[count(.//F) = 2]";
+    "//B[count(G) >= 1]";
+    "//E[count(F) = count(F)]";
+    "//C[count(E/F) + 1 = 3]";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Option ablations: all option combinations must stay correct          *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_queries =
+  [
+    "/A/B/C/E/F"; "//F"; "/A[@x = 3]/B/C//F"; "//F/ancestor::B"; "/A/B/C[E/F = 2]";
+    "//G/ancestor::G"; "/A/B/*"; "//D/following::F"; "/A/*[C//F = 2]";
+  ]
+
+let ablation_tests =
+  List.concat_map
+    (fun (name, options) ->
+      [
+        ( name,
+          fun () ->
+            let doc, instance = Lazy.force fig1 in
+            List.iter (fun q -> check_query ~options doc instance q) ablation_queries );
+      ])
+    [
+      ( "no path-filter omission",
+        { Translate.default_options with omit_path_filters = false } );
+      ("no forward merging", { Translate.default_options with merge_forward = false });
+      ("no fk child joins", { Translate.default_options with fk_child_joins = false });
+      ( "fully conventional per-step",
+        { Translate.default_options with force_per_step = true } );
+      ( "everything off",
+        {
+          Translate.omit_path_filters = false;
+          merge_forward = false;
+          fk_child_joins = false;
+          force_per_step = true;
+        } );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden translation shapes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let translate_to_sql ?options query =
+  let _, instance = Lazy.force fig1 in
+  let translator = Translate.create ?options instance.Loader.mapping in
+  match Translate.translate translator (Xparser.parse query) with
+  | Some stmt -> Sql.to_string stmt
+  | None -> "<empty>"
+
+let golden_tests =
+  [
+    ( "U-P path filter omitted (4.5)",
+      fun () ->
+        (* /A/B/C/D: D has a unique root path; no Paths join at all. *)
+        let sql = translate_to_sql "/A/B/C/D" in
+        Alcotest.(check bool) "no REGEXP_LIKE" false (contains sql "REGEXP_LIKE");
+        Alcotest.(check bool) "no paths join" false (contains sql "paths") );
+    ( "I-P relation always joins Paths",
+      fun () ->
+        let sql = translate_to_sql "/A/B/G/G" in
+        Alcotest.(check bool) "has REGEXP_LIKE" true (contains sql "REGEXP_LIKE") );
+    ( "table 3 (1): wildcard handled by regex, no extra relations",
+      fun () ->
+        let sql =
+          translate_to_sql
+            ~options:{ Translate.default_options with omit_path_filters = false }
+            "/A[@x = 3]/B/C/*/F"
+        in
+        (* Only A and F relations (plus Paths) appear: B, C and the
+           wildcard are folded into the regex. *)
+        Alcotest.(check bool) "no B relation" false (contains sql "FROM B");
+        Alcotest.(check bool) "no C relation" false (contains sql ", C,");
+        Alcotest.(check bool) "regex with wildcard" true (contains sql "[^/]+");
+        Alcotest.(check bool) "attribute condition" true (contains sql "A.attr_x = 3");
+        (* With the 4.5 omission enabled, F is U-P and the filter drops
+           entirely. *)
+        let optimized = translate_to_sql "/A[@x = 3]/B/C/*/F" in
+        Alcotest.(check bool) "omitted filter" false (contains optimized "REGEXP_LIKE") );
+    ( "table 3 (2): single child step uses FK equijoin",
+      fun () ->
+        let sql = translate_to_sql "/A[@x = 3]/B" in
+        Alcotest.(check bool) "fk join" true (contains sql "B.A_id = A.id");
+        Alcotest.(check bool) "no dewey join" false (contains sql "BETWEEN") );
+    ( "table 5 (2): backward-only predicate is pure path filtering",
+      fun () ->
+        let sql = translate_to_sql "//F[parent::E or ancestor::G]" in
+        (* parent::E is implied by the schema (F-P/U-P check): the whole
+           disjunct collapses; no EXISTS is needed either way. *)
+        Alcotest.(check bool) "no exists" false (contains sql "EXISTS") );
+    ( "table 6: predicate splitting uses OR of EXISTS, not UNION",
+      fun () ->
+        let sql = translate_to_sql "/A/B[C/*]" in
+        Alcotest.(check bool) "no union" false (contains sql "UNION");
+        Alcotest.(check bool) "or of exists" true (contains sql "OR EXISTS") );
+    ( "4.4: wildcard prominent step splits the statement",
+      fun () ->
+        let sql = translate_to_sql "/A/B/*" in
+        Alcotest.(check bool) "union" true (contains sql "UNION") );
+    ( "dewey structural join shape (table 2 row 1)",
+      fun () ->
+        let sql = translate_to_sql "/A[@x = 4]//C" in
+        Alcotest.(check bool) "between join" true
+          (contains sql "C.dewey_pos BETWEEN A.dewey_pos AND A.dewey_pos || x'FF'") );
+    ( "following-sibling uses dewey order plus shared parent fk",
+      fun () ->
+        let sql = translate_to_sql "/A/B/C/following-sibling::G" in
+        Alcotest.(check bool) "dewey gt" true (contains sql "G.dewey_pos > C.dewey_pos");
+        Alcotest.(check bool) "fk equality" true (contains sql "G.B_id = C.B_id") );
+    ( "order by document order",
+      fun () ->
+        let sql = translate_to_sql "/A/B/C" in
+        Alcotest.(check bool) "order by dewey" true (contains sql "ORDER BY C.dewey_pos") );
+  ]
+
+(* Table 1 regex generation. *)
+let regex_gen_tests =
+  [
+    ( "anchored child chain",
+      fun () ->
+        let segs = [ { Rx.desc = false; name = Some "A" }; { Rx.desc = false; name = Some "B" } ] in
+        Alcotest.(check string) "pattern" "^/A/B$" (Rx.forward ~anchored:true segs) );
+    ( "descendant segment",
+      fun () ->
+        let segs =
+          [
+            { Rx.desc = false; name = Some "A" };
+            { Rx.desc = false; name = Some "B" };
+            { Rx.desc = true; name = Some "F" };
+          ]
+        in
+        Alcotest.(check string) "pattern" "^/A/B/(.+/)?F$" (Rx.forward ~anchored:true segs) );
+    ( "wildcard segment",
+      fun () ->
+        let segs =
+          [
+            { Rx.desc = true; name = Some "C" };
+            { Rx.desc = false; name = None };
+            { Rx.desc = false; name = Some "F" };
+          ]
+        in
+        Alcotest.(check string) "pattern" "^.*/C/[^/]+/F$" (Rx.forward ~anchored:false segs) );
+    ( "backward chain (table 1 row 4)",
+      fun () ->
+        let pattern =
+          Rx.backward ~context:(Some "F")
+            [ Ast.Parent, Some "D"; Ast.Ancestor, Some "B" ]
+        in
+        Alcotest.(check string) "pattern" "^.*/B(/.+)?/D/F$" pattern;
+        Alcotest.(check bool) "matches" true (Rx.matches pattern "/A/B/X/D/F");
+        Alcotest.(check bool) "direct" true (Rx.matches pattern "/A/B/D/F");
+        Alcotest.(check bool) "wrong parent" false (Rx.matches pattern "/A/B/D/X/F") );
+    ( "ends-with pattern",
+      fun () ->
+        let p = Rx.ends_with "F" in
+        Alcotest.(check bool) "tail" true (Rx.matches p "/A/B/F");
+        Alcotest.(check bool) "root" true (Rx.matches p "F");
+        Alcotest.(check bool) "infix" false (Rx.matches p "/A/F/B") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Unsupported constructs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let unsupported_tests =
+  let expect_unsupported query () =
+    let _, instance = Lazy.force fig1 in
+    let translator = Translate.create instance.Loader.mapping in
+    match Translate.translate translator (Xparser.parse query) with
+    | _ -> Alcotest.failf "expected Unsupported for %s" query
+    | exception Translate.Unsupported _ -> ()
+  in
+  [
+    "positional on descendant axis", expect_unsupported "//B[2]";
+    "positional after another predicate", expect_unsupported "/A/B/C[E][1]";
+    "last() after another predicate", expect_unsupported "/A/B/C[E][last()]";
+    "count of non-path", expect_unsupported "/A/B[count(1) > 1]";
+    "bare count is positional", expect_unsupported "//B[count(C)]";
+    "top-level function", expect_unsupported "count(//F)";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Random differential property                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random schema-valid-ish XPath queries over the fig-1 vocabulary.
+   Unsupported constructs are excluded by construction. *)
+let gen_query =
+  let open QCheck.Gen in
+  let name = oneofl [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ] in
+  let test = oneof [ map (fun n -> n) name; return "*" ] in
+  let fwd_axis = oneofl [ ""; "" ] in
+  ignore fwd_axis;
+  let step depth =
+    if depth <= 0 then map (fun t -> "/" ^ t) test
+    else
+      oneof
+        [
+          map (fun t -> "/" ^ t) test;
+          map (fun t -> "//" ^ t) test;
+          map (fun t -> "/parent::" ^ t) test;
+          map (fun t -> "/ancestor::" ^ t) test;
+          map (fun t -> "/following-sibling::" ^ t) test;
+          map (fun t -> "/preceding-sibling::" ^ t) test;
+          map (fun t -> "/following::" ^ t) test;
+          map (fun t -> "/preceding::" ^ t) test;
+        ]
+  in
+  let predicate =
+    oneof
+      [
+        map (fun n -> "[" ^ n ^ "]") name;
+        map (fun n -> "[not(" ^ n ^ ")]") name;
+        map (fun n -> "[.//" ^ n ^ "]") name;
+        map2 (fun n v -> "[" ^ n ^ " = " ^ string_of_int v ^ "]") name (int_bound 3);
+        map (fun n -> "[parent::" ^ n ^ "]") name;
+        map (fun n -> "[ancestor::" ^ n ^ "]") name;
+        return "[@x]";
+        return "[@x = 3]";
+        map2 (fun a b -> "[" ^ a ^ " or " ^ b ^ "]") name name;
+        map2 (fun a b -> "[" ^ a ^ " and " ^ b ^ "]") name name;
+        (* extensions: positional and count predicates; combinations the
+           translator rejects are skipped via assume below *)
+        map (fun v -> "[" ^ string_of_int (1 + v) ^ "]") (int_bound 2);
+        map2
+          (fun n v -> "[count(" ^ n ^ ") = " ^ string_of_int v ^ "]")
+          name (int_bound 2);
+      ]
+  in
+  let gen =
+    list_size (int_range 1 4) (pair (step 1) (oneof [ return ""; predicate ]))
+    >|= fun steps ->
+    let body =
+      String.concat "" (List.map (fun (s, p) -> s ^ p) steps)
+    in
+    (* First step must not be an order/backward axis from the root. *)
+    body
+  in
+  gen
+  |> QCheck.Gen.map (fun q ->
+         (* Ensure the first step is forward. *)
+         if
+           String.length q >= 2
+           && (contains (String.sub q 0 (min 12 (String.length q))) "parent"
+               || contains (String.sub q 0 (min 20 (String.length q))) "ancestor"
+               || contains (String.sub q 0 (min 20 (String.length q))) "following"
+               || contains (String.sub q 0 (min 20 (String.length q))) "preceding")
+         then "/A" ^ q
+         else q)
+
+let prop_translator_vs_eval =
+  QCheck.Test.make ~count:800 ~name:"translated SQL agrees with reference evaluator"
+    (QCheck.make ~print:(fun q -> q) gen_query)
+    (fun query ->
+      let doc, instance = Lazy.force fig1 in
+      match Xparser.parse query with
+      | exception Xparser.Error _ -> QCheck.assume_fail ()
+      | expr ->
+        let expected = Eval.select_elements doc expr in
+        let translator = Translate.create instance.Loader.mapping in
+        (match Translate.translate translator expr with
+         | exception Translate.Unsupported _ ->
+           (* out-of-subset combination (e.g. positional on //) *)
+           QCheck.assume_fail ()
+         | stmt ->
+           let got =
+             match stmt with
+             | None -> []
+             | Some stmt -> Translate.result_ids (Engine.run instance.Loader.db stmt)
+           in
+           if got <> expected then
+             QCheck.Test.fail_reportf "query %s: expected [%s], got [%s]" query
+               (String.concat ";" (List.map string_of_int expected))
+               (String.concat ";" (List.map string_of_int got))
+           else true))
+
+(* Random documents under the fig-1 schema: the differential property
+   above uses one fixed document; this one varies the data too, catching
+   data-dependent planner or join bugs. Each case shreds a fresh random
+   document and compares a fixed panel of queries. *)
+let gen_fig1_doc =
+  let open QCheck.Gen in
+  let rec g_tree depth =
+    if depth <= 0 then return (Ppfx_xml.Tree.element "G")
+    else
+      map
+        (fun sub -> Ppfx_xml.Tree.element ~children:sub "G")
+        (list_size (int_bound 2) (g_tree (depth - 1)))
+  in
+  let f_elem = map (fun v -> Ppfx_xml.Tree.element ~children:[ Ppfx_xml.Tree.text (string_of_int v) ] "F") (int_bound 3) in
+  let e_elem = map (fun fs -> Ppfx_xml.Tree.element ~children:fs "E") (list_size (int_bound 3) f_elem) in
+  let d_elem = map (fun v -> Ppfx_xml.Tree.element ~children:[ Ppfx_xml.Tree.text ("d" ^ string_of_int v) ] "D") (int_bound 2) in
+  let c_elem =
+    map
+      (fun kids -> Ppfx_xml.Tree.element ~children:kids "C")
+      (oneof
+         [ map (fun d -> [ d ]) d_elem; map (fun e -> [ e ]) e_elem; return [] ])
+  in
+  let b_elem =
+    map2
+      (fun cs gs -> Ppfx_xml.Tree.element ~children:(cs @ gs) "B")
+      (list_size (int_bound 3) c_elem)
+      (list_size (int_bound 2) (g_tree 2))
+  in
+  map2
+    (fun x bs ->
+      Ppfx_xml.Tree.Element
+        { tag = "A"; attrs = [ "x", string_of_int x ]; children = bs })
+    (int_bound 5)
+    (list_size (int_range 1 3) b_elem)
+
+let random_doc_query_panel =
+  [
+    "/A/B/C"; "//F"; "//G"; "/A[@x = 3]/B"; "/A/B/C[E/F = 2]"; "//G//G";
+    "//F/ancestor::B"; "//C[not(D)]"; "/A/B/*"; "//G[parent::G]";
+    "//C/preceding-sibling::C"; "/A/B[C/E/F = C/E/F]"; "//E[count(F) = 2]";
+    "//B[.//F]"; "//D/following::F";
+  ]
+
+let prop_random_documents =
+  QCheck.Test.make ~count:150 ~name:"translated SQL agrees with eval on random documents"
+    (QCheck.make
+       ~print:(fun tree -> Ppfx_xml.Printer.to_string tree)
+       gen_fig1_doc)
+    (fun tree ->
+      let doc = Doc.of_tree tree in
+      let instance = Loader.shred (fig1_schema ()) doc in
+      let translator = Translate.create instance.Loader.mapping in
+      List.for_all
+        (fun query ->
+          let expr = Xparser.parse query in
+          let expected = Eval.select_elements doc expr in
+          let got =
+            match Translate.translate translator expr with
+            | None -> []
+            | Some stmt -> Translate.result_ids (Engine.run instance.Loader.db stmt)
+          in
+          if got <> expected then
+            QCheck.Test.fail_reportf "query %s on %s: expected [%s], got [%s]" query
+              (Ppfx_xml.Printer.to_string tree)
+              (String.concat ";" (List.map string_of_int expected))
+              (String.concat ";" (List.map string_of_int got))
+          else true)
+        random_doc_query_panel)
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "translate"
+    [
+      "regex-generation", List.map tc regex_gen_tests;
+      ( "differential",
+        List.map (fun q -> Alcotest.test_case q `Quick (fig1_query q)) fig1_queries );
+      "ablations", List.map tc ablation_tests;
+      "golden", List.map tc golden_tests;
+      "unsupported", List.map tc unsupported_tests;
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_translator_vs_eval; prop_random_documents ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the workload generators: determinism, schema conformance,
+   and the structural guarantees the benchmark queries rely on. *)
+
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Eval = Ppfx_xpath.Eval
+module Xparser = Ppfx_xpath.Parser
+module Xmark = Ppfx_workloads.Xmark
+module Dblp = Ppfx_workloads.Dblp
+module Prng = Ppfx_workloads.Prng
+
+let xmark_doc = lazy (Doc.of_tree (Xmark.generate ~items_per_region:4 ()))
+
+let dblp_doc = lazy (Doc.of_tree (Dblp.generate ~entries:60 ()))
+
+let count doc q = List.length (Eval.select_elements doc (Xparser.parse q))
+
+let prng_tests =
+  [
+    ( "deterministic",
+      fun () ->
+        let a = Prng.create 1 and b = Prng.create 1 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+        done );
+    ( "bounds respected",
+      fun () ->
+        let r = Prng.create 99 in
+        for _ = 1 to 1000 do
+          let v = Prng.int r 7 in
+          if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+        done );
+    ( "different seeds differ",
+      fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        let va = List.init 10 (fun _ -> Prng.int a 1000000) in
+        let vb = List.init 10 (fun _ -> Prng.int b 1000000) in
+        Alcotest.(check bool) "streams differ" true (va <> vb) );
+  ]
+
+let xmark_tests =
+  [
+    ( "generation is deterministic",
+      fun () ->
+        let a = Xmark.generate ~items_per_region:3 () in
+        let b = Xmark.generate ~items_per_region:3 () in
+        Alcotest.(check bool) "equal trees" true (Ppfx_xml.Tree.equal a b) );
+    ( "document conforms to the schema",
+      fun () ->
+        let doc = Lazy.force xmark_doc in
+        match Graph.matches_doc (Xmark.schema ()) doc with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m );
+    ( "expected item count",
+      fun () ->
+        let doc = Lazy.force xmark_doc in
+        Alcotest.(check int) "Q1 counts items" 24 (count doc "/site/regions/*/item") );
+    ( "guarantees for the benchmark queries",
+      fun () ->
+        let doc = Lazy.force xmark_doc in
+        (* item0 exists, is featured, and its description has keywords. *)
+        Alcotest.(check int) "item0" 1 (count doc "//item[@id='item0']");
+        Alcotest.(check bool) "item0 keywords" true
+          (count doc "/site/regions/*/item[@id='item0']/description//keyword" > 0);
+        (* open_auction0 has bidders; person0 precedes person1. *)
+        Alcotest.(check bool) "Q9 nonempty" true
+          (count doc (Xmark.query "Q9") > 0);
+        Alcotest.(check bool) "Q11 nonempty" true (count doc (Xmark.query "Q11") > 0);
+        (* Q-A join predicate matches some auction. *)
+        Alcotest.(check bool) "QA nonempty" true (count doc (Xmark.query "QA") > 0);
+        (* Recursive mark-up exists (listitem under listitem somewhere, or
+           at least keywords under listitems for Q4/Q6). *)
+        Alcotest.(check bool) "keywords under listitems" true
+          (count doc "//listitem//keyword" > 0) );
+    ( "all benchmark queries parse and run",
+      fun () ->
+        let doc = Lazy.force xmark_doc in
+        List.iter
+          (fun (name, q) ->
+            match Eval.select_elements doc (Xparser.parse q) with
+            | _ -> ()
+            | exception e ->
+              Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
+          Xmark.queries );
+    ( "scaling grows the document",
+      fun () ->
+        let small = Doc.size (Doc.of_tree (Xmark.generate ~items_per_region:2 ())) in
+        let large = Doc.size (Doc.of_tree (Xmark.generate ~items_per_region:8 ())) in
+        Alcotest.(check bool) "monotone" true (large > 3 * small) );
+  ]
+
+let dblp_tests =
+  [
+    ( "generation is deterministic",
+      fun () ->
+        let a = Dblp.generate ~entries:20 () in
+        let b = Dblp.generate ~entries:20 () in
+        Alcotest.(check bool) "equal trees" true (Ppfx_xml.Tree.equal a b) );
+    ( "inferred schema validates",
+      fun () ->
+        let doc = Lazy.force dblp_doc in
+        match Graph.matches_doc (Dblp.schema_of doc) doc with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m );
+    ( "markup is recursive (I-P vertices exist)",
+      fun () ->
+        let doc = Lazy.force dblp_doc in
+        let schema = Dblp.schema_of doc in
+        let recursive =
+          List.exists
+            (fun d -> Graph.classification schema d = Graph.Infinite_paths)
+            (Graph.defs schema)
+        in
+        Alcotest.(check bool) "has I-P" true recursive );
+    ( "QD guarantees",
+      fun () ->
+        let doc = Lazy.force dblp_doc in
+        Alcotest.(check bool) "QD1 nonempty" true (count doc (Dblp.query "QD1") > 0);
+        Alcotest.(check bool) "QD2 nonempty" true (count doc (Dblp.query "QD2") > 0);
+        Alcotest.(check bool) "QD4 nonempty" true (count doc (Dblp.query "QD4") > 0);
+        Alcotest.(check bool) "QD5 nonempty" true (count doc (Dblp.query "QD5") > 0) );
+    ( "all QD queries parse and run",
+      fun () ->
+        let doc = Lazy.force dblp_doc in
+        List.iter
+          (fun (name, q) ->
+            match Eval.select_elements doc (Xparser.parse q) with
+            | _ -> ()
+            | exception e ->
+              Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
+          Dblp.queries );
+  ]
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "workloads"
+    [
+      "prng", List.map tc prng_tests;
+      "xmark", List.map tc xmark_tests;
+      "dblp", List.map tc dblp_tests;
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the XML data model, parser, printer and indexed documents. *)
+
+module Tree = Ppfx_xml.Tree
+module Parser = Ppfx_xml.Parser
+module Printer = Ppfx_xml.Printer
+module Doc = Ppfx_xml.Doc
+module Dewey = Ppfx_dewey.Dewey
+
+let parse = Parser.parse
+
+let parser_tests =
+  [
+    ( "simple element",
+      fun () ->
+        match parse "<a/>" with
+        | Tree.Element { tag = "a"; attrs = []; children = [] } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "attributes both quote styles",
+      fun () ->
+        match parse "<a x=\"1\" y='two'/>" with
+        | Tree.Element { attrs = [ ("x", "1"); ("y", "two") ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "text content",
+      fun () ->
+        match parse "<a>hello</a>" with
+        | Tree.Element { children = [ Tree.Text "hello" ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "nested elements",
+      fun () ->
+        let n = parse "<a><b><c/></b><b/></a>" in
+        Alcotest.(check int) "elements" 4 (Tree.count_elements n) );
+    ( "whitespace-only text dropped",
+      fun () ->
+        match parse "<a>\n  <b/>\n</a>" with
+        | Tree.Element { children = [ Tree.Element { tag = "b"; _ } ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "mixed content preserved",
+      fun () ->
+        match parse "<a>x<b/>y</a>" with
+        | Tree.Element { children = [ Tree.Text "x"; Tree.Element _; Tree.Text "y" ]; _ }
+          ->
+          ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "entities decoded",
+      fun () ->
+        match parse "<a>&lt;&amp;&gt;&quot;&apos;</a>" with
+        | Tree.Element { children = [ Tree.Text "<&>\"'" ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "numeric character references",
+      fun () ->
+        match parse "<a>&#65;&#x42;</a>" with
+        | Tree.Element { children = [ Tree.Text "AB" ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "cdata",
+      fun () ->
+        match parse "<a><![CDATA[<not-a-tag/>]]></a>" with
+        | Tree.Element { children = [ Tree.Text "<not-a-tag/>" ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "comments discarded",
+      fun () ->
+        match parse "<a><!-- hi --><b/></a>" with
+        | Tree.Element { children = [ Tree.Element { tag = "b"; _ } ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "prolog and doctype skipped",
+      fun () ->
+        match parse "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>" with
+        | Tree.Element { tag = "a"; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+    ( "attribute entity",
+      fun () ->
+        match parse "<a t='x&amp;y'/>" with
+        | Tree.Element { attrs = [ ("t", "x&y") ]; _ } -> ()
+        | n -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Tree.pp n) );
+  ]
+
+let parser_error_tests =
+  let expect_error src () =
+    match parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Parser.Error _ -> ()
+  in
+  [
+    "mismatched close", expect_error "<a></b>";
+    "unterminated", expect_error "<a><b></b>";
+    "duplicate attribute", expect_error "<a x='1' x='2'/>";
+    "junk after root", expect_error "<a/><b/>";
+    "lt in attribute", expect_error "<a x='<'/>";
+    "empty input", expect_error "";
+    "bad entity", expect_error "<a>&nope;</a>";
+  ]
+
+let roundtrip_tests =
+  let rt src () =
+    let n = parse src in
+    let printed = Printer.to_string n in
+    let reparsed = parse printed in
+    Alcotest.(check bool)
+      (Printf.sprintf "round-trip %s" src)
+      true (Tree.equal n reparsed)
+  in
+  [
+    "simple", rt "<a/>";
+    "attrs and text", rt "<a x=\"1\"><b>t</b></a>";
+    "special chars in text", rt "<a>&lt;tag&gt; &amp; co</a>";
+    "special chars in attr", rt "<a x=\"say &quot;hi&quot; &amp; bye\"/>";
+    "mixed", rt "<p>one <b>two</b> three</p>";
+    "deep", rt "<a><b><c><d><e>x</e></d></c></b></a>";
+  ]
+
+let indent_test () =
+  let n = parse "<a><b><c/></b></a>" in
+  let pretty = Printer.to_string ~indent:2 n in
+  Alcotest.(check bool) "pretty parses back" true (Tree.equal n (parse pretty));
+  Alcotest.(check bool) "contains newlines" true (String.contains pretty '\n')
+
+(* The paper's Figure 1 document. *)
+let fig1_doc () =
+  Doc.of_tree
+    (parse
+       "<A><B><C><D/></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>")
+
+let doc_tests =
+  [
+    ( "ids are preorder",
+      fun () ->
+        let doc = fig1_doc () in
+        let tags = Array.to_list (Array.map (fun e -> e.Doc.tag) (Doc.elements doc)) in
+        Alcotest.(check (list string)) "preorder tags"
+          [ "A"; "B"; "C"; "D"; "C"; "E"; "F"; "F"; "G"; "B"; "G"; "G" ]
+          tags );
+    ( "dewey positions match figure 1(c)",
+      fun () ->
+        let doc = fig1_doc () in
+        let dotted =
+          Array.to_list (Array.map (fun e -> Dewey.to_dotted e.Doc.dewey) (Doc.elements doc))
+        in
+        Alcotest.(check (list string)) "dewey"
+          [
+            "1"; "1.1"; "1.1.1"; "1.1.1.1"; "1.1.2"; "1.1.2.1"; "1.1.2.1.1";
+            "1.1.2.1.2"; "1.1.3"; "1.2"; "1.2.1"; "1.2.1.1";
+          ]
+          dotted );
+    ( "parents match figure 1(c)",
+      fun () ->
+        let doc = fig1_doc () in
+        let parents =
+          Array.to_list (Array.map (fun e -> e.Doc.parent) (Doc.elements doc))
+        in
+        Alcotest.(check (list int)) "parents" [ 0; 1; 2; 3; 2; 5; 6; 6; 2; 1; 10; 11 ]
+          parents );
+    ( "paths",
+      fun () ->
+        let doc = fig1_doc () in
+        Alcotest.(check string) "path of D" "/A/B/C/D" (Doc.element doc 4).Doc.path;
+        Alcotest.(check string) "path of deep G" "/A/B/G/G" (Doc.element doc 12).Doc.path );
+    ( "distinct paths in first-appearance order",
+      fun () ->
+        let doc = fig1_doc () in
+        Alcotest.(check (list string)) "paths"
+          [ "/A"; "/A/B"; "/A/B/C"; "/A/B/C/D"; "/A/B/C/E"; "/A/B/C/E/F"; "/A/B/G";
+            "/A/B/G/G" ]
+          (Doc.distinct_paths doc) );
+    ( "region encoding consistent with dewey",
+      fun () ->
+        let doc = fig1_doc () in
+        Doc.iter
+          (fun a ->
+            Doc.iter
+              (fun b ->
+                let via_dewey = Dewey.is_descendant b.Doc.dewey ~of_:a.Doc.dewey in
+                let via_region =
+                  Ppfx_dewey.Region.is_descendant b.Doc.region ~of_:a.Doc.region
+                in
+                if via_dewey <> via_region then
+                  Alcotest.failf "region/dewey disagree on (%d, %d)" a.Doc.id b.Doc.id)
+              doc)
+          doc );
+    ( "string value concatenates descendants",
+      fun () ->
+        let doc = Doc.of_tree (parse "<a>x<b>y<c>z</c></b>w</a>") in
+        Alcotest.(check string) "string value" "xyzw" (Doc.root doc).Doc.string_value;
+        Alcotest.(check string) "direct text" "xw" (Doc.root doc).Doc.text );
+    ( "children and descendants",
+      fun () ->
+        let doc = fig1_doc () in
+        let b1 = Doc.element doc 2 in
+        Alcotest.(check (list int)) "children of B1" [ 3; 5; 9 ]
+          (List.map (fun e -> e.Doc.id) (Doc.children doc b1));
+        Alcotest.(check (list int)) "descendants of B1" [ 3; 4; 5; 6; 7; 8; 9 ]
+          (List.map (fun e -> e.Doc.id) (Doc.descendants doc b1)) );
+  ]
+
+let deep_document_test () =
+  (* Indexing must not be quadratic in depth (string values are built
+     bottom-up in one pass). *)
+  let depth = 5000 in
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<a>"
+  done;
+  Buffer.add_string buf "x";
+  for _ = 1 to depth do
+    Buffer.add_string buf "</a>"
+  done;
+  let t0 = Unix.gettimeofday () in
+  let doc = Doc.of_tree (parse (Buffer.contents buf)) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "size" depth (Doc.size doc);
+  Alcotest.(check string) "leaf string value" "x" (Doc.element doc depth).Doc.string_value;
+  Alcotest.(check string) "root string value" "x" (Doc.root doc).Doc.string_value;
+  if elapsed > 5.0 then Alcotest.failf "indexing took %.1fs" elapsed
+
+(* Random trees: serialization round-trips through the parser. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "data" ] in
+  let attr = oneofl [ "x"; "y" ] in
+  let text = oneofl [ "hello"; "a < b"; "x & y"; "caf\xc3\xa9"; "1" ] in
+  sized_size (int_bound 6) @@ fix (fun self n ->
+      let leaf =
+        map2
+          (fun t attrs -> Tree.Element { tag = t; attrs; children = [] })
+          tag
+          (oneof [ return []; map (fun a -> [ a, "v" ]) attr ])
+      in
+      if n <= 0 then leaf
+      else
+        map3
+          (fun t txt children ->
+            let children =
+              match txt with None -> children | Some s -> Tree.Text s :: children
+            in
+            Tree.Element { tag = t; attrs = []; children })
+          tag
+          (oneof [ return None; map (fun t -> Some t) text ])
+          (list_size (int_bound 3) (self (n / 2))))
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"print/parse round-trip on random trees"
+    (QCheck.make ~print:(fun t -> Printer.to_string t) gen_tree)
+    (fun t -> Tree.equal t (parse (Printer.to_string t)))
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "xml"
+    [
+      "parser", List.map tc parser_tests;
+      "parser-errors", List.map tc parser_error_tests;
+      "roundtrip", List.map tc roundtrip_tests;
+      "printer", [ Alcotest.test_case "indentation" `Quick indent_test ];
+      "doc", List.map tc doc_tests;
+      "doc-deep", [ Alcotest.test_case "deep chain" `Quick deep_document_test ];
+      "properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ];
+    ]

@@ -1,0 +1,295 @@
+(* Tests for the XPath parser, printer and the reference evaluator. *)
+
+module Ast = Ppfx_xpath.Ast
+module Parser = Ppfx_xpath.Parser
+module Eval = Ppfx_xpath.Eval
+module Doc = Ppfx_xml.Doc
+module Xml_parser = Ppfx_xml.Parser
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parses_to src expected () =
+  let e = Parser.parse src in
+  let printed = Ast.to_string e in
+  Alcotest.(check string) (Printf.sprintf "parse %s" src) expected printed
+
+let roundtrips src () =
+  let e = Parser.parse src in
+  let printed = Ast.to_string e in
+  let e2 = Parser.parse printed in
+  if not (Ast.equal_expr e e2) then
+    Alcotest.failf "round-trip changed %s -> %s" src printed
+
+let parser_tests =
+  [
+    "absolute child path", parses_to "/a/b/c" "/a/b/c";
+    "descendant abbreviation", parses_to "//b" "/descendant::b";
+    "inner descendant", parses_to "/a//b" "/a/descendant::b";
+    "wildcard", parses_to "/a/*/c" "/a/*/c";
+    "attribute", parses_to "/a/@id" "/a/@id";
+    "attribute wildcard", parses_to "/a/@*" "/a/@*";
+    "explicit axes", roundtrips "/descendant-or-self::listitem/descendant-or-self::keyword";
+    "parent abbreviation", parses_to "/a/.." "/a/..";
+    "self abbreviation", parses_to "/a/." "/a/.";
+    "text test", parses_to "/a/text()" "/a/text()";
+    "node test", parses_to "/a/node()" "/a/node()";
+    "predicate existence", parses_to "/a[b]" "/a[b]";
+    "predicate comparison", parses_to "/a[b = 2]" "/a[b = 2]";
+    "predicate attr string", parses_to "/a[@id = 'x1']" "/a[@id = 'x1']";
+    "nested predicates", roundtrips "/a[b[c]]";
+    "and or precedence", parses_to "/a[b and c or d]" "/a[b and c or d]";
+    "not function", parses_to "/a[not(b)]" "/a[not(b)]";
+    "count function", parses_to "/a[count(b) > 2]" "/a[count(b) > 2]";
+    "position predicate", parses_to "/a[position() = 2]" "/a[position() = 2]";
+    "numeric predicate", parses_to "/a[2]" "/a[2]";
+    "union", parses_to "/a/b | /a/c" "/a/b | /a/c";
+    "arithmetic", parses_to "/a[b + 1 < 5]" "/a[b + 1 < 5]";
+    "multiplication vs wildcard", parses_to "/a[b * 2 = 4]" "/a[b * 2 = 4]";
+    "div and mod words", roundtrips "/a[b div 2 = 1 and c mod 2 = 0]";
+    "element named not", parses_to "/not/x" "/not/x";
+    "order axes", roundtrips "/a/following-sibling::b/preceding::c";
+    "relative path", parses_to "b/c" "b/c";
+    "ne operator", parses_to "/a[b != 'x']" "/a[b != 'x']";
+    "paper example", parses_to "/A/*[C//F = 2]" "/A/*[C/descendant::F = 2]";
+    "comparison of two paths", roundtrips "/site/open_auctions/open_auction[bidder/date = interval/start]";
+    "contains function", parses_to "/a[contains(., 'x')]" "/a[contains(., 'x')]";
+    "starts-with function", roundtrips "/a[starts-with(@id, 'item')]";
+    "string-length function", roundtrips "/a[string-length(.) > 3]";
+  ]
+
+let parser_error_tests =
+  let expect_error src () =
+    match Parser.parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Parser.Error _ -> ()
+  in
+  [
+    "empty", expect_error "";
+    "trailing junk", expect_error "/a/b)";
+    "unterminated predicate", expect_error "/a[b";
+    "unterminated literal", expect_error "/a[b = 'x]";
+    "bad axis", expect_error "/a/sideways::b";
+    "missing step", expect_error "/a/";
+    "double colon without axis", expect_error "/::b";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 1 document, with attribute x on A and values in F. *)
+let fig1 =
+  lazy
+    (Doc.of_tree
+       (Xml_parser.parse
+          "<A x=\"3\"><B><C><D/></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>"))
+
+let ids src expected () =
+  let doc = Lazy.force fig1 in
+  let got = Eval.select_elements doc (Parser.parse src) in
+  Alcotest.(check (list int)) src expected got
+
+let eval_tests =
+  [
+    "root", ids "/A" [ 1 ];
+    "child chain", ids "/A/B/C" [ 3; 5 ];
+    "child chain deep", ids "/A/B/C/D" [ 4 ];
+    "descendant", ids "//F" [ 7; 8 ];
+    "descendant from inner", ids "/A/B//G" [ 9; 11; 12 ];
+    "wildcard", ids "/A/B/*" [ 3; 5; 9; 11 ];
+    "wildcard then named", ids "/A/B/C/*/F" [ 7; 8 ];
+    "self axis", ids "/A/." [ 1 ];
+    "parent", ids "/A/B/C/.." [ 2 ];
+    "parent named", ids "//F/parent::E" [ 6 ];
+    "ancestor", ids "//F/ancestor::B" [ 2 ];
+    "ancestor-or-self", ids "//G/ancestor-or-self::G" [ 9; 11; 12 ];
+    "following", ids "/A/B/C/D/following::F" [ 7; 8 ];
+    "following-sibling", ids "/A/B/C/following-sibling::G" [ 9 ];
+    "preceding", ids "//G/preceding::D" [ 4 ];
+    "preceding-sibling", ids "/A/B/C[2]/preceding-sibling::C" [ 3 ];
+    "descendant-or-self explicit", ids "/descendant-or-self::G" [ 9; 11; 12 ];
+    "predicate exists", ids "/A/B/C[E]" [ 5 ];
+    "predicate value", ids "/A/B/C[E/F = 2]" [ 5 ];
+    "predicate value num vs text", ids "//F[. = 1]" [ 7 ];
+    "attribute predicate", ids "/A[@x = 3]" [ 1 ];
+    "attribute predicate string", ids "/A[@x = '3']" [ 1 ];
+    "attribute missing", ids "/A[@y]" [];
+    "attribute exists", ids "//*[@x]" [ 1 ];
+    "numeric position", ids "/A/B/C[2]" [ 5 ];
+    "position function", ids "/A/B/C[position() = 1]" [ 3 ];
+    "last function", ids "/A/B/*[position() = last()]" [ 9; 11 ];
+    "not function", ids "/A/B/C[not(D)]" [ 5 ];
+    "count function", ids "/A/B/C[count(E/F) = 2]" [ 5 ];
+    "union", ids "/A/B/C/D | //F" [ 4; 7; 8 ];
+    "union dedupe", ids "//G | /A/B/G" [ 9; 11; 12 ];
+    "nested predicate", ids "/A/B[C[E]]" [ 2 ];
+    "or predicate", ids "/A/B/C[D or E]" [ 3; 5 ];
+    "and predicate", ids "/A/B/C[D and E]" [];
+    "backward predicate", ids "//F[parent::E]" [ 7; 8 ];
+    "backward predicate ancestor", ids "//G[ancestor::G]" [ 12 ];
+    "path comparison join", ids "/A/B[C/E/F = C/E/F]" [ 2 ];
+    "arithmetic predicate", ids "//F[. + 1 = 3]" [ 8 ];
+    "text step", ids "/A/B/C/E/F/text()" [ 7; 8 ];
+    "relative from root context", ids "A/B/G" [ 9; 11 ];
+    "contains on text", ids "//F[contains(., '1')]" [ 7 ];
+    "contains miss", ids "//F[contains(., 'z')]" [];
+    "contains empty pattern", ids "//F[contains(., '')]" [ 7; 8 ];
+    "contains on missing attr is empty-string", ids "/A[contains(@nope, '')]" [ 1 ];
+    "starts-with", ids "//F[starts-with(., '2')]" [ 8 ];
+    "starts-with miss", ids "//F[starts-with(., 'x')]" [];
+    "string-length", ids "//F[string-length(.) = 1]" [ 7; 8 ];
+    "string-length attr", ids "/A[string-length(@x) = 1]" [ 1 ];
+    (* positional predicates on reverse axes count in reverse document
+       order (nearest first) *)
+    "nearest ancestor", ids "//F/ancestor::*[1]" [ 6 ];
+    "second ancestor", ids "//F/ancestor::*[2]" [ 5 ];
+    "nearest preceding sibling", ids "/A/B/G/preceding-sibling::*[1]" [ 5 ];
+    "farthest preceding sibling", ids "/A/B/G/preceding-sibling::*[2]" [ 3 ];
+    "positional on forward axis", ids "/A/B[1]/C[1]/D" [ 4 ];
+    "position and value predicate combined", ids "//C[1][D]" [ 3 ];
+    "predicate sequencing", ids "/A/B/C[D][1]" [ 3 ];
+    "predicate sequencing other order", ids "/A/B/C[1][D]" [ 3 ];
+    "last on reverse axis", ids "//F/ancestor::*[last()]" [ 1 ];
+  ]
+
+let value_tests =
+  [
+    ( "count at top level",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        match Eval.eval doc (Parser.parse "count(//F)") with
+        | Eval.Num f -> Alcotest.(check (float 0.0)) "count" 2.0 f
+        | _ -> Alcotest.fail "expected number" );
+    ( "boolean result",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        match Eval.eval doc (Parser.parse "not(//Z)") with
+        | Eval.Bool true -> ()
+        | _ -> Alcotest.fail "expected true" );
+    ( "string value of text node",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        match Eval.select doc (Parser.parse "//F[1]/text()") with
+        | [ item ] -> Alcotest.(check string) "text" "1" (Eval.string_value doc item)
+        | l -> Alcotest.failf "expected one item, got %d" (List.length l) );
+    ( "attribute node string value",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        match Eval.select doc (Parser.parse "/A/@x") with
+        | [ item ] -> Alcotest.(check string) "attr" "3" (Eval.string_value doc item)
+        | l -> Alcotest.failf "expected one item, got %d" (List.length l) );
+    ( "existential comparison over node sets",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        (* some F equals some F (trivially true), and no F equals 3 *)
+        (match Eval.eval doc (Parser.parse "//F = //F") with
+         | Eval.Bool true -> ()
+         | _ -> Alcotest.fail "expected true");
+        match Eval.eval doc (Parser.parse "//F = 3") with
+        | Eval.Bool false -> ()
+        | _ -> Alcotest.fail "expected false" );
+    ( "document order of mixed results",
+      fun () ->
+        let doc = Lazy.force fig1 in
+        let items = Eval.select doc (Parser.parse "//E | //F") in
+        let sorted = List.sort Eval.compare_items items in
+        Alcotest.(check bool) "sorted" true (items = sorted) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Random AST print/parse round-trip                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A generator over the full AST (all axes, node tests, nested
+   predicates, operators, functions). The property pins the printer and
+   parser to each other: parse (to_string e) must be structurally equal
+   to e, which exercises precedence/parenthesisation and every
+   abbreviation rule. *)
+let gen_ast : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "cd"; "x-y"; "n2" ] in
+  let axis =
+    oneofl
+      [
+        Ast.Child; Ast.Descendant; Ast.Descendant_or_self; Ast.Self; Ast.Parent;
+        Ast.Ancestor; Ast.Ancestor_or_self; Ast.Following; Ast.Following_sibling;
+        Ast.Preceding; Ast.Preceding_sibling;
+      ]
+  in
+  let test =
+    oneof
+      [
+        map (fun n -> Ast.Name n) name;
+        return Ast.Wildcard;
+        return Ast.Text;
+        return Ast.Any_node;
+      ]
+  in
+  let literal = map (fun n -> Ast.Literal n) (oneofl [ "x"; "hello world"; "" ]) in
+  let number = map (fun i -> Ast.Number (float_of_int i)) (int_bound 99) in
+  let cmp = oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  let arith = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod ] in
+  let rec expr n =
+    if n <= 0 then oneof [ literal; number; map (fun p -> Ast.Path p) (path 0) ]
+    else
+      frequency
+        [
+          3, map (fun p -> Ast.Path p) (path (n - 1));
+          1, map2 (fun a b -> Ast.Union (a, b)) (path_expr (n / 2)) (path_expr (n / 2));
+          2, map3 (fun o a b -> Ast.Binop (o, a, b)) cmp (expr (n / 2)) (expr (n / 2));
+          1, map3 (fun o a b -> Ast.Binop (o, a, b)) arith (expr (n / 2)) (expr (n / 2));
+          1, map2 (fun a b -> Ast.Binop (Ast.And, a, b)) (expr (n / 2)) (expr (n / 2));
+          1, map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) (expr (n / 2)) (expr (n / 2));
+          1, map (fun a -> Ast.Fn_not a) (expr (n - 1));
+          1, map (fun a -> Ast.Fn_count a) (expr (n - 1));
+          1, return Ast.Fn_position;
+          1, return Ast.Fn_last;
+          1, map2 (fun a b -> Ast.Fn_contains (a, b)) (expr (n / 2)) literal;
+          1, map2 (fun a b -> Ast.Fn_starts_with (a, b)) (expr (n / 2)) literal;
+          1, map (fun a -> Ast.Fn_string_length a) (expr (n - 1));
+        ]
+  and path_expr n = map (fun p -> Ast.Path p) (path n)
+  and path n =
+    map2
+      (fun absolute steps -> { Ast.absolute; steps })
+      bool
+      (list_size (int_range 1 4) (step n))
+  and step n =
+    map3
+      (fun axis test predicates -> { Ast.axis; test; predicates })
+      axis test
+      (if n <= 0 then return [] else list_size (int_bound 2) (expr (n / 2)))
+  in
+  expr 3
+
+(* The printer abbreviates some steps; the parser reads the abbreviation
+   back into the same AST except for two canonical rewrites it applies:
+   it never produces Self/Descendant_or_self etc. from abbreviations
+   (those only come from explicit syntax, which the printer emits for
+   them), so plain structural equality should hold. *)
+let prop_ast_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"AST print/parse round-trip"
+    (QCheck.make ~print:Ast.to_string gen_ast)
+    (fun e ->
+      let printed = Ast.to_string e in
+      match Parser.parse printed with
+      | exception Parser.Error { position; message } ->
+        QCheck.Test.fail_reportf "printed %S does not reparse (%d: %s)" printed position
+          message
+      | e2 ->
+        if Ast.equal_expr e e2 then true
+        else
+          QCheck.Test.fail_reportf "round-trip changed %S -> %S" printed (Ast.to_string e2))
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "xpath"
+    [
+      "parser", List.map tc parser_tests;
+      "parser-errors", List.map tc parser_error_tests;
+      "eval", List.map tc eval_tests;
+      "eval-values", List.map tc value_tests;
+      "properties", [ QCheck_alcotest.to_alcotest prop_ast_roundtrip ];
+    ]
