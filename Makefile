@@ -1,0 +1,16 @@
+# Tier-1 verification in one command (documented in README).
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -17,12 +17,16 @@
                 extended query set (string functions, count())
    - micro    : Bechamel micro-benchmarks of the substrate primitives,
                 plus one Bechamel test per paper table
+   - service  : cold vs warm prepared-query serving through ppfx_service
+                (translation/plan cache; beyond the paper)
 
    Usage: dune exec bench/main.exe -- [section ...] [options]
    Options: --small N (items/region, default 50)
             --large N (default 200)
             --dblp-entries N (default 3000)
-            --reps N  (default 3, median is reported)  *)
+            --reps N  (default 3, median is reported)
+            --json    (also write BENCH_TRAJECTORY.json)
+            --json-out FILE (choose the trajectory file name)  *)
 
 module Doc = Ppfx_xml.Doc
 module Graph = Ppfx_schema.Graph
@@ -50,9 +54,11 @@ type config = {
   mutable dblp_entries : int;
   mutable reps : int;
   mutable sections : string list;
+  mutable json : string option;
 }
 
-let config = { small = 50; large = 200; dblp_entries = 3000; reps = 3; sections = [] }
+let config =
+  { small = 50; large = 200; dblp_entries = 3000; reps = 3; sections = []; json = None }
 
 let parse_args () =
   let rec go = function
@@ -69,6 +75,12 @@ let parse_args () =
     | "--reps" :: v :: rest ->
       config.reps <- int_of_string v;
       go rest
+    | "--json" :: rest ->
+      if config.json = None then config.json <- Some "BENCH_TRAJECTORY.json";
+      go rest
+    | "--json-out" :: v :: rest ->
+      config.json <- Some v;
+      go rest
     | section :: rest ->
       config.sections <- config.sections @ [ section ];
       go rest
@@ -78,6 +90,57 @@ let parse_args () =
 let wants section =
   config.sections = [] || List.mem section config.sections
   || List.mem "all" config.sections
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trajectory (--json)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every timed measurement is also appended to a record list when --json
+   is given; the records are written as one JSON array at exit, so a run
+   leaves a BENCH_*.json trajectory alongside the human-readable tables. *)
+
+let current_section = ref ""
+
+let json_records : string list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let record ~dataset ~query ~engine ~nodes ~seconds =
+  if config.json <> None then
+    json_records :=
+      Printf.sprintf
+        "{\"section\":\"%s\",\"dataset\":\"%s\",\"query\":\"%s\",\"engine\":\"%s\",\
+         \"nodes\":%s,\"seconds\":%s,\"reps\":%d}"
+        (json_escape !current_section) (json_escape dataset) (json_escape query)
+        (json_escape engine)
+        (if nodes < 0 then "null" else string_of_int nodes)
+        (if Float.is_nan seconds then "null" else Printf.sprintf "%.9f" seconds)
+        config.reps
+      :: !json_records
+
+let write_json () =
+  match config.json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[";
+    List.iteri
+      (fun i r -> output_string oc ((if i = 0 then "\n  " else ",\n  ") ^ r))
+      (List.rev !json_records);
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "\nwrote %s (%d records)\n" path (List.length !json_records)
 
 (* ------------------------------------------------------------------ *)
 (* Stores                                                              *)
@@ -183,6 +246,11 @@ let fig4_for st queries =
       let monet = run_engine st `Monet q in
       let com = run_engine st `Commercial q in
       let accel = run_engine st `Accel q in
+      List.iter
+        (fun (engine, r) ->
+          record ~dataset:st.label ~query:name ~engine ~nodes:r.nodes ~seconds:r.seconds)
+        [ "ppf", ppf; "edge-ppf", edge; "monet-sim", monet; "commercial", com;
+          "accel", accel ];
       let agree =
         List.for_all (fun r -> r.nodes < 0 || r.nodes = ppf.nodes) [ edge; monet; com; accel ]
       in
@@ -193,11 +261,13 @@ let fig4_for st queries =
     queries
 
 let fig4 () =
+  current_section := "fig4";
   print_endline "\n== Figure 4 / Appendix C: comparison of all engines on XMark ==";
   fig4_for (xmark_stores config.small) Xmark.queries;
   fig4_for (xmark_stores config.large) Xmark.queries
 
 let dblp_table () =
+  current_section := "dblp";
   print_endline "\n== Appendix C (right): comparison on DBLP ==";
   fig4_for (dblp_stores config.dblp_entries) Dblp.queries
 
@@ -213,6 +283,10 @@ let fig3_for st queries =
     (fun (name, q) ->
       let ppf = run_engine st `Ppf q in
       let edge = run_engine st `Edge_ppf q in
+      record ~dataset:st.label ~query:name ~engine:"ppf" ~nodes:ppf.nodes
+        ~seconds:ppf.seconds;
+      record ~dataset:st.label ~query:name ~engine:"edge-ppf" ~nodes:edge.nodes
+        ~seconds:edge.seconds;
       Printf.printf "%-5s %8d  %s       %s      %6.1fx\n" name ppf.nodes (fmt_time ppf)
         (fmt_time edge)
         (edge.seconds /. ppf.seconds);
@@ -220,6 +294,7 @@ let fig3_for st queries =
     queries
 
 let fig3 () =
+  current_section := "fig3";
   print_endline "\n== Figure 3: schema-aware vs schema-oblivious PPF-based processing ==";
   fig3_for (xmark_stores config.small) Xmark.queries;
   fig3_for (xmark_stores config.large) Xmark.queries;
@@ -345,6 +420,7 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let sweep () =
+  current_section := "sweep";
   print_endline
     "\n== Scale sweep: per-query series over document size (seconds) ==";
   let scales = [ 5; 10; 25; 50; 100; 200 ] in
@@ -362,6 +438,11 @@ let sweep () =
           let edge = run_engine st `Edge_ppf q in
           let monet = run_engine st `Monet q in
           let accel = run_engine st `Accel q in
+          List.iter
+            (fun (engine, (r : engine_result)) ->
+              record ~dataset:st.label ~query:qname ~engine ~nodes:r.nodes
+                ~seconds:r.seconds)
+            [ "ppf", ppf; "edge-ppf", edge; "monet-sim", monet; "accel", accel ];
           Printf.printf "%-10d %10d %s    %s      %s   %s\n" (Doc.size st.doc)
             ppf.nodes (fmt_time ppf) (fmt_time edge) (fmt_time monet) (fmt_time accel);
           flush stdout)
@@ -402,6 +483,57 @@ let extensions () =
         (if monet.nodes = ppf.nodes then "" else "  <-- DISAGREEMENT");
       flush stdout)
     Xmark.extension_queries
+
+(* ------------------------------------------------------------------ *)
+(* Service layer: cold vs warm prepared-query serving                  *)
+(* ------------------------------------------------------------------ *)
+
+module Session = Ppfx_service.Session
+module Metrics = Ppfx_service.Metrics
+
+(* Cold = a cache-less arrival (parse + translate + plan + execute every
+   time, measured by clearing the session cache before each rep). Warm =
+   the same query arriving at a hot session: parse + O(1) cache hit +
+   plan replay; translate and plan are skipped entirely, which the
+   metrics dump proves (their stage counts stop at one per distinct
+   query). *)
+let service () =
+  current_section := "service";
+  print_endline
+    "\n== Service layer: cold vs warm prepared-query serving (XPathMark) ==";
+  let doc = Doc.of_tree (Xmark.generate ~items_per_region:config.small ()) in
+  let store = Loader.shred (Xmark.schema ()) doc in
+  let dataset = Printf.sprintf "XMark (%d elements)" (Doc.size doc) in
+  Printf.printf "\n%s — median of %d runs, milliseconds\n" dataset config.reps;
+  let cold_session = Session.create store in
+  let warm_session = Session.create store in
+  Printf.printf "%-5s %8s %10s %10s %9s\n" "query" "#nodes" "cold ms" "warm ms" "speedup";
+  let cold_total = ref 0.0 and warm_total = ref 0.0 in
+  List.iter
+    (fun (name, q) ->
+      let cold =
+        time_med (fun () ->
+            Session.invalidate_cache cold_session;
+            List.length (Session.run_ids cold_session q))
+      in
+      (* Prime the warm session, then measure the steady-state serving
+         path: parse + cache hit + plan replay. *)
+      let nodes = List.length (Session.run_ids warm_session q) in
+      let warm = time_med (fun () -> List.length (Session.run_ids warm_session q)) in
+      cold_total := !cold_total +. cold;
+      warm_total := !warm_total +. warm;
+      record ~dataset ~query:name ~engine:"service-cold" ~nodes ~seconds:cold;
+      record ~dataset ~query:name ~engine:"service-warm" ~nodes ~seconds:warm;
+      Printf.printf "%-5s %8d %10.3f %10.3f %8.1fx\n" name nodes (1e3 *. cold)
+        (1e3 *. warm) (cold /. warm);
+      flush stdout)
+    Xmark.queries;
+  Printf.printf "%-5s %8s %10.3f %10.3f %8.1fx\n" "total" "" (1e3 *. !cold_total)
+    (1e3 *. !warm_total)
+    (!cold_total /. !warm_total);
+  print_newline ();
+  print_string (Metrics.dump (Session.metrics warm_session));
+  Printf.printf "\nwarm < cold: %b\n" (!warm_total < !cold_total)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -499,4 +631,6 @@ let () =
   if wants "ablation" then ablation ();
   if wants "sweep" then sweep ();
   if wants "extensions" then extensions ();
-  if wants "micro" then micro ()
+  if wants "service" then service ();
+  if wants "micro" then micro ();
+  write_json ()

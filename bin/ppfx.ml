@@ -5,7 +5,9 @@
      run        execute a query against a document through an engine
      explain    show the relational plan for a translated query
      stats      show the relational store a document shreds into
-     gen        generate XMark- or DBLP-like synthetic documents *)
+     gen        generate XMark- or DBLP-like synthetic documents
+     serve      answer a batch of queries through one prepared-query
+                session (translation/plan cache + serving metrics) *)
 
 open Cmdliner
 
@@ -20,6 +22,9 @@ module Monet_sim = Ppfx_baselines.Monet_sim
 module Engine = Ppfx_minidb.Engine
 module Sql = Ppfx_minidb.Sql
 module Value = Ppfx_minidb.Value
+module Session = Ppfx_service.Session
+module Batch = Ppfx_service.Batch
+module Metrics = Ppfx_service.Metrics
 
 let read_file path =
   let ic = open_in_bin path in
@@ -350,6 +355,76 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Run a SQL statement directly against a shredded document.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let queries_arg =
+    Arg.(value & opt (some file) None & info [ "q"; "queries" ] ~docv:"FILE"
+           ~doc:"File with one XPath query per line ('#' starts a comment); \
+                 stdin if omitted.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+           ~doc:"Prepared-query LRU cache capacity.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Serve the whole batch N times through the same session; \
+                 rounds after the first hit the translation/plan cache.")
+  in
+  let no_metrics_arg =
+    Arg.(value & flag & info [ "no-metrics" ] ~doc:"Suppress the serving-metrics dump.")
+  in
+  let run doc_path schema_path queries_path cache repeat no_opt no_metrics =
+    handle_errors @@ fun () ->
+    if cache < 1 then (
+      Printf.eprintf "--cache must be at least 1 (got %d)\n" cache;
+      exit 1);
+    let doc = load_doc doc_path in
+    let schema = schema_of ~schema_path doc in
+    let options =
+      if no_opt then { Translate.default_options with omit_path_filters = false }
+      else Translate.default_options
+    in
+    let session = Session.of_doc ~cache_capacity:cache ~options ~schema doc in
+    let queries =
+      match queries_path with
+      | Some path -> Batch.parse_queries (read_file path)
+      | None -> Batch.read_queries stdin
+    in
+    for round = 1 to max 1 repeat do
+      if repeat > 1 then Printf.printf "-- round %d\n" round;
+      List.iter
+        (fun (o : Batch.outcome) ->
+          match o.Batch.result with
+          | Ok ids ->
+            Printf.printf "%6d nodes %10.3f ms  %s\n" (List.length ids)
+              (1e3 *. o.Batch.seconds) o.Batch.query
+          | Error msg ->
+            Printf.printf " ERROR %10.3f ms  %s  -- %s\n" (1e3 *. o.Batch.seconds)
+              o.Batch.query msg)
+        (Batch.run session queries)
+    done;
+    if not no_metrics then begin
+      print_newline ();
+      print_string (Metrics.dump (Session.metrics session))
+    end
+  in
+  let term =
+    Term.(
+      const run $ doc_arg $ schema_arg $ queries_arg $ cache_arg $ repeat_arg
+      $ no_opt_arg $ no_metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer a batch of queries through one prepared-query session: \
+             parse/translate/plan are paid once per distinct query and cached \
+             (LRU, store-epoch invalidation); serving metrics are dumped at \
+             the end.")
+    term
+
 let () =
   let info =
     Cmd.info "ppfx" ~version:"1.0.0"
@@ -358,4 +433,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ translate_cmd; run_cmd; explain_cmd; stats_cmd; gen_cmd; shred_cmd; sql_cmd ]))
+          [ translate_cmd; run_cmd; explain_cmd; stats_cmd; gen_cmd; shred_cmd; sql_cmd;
+            serve_cmd ]))

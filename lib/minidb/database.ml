@@ -24,6 +24,11 @@ let tables t = List.rev t.ordered
 
 let total_rows t = List.fold_left (fun acc tbl -> acc + Table.row_count tbl) 0 (tables t)
 
+let epoch t =
+  (* Table creation and every per-table modification both move the epoch,
+     so any change a prepared plan could observe changes the value. *)
+  List.fold_left (fun acc tbl -> acc + Table.version tbl) (List.length t.ordered) t.ordered
+
 let pp_stats ppf t =
   List.iter
     (fun tbl ->

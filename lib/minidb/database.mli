@@ -17,5 +17,12 @@ val tables : t -> Table.t list
 
 val total_rows : t -> int
 
+val epoch : t -> int
+(** Catalog-wide modification counter: moves whenever a table is created
+    or any table's contents or indexes change (see {!Table.version}).
+    Prepared plans ({!Engine.prepare}) and service-layer caches record the
+    epoch at compile time and treat any later value as an invalidation
+    signal. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** Per-table row counts and indexes — a [\d+]-style catalog dump. *)

@@ -719,44 +719,51 @@ module Row_set = Set.Make (struct
   let compare = compare_rows
 end)
 
-let run_select ~naive db (sel : Sql.select) =
+(* Compile a select once — planning, join ordering, access-path choice and
+   predicate compilation all happen here — and return a closure that
+   executes the compiled pipeline. Memoized EXISTS state created at
+   compile time is shared across executions, which is sound as long as
+   the database has not changed (enforced by {!run_plan}'s epoch check;
+   the one-shot entry points execute immediately). *)
+let compile_select ~naive db (sel : Sql.select) : unit -> result =
   let ctx = { db; slots = [||]; naive } in
   let _ctx', _env, pre_filters, steps, projections, distinct, order_by, total =
     plan_select ctx sel
   in
-  let bind = Array.make total [||] in
-  let out = ref [] in
-  if List.for_all (fun p -> p bind = Some true) pre_filters then
-    exec_steps steps bind (fun b ->
-        let row = Array.of_list (List.map (fun (fn, _) -> fn b) projections) in
-        let keys = Array.of_list (List.map (fun fn -> fn b) order_by) in
-        out := (keys, row) :: !out);
-  let rows = List.rev !out in
-  let rows =
-    if distinct then begin
-      let seen = ref Row_set.empty in
-      List.filter
-        (fun (_, row) ->
-          if Row_set.mem row !seen then false
-          else begin
-            seen := Row_set.add row !seen;
-            true
-          end)
-        rows
-    end
-    else rows
-  in
-  let rows =
-    if order_by = [] then rows
-    else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
-  in
-  { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
+  fun () ->
+    let bind = Array.make total [||] in
+    let out = ref [] in
+    if List.for_all (fun p -> p bind = Some true) pre_filters then
+      exec_steps steps bind (fun b ->
+          let row = Array.of_list (List.map (fun (fn, _) -> fn b) projections) in
+          let keys = Array.of_list (List.map (fun fn -> fn b) order_by) in
+          out := (keys, row) :: !out);
+    let rows = List.rev !out in
+    let rows =
+      if distinct then begin
+        let seen = ref Row_set.empty in
+        List.filter
+          (fun (_, row) ->
+            if Row_set.mem row !seen then false
+            else begin
+              seen := Row_set.add row !seen;
+              true
+            end)
+          rows
+      end
+      else rows
+    in
+    let rows =
+      if order_by = [] then rows
+      else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
+    in
+    { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
 
-let run_statement ~naive db = function
-  | Sql.Select sel -> run_select ~naive db sel
+let compile_statement ~naive db = function
+  | Sql.Select sel -> compile_select ~naive db sel
   | Sql.Select_count sel ->
     let counted =
-      run_select ~naive db
+      compile_select ~naive db
         {
           sel with
           Sql.distinct = false;
@@ -764,10 +771,11 @@ let run_statement ~naive db = function
           order_by = [];
         }
     in
-    { columns = [ "count" ]; rows = [ [| Value.Int (List.length counted.rows) |] ] }
+    fun () ->
+      { columns = [ "count" ]; rows = [ [| Value.Int (List.length (counted ()).rows) |] ] }
   | Sql.Union (branches, order_cols) ->
     (match branches with
-     | [] -> { columns = []; rows = [] }
+     | [] -> fun () -> { columns = []; rows = [] }
      | first :: _ ->
        let arity = List.length first.Sql.projections in
        List.iter
@@ -775,32 +783,63 @@ let run_statement ~naive db = function
            if List.length b.Sql.projections <> arity then
              error "UNION branches project different arities")
          branches;
-       let all = List.concat_map (fun b -> (run_select ~naive db b).rows) branches in
-       let seen = ref Row_set.empty in
-       let rows =
-         List.filter
-           (fun row ->
-             if Row_set.mem row !seen then false
-             else begin
-               seen := Row_set.add row !seen;
-               true
-             end)
-           all
-       in
-       let rows =
-         if order_cols = [] then rows
-         else
-           List.stable_sort
-             (fun a b ->
-               let rec go = function
-                 | [] -> 0
-                 | i :: rest ->
-                   (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
-               in
-               go order_cols)
-             rows
-       in
-       { columns = List.map snd first.Sql.projections; rows })
+       let compiled = List.map (compile_select ~naive db) branches in
+       fun () ->
+         let all = List.concat_map (fun run -> (run ()).rows) compiled in
+         let seen = ref Row_set.empty in
+         let rows =
+           List.filter
+             (fun row ->
+               if Row_set.mem row !seen then false
+               else begin
+                 seen := Row_set.add row !seen;
+                 true
+               end)
+             all
+         in
+         let rows =
+           if order_cols = [] then rows
+           else
+             List.stable_sort
+               (fun a b ->
+                 let rec go = function
+                   | [] -> 0
+                   | i :: rest ->
+                     (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
+                 in
+                 go order_cols)
+               rows
+         in
+         { columns = List.map snd first.Sql.projections; rows })
+
+let run_statement ~naive db stmt = compile_statement ~naive db stmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Prepared plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  plan_db : Database.t;
+  plan_epoch : int;
+  plan_exec : unit -> result;
+}
+
+let prepare db stmt =
+  {
+    plan_db = db;
+    plan_epoch = Database.epoch db;
+    plan_exec = compile_statement ~naive:false db stmt;
+  }
+
+let plan_epoch p = p.plan_epoch
+
+let plan_valid p = Database.epoch p.plan_db = p.plan_epoch
+
+let run_plan p =
+  if not (plan_valid p) then
+    error "stale plan: database epoch moved from %d to %d since prepare"
+      p.plan_epoch (Database.epoch p.plan_db);
+  p.plan_exec ()
 
 type step_profile = {
   table : string;

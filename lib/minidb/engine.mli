@@ -27,6 +27,32 @@ val run : Database.t -> Sql.statement -> result
 val run_naive : Database.t -> Sql.statement -> result
 (** Cross-product evaluation, no indexes, no decorrelation. *)
 
+(** {2 Prepared plans}
+
+    [prepare] performs all planning work — join ordering, access-path
+    choice, predicate compilation — exactly once and returns a reusable
+    plan. Re-executing a plan skips planning entirely and also reuses
+    memoized EXISTS state across runs, so a warm plan is strictly cheaper
+    than [run]. A plan is tied to the database epoch observed at prepare
+    time: once the catalog changes ({!Database.epoch} moves), the plan is
+    stale and must be re-prepared — this is the invalidation signal the
+    service layer's plan cache keys on. *)
+
+type plan
+
+val prepare : Database.t -> Sql.statement -> plan
+(** Plan the statement against the database's current contents. *)
+
+val plan_epoch : plan -> int
+(** The {!Database.epoch} value observed when the plan was prepared. *)
+
+val plan_valid : plan -> bool
+(** Whether the database is still at the plan's prepare-time epoch. *)
+
+val run_plan : plan -> result
+(** Execute a prepared plan. Raises {!Runtime_error} when the plan is
+    stale ({!plan_valid} is false); callers are expected to re-{!prepare}. *)
+
 val explain : Database.t -> Sql.statement -> string
 (** Human-readable plan: one line per step with its access path. *)
 

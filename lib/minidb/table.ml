@@ -10,6 +10,9 @@ type t = {
       (** (columns, column positions, tree) *)
   mutable distinct_cache : (string * (int * int)) list;
       (** column -> (row count at computation, distinct estimate) *)
+  mutable version : int;
+      (** bumped on every insert, delete and index creation; feeds
+          {!Database.epoch} so prepared plans can detect staleness *)
 }
 
 let create ~name ~(columns : column list) =
@@ -30,9 +33,12 @@ let create ~name ~(columns : column list) =
     row_count = 0;
     indexes = [];
     distinct_cache = [];
+    version = 0;
   }
 
 let name t = t.name
+
+let version t = t.version
 
 let columns t = Array.to_list t.columns
 
@@ -83,6 +89,7 @@ let insert t values =
     (fun (_, positions, tree) ->
       Btree.insert tree (Array.map (fun p -> values.(p)) positions) id)
     t.indexes;
+  t.version <- t.version + 1;
   id
 
 let delete t id =
@@ -96,6 +103,7 @@ let delete t id =
     t.rows.(id) <- [||];
     (* Invalidate cached statistics. *)
     t.distinct_cache <- [];
+    t.version <- t.version + 1;
     true
   end
 
@@ -136,7 +144,8 @@ let create_index t cols =
     iter_rows
       (fun id values -> Btree.insert tree (Array.map (fun p -> values.(p)) positions) id)
       t;
-    t.indexes <- t.indexes @ [ (cols, positions, tree) ]
+    t.indexes <- t.indexes @ [ (cols, positions, tree) ];
+    t.version <- t.version + 1
   end
 
 let index_on t cols =

@@ -7,6 +7,12 @@ type t
 val create : name:string -> columns:column list -> t
 
 val name : t -> string
+
+val version : t -> int
+(** Modification counter: bumped on every {!insert}, {!delete} and
+    {!create_index}. {!Database.epoch} sums it across tables so prepared
+    plans can detect that their compile-time assumptions are stale. *)
+
 val columns : t -> column list
 val column_index : t -> string -> int option
 val column_ty : t -> string -> Value.ty option

@@ -1,0 +1,100 @@
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (** towards most-recently-used *)
+  mutable next : 'a node option;  (** towards least-recently-used *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (** most-recently-used *)
+  mutable tail : 'a node option;  (** least-recently-used *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be at least 1";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None;
+    evicted = 0 }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+    if t.head != Some node then begin
+      unlink t node;
+      push_front t node
+    end;
+    Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.value <- value;
+    if t.head != Some node then begin
+      unlink t node;
+      push_front t node
+    end;
+    None
+  | None ->
+    let victim =
+      if Hashtbl.length t.table < t.cap then None
+      else
+        match t.tail with
+        | None -> None
+        | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.table lru.key;
+          t.evicted <- t.evicted + 1;
+          Some lru.key
+    in
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.add t.table key node;
+    push_front t node;
+    victim
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let evictions t = t.evicted
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go ((node.key, node.value) :: acc) node.next
+  in
+  go [] t.head

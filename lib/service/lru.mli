@@ -1,0 +1,35 @@
+(** A capacity-bounded least-recently-used cache with an O(1) hit path.
+
+    String keys map to arbitrary values through a hash table whose
+    entries are threaded on an intrusive doubly-linked recency list:
+    {!find} and {!add} are both O(1). When the cache is full, {!add}
+    evicts the least recently used entry. Used by {!Session} to bound the
+    number of live compiled translations and plans. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val mem : 'a t -> string -> bool
+(** Membership test without promoting. *)
+
+val add : 'a t -> string -> 'a -> string option
+(** Insert or replace (either way the entry becomes most-recently-used).
+    Returns the key evicted to make room, if any. *)
+
+val remove : 'a t -> string -> unit
+
+val clear : 'a t -> unit
+
+val evictions : 'a t -> int
+(** Total entries evicted by {!add} since creation. *)
+
+val to_list : 'a t -> (string * 'a) list
+(** Entries from most to least recently used (for tests and debugging). *)

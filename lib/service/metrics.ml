@@ -1,0 +1,143 @@
+type stage = Parse | Translate | Plan | Execute
+
+let stage_name = function
+  | Parse -> "parse"
+  | Translate -> "translate"
+  | Plan -> "plan"
+  | Execute -> "execute"
+
+let all_stages = [ Parse; Translate; Plan; Execute ]
+
+type acc = {
+  mutable count : int;
+  mutable total : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let acc_create () = { count = 0; total = 0.0; min = infinity; max = neg_infinity }
+
+let acc_reset a =
+  a.count <- 0;
+  a.total <- 0.0;
+  a.min <- infinity;
+  a.max <- neg_infinity
+
+type t = {
+  parse : acc;
+  translate : acc;
+  plan : acc;
+  execute : acc;
+  mutable queries : int;
+  mutable prepares : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create () =
+  {
+    parse = acc_create ();
+    translate = acc_create ();
+    plan = acc_create ();
+    execute = acc_create ();
+    queries = 0;
+    prepares = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let reset t =
+  List.iter acc_reset [ t.parse; t.translate; t.plan; t.execute ];
+  t.queries <- 0;
+  t.prepares <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0;
+  t.evictions <- 0
+
+let acc t = function
+  | Parse -> t.parse
+  | Translate -> t.translate
+  | Plan -> t.plan
+  | Execute -> t.execute
+
+let record t stage seconds =
+  let a = acc t stage in
+  a.count <- a.count + 1;
+  a.total <- a.total +. seconds;
+  if seconds < a.min then a.min <- seconds;
+  if seconds > a.max then a.max <- seconds
+
+let time t stage f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record t stage (Unix.gettimeofday () -. t0)) f
+
+let incr_queries t = t.queries <- t.queries + 1
+let incr_prepares t = t.prepares <- t.prepares + 1
+let incr_hits t = t.hits <- t.hits + 1
+let incr_misses t = t.misses <- t.misses + 1
+let incr_invalidations t = t.invalidations <- t.invalidations + 1
+let incr_evictions t = t.evictions <- t.evictions + 1
+
+let queries t = t.queries
+let prepares t = t.prepares
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations
+let evictions t = t.evictions
+
+let stage_count t stage = (acc t stage).count
+let stage_total t stage = (acc t stage).total
+
+let hit_rate t =
+  let lookups = t.hits + t.misses in
+  if lookups = 0 then nan else float_of_int t.hits /. float_of_int lookups
+
+let dump t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "service metrics\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  queries %d, prepares %d\n" t.queries t.prepares);
+  Buffer.add_string buf
+    (Printf.sprintf "  cache: %d hits, %d misses (hit rate %s), %d invalidations, %d evictions\n"
+       t.hits t.misses
+       (let r = hit_rate t in
+        if Float.is_nan r then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. r))
+       t.invalidations t.evictions);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-10s %8s %12s %12s %12s %12s\n" "stage" "count" "total ms"
+       "mean ms" "min ms" "max ms");
+  List.iter
+    (fun stage ->
+      let a = acc t stage in
+      if a.count = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %8d %12s %12s %12s %12s\n" (stage_name stage) 0 "-"
+             "-" "-" "-")
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %8d %12.3f %12.4f %12.4f %12.4f\n"
+             (stage_name stage) a.count (1e3 *. a.total)
+             (1e3 *. a.total /. float_of_int a.count)
+             (1e3 *. a.min) (1e3 *. a.max)))
+    all_stages;
+  Buffer.contents buf
+
+let to_json t =
+  let stage_json stage =
+    let a = acc t stage in
+    Printf.sprintf
+      "\"%s\":{\"count\":%d,\"total_s\":%.9f,\"min_s\":%s,\"max_s\":%s}"
+      (stage_name stage) a.count a.total
+      (if a.count = 0 then "null" else Printf.sprintf "%.9f" a.min)
+      (if a.count = 0 then "null" else Printf.sprintf "%.9f" a.max)
+  in
+  Printf.sprintf
+    "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
+     \"invalidations\":%d,\"evictions\":%d,\"stages\":{%s}}"
+    t.queries t.prepares t.hits t.misses t.invalidations t.evictions
+    (String.concat "," (List.map stage_json all_stages))

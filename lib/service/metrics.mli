@@ -1,0 +1,55 @@
+(** Serving metrics for the prepared-query service layer.
+
+    Counters (queries served, prepares, cache hits/misses, plan
+    invalidations, cache evictions) plus one latency accumulator per
+    pipeline stage — parse, translate, plan, execute — each tracking
+    count, total, min and max wall-clock seconds. A warm cache hit
+    records only [Execute] time; the gap between a query's stage counts
+    and its execute count is exactly the work the cache skipped. *)
+
+type stage = Parse | Translate | Plan | Execute
+
+val stage_name : stage -> string
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {2 Recording} *)
+
+val record : t -> stage -> float -> unit
+(** Add one observation (seconds) to a stage accumulator. *)
+
+val time : t -> stage -> (unit -> 'a) -> 'a
+(** Run the thunk, record its wall-clock duration under the stage.
+    Records even when the thunk raises. *)
+
+val incr_queries : t -> unit
+val incr_prepares : t -> unit
+val incr_hits : t -> unit
+val incr_misses : t -> unit
+val incr_invalidations : t -> unit
+val incr_evictions : t -> unit
+
+(** {2 Reading} *)
+
+val queries : t -> int
+val prepares : t -> int
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+val evictions : t -> int
+
+val stage_count : t -> stage -> int
+val stage_total : t -> stage -> float
+(** Seconds accumulated in the stage; 0 when never recorded. *)
+
+val hit_rate : t -> float
+(** Hits over (hits + misses); [nan] before any lookup. *)
+
+val dump : t -> string
+(** Multi-line human-readable report. *)
+
+val to_json : t -> string
+(** One JSON object with every counter and per-stage accumulator. *)

@@ -1,0 +1,126 @@
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Translate = Ppfx_translate.Translate
+module Engine = Ppfx_minidb.Engine
+module Database = Ppfx_minidb.Database
+module Sql = Ppfx_minidb.Sql
+module Ast = Ppfx_xpath.Ast
+module Xparser = Ppfx_xpath.Parser
+
+(* A cached compiled query. The SQL is valid for the session's lifetime
+   (translation depends only on the schema mapping and options); the plan
+   is valid for one store epoch and is re-prepared lazily after the store
+   changes. [plan = None] iff the translation proved the result empty. *)
+type entry = {
+  canonical : string;
+  sql : Sql.statement option;
+  mutable plan : Engine.plan option;
+}
+
+type t = {
+  mutable store : Loader.t;
+  translator : Translate.t;
+  fingerprint : string;
+  cache : entry Lru.t;
+  metrics : Metrics.t;
+}
+
+type prepared = entry
+
+let create ?(cache_capacity = 256) ?options store =
+  let translator = Translate.create ?options store.Loader.mapping in
+  {
+    store;
+    translator;
+    fingerprint = Translate.fingerprint translator;
+    cache = Lru.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+  }
+
+let of_doc ?cache_capacity ?options ?schema doc =
+  let schema = match schema with Some s -> s | None -> Graph.infer doc in
+  create ?cache_capacity ?options (Loader.shred schema doc)
+
+let load t doc = t.store <- Loader.load t.store doc
+
+let db t = t.store.Loader.db
+
+let key t canonical = canonical ^ "\x00" ^ t.fingerprint
+
+let prepare t text =
+  Metrics.incr_prepares t.metrics;
+  let expr = Metrics.time t.metrics Metrics.Parse (fun () -> Xparser.parse text) in
+  let canonical = Ast.to_string expr in
+  match Lru.find t.cache (key t canonical) with
+  | Some entry ->
+    Metrics.incr_hits t.metrics;
+    entry
+  | None ->
+    Metrics.incr_misses t.metrics;
+    let sql =
+      Metrics.time t.metrics Metrics.Translate (fun () ->
+          Translate.translate t.translator expr)
+    in
+    let plan =
+      Option.map
+        (fun stmt ->
+          Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt))
+        sql
+    in
+    let entry = { canonical; sql; plan } in
+    (match Lru.add t.cache (key t canonical) entry with
+     | Some _evicted -> Metrics.incr_evictions t.metrics
+     | None -> ());
+    entry
+
+let empty_result = { Engine.columns = []; rows = [] }
+
+let execute t (p : prepared) =
+  Metrics.incr_queries t.metrics;
+  match p.sql with
+  | None -> empty_result
+  | Some stmt ->
+    let plan =
+      match p.plan with
+      | Some plan when Engine.plan_valid plan -> plan
+      | Some _ | None ->
+        (* The store epoch moved since this entry was planned: the SQL is
+           still correct, only the plan must be rebuilt. *)
+        Metrics.incr_invalidations t.metrics;
+        let plan =
+          Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt)
+        in
+        p.plan <- Some plan;
+        plan
+    in
+    Metrics.time t.metrics Metrics.Execute (fun () -> Engine.run_plan plan)
+
+let execute_ids t p =
+  match p.sql with
+  | None ->
+    Metrics.incr_queries t.metrics;
+    []
+  | Some _ -> Translate.result_ids (execute t p)
+
+let run t text = execute t (prepare t text)
+
+let run_ids t text = execute_ids t (prepare t text)
+
+let canonical (p : prepared) = p.canonical
+
+let sql (p : prepared) = p.sql
+
+let store t = t.store
+
+let metrics t = t.metrics
+
+let epoch t = Database.epoch (db t)
+
+let fingerprint t = t.fingerprint
+
+let cache_length t = Lru.length t.cache
+
+let cache_capacity t = Lru.capacity t.cache
+
+let invalidate_cache t = Lru.clear t.cache

@@ -1,0 +1,93 @@
+(** A long-lived serving session over one shredded store.
+
+    The paper's Section 4 translation is a pure function of the schema
+    mapping and the option set, so a server can compile each distinct
+    query once and replay the compiled artifact for every later arrival.
+    A session owns a schema-aware store ({!Ppfx_shred.Loader.t}) and a
+    bounded {!Lru} cache mapping
+
+    {v normalized XPath text × translation options × schema fingerprint v}
+
+    to the translated SQL statement and its prepared minidb plan
+    ({!Ppfx_minidb.Engine.plan}). {!prepare} pays parse + translate +
+    plan at most once per distinct query; {!execute} replays the plan.
+    Query text is normalized by parsing and reprinting the canonical
+    surface form, so [//a [ b ]] and [//a[b]] share one cache entry.
+
+    Plans are tied to the store epoch ({!Ppfx_minidb.Database.epoch}).
+    Loading another document — or any other table mutation — moves the
+    epoch; a subsequent {!execute} detects the stale plan, re-plans
+    against the new contents (the translated SQL stays valid: it depends
+    only on the schema), and counts an invalidation in {!metrics}. *)
+
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Translate = Ppfx_translate.Translate
+module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+
+type t
+
+val create : ?cache_capacity:int -> ?options:Translate.options -> Loader.t -> t
+(** Wrap an existing store. [cache_capacity] bounds the number of live
+    compiled queries (default 256). *)
+
+val of_doc : ?cache_capacity:int -> ?options:Translate.options ->
+  ?schema:Graph.t -> Doc.t -> t
+(** Shred a document (inferring the schema unless given) and open a
+    session over the resulting store. *)
+
+val load : t -> Doc.t -> unit
+(** Shred one more document into the session's store. Bumps the store
+    epoch, so every cached plan re-plans on its next execution. *)
+
+(** {2 The prepared-query protocol} *)
+
+type prepared
+
+val prepare : t -> string -> prepared
+(** Parse the query and return its compiled form: on a cache miss this
+    translates to SQL and prepares the minidb plan (recording parse /
+    translate / plan latencies); on a hit only the parse is paid.
+    Raises {!Ppfx_xpath.Parser.Error} on malformed queries and
+    {!Translate.Unsupported} on out-of-subset constructs. *)
+
+val execute : t -> prepared -> Engine.result
+(** Run the prepared plan against the current store contents,
+    transparently re-planning first if the store epoch moved since the
+    plan was prepared. *)
+
+val execute_ids : t -> prepared -> int list
+(** {!execute} projected to sorted element ids (empty for provably-empty
+    translations). *)
+
+val run : t -> string -> Engine.result
+(** [prepare] + [execute]. *)
+
+val run_ids : t -> string -> int list
+(** [prepare] + [execute_ids]. *)
+
+val canonical : prepared -> string
+(** The normalized query text used as the cache key. *)
+
+val sql : prepared -> Sql.statement option
+(** The translated statement; [None] when the schema proves the result
+    empty. *)
+
+(** {2 Introspection} *)
+
+val store : t -> Loader.t
+val metrics : t -> Metrics.t
+val epoch : t -> int
+(** Current store epoch. *)
+
+val fingerprint : t -> string
+(** The translator fingerprint (schema × options) suffixing every cache
+    key; equal fingerprints mean cache entries would be exchangeable. *)
+
+val cache_length : t -> int
+val cache_capacity : t -> int
+val invalidate_cache : t -> unit
+(** Drop every cached translation (epoch-based invalidation is automatic;
+    this is the manual override). *)

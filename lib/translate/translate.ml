@@ -34,6 +34,33 @@ type t = {
 let create ?(options = default_options) mapping =
   { mapping; schema = Mapping.schema mapping; options }
 
+let options_fingerprint o =
+  Printf.sprintf "omit=%b;merge=%b;fk=%b;per_step=%b" o.omit_path_filters
+    o.merge_forward o.fk_child_joins o.force_per_step
+
+(* Canonical description of the schema graph: vertex ids, names, relations,
+   attributes, text-capability and child edges, in definition order. Two
+   translators with equal fingerprints produce identical SQL for any query,
+   so the fingerprint is a sound cache key for compiled translations. *)
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "root=%d;" (Graph.root t.schema).Graph.id);
+  List.iter
+    (fun (d : Graph.def) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s:%s:[%s]:%b:(%s);" d.Graph.id d.Graph.name
+           d.Graph.relation
+           (String.concat "," d.Graph.attrs)
+           d.Graph.has_text
+           (String.concat ","
+              (List.map
+                 (fun (c : Graph.def) -> string_of_int c.Graph.id)
+                 (Graph.children t.schema d)))))
+    (Graph.defs t.schema);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (options_fingerprint t.options);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
 (* ------------------------------------------------------------------ *)

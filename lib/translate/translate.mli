@@ -53,6 +53,17 @@ type t
 
 val create : ?options:options -> Ppfx_shred.Mapping.t -> t
 
+val options_fingerprint : options -> string
+(** Deterministic canonical rendering of the option set. *)
+
+val fingerprint : t -> string
+(** Deterministic digest of the translator's schema graph and options.
+    Translation is a pure function of (fingerprint, query): two
+    translators with equal fingerprints emit identical SQL for every
+    query, so the fingerprint is a sound key for caching compiled
+    translations across sessions (the paper's Section 4 static-translation
+    argument). *)
+
 val translate : t -> Ppfx_xpath.Ast.expr -> Sql.statement option
 (** [None] when the schema proves the result empty. The statement
     projects [(id, dewey_pos, value)] of the result nodes, in document
