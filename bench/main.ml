@@ -536,6 +536,114 @@ let service () =
   Printf.printf "\nwarm < cold: %b\n" (!warm_total < !cold_total)
 
 (* ------------------------------------------------------------------ *)
+(* Cluster: shard-scaling scatter-gather                               *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Ppfx_cluster.Cluster
+
+(* Shard-count scaling of the scatter-gather cluster on XPathMark.
+
+   Two series per shard count N:
+
+   - [cluster-N]        measured wall-clock of the scatter-gather (or of
+                        the single-store fallback, for non-partitionable
+                        queries);
+   - [cluster-N-critical] the critical path: the slowest shard's execute
+                        latency plus the merge. On a host with >= N idle
+                        cores the gather completes in exactly this time;
+                        on this machine the domains time-slice, so the
+                        measured wall-clock cannot drop below the sum of
+                        the per-shard work and the critical path is the
+                        honest scaling signal (same reasoning as the
+                        monet_sim simulator baseline).
+
+   Fallback queries report the same number for both series. *)
+let cluster_bench () =
+  current_section := "cluster";
+  print_endline "\n== Cluster: shard-count scaling, scatter-gather (XPathMark) ==";
+  let doc = Doc.of_tree (Xmark.generate ~items_per_region:config.small ()) in
+  let schema = Xmark.schema () in
+  let dataset = Printf.sprintf "XMark (%d elements)" (Doc.size doc) in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let reps = max 1 config.reps in
+  Printf.printf "\n%s — median of %d runs, milliseconds (wall / critical path)\n"
+    dataset reps;
+  let clusters =
+    List.map
+      (fun n ->
+        let c = Cluster.create ~shards:n schema [ doc ] in
+        Printf.printf "shards=%d: partition %s\n" n
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int (Cluster.partition_counts c))));
+        n, c)
+      shard_counts
+  in
+  Printf.printf "%-5s %8s %9s" "query" "#nodes" "route";
+  List.iter (fun n -> Printf.printf " %13s" (Printf.sprintf "%d-shard" n)) shard_counts;
+  print_newline ();
+  let speedups = ref [] in
+  List.iter
+    (fun (name, q) ->
+      let scatter =
+        match Cluster.verdict (snd (List.hd clusters)) q with
+        | Some Ppfx_cluster.Analysis.Partitionable -> true
+        | Some (Ppfx_cluster.Analysis.Fallback _) | None -> false
+      in
+      let nodes = ref (-1) in
+      let per_shard =
+        List.map
+          (fun (n, c) ->
+            (* Prime: translate/plan once so the timed runs measure the
+               warm serving path. *)
+            nodes := List.length (Cluster.run_ids c q);
+            let walls = ref [] and crits = ref [] in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              ignore (Cluster.run_ids c q);
+              let wall = Unix.gettimeofday () -. t0 in
+              let crit =
+                if scatter then
+                  match Cluster.last_stats c with
+                  | Some s -> s.Cluster.critical_path
+                  | None -> wall
+                else wall
+              in
+              walls := wall :: !walls;
+              crits := crit :: !crits
+            done;
+            let wall = median !walls and crit = median !crits in
+            record ~dataset ~query:name ~engine:(Printf.sprintf "cluster-%d" n)
+              ~nodes:!nodes ~seconds:wall;
+            record ~dataset ~query:name
+              ~engine:(Printf.sprintf "cluster-%d-critical" n)
+              ~nodes:!nodes ~seconds:crit;
+            n, wall, crit)
+          clusters
+      in
+      let crit_of n =
+        List.find_map (fun (m, _, c) -> if m = n then Some c else None) per_shard
+      in
+      (match crit_of 1, crit_of 4 with
+       | Some c1, Some c4 when scatter && c4 > 0.0 ->
+         speedups := (name, c1 /. c4) :: !speedups
+       | _ -> ());
+      Printf.printf "%-5s %8d %9s" name !nodes (if scatter then "scatter" else "fallback");
+      List.iter
+        (fun (_, wall, crit) ->
+          Printf.printf " %6.2f/%6.2f" (1e3 *. wall) (1e3 *. crit))
+        per_shard;
+      print_newline ();
+      flush stdout)
+    Xmark.queries;
+  (match List.sort (fun (_, a) (_, b) -> compare b a) !speedups with
+   | (name, s) :: _ ->
+     Printf.printf
+       "\nbest critical-path speedup at 4 shards vs 1: %.2fx (%s); >= 2x: %b\n" s name
+       (s >= 2.0)
+   | [] -> ());
+  List.iter (fun (_, c) -> Cluster.close c) clusters
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -632,5 +740,6 @@ let () =
   if wants "sweep" then sweep ();
   if wants "extensions" then extensions ();
   if wants "service" then service ();
+  if wants "cluster" then cluster_bench ();
   if wants "micro" then micro ();
   write_json ()

@@ -25,6 +25,7 @@ module Value = Ppfx_minidb.Value
 module Session = Ppfx_service.Session
 module Batch = Ppfx_service.Batch
 module Metrics = Ppfx_service.Metrics
+module Cluster = Ppfx_cluster.Cluster
 
 let read_file path =
   let ic = open_in_bin path in
@@ -377,10 +378,26 @@ let serve_cmd =
   let no_metrics_arg =
     Arg.(value & flag & info [ "no-metrics" ] ~doc:"Suppress the serving-metrics dump.")
   in
-  let run doc_path schema_path queries_path cache repeat no_opt no_metrics =
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Partition the store into N subtree shards and execute \
+                 partitionable queries scatter-gather on a domain pool; \
+                 order-axis and counting queries fall back to the unsharded \
+                 store. 1 (default) serves from a single store.")
+  in
+  let pool_arg =
+    Arg.(value & opt (some int) None & info [ "pool" ] ~docv:"N"
+           ~doc:"Worker domains for --shards (default: one per shard; 0 runs \
+                 shard tasks inline).")
+  in
+  let run doc_path schema_path queries_path cache repeat shards pool no_opt
+      no_metrics =
     handle_errors @@ fun () ->
     if cache < 1 then (
       Printf.eprintf "--cache must be at least 1 (got %d)\n" cache;
+      exit 1);
+    if shards < 1 then (
+      Printf.eprintf "--shards must be at least 1 (got %d)\n" shards;
       exit 1);
     let doc = load_doc doc_path in
     let schema = schema_of ~schema_path doc in
@@ -388,41 +405,59 @@ let serve_cmd =
       if no_opt then { Translate.default_options with omit_path_filters = false }
       else Translate.default_options
     in
-    let session = Session.of_doc ~cache_capacity:cache ~options ~schema doc in
     let queries =
       match queries_path with
       | Some path -> Batch.parse_queries (read_file path)
       | None -> Batch.read_queries stdin
     in
-    for round = 1 to max 1 repeat do
-      if repeat > 1 then Printf.printf "-- round %d\n" round;
-      List.iter
-        (fun (o : Batch.outcome) ->
-          match o.Batch.result with
-          | Ok ids ->
-            Printf.printf "%6d nodes %10.3f ms  %s\n" (List.length ids)
-              (1e3 *. o.Batch.seconds) o.Batch.query
-          | Error msg ->
-            Printf.printf " ERROR %10.3f ms  %s  -- %s\n" (1e3 *. o.Batch.seconds)
-              o.Batch.query msg)
-        (Batch.run session queries)
-    done;
-    if not no_metrics then begin
-      print_newline ();
-      print_string (Metrics.dump (Session.metrics session))
+    let serve_rounds run_ids metrics shard_metrics =
+      for round = 1 to max 1 repeat do
+        if repeat > 1 then Printf.printf "-- round %d\n" round;
+        List.iter
+          (fun (o : Batch.outcome) ->
+            match o.Batch.result with
+            | Ok ids ->
+              Printf.printf "%6d nodes %10.3f ms  %s\n" (List.length ids)
+                (1e3 *. o.Batch.seconds) o.Batch.query
+            | Error msg ->
+              Printf.printf " ERROR %10.3f ms  %s  -- %s\n" (1e3 *. o.Batch.seconds)
+                o.Batch.query msg)
+          (Batch.run_with run_ids queries)
+      done;
+      if not no_metrics then begin
+        print_newline ();
+        print_string (Metrics.dump metrics);
+        Array.iteri
+          (fun s m ->
+            Printf.printf "\n-- shard %d --\n" s;
+            print_string (Metrics.dump m))
+          shard_metrics
+      end
+    in
+    if shards = 1 then begin
+      let session = Session.of_doc ~cache_capacity:cache ~options ~schema doc in
+      serve_rounds (Session.run_ids session) (Session.metrics session) [||]
     end
+    else
+      Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options ~shards
+        schema [ doc ]
+        (fun cluster ->
+          serve_rounds (Cluster.run_ids cluster) (Cluster.metrics cluster)
+            (Cluster.shard_metrics cluster))
   in
   let term =
     Term.(
       const run $ doc_arg $ schema_arg $ queries_arg $ cache_arg $ repeat_arg
-      $ no_opt_arg $ no_metrics_arg)
+      $ shards_arg $ pool_arg $ no_opt_arg $ no_metrics_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer a batch of queries through one prepared-query session: \
              parse/translate/plan are paid once per distinct query and cached \
              (LRU, store-epoch invalidation); serving metrics are dumped at \
-             the end.")
+             the end. With --shards N the store is partitioned by root-child \
+             subtree and partitionable queries execute scatter-gather across \
+             a domain worker pool, merged by document order.")
     term
 
 let () =

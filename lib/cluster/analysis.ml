@@ -1,0 +1,195 @@
+module Sql = Ppfx_minidb.Sql
+
+(* Static shard-safety analysis of a translated statement.
+
+   The store is partitioned into frontier subtrees with the spine —
+   every split element, root included — and the [Paths] relation
+   replicated into every shard, so a join is shard-local exactly when
+   every binding it accepts relates rows available in one shard. The
+   translation emits a closed set of join shapes (translate.ml):
+
+   - Dewey containment  [d BETWEEN a AND a || 0xFF]   — shard-local: the
+     ancestor is in the same frontier subtree or a replicated spine row;
+   - foreign-key joins  [child.fk = parent.id]        — the parent row is
+     in the same subtree or replicated (spine, Paths);
+   - sibling joins      [a.fk = b.fk, a.dewey > b.dewey] — local unless
+     the common parent can be a spine element, whose children may be
+     split across shards: those fk columns form the boundary set;
+   - order joins        [d > a || 0xFF] (and mirrored) — compare Dewey
+     positions of nodes in unrelated subtrees: never shard-local;
+   - level pins, path regexes, value/ord comparisons  — row-local or
+     riding on an already-local join.
+
+   The analysis walks the full boolean tree (order conditions also occur
+   under OR from predicate splitting), recurses into EXISTS, and treats
+   any cross-alias comparison outside the known-local shapes as a
+   fallback. Aggregation is also unsound per shard: COUNT sub-queries
+   and top-level counts fall back, as does uncorrelated EXISTS (a global
+   gate a shard cannot decide alone). A bare cross-alias Dewey
+   comparison without the 0xFF sentinel is accepted: the translator only
+   emits it alongside a sibling fk join or a recursive containment
+   BETWEEN, either of which already pins both aliases to one subtree. *)
+
+type verdict = Partitionable | Fallback of string
+
+let dewey_column = "dewey_pos"
+
+let is_dewey_col = function
+  | Sql.Col (_, c) -> String.equal c dewey_column
+  | _ -> false
+
+let rec mentions_dewey = function
+  | Sql.Col (_, c) -> String.equal c dewey_column
+  | Sql.Const _ | Sql.Bool_const _ -> false
+  | Sql.Concat (a, b) | Sql.Arith (_, a, b) -> mentions_dewey a || mentions_dewey b
+  | Sql.To_number a | Sql.Length a | Sql.Not a | Sql.Is_not_null a -> mentions_dewey a
+  | Sql.Cmp (_, a, b) | Sql.And (a, b) | Sql.Or (a, b) -> mentions_dewey a || mentions_dewey b
+  | Sql.Between (a, b, c) -> mentions_dewey a || mentions_dewey b || mentions_dewey c
+  | Sql.Regexp_like (a, _) -> mentions_dewey a
+  | Sql.Exists _ | Sql.Count_subquery _ -> false
+
+(* Whether the expression contains [dewey || _] — the sentinel upper end
+   of a document-order comparison. *)
+let rec has_dewey_concat = function
+  | Sql.Concat (a, b) -> is_dewey_col a || has_dewey_concat a || has_dewey_concat b
+  | Sql.Arith (_, a, b) -> has_dewey_concat a || has_dewey_concat b
+  | Sql.To_number a | Sql.Length a -> has_dewey_concat a
+  | Sql.Col _ | Sql.Const _ | Sql.Bool_const _ -> false
+  | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
+  | Sql.Regexp_like _ | Sql.Exists _ | Sql.Count_subquery _ | Sql.Is_not_null _ ->
+    false
+
+let rec dewey_aliases acc = function
+  | Sql.Col (a, c) -> if String.equal c dewey_column then a :: acc else acc
+  | Sql.Const _ | Sql.Bool_const _ -> acc
+  | Sql.Concat (a, b) | Sql.Arith (_, a, b) -> dewey_aliases (dewey_aliases acc a) b
+  | Sql.To_number a | Sql.Length a -> dewey_aliases acc a
+  | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
+  | Sql.Regexp_like _ | Sql.Exists _ | Sql.Count_subquery _ | Sql.Is_not_null _ ->
+    acc
+
+let is_fk_column c =
+  let n = String.length c in
+  n > 3 && String.equal (String.sub c (n - 3) 3) "_id"
+
+exception Stop of string
+
+let fail reason = raise (Stop reason)
+
+let containment_between e lo hi =
+  match lo, hi with
+  | Sql.Col (x, c1), Sql.Concat (Sql.Col (y, c2), _) ->
+    String.equal c1 dewey_column && String.equal c2 dewey_column && String.equal x y
+    && is_dewey_col e
+  | _ -> false
+
+let rec check_expr ~bfks (e : Sql.expr) =
+  match e with
+  | Sql.Cmp (op, a, b) -> check_cmp ~bfks op a b
+  | Sql.Between (e1, lo, hi) ->
+    if containment_between e1 lo hi then ()
+    else if mentions_dewey e1 || mentions_dewey lo || mentions_dewey hi then
+      fail "non-containment dewey BETWEEN"
+    else begin
+      check_value ~bfks e1;
+      check_value ~bfks lo;
+      check_value ~bfks hi
+    end
+  | Sql.And (a, b) | Sql.Or (a, b) ->
+    check_expr ~bfks a;
+    check_expr ~bfks b
+  | Sql.Not a -> check_expr ~bfks a
+  | Sql.Exists sel ->
+    if Sql.free_aliases (Sql.Exists sel) = [] then
+      fail "uncorrelated EXISTS (checks a global property per shard)"
+    else check_select ~bfks sel
+  | Sql.Count_subquery _ -> fail "COUNT sub-query (counts rows per shard)"
+  | Sql.Regexp_like (a, _) | Sql.Is_not_null a -> check_value ~bfks a
+  | Sql.Bool_const _ -> ()
+  | Sql.Col _ | Sql.Const _ | Sql.Concat _ | Sql.Arith _ | Sql.To_number _
+  | Sql.Length _ ->
+    check_value ~bfks e
+
+and check_cmp ~bfks op a b =
+  match a, b with
+  | Sql.Col (x, ca), Sql.Col (y, cb) when not (String.equal x y) ->
+    if String.equal ca dewey_column && String.equal cb dewey_column then
+      (* Bare dewey comparison: the order refinement of a sibling or
+         recursive-containment join; those joins pin both aliases. *)
+      ()
+    else if op <> Sql.Eq then fail "cross-alias non-equality comparison"
+    else if String.equal ca "id" || String.equal cb "id" then
+      (* Foreign-key join: the parent side is in the same frontier
+         subtree or replicated (spine / Paths). *)
+      ()
+    else if List.mem ca bfks || List.mem cb bfks then
+      fail "sibling join at a partition boundary (children of a spine element)"
+    else if is_fk_column ca && is_fk_column cb then ()
+    else fail "cross-alias comparison outside known shard-local shapes"
+  | _ ->
+    ignore op;
+    if has_dewey_concat a || has_dewey_concat b then begin
+      (* [d cmp a || 0xFF]: a document-order comparison. Local only when
+         a single alias is involved. *)
+      match List.sort_uniq compare (dewey_aliases (dewey_aliases [] a) b) with
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ -> fail "order-axis dewey comparison (following/preceding)"
+    end
+    else begin
+      check_value ~bfks a;
+      check_value ~bfks b
+    end
+
+and check_value ~bfks (e : Sql.expr) =
+  match e with
+  | Sql.Col _ | Sql.Const _ | Sql.Bool_const _ -> ()
+  | Sql.Concat (a, b) | Sql.Arith (_, a, b) ->
+    check_value ~bfks a;
+    check_value ~bfks b
+  | Sql.To_number a | Sql.Length a -> check_value ~bfks a
+  | Sql.Count_subquery _ -> fail "COUNT sub-query (counts rows per shard)"
+  | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
+  | Sql.Regexp_like _ | Sql.Exists _ | Sql.Is_not_null _ ->
+    check_expr ~bfks e
+
+and check_select ~bfks (sel : Sql.select) =
+  (match sel.Sql.where with None -> () | Some w -> check_expr ~bfks w);
+  List.iter (fun (e, _) -> check_value ~bfks e) sel.Sql.projections;
+  List.iter (fun e -> check_value ~bfks e) sel.Sql.order_by
+
+(* The merge needs a projected, statement-wide Dewey ordering: for a
+   single SELECT an ORDER BY equal to one projection, for a UNION one
+   output-column ordinal. Returns the 0-based projection index. *)
+let merge_key (stmt : Sql.statement) =
+  let key_of_select (sel : Sql.select) =
+    match sel.Sql.order_by with
+    | [ e ] ->
+      let rec find i = function
+        | [] -> None
+        | (p, _) :: rest -> if p = e then Some i else find (i + 1) rest
+      in
+      find 0 sel.Sql.projections
+    | _ -> None
+  in
+  match stmt with
+  | Sql.Select sel -> key_of_select sel
+  | Sql.Union (branches, [ i ]) ->
+    if List.for_all (fun (b : Sql.select) -> List.length b.Sql.projections > i) branches
+    then Some i
+    else None
+  | Sql.Union _ | Sql.Select_count _ -> None
+
+let analyze ~boundary_fks (stmt : Sql.statement) =
+  let bfks = boundary_fks in
+  let check () =
+    match stmt with
+    | Sql.Select_count _ -> fail "top-level COUNT aggregates across shards"
+    | Sql.Select sel -> check_select ~bfks sel
+    | Sql.Union (branches, _) -> List.iter (check_select ~bfks) branches
+  in
+  match check () with
+  | () ->
+    (match merge_key stmt with
+     | Some _ -> Partitionable
+     | None -> Fallback "no statement-wide dewey ordering to merge on")
+  | exception Stop reason -> Fallback reason

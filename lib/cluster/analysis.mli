@@ -1,0 +1,36 @@
+(** Shard-safety analysis of translated statements.
+
+    Under subtree partitioning ({!Partition}) all PPF forward/backward
+    join shapes the translator emits — Dewey containment windows,
+    parent/child foreign keys, sibling joins below the spine, path
+    regexes, level pins — are shard-local, so a query can run on every
+    shard independently and be k-way merged by Dewey position. Shapes
+    that relate rows across subtree boundaries cannot: document-order
+    comparisons ([following]/[preceding]), sibling joins on a boundary
+    foreign key (children of a replicated spine element may be split
+    across shards), uncorrelated EXISTS, and any counting ([count(...)]
+    results or COUNT sub-queries, which would count per shard). For
+    those, the verdict is {!Fallback} and the cluster runs the query on
+    the unsharded store — answers stay exactly equal to single-store
+    execution either way. *)
+
+module Sql = Ppfx_minidb.Sql
+
+type verdict =
+  | Partitionable
+  | Fallback of string  (** human-readable reason, surfaced in metrics *)
+
+val analyze : boundary_fks:string list -> Sql.statement -> verdict
+(** [analyze ~boundary_fks stmt] walks the full boolean tree of every
+    SELECT (including under OR/NOT and inside correlated EXISTS) and
+    checks the statement projects a statement-wide Dewey ordering the
+    merge can key on. [boundary_fks] are the foreign-key column names
+    referencing spine relations ([<relation>_id] for every relation with
+    a replicated instance — the cluster computes this from
+    {!Partition.replicated}); equality on them is a sibling join whose
+    siblings may straddle shards. *)
+
+val merge_key : Sql.statement -> int option
+(** 0-based projection index of the Dewey merge key: the single ORDER BY
+    column of a SELECT, or the single order ordinal of a UNION. [None]
+    when the statement has no such statement-wide ordering. *)

@@ -1,0 +1,251 @@
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Mapping = Ppfx_shred.Mapping
+module Loader = Ppfx_shred.Loader
+module Engine = Ppfx_minidb.Engine
+module Translate = Ppfx_translate.Translate
+module Session = Ppfx_service.Session
+module Metrics = Ppfx_service.Metrics
+module Lru = Ppfx_service.Lru
+
+(* The scatter-gather coordinator.
+
+   One full (unsharded) store lives inside a {!Session} and keeps three
+   jobs: parse/translate/cache queries (the translation is shard-agnostic
+   — it depends only on the schema mapping), execute fallback queries,
+   and carry the overall serving metrics. Next to it sit [shards] shard
+   stores, each loaded through {!Partition} so it holds the replicated
+   root + Paths rows and an interval of root-child subtrees.
+
+   Per query (keyed by canonical text, like the session cache) the
+   cluster caches a routing mode: scatter with one prepared plan per
+   shard, or single-store fallback with the analysis reason. Shard plans
+   are validated against their shard's epoch and re-prepared on the
+   coordinator before the scatter — [Engine.prepare] touches planner-side
+   caches ([Table.distinct_estimate]) and must not race a concurrent
+   [run_plan] on the same shard database. The scattered tasks themselves
+   share no mutable state: each runs a distinct plan against a distinct
+   database. *)
+
+type mode =
+  | Scatter of { key : int; plans : Engine.plan option array }
+  | Single of string
+  | Empty  (** schema proved the result empty; no SQL at all *)
+
+type scatter_stats = {
+  critical_path : float;
+  queue_waits : float array;
+  shard_rows : int array;
+}
+
+type t = {
+  session : Session.t;
+  mutable shard_stores : Loader.t array;
+  shard_metrics : Metrics.t array;
+  partition_counts : int array;
+  pool : Pool.t;
+  cache : mode Lru.t;
+  mutable boundary_fks : string list;
+      (* fk columns referencing relations with replicated (spine)
+         instances; sibling joins on them cross shard boundaries *)
+  nshards : int;
+  mutable last : scatter_stats option;
+}
+
+type prepared = Session.prepared
+
+let partition_into ~counts stores doc =
+  let nshards = Array.length stores in
+  let p = Partition.compute ~shards:nshards doc in
+  Array.iteri (fun s c -> counts.(s) <- counts.(s) + c) (Partition.counts p);
+  ( Array.mapi
+      (fun s store -> Loader.load ~keep:(Partition.keep p ~shard:s) store doc)
+      stores,
+    p )
+
+(* The boundary set of one partitioned document: [<relation>_id] for
+   every relation instantiated by a spine element. The root relation's
+   fk is included unconditionally: almost every split document has a
+   spine root anyway, and keeping it in the set for the rare unsplit
+   (single-shard) document only costs a conservative fallback. *)
+let boundary_fks_of full doc p =
+  let spine_fks =
+    List.filter_map
+      (fun id ->
+        match Loader.def_of_element full ~doc id with
+        | def -> Some (Mapping.relation full.Loader.mapping def ^ "_id")
+        | exception Not_found -> None)
+      (Partition.replicated p)
+  in
+  let root_def = Graph.root (Mapping.schema full.Loader.mapping) in
+  List.sort_uniq compare
+    ((Mapping.relation full.Loader.mapping root_def ^ "_id") :: spine_fks)
+
+let create ?pool_size ?(cache_capacity = 256) ?options ~shards:nshards schema docs =
+  if nshards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
+  let pool_size = match pool_size with Some n -> n | None -> nshards in
+  let mapping = Mapping.of_schema schema in
+  let full = ref (Loader.create mapping) in
+  let stores = ref (Array.init nshards (fun _ -> Loader.create mapping)) in
+  let counts = Array.make nshards 0 in
+  let bfks = ref [] in
+  List.iter
+    (fun doc ->
+      full := Loader.load !full doc;
+      let stores', p = partition_into ~counts !stores doc in
+      stores := stores';
+      bfks := List.sort_uniq compare (boundary_fks_of !full doc p @ !bfks))
+    docs;
+  {
+    session = Session.create ~cache_capacity ?options !full;
+    shard_stores = !stores;
+    shard_metrics = Array.init nshards (fun _ -> Metrics.create ());
+    partition_counts = counts;
+    pool = Pool.create pool_size;
+    cache = Lru.create ~capacity:cache_capacity;
+    boundary_fks = !bfks;
+    nshards;
+    last = None;
+  }
+
+let load t doc =
+  Session.load t.session doc;
+  let stores, p = partition_into ~counts:t.partition_counts t.shard_stores doc in
+  t.shard_stores <- stores;
+  let bfks =
+    List.sort_uniq compare
+      (boundary_fks_of (Session.store t.session) doc p @ t.boundary_fks)
+  in
+  (* A grown boundary set can flip earlier Partitionable verdicts, so the
+     routing cache must be rebuilt (plans are invalid anyway: the load
+     moved every shard's epoch). *)
+  if bfks <> t.boundary_fks then begin
+    t.boundary_fks <- bfks;
+    Lru.clear t.cache
+  end
+
+let prepare t text = Session.prepare t.session text
+
+let mode_for t p =
+  let canonical = Session.canonical p in
+  match Lru.find t.cache canonical with
+  | Some m -> m
+  | None ->
+    let m =
+      match Session.sql p with
+      | None -> Empty
+      | Some stmt ->
+        (match Analysis.analyze ~boundary_fks:t.boundary_fks stmt with
+         | Analysis.Fallback reason -> Single reason
+         | Analysis.Partitionable ->
+           (match Analysis.merge_key stmt with
+            | Some key -> Scatter { key; plans = Array.make t.nshards None }
+            | None -> Single "no statement-wide dewey ordering to merge on"))
+    in
+    ignore (Lru.add t.cache canonical m);
+    m
+
+let revalidate_plans t stmt plans =
+  Array.iteri
+    (fun s store ->
+      let stale =
+        match plans.(s) with
+        | None -> true
+        | Some plan when Engine.plan_valid plan -> false
+        | Some _ ->
+          Metrics.incr_invalidations t.shard_metrics.(s);
+          true
+      in
+      if stale then begin
+        let t0 = Unix.gettimeofday () in
+        let plan = Engine.prepare store.Loader.db stmt in
+        Metrics.record t.shard_metrics.(s) Metrics.Plan (Unix.gettimeofday () -. t0);
+        plans.(s) <- Some plan
+      end)
+    t.shard_stores
+
+let scatter t ~key ~plans stmt =
+  let m = Session.metrics t.session in
+  Metrics.incr_queries m;
+  revalidate_plans t stmt plans;
+  let t0 = Unix.gettimeofday () in
+  let futures =
+    Array.map
+      (fun plan ->
+        let plan = Option.get plan in
+        Pool.submit t.pool (fun () ->
+            let s0 = Unix.gettimeofday () in
+            let r = Engine.run_plan plan in
+            r, Unix.gettimeofday () -. s0))
+      plans
+  in
+  let outcomes = Array.map Pool.await futures in
+  Metrics.record m Metrics.Execute (Unix.gettimeofday () -. t0);
+  let queue_waits = Array.map Pool.queue_wait futures in
+  let shard_rows = Array.make t.nshards 0 in
+  let critical = ref 0.0 in
+  Array.iteri
+    (fun s (r, dt) ->
+      let sm = t.shard_metrics.(s) in
+      Metrics.incr_queries sm;
+      Metrics.record sm Metrics.Execute dt;
+      Metrics.record sm Metrics.Queue queue_waits.(s);
+      let rows = List.length r.Engine.rows in
+      Metrics.add_rows sm rows;
+      shard_rows.(s) <- rows;
+      if dt > !critical then critical := dt)
+    outcomes;
+  let merged =
+    Metrics.time m Metrics.Merge (fun () ->
+        Merge.merge ~key (Array.to_list (Array.map fst outcomes)))
+  in
+  Metrics.add_rows m (List.length merged.Engine.rows);
+  t.last <- Some { critical_path = !critical; queue_waits; shard_rows };
+  merged
+
+let execute t p =
+  match mode_for t p with
+  | Empty -> Session.execute t.session p
+  | Single _ ->
+    Metrics.incr_fallbacks (Session.metrics t.session);
+    Session.execute t.session p
+  | Scatter { key; plans } ->
+    let stmt = match Session.sql p with Some s -> s | None -> assert false in
+    scatter t ~key ~plans stmt
+
+let execute_ids t p =
+  match Session.sql p with
+  | None -> Session.execute_ids t.session p
+  | Some _ -> Translate.result_ids (execute t p)
+
+let run t text = execute t (prepare t text)
+
+let run_ids t text = execute_ids t (prepare t text)
+
+let verdict t text =
+  match mode_for t (prepare t text) with
+  | Empty -> None
+  | Single reason -> Some (Analysis.Fallback reason)
+  | Scatter _ -> Some Analysis.Partitionable
+
+let close t = Pool.shutdown t.pool
+
+let with_cluster ?pool_size ?cache_capacity ?options ~shards schema docs f =
+  let t = create ?pool_size ?cache_capacity ?options ~shards schema docs in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let session t = t.session
+
+let metrics t = Session.metrics t.session
+
+let shards t = t.nshards
+
+let pool_size t = Pool.size t.pool
+
+let shard_metrics t = Array.copy t.shard_metrics
+
+let shard_stores t = Array.copy t.shard_stores
+
+let partition_counts t = Array.copy t.partition_counts
+
+let last_stats t = t.last

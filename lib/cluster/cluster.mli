@@ -1,0 +1,107 @@
+(** The sharded store: domain-parallel scatter-gather execution.
+
+    A cluster partitions a document collection into [shards] shard
+    stores by root-child subtree ({!Partition}) and keeps one unsharded
+    store inside a {!Ppfx_service.Session} for translation/plan caching,
+    overall metrics, and fallback execution. Per distinct query the
+    translated SQL is analyzed once ({!Analysis}): partitionable
+    statements are prepared per shard (plans revalidated against each
+    shard's epoch), fanned out over a {!Pool} of domains, and k-way
+    merged by Dewey position ({!Merge}); everything else — order axes at
+    the partition boundary, counting queries, uncorrelated EXISTS — runs
+    on the unsharded store. Either way the answer is exactly equal to
+    single-store execution. *)
+
+module Doc = Ppfx_xml.Doc
+module Graph = Ppfx_schema.Graph
+module Loader = Ppfx_shred.Loader
+module Translate = Ppfx_translate.Translate
+module Engine = Ppfx_minidb.Engine
+module Session = Ppfx_service.Session
+module Metrics = Ppfx_service.Metrics
+
+type t
+
+val create :
+  ?pool_size:int ->
+  ?cache_capacity:int ->
+  ?options:Translate.options ->
+  shards:int ->
+  Graph.t ->
+  Doc.t list ->
+  t
+(** Build the full store and [shards] shard stores from the documents.
+    [pool_size] defaults to [shards] worker domains; [0] executes tasks
+    inline on the caller (deterministic, for tests). [cache_capacity]
+    bounds both the session's translation cache and the cluster's
+    per-query routing cache (default 256). Raises [Invalid_argument]
+    when [shards < 1]. *)
+
+val load : t -> Doc.t -> unit
+(** Shred one more document into the full store and, partitioned, into
+    every shard store. Bumps every store's epoch: all cached plans
+    re-prepare on next use. *)
+
+val close : t -> unit
+(** Shut the worker pool down (idempotent via {!Pool.shutdown}). *)
+
+val with_cluster :
+  ?pool_size:int ->
+  ?cache_capacity:int ->
+  ?options:Translate.options ->
+  shards:int ->
+  Graph.t ->
+  Doc.t list ->
+  (t -> 'a) ->
+  'a
+(** [create] / run / [close], exception-safe. *)
+
+(** {2 Executing queries} *)
+
+type prepared = Session.prepared
+
+val prepare : t -> string -> prepared
+(** {!Session.prepare} on the embedded session: parse + translate + plan
+    cached across calls. *)
+
+val execute : t -> prepared -> Engine.result
+(** Scatter-gather when the query's SQL is partitionable, single-store
+    execution otherwise (counted in [fallbacks] of {!metrics}). *)
+
+val execute_ids : t -> prepared -> int list
+val run : t -> string -> Engine.result
+val run_ids : t -> string -> int list
+
+val verdict : t -> string -> Analysis.verdict option
+(** How the cluster routes this query; [None] when the schema proves the
+    result empty (no SQL is produced at all). *)
+
+(** {2 Introspection} *)
+
+type scatter_stats = {
+  critical_path : float;
+      (** max per-shard execute seconds of the last scatter — the gather
+          latency an idle multi-core host would observe *)
+  queue_waits : float array;  (** per-shard pool queue wait, seconds *)
+  shard_rows : int array;  (** per-shard result rows before the merge *)
+}
+
+val last_stats : t -> scatter_stats option
+(** Stats of the most recent scatter-gather {!execute}; [None] before the
+    first one (fallback executions do not update it). *)
+
+val session : t -> Session.t
+val metrics : t -> Metrics.t
+(** Overall serving metrics (the embedded session's): Execute is the
+    scatter-gather wall clock, Merge the k-way merge, [fallbacks] and
+    [rows] the routing counters. *)
+
+val shards : t -> int
+val pool_size : t -> int
+val shard_metrics : t -> Metrics.t array
+(** Per-shard metrics: Plan/Queue/Execute latencies, queries, rows,
+    invalidations. *)
+
+val shard_stores : t -> Loader.t array
+val partition_counts : t -> int array
+(** Stored elements per shard (roots excluded), summed over documents. *)

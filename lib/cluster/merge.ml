@@ -1,0 +1,64 @@
+module Engine = Ppfx_minidb.Engine
+module Value = Ppfx_minidb.Value
+
+(* K-way merge of per-shard results by the projected Dewey key.
+
+   Every shard result is already Dewey-ordered (Analysis.merge_key
+   guarantees the statement orders on a projected column), and Dewey
+   positions are unique per element, so the only key ties — and the only
+   cross-shard duplicates — are rows of the replicated document root:
+   byte-identical in every shard (top-level selects are DISTINCT, so each
+   shard emits such a row at most once per distinct value). They land
+   adjacent in the merged stream, so dropping rows equal to the last
+   emitted one restores exactly the single-store output. *)
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i = n then compare la lb
+    else
+      match Value.compare_total a.(i) b.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let merge ~key (results : Engine.result list) : Engine.result =
+  match results with
+  | [] -> invalid_arg "Merge.merge: no results"
+  | first :: _ ->
+    let heads = Array.of_list (List.map (fun r -> r.Engine.rows) results) in
+    let n = Array.length heads in
+    let out = ref [] in
+    let last : Value.t array option ref = ref None in
+    let exception Done in
+    (try
+       while true do
+         (* Linear scan for the smallest head key: shard counts are small
+            (<= 8 in practice), so a heap would not pay for itself. *)
+         let best = ref (-1) in
+         for i = n - 1 downto 0 do
+           match heads.(i) with
+           | [] -> ()
+           | row :: _ ->
+             if
+               !best = -1
+               || Value.compare_total row.(key) (List.hd heads.(!best)).(key) < 0
+             then best := i
+         done;
+         if !best = -1 then raise Done;
+         let row, rest =
+           match heads.(!best) with
+           | row :: rest -> row, rest
+           | [] -> assert false
+         in
+         heads.(!best) <- rest;
+         (match !last with
+          | Some prev when compare_rows prev row = 0 -> ()
+          | _ ->
+            out := row :: !out;
+            last := Some row)
+       done
+     with Done -> ());
+    { Engine.columns = first.Engine.columns; rows = List.rev !out }

@@ -1,0 +1,16 @@
+(** Dewey-ordered k-way merge of per-shard results.
+
+    Inputs must each be sorted ascending on column [key] (the projection
+    index from {!Analysis.merge_key}) under {!Ppfx_minidb.Value.compare_total}.
+    The merge is stable, preserves that order globally, and drops
+    adjacent byte-identical rows — which under subtree partitioning are
+    exactly the replicated document-root rows each shard re-emits — so
+    the merged result equals single-store execution. *)
+
+val merge : key:int -> Ppfx_minidb.Engine.result list -> Ppfx_minidb.Engine.result
+(** Raises [Invalid_argument] on an empty list. Column names are taken
+    from the first result. *)
+
+val compare_rows : Ppfx_minidb.Value.t array -> Ppfx_minidb.Value.t array -> int
+(** Total lexicographic row order (componentwise [Value.compare_total],
+    shorter rows first on a shared prefix). Exposed for tests. *)

@@ -1,0 +1,91 @@
+module Doc = Ppfx_xml.Doc
+
+(* Subtree partitioning (after Arion et al.'s path/subtree partitioning).
+
+   The distribution unit is a frontier subtree: walking down from the
+   document root, any subtree larger than [total / (shards * 8)] is
+   split — its root becomes a *spine* element, replicated into every
+   shard exactly like the [Paths] relation — and its children are
+   considered in turn. What remains is a Dewey-ordered frontier of
+   disjoint subtrees covering every non-spine element; greedy contiguous
+   grouping then closes shard [s] once the cumulative unit size crosses
+   [total * (s+1) / shards].
+
+   Splitting deeper than the root matters in practice: XMark's root has
+   six children and the regions subtree alone is over half the document,
+   so root-child granularity would leave shards empty. The price is that
+   sibling relationships *under a spine element* may cross shards — the
+   shard-safety analysis receives the spine relations as its boundary
+   set and falls back for exactly those joins. *)
+
+type t = {
+  shards : int;
+  shard_of : int array;
+      (* element id (1-based) -> owning shard, or -1 for replicated spine *)
+  counts : int array;  (* stored elements per shard, spine excluded *)
+  replicated : int list;  (* spine element ids, ascending *)
+}
+
+let shards t = t.shards
+
+let counts t = Array.copy t.counts
+
+let replicated t = t.replicated
+
+let split_factor = 8
+
+let compute ~shards doc =
+  if shards < 1 then invalid_arg "Partition.compute: shards must be >= 1";
+  let n = Doc.size doc in
+  (* Subtree sizes: preorder ids, so every child id exceeds its parent's
+     and a reverse sweep accumulates bottom-up. *)
+  let size = Array.make (n + 1) 1 in
+  for id = n downto 1 do
+    let e = Doc.element doc id in
+    if e.Doc.parent <> 0 then size.(e.Doc.parent) <- size.(e.Doc.parent) + size.(id)
+  done;
+  let limit = max 1 (n / (shards * split_factor)) in
+  (* Frontier selection, in document order. *)
+  let spine = ref [] in
+  let units = ref [] in
+  let rec visit id =
+    let e = Doc.element doc id in
+    if size.(id) > limit && e.Doc.children <> [] then begin
+      spine := id :: !spine;
+      List.iter visit e.Doc.children
+    end
+    else units := id :: !units
+  in
+  visit (Doc.root doc).Doc.id;
+  let spine = List.rev !spine in
+  let units = Array.of_list (List.rev !units) in
+  let nunits = Array.length units in
+  let total = Array.fold_left (fun acc u -> acc + size.(u)) 0 units in
+  (* Greedy contiguous size-balanced grouping of the frontier. *)
+  let unit_shard = Array.make nunits 0 in
+  let s = ref 0 in
+  let seen = ref 0 in
+  for u = 0 to nunits - 1 do
+    unit_shard.(u) <- !s;
+    seen := !seen + size.(units.(u));
+    if !s < shards - 1 && !seen * shards >= total * (!s + 1) then incr s
+  done;
+  (* Propagate: spine -> -1, unit roots -> their shard, everything else
+     inherits its parent (preorder: parents first). *)
+  let shard_of = Array.make (n + 1) (-1) in
+  let is_spine = Array.make (n + 1) false in
+  List.iter (fun id -> is_spine.(id) <- true) spine;
+  Array.iteri (fun u id -> shard_of.(id) <- unit_shard.(u)) units;
+  let counts = Array.make shards 0 in
+  Doc.iter
+    (fun e ->
+      if (not is_spine.(e.Doc.id)) && shard_of.(e.Doc.id) = -1 && e.Doc.parent <> 0
+      then shard_of.(e.Doc.id) <- shard_of.(e.Doc.parent);
+      let s = shard_of.(e.Doc.id) in
+      if s >= 0 then counts.(s) <- counts.(s) + 1)
+    doc;
+  { shards; shard_of; counts; replicated = spine }
+
+let keep t ~shard (e : Doc.element) =
+  let s = t.shard_of.(e.Doc.id) in
+  s = -1 || s = shard

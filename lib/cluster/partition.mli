@@ -1,0 +1,40 @@
+(** Subtree partitioning of one document across N shards.
+
+    The unit of distribution is a frontier subtree: descending from the
+    document root, any subtree larger than [size / (shards * 8)] is
+    split — its root becomes a {e spine} element, replicated into every
+    shard like the [Paths] relation — and the frontier continues into
+    its children. Frontier subtrees are grouped in Dewey (document)
+    order into contiguous, size-balanced ranges; the greedy boundary
+    rule closes shard [s] once the cumulative element count crosses
+    [total * (s+1) / shards].
+
+    Because a shard holds whole frontier subtrees plus every spine
+    ancestor, the PPF forward/backward joins of the translation — Dewey
+    containment windows, parent/child foreign keys, path-regex filters —
+    relate rows available in one shard and are therefore shard-local.
+    Sibling joins {e under a spine element} are not (its children may be
+    split across shards): {!replicated} feeds the analysis' boundary
+    set. See DESIGN.md, "Subtree partitioning". *)
+
+module Doc = Ppfx_xml.Doc
+
+type t
+
+val compute : shards:int -> Doc.t -> t
+(** Partition a document. [shards >= 1] or [Invalid_argument]. Shards
+    may end up empty when the document is too small to split. *)
+
+val shards : t -> int
+
+val counts : t -> int array
+(** Stored elements per shard (excluding the replicated spine). *)
+
+val replicated : t -> int list
+(** Ids of the spine elements replicated into every shard (ascending;
+    includes the document root whenever the document was split at
+    all). *)
+
+val keep : t -> shard:int -> Doc.element -> bool
+(** The element filter for {!Ppfx_shred.Loader.load}'s [?keep]: true for
+    spine elements (replicated) and for elements owned by [shard]. *)

@@ -19,12 +19,12 @@ let read_queries ic =
    with End_of_file -> ());
   parse_queries (Buffer.contents buf)
 
-let run session queries =
+let run_with run_ids queries =
   List.map
     (fun query ->
       let t0 = Unix.gettimeofday () in
       let result =
-        try Ok (Session.run_ids session query) with
+        try Ok (run_ids query) with
         | Ppfx_xpath.Parser.Error { position; message } ->
           Error (Printf.sprintf "parse error at offset %d: %s" position message)
         | Session.Translate.Unsupported msg ->
@@ -32,3 +32,5 @@ let run session queries =
       in
       { query; result; seconds = Unix.gettimeofday () -. t0 })
     queries
+
+let run session queries = run_with (Session.run_ids session) queries

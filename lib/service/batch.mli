@@ -19,3 +19,7 @@ val read_queries : in_channel -> string list
 val run : Session.t -> string list -> outcome list
 (** Run each query through the session, in order. Errors are captured
     per query; one bad query does not abort the batch. *)
+
+val run_with : (string -> int list) -> string list -> outcome list
+(** {!run} over any executor with the session error contract — e.g. a
+    {!Ppfx_cluster.Cluster} (which lives above this library). *)

@@ -1,39 +1,90 @@
-type stage = Parse | Translate | Plan | Execute
+type stage = Parse | Translate | Plan | Queue | Execute | Merge
 
 let stage_name = function
   | Parse -> "parse"
   | Translate -> "translate"
   | Plan -> "plan"
+  | Queue -> "queue"
   | Execute -> "execute"
+  | Merge -> "merge"
 
-let all_stages = [ Parse; Translate; Plan; Execute ]
+let all_stages = [ Parse; Translate; Plan; Queue; Execute; Merge ]
+
+(* Latency histogram: bucket [i] counts observations whose duration in
+   nanoseconds lies in [2^i, 2^(i+1)). 64 buckets cover every float
+   duration we can meet; percentile read-out uses the geometric midpoint
+   of the winning bucket, so the reported quantile is exact to within a
+   factor of sqrt(2). *)
+let hist_buckets = 64
+
+let bucket_of_seconds seconds =
+  let ns = seconds *. 1e9 in
+  if ns < 1.0 then 0
+  else
+    let b = int_of_float (Float.log2 ns) in
+    if b < 0 then 0 else if b > hist_buckets - 1 then hist_buckets - 1 else b
+
+let bucket_midpoint_seconds b =
+  (* geometric midpoint of [2^b, 2^(b+1)) ns *)
+  (2.0 ** (float_of_int b +. 0.5)) *. 1e-9
 
 type acc = {
   mutable count : int;
   mutable total : float;
   mutable min : float;
   mutable max : float;
+  hist : int array;
 }
 
-let acc_create () = { count = 0; total = 0.0; min = infinity; max = neg_infinity }
+let acc_create () =
+  {
+    count = 0;
+    total = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    hist = Array.make hist_buckets 0;
+  }
 
 let acc_reset a =
   a.count <- 0;
   a.total <- 0.0;
   a.min <- infinity;
-  a.max <- neg_infinity
+  a.max <- neg_infinity;
+  Array.fill a.hist 0 hist_buckets 0
+
+(* Quantile q (in [0,1]) from the log2 histogram: the midpoint of the
+   bucket containing the ceil(q * count)-th observation. *)
+let acc_percentile a q =
+  if a.count = 0 then nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int a.count)) in
+      if r < 1 then 1 else if r > a.count then a.count else r
+    in
+    let rec go b seen =
+      if b >= hist_buckets then a.max
+      else
+        let seen = seen + a.hist.(b) in
+        if seen >= rank then bucket_midpoint_seconds b else go (b + 1) seen
+    in
+    go 0 0
+  end
 
 type t = {
   parse : acc;
   translate : acc;
   plan : acc;
+  queue : acc;
   execute : acc;
+  merge : acc;
   mutable queries : int;
   mutable prepares : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
   mutable evictions : int;
+  mutable fallbacks : int;
+  mutable rows : int;
 }
 
 let create () =
@@ -41,36 +92,46 @@ let create () =
     parse = acc_create ();
     translate = acc_create ();
     plan = acc_create ();
+    queue = acc_create ();
     execute = acc_create ();
+    merge = acc_create ();
     queries = 0;
     prepares = 0;
     hits = 0;
     misses = 0;
     invalidations = 0;
     evictions = 0;
+    fallbacks = 0;
+    rows = 0;
   }
 
 let reset t =
-  List.iter acc_reset [ t.parse; t.translate; t.plan; t.execute ];
+  List.iter acc_reset [ t.parse; t.translate; t.plan; t.queue; t.execute; t.merge ];
   t.queries <- 0;
   t.prepares <- 0;
   t.hits <- 0;
   t.misses <- 0;
   t.invalidations <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.fallbacks <- 0;
+  t.rows <- 0
 
 let acc t = function
   | Parse -> t.parse
   | Translate -> t.translate
   | Plan -> t.plan
+  | Queue -> t.queue
   | Execute -> t.execute
+  | Merge -> t.merge
 
 let record t stage seconds =
   let a = acc t stage in
   a.count <- a.count + 1;
   a.total <- a.total +. seconds;
   if seconds < a.min then a.min <- seconds;
-  if seconds > a.max then a.max <- seconds
+  if seconds > a.max then a.max <- seconds;
+  let b = bucket_of_seconds seconds in
+  a.hist.(b) <- a.hist.(b) + 1
 
 let time t stage f =
   let t0 = Unix.gettimeofday () in
@@ -82,6 +143,8 @@ let incr_hits t = t.hits <- t.hits + 1
 let incr_misses t = t.misses <- t.misses + 1
 let incr_invalidations t = t.invalidations <- t.invalidations + 1
 let incr_evictions t = t.evictions <- t.evictions + 1
+let incr_fallbacks t = t.fallbacks <- t.fallbacks + 1
+let add_rows t n = t.rows <- t.rows + n
 
 let queries t = t.queries
 let prepares t = t.prepares
@@ -89,9 +152,12 @@ let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations
 let evictions t = t.evictions
+let fallbacks t = t.fallbacks
+let rows t = t.rows
 
 let stage_count t stage = (acc t stage).count
 let stage_total t stage = (acc t stage).total
+let stage_percentile t stage q = acc_percentile (acc t stage) q
 
 let hit_rate t =
   let lookups = t.hits + t.misses in
@@ -101,7 +167,8 @@ let dump t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "service metrics\n";
   Buffer.add_string buf
-    (Printf.sprintf "  queries %d, prepares %d\n" t.queries t.prepares);
+    (Printf.sprintf "  queries %d, prepares %d, fallbacks %d, result rows %d\n"
+       t.queries t.prepares t.fallbacks t.rows);
   Buffer.add_string buf
     (Printf.sprintf "  cache: %d hits, %d misses (hit rate %s), %d invalidations, %d evictions\n"
        t.hits t.misses
@@ -109,35 +176,46 @@ let dump t =
         if Float.is_nan r then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. r))
        t.invalidations t.evictions);
   Buffer.add_string buf
-    (Printf.sprintf "  %-10s %8s %12s %12s %12s %12s\n" "stage" "count" "total ms"
-       "mean ms" "min ms" "max ms");
+    (Printf.sprintf "  %-10s %8s %12s %12s %10s %10s %10s %10s %10s\n" "stage" "count"
+       "total ms" "mean ms" "min ms" "max ms" "p50 ms" "p95 ms" "p99 ms");
   List.iter
     (fun stage ->
       let a = acc t stage in
       if a.count = 0 then
         Buffer.add_string buf
-          (Printf.sprintf "  %-10s %8d %12s %12s %12s %12s\n" (stage_name stage) 0 "-"
-             "-" "-" "-")
+          (Printf.sprintf "  %-10s %8d %12s %12s %10s %10s %10s %10s %10s\n"
+             (stage_name stage) 0 "-" "-" "-" "-" "-" "-" "-")
       else
         Buffer.add_string buf
-          (Printf.sprintf "  %-10s %8d %12.3f %12.4f %12.4f %12.4f\n"
+          (Printf.sprintf
+             "  %-10s %8d %12.3f %12.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n"
              (stage_name stage) a.count (1e3 *. a.total)
              (1e3 *. a.total /. float_of_int a.count)
-             (1e3 *. a.min) (1e3 *. a.max)))
+             (1e3 *. a.min) (1e3 *. a.max)
+             (1e3 *. acc_percentile a 0.50)
+             (1e3 *. acc_percentile a 0.95)
+             (1e3 *. acc_percentile a 0.99)))
     all_stages;
   Buffer.contents buf
 
 let to_json t =
   let stage_json stage =
     let a = acc t stage in
-    Printf.sprintf
-      "\"%s\":{\"count\":%d,\"total_s\":%.9f,\"min_s\":%s,\"max_s\":%s}"
+    let q name v =
+      Printf.sprintf "\"%s\":%s" name
+        (if a.count = 0 then "null" else Printf.sprintf "%.9f" v)
+    in
+    Printf.sprintf "\"%s\":{\"count\":%d,\"total_s\":%.9f,%s,%s,%s,%s,%s}"
       (stage_name stage) a.count a.total
-      (if a.count = 0 then "null" else Printf.sprintf "%.9f" a.min)
-      (if a.count = 0 then "null" else Printf.sprintf "%.9f" a.max)
+      (q "min_s" a.min) (q "max_s" a.max)
+      (q "p50_s" (acc_percentile a 0.50))
+      (q "p95_s" (acc_percentile a 0.95))
+      (q "p99_s" (acc_percentile a 0.99))
   in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
-     \"invalidations\":%d,\"evictions\":%d,\"stages\":{%s}}"
-    t.queries t.prepares t.hits t.misses t.invalidations t.evictions
+     \"invalidations\":%d,\"evictions\":%d,\"fallbacks\":%d,\"rows\":%d,\
+     \"stages\":{%s}}"
+    t.queries t.prepares t.hits t.misses t.invalidations t.evictions t.fallbacks
+    t.rows
     (String.concat "," (List.map stage_json all_stages))

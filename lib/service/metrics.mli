@@ -1,13 +1,18 @@
 (** Serving metrics for the prepared-query service layer.
 
     Counters (queries served, prepares, cache hits/misses, plan
-    invalidations, cache evictions) plus one latency accumulator per
-    pipeline stage — parse, translate, plan, execute — each tracking
-    count, total, min and max wall-clock seconds. A warm cache hit
-    records only [Execute] time; the gap between a query's stage counts
-    and its execute count is exactly the work the cache skipped. *)
+    invalidations, cache evictions, single-store fallbacks, result rows)
+    plus one latency accumulator per pipeline stage — parse, translate,
+    plan, queue, execute, merge — each tracking count, total, min and max
+    wall-clock seconds {e and} a fixed-bucket log2 histogram from which
+    p50/p95/p99 latencies are read. A warm cache hit records only
+    [Execute] time; the gap between a query's stage counts and its execute
+    count is exactly the work the cache skipped. The [Queue] and [Merge]
+    stages are populated by the cluster scatter-gather layer: queue is the
+    wait between task submission and a worker picking it up, merge is the
+    Dewey k-way merge of the per-shard results. *)
 
-type stage = Parse | Translate | Plan | Execute
+type stage = Parse | Translate | Plan | Queue | Execute | Merge
 
 val stage_name : stage -> string
 
@@ -32,6 +37,13 @@ val incr_misses : t -> unit
 val incr_invalidations : t -> unit
 val incr_evictions : t -> unit
 
+val incr_fallbacks : t -> unit
+(** A query the cluster routed to single-store execution because its SQL
+    was not shard-partitionable. *)
+
+val add_rows : t -> int -> unit
+(** Accumulate result rows produced (per shard, or overall). *)
+
 (** {2 Reading} *)
 
 val queries : t -> int
@@ -40,16 +52,27 @@ val hits : t -> int
 val misses : t -> int
 val invalidations : t -> int
 val evictions : t -> int
+val fallbacks : t -> int
+val rows : t -> int
 
 val stage_count : t -> stage -> int
 val stage_total : t -> stage -> float
 (** Seconds accumulated in the stage; 0 when never recorded. *)
 
+val stage_percentile : t -> stage -> float -> float
+(** [stage_percentile t stage q] is the [q]-quantile ([0..1], e.g. 0.95)
+    of the stage's recorded latencies in seconds, read from a 64-bucket
+    log2 histogram (bucket [i] holds durations in [2^i, 2^(i+1))
+    nanoseconds); the returned value is the winning bucket's geometric
+    midpoint, i.e. exact to within a factor of sqrt(2). [nan] before any
+    observation. *)
+
 val hit_rate : t -> float
 (** Hits over (hits + misses); [nan] before any lookup. *)
 
 val dump : t -> string
-(** Multi-line human-readable report. *)
+(** Multi-line human-readable report, including p50/p95/p99 columns. *)
 
 val to_json : t -> string
-(** One JSON object with every counter and per-stage accumulator. *)
+(** One JSON object with every counter and per-stage accumulator
+    (including percentiles). *)

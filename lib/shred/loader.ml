@@ -43,7 +43,8 @@ let intern_path t path =
     ignore (Table.insert paths [| Value.Int id; Value.Str path |]);
     id
 
-let load t doc =
+let load ?keep t doc =
+  let keep = match keep with None -> fun _ -> true | Some f -> f in
   let schema = Mapping.schema t.mapping in
   let doc_id = List.length t.docs + 1 in
   (* Global ids: offset this document's preorder ids past all previously
@@ -80,12 +81,17 @@ let load t doc =
       assignment.(e.Doc.id) <- def.Graph.id;
       def
   in
-  (* Insert in document order so parents precede children. *)
+  (* Insert in document order so parents precede children. Elements are
+     always assigned to schema vertices and their paths always interned —
+     even when [keep] drops the row — so every partition of one document
+     builds the identical [Paths] relation and rejects the same
+     non-conforming documents as a full load. *)
   Doc.iter
     (fun e ->
       let def = assign e in
-      let table = Database.table t.db (Mapping.relation t.mapping def) in
       let pid = intern_path t e.Doc.path in
+      if keep e then begin
+      let table = Database.table t.db (Mapping.relation t.mapping def) in
       let parents = Graph.parents schema def in
       let fk_values =
         List.map
@@ -132,7 +138,8 @@ let load t doc =
             ]
           @ attr_values)
       in
-      ignore (Table.insert table row))
+      ignore (Table.insert table row)
+      end)
     doc;
   { t with docs = t.docs @ [ doc ] }
 

@@ -16,7 +16,7 @@ exception Rejected of string
 val create : Mapping.t -> t
 (** Create the store: all mapping relations and indexes, no data. *)
 
-val load : t -> Doc.t -> t
+val load : ?keep:(Doc.element -> bool) -> t -> Doc.t -> t
 (** Shred one document into the store; assigns the next [doc_id]. The
     [Paths] relation grows with any paths not seen before (Section 3.1).
 
@@ -25,7 +25,16 @@ val load : t -> Doc.t -> t
     prefixed with a [doc_id] component (every document root becomes a
     child of a virtual collection root). Structural joins therefore never
     cross documents; the order axes see the store as one forest ordered
-    by [doc_id]. Raises {!Rejected} on schema mismatch. *)
+    by [doc_id]. Raises {!Rejected} on schema mismatch.
+
+    [keep] (default: keep everything) selects the subset of elements whose
+    rows are stored — the cluster layer's partitioned loading. Dropped
+    elements still advance the global id/Dewey numbering, are still
+    validated against the schema, and still intern their root-to-node
+    paths, so: (a) a kept element's stored columns are byte-identical to
+    what a full load would store (ids, Dewey, [ord]/[sibs] and string
+    values are computed from the whole document), and (b) every partition
+    of the same document sequence builds the identical [Paths] relation. *)
 
 val locate : t -> int -> int * int
 (** [locate t global_id] is [(doc_index, local_id)]: which loaded

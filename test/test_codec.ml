@@ -1,0 +1,132 @@
+(* Save/load round-trips for the binary database codec: table contents
+   and indexes survive persistence (indexes are rebuilt, not stored), a
+   reloaded store answers translated queries identically, and compaction
+   of tombstoned rows keeps query results while renumbering row ids. *)
+
+module Doc = Ppfx_xml.Doc
+module Loader = Ppfx_shred.Loader
+module Translate = Ppfx_translate.Translate
+module Engine = Ppfx_minidb.Engine
+module Database = Ppfx_minidb.Database
+module Table = Ppfx_minidb.Table
+module Value = Ppfx_minidb.Value
+module Codec = Ppfx_minidb.Codec
+module Xmark = Ppfx_workloads.Xmark
+module Xparser = Ppfx_xpath.Parser
+
+let store =
+  lazy
+    (Loader.shred (Xmark.schema ())
+       (Doc.of_tree (Xmark.generate ~seed:7 ~items_per_region:2 ())))
+
+let with_temp_file f =
+  let path = Filename.temp_file "ppfx_codec" ".db" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let render (r : Engine.result) =
+  String.concat "|" r.Engine.columns
+  ^ "\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun row -> String.concat "," (Array.to_list (Array.map Value.to_string row)))
+         r.Engine.rows)
+
+let run_query db mapping query =
+  let tr = Translate.create mapping in
+  match Translate.translate tr (Xparser.parse query) with
+  | None -> "(empty)"
+  | Some stmt -> render (Engine.run db stmt)
+
+let queries = [ "//keyword"; "//person[.//name]"; "//item[location]/name"; "//bidder" ]
+
+let test_round_trip () =
+  let st = Lazy.force store in
+  with_temp_file (fun path ->
+      Codec.save path st.Loader.db;
+      let loaded = Codec.load path in
+      Alcotest.(check int) "row total survives" (Database.total_rows st.Loader.db)
+        (Database.total_rows loaded);
+      List.iter
+        (fun t ->
+          let t' = Database.table loaded (Table.name t) in
+          Alcotest.(check int)
+            (Table.name t ^ " row count")
+            (Table.row_count t) (Table.row_count t');
+          Alcotest.(check int)
+            (Table.name t ^ " column count")
+            (List.length (Table.columns t))
+            (List.length (Table.columns t'));
+          (* Indexes are rebuilt on load: every index of the original is
+             present (and usable) on the loaded table. *)
+          List.iter
+            (fun (cols, _) ->
+              if Table.index_on t' cols = None then
+                Alcotest.failf "%s: index on %s not rebuilt" (Table.name t)
+                  (String.concat "," cols))
+            (Table.indexes t))
+        (Database.tables st.Loader.db))
+
+let test_queries_agree () =
+  let st = Lazy.force store in
+  with_temp_file (fun path ->
+      Codec.save path st.Loader.db;
+      let loaded = Codec.load path in
+      List.iter
+        (fun q ->
+          Alcotest.(check string) (q ^ " identical after reload")
+            (run_query st.Loader.db st.Loader.mapping q)
+            (run_query loaded st.Loader.mapping q))
+        queries)
+
+let test_compaction () =
+  (* Deleting rows then saving compacts tombstones away: the reloaded
+     table holds live_count rows (row ids are NOT stable across the
+     cycle), and queries still agree between the two databases. *)
+  let st = Lazy.force store in
+  with_temp_file (fun path ->
+      Codec.save path st.Loader.db;
+      let working = Codec.load path in
+      let keywords = Database.table working "keyword" in
+      let victims = ref [] in
+      Table.iter_rows (fun rowid _ -> if rowid mod 2 = 0 then victims := rowid :: !victims) keywords;
+      List.iter (fun rowid -> ignore (Table.delete keywords rowid)) !victims;
+      Alcotest.(check bool) "some rows tombstoned" true
+        (Table.live_count keywords < Table.row_count keywords);
+      with_temp_file (fun path2 ->
+          Codec.save path2 working;
+          let reloaded = Codec.load path2 in
+          let keywords' = Database.table reloaded "keyword" in
+          Alcotest.(check int) "tombstones compacted away"
+            (Table.live_count keywords) (Table.row_count keywords');
+          Alcotest.(check int) "reloaded rows all live"
+            (Table.row_count keywords') (Table.live_count keywords');
+          List.iter
+            (fun q ->
+              Alcotest.(check string) (q ^ " agrees after compaction")
+                (run_query working st.Loader.mapping q)
+                (run_query reloaded st.Loader.mapping q))
+            queries))
+
+let test_corrupt_rejected () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not a ppfx database";
+      close_out oc;
+      Alcotest.check Alcotest.bool "corrupt input rejected" true
+        (match Codec.load path with
+         | exception Codec.Corrupt _ -> true
+         | _ -> false))
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "codec"
+    [
+      ( "round trip",
+        List.map tc
+          [
+            "tables and indexes", test_round_trip;
+            "queries agree", test_queries_agree;
+            "compaction after deletes", test_compaction;
+            "corrupt input", test_corrupt_rejected;
+          ] );
+    ]
