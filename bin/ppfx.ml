@@ -185,12 +185,17 @@ let explain_cmd =
       print_endline "--";
       print_string (Engine.explain store.Loader.db stmt);
       print_endline "--";
-      let result, profiles = Engine.run_profiled store.Loader.db stmt in
+      let result, profiles, stats = Engine.run_profiled store.Loader.db stmt in
       List.iter
         (fun (p : Engine.step_profile) ->
-          Printf.printf "step %s(%s): %s — examined %d, passed %d\n" p.Engine.table
-            p.Engine.alias p.Engine.access p.Engine.examined p.Engine.passed)
+          Printf.printf "step %s(%s): %s — examined %d, passed %d, %.6fs\n"
+            p.Engine.table p.Engine.alias p.Engine.access p.Engine.examined
+            p.Engine.passed p.Engine.seconds)
         profiles;
+      Printf.printf
+        "scanned %d, probed %d, emitted %d, regex evals %d, hash builds %d, reductions %d\n"
+        stats.Engine.rows_scanned stats.Engine.rows_probed stats.Engine.rows_emitted
+        stats.Engine.regex_evals stats.Engine.hash_builds stats.Engine.reductions;
       Printf.printf "%d result rows\n" (List.length result.Engine.rows)
   in
   let term = Term.(const run $ doc_arg $ schema_arg $ query_arg) in

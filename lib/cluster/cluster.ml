@@ -160,6 +160,9 @@ let revalidate_plans t stmt plans =
         let t0 = Unix.gettimeofday () in
         let plan = Engine.prepare store.Loader.db stmt in
         Metrics.record t.shard_metrics.(s) Metrics.Plan (Unix.gettimeofday () -. t0);
+        (* Plan-time engine work (the semi-join reduction's regex sweep)
+           is attributed to the shard the plan belongs to. *)
+        Metrics.add_engine t.shard_metrics.(s) (Engine.plan_stats plan);
         plans.(s) <- Some plan
       end)
     t.shard_stores
@@ -174,9 +177,14 @@ let scatter t ~key ~plans stmt =
       (fun plan ->
         let plan = Option.get plan in
         Pool.submit t.pool (fun () ->
+            (* The worker owns this plan for the whole task, so snapshotting
+               its counters around the run is race-free; [Pool.await] gives
+               the coordinator a happens-before edge to read the delta. *)
+            let before = Engine.plan_stats plan in
             let s0 = Unix.gettimeofday () in
             let r = Engine.run_plan plan in
-            r, Unix.gettimeofday () -. s0))
+            let dt = Unix.gettimeofday () -. s0 in
+            r, dt, Engine.stats_diff (Engine.plan_stats plan) before))
       plans
   in
   let outcomes = Array.map Pool.await futures in
@@ -185,11 +193,12 @@ let scatter t ~key ~plans stmt =
   let shard_rows = Array.make t.nshards 0 in
   let critical = ref 0.0 in
   Array.iteri
-    (fun s (r, dt) ->
+    (fun s (r, dt, stats) ->
       let sm = t.shard_metrics.(s) in
       Metrics.incr_queries sm;
       Metrics.record sm Metrics.Execute dt;
       Metrics.record sm Metrics.Queue queue_waits.(s);
+      Metrics.add_engine sm stats;
       let rows = List.length r.Engine.rows in
       Metrics.add_rows sm rows;
       shard_rows.(s) <- rows;
@@ -197,7 +206,7 @@ let scatter t ~key ~plans stmt =
     outcomes;
   let merged =
     Metrics.time m Metrics.Merge (fun () ->
-        Merge.merge ~key (Array.to_list (Array.map fst outcomes)))
+        Merge.merge ~key (Array.to_list (Array.map (fun (r, _, _) -> r) outcomes)))
   in
   Metrics.add_rows m (List.length merged.Engine.rows);
   t.last <- Some { critical_path = !critical; queue_waits; shard_rows };

@@ -15,10 +15,97 @@ type value_fn = binding -> Value.t
 
 type pred_fn = binding -> bool option
 
+(* Optimizer switches. [force_hash_join] exists for differential testing:
+   it makes the planner pick a hash join over an available index path, so
+   the operator is exercised even on queries where an index would win. *)
+type opts = {
+  semijoin_reduction : bool;
+  hash_join : bool;
+  force_hash_join : bool;
+}
+
+let default_opts =
+  { semijoin_reduction = true; hash_join = true; force_hash_join = false }
+
+(* Operator-level counters, shared by every operator compiled under one
+   ctx (including sub-query plans). Mutable on purpose: they sit in the
+   innermost loops. A plan is executed by one domain at a time (the
+   cluster hands each shard plan to a single worker), so plain mutation
+   is safe. *)
+type counters = {
+  mutable c_scanned : int;
+  mutable c_probed : int;
+  mutable c_emitted : int;
+  mutable c_regex_evals : int;
+  mutable c_hash_builds : int;
+  mutable c_reductions : int;
+}
+
+let counters_create () =
+  {
+    c_scanned = 0;
+    c_probed = 0;
+    c_emitted = 0;
+    c_regex_evals = 0;
+    c_hash_builds = 0;
+    c_reductions = 0;
+  }
+
+type exec_stats = {
+  rows_scanned : int;
+  rows_probed : int;
+  rows_emitted : int;
+  regex_evals : int;
+  hash_builds : int;
+  reductions : int;
+}
+
+let stats_of c =
+  {
+    rows_scanned = c.c_scanned;
+    rows_probed = c.c_probed;
+    rows_emitted = c.c_emitted;
+    regex_evals = c.c_regex_evals;
+    hash_builds = c.c_hash_builds;
+    reductions = c.c_reductions;
+  }
+
+let stats_zero =
+  {
+    rows_scanned = 0;
+    rows_probed = 0;
+    rows_emitted = 0;
+    regex_evals = 0;
+    hash_builds = 0;
+    reductions = 0;
+  }
+
+let stats_add a b =
+  {
+    rows_scanned = a.rows_scanned + b.rows_scanned;
+    rows_probed = a.rows_probed + b.rows_probed;
+    rows_emitted = a.rows_emitted + b.rows_emitted;
+    regex_evals = a.regex_evals + b.regex_evals;
+    hash_builds = a.hash_builds + b.hash_builds;
+    reductions = a.reductions + b.reductions;
+  }
+
+let stats_diff a b =
+  {
+    rows_scanned = a.rows_scanned - b.rows_scanned;
+    rows_probed = a.rows_probed - b.rows_probed;
+    rows_emitted = a.rows_emitted - b.rows_emitted;
+    regex_evals = a.regex_evals - b.regex_evals;
+    hash_builds = a.hash_builds - b.hash_builds;
+    reductions = a.reductions - b.reductions;
+  }
+
 type ctx = {
   db : Database.t;
   slots : (string * Table.t) array;
   naive : bool;
+  opts : opts;
+  counters : counters;
 }
 
 let slot_of ctx alias =
@@ -38,7 +125,7 @@ let column_slot ctx alias col =
   | None -> error "table %s (alias %s) has no column %s" (Table.name table) alias col
 
 (* Static type of an expression, when derivable; used to gate EXISTS
-   decorrelation on hash-compatible comparison types. *)
+   decorrelation and hash joins on hash-compatible comparison types. *)
 let rec static_ty ctx = function
   | Sql.Col (alias, col) ->
     let slot = slot_of ctx alias in
@@ -54,6 +141,319 @@ let rec static_ty ctx = function
   | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
   | Sql.Regexp_like _ | Sql.Exists _ | Sql.Is_not_null _ | Sql.Bool_const _ ->
     None
+
+(* Canonical hash key for a value under a kind — shared by the hash-join
+   operator and EXISTS decorrelation. Complete w.r.t. {!Value.compare_sql}
+   on the gated type combinations: values equal under three-valued SQL
+   comparison canonicalize to the same key, so a hash lookup can never
+   miss a row the join would produce. [-0.] is folded into [0.] because
+   the two compare equal but print differently. *)
+let canon_key kind v =
+  match kind, v with
+  | _, Value.Null -> None
+  | `Str, (Value.Str s | Value.Bin s) -> Some s
+  | `Str, (Value.Int _ | Value.Float _) -> None
+  | `Num, v ->
+    (match Value.to_float v with
+     | Some f -> Some (if f = 0.0 then "0." else string_of_float f)
+     | None -> None)
+
+(* A hash-join access: build an in-memory hash of the step's table keyed
+   on [hp_col] (once, lazily, cached on the plan — sound under the same
+   epoch guard that protects memoized EXISTS state), then probe it with
+   the bound key expression per outer binding. *)
+type hash_probe = {
+  hp_table : Table.t;
+  hp_col : string;
+  hp_idx : int;
+  hp_kind : [ `Str | `Num ];
+  hp_key : value_fn;
+  hp_build : (string, int list) Hashtbl.t option ref;
+}
+
+type access =
+  [ `Scan
+  | `Index_eq of Btree.t * value_fn array
+  | `Index_range of
+    Btree.t * value_fn array * (value_fn * bool) option * (value_fn * bool) option
+  | `Prefix_lookup of Btree.t * value_fn
+  | `Hash_probe of hash_probe ]
+
+type step = {
+  st_slot : int;
+  st_table : Table.t;
+  st_access : access;
+  st_filters : pred_fn list;
+  st_probe_labels : string list;
+      (* the trailing [List.length st_probe_labels] entries of
+         [st_filters] are pathid set probes, not residual conjuncts *)
+}
+
+(* One applied path-filter semi-join reduction (EXPLAIN reporting). *)
+type reduction = {
+  rd_dim_table : string;
+  rd_dim_alias : string;
+  rd_pattern : string;
+  rd_fact_alias : string;
+  rd_fact_col : string;
+  rd_matched : int;
+  rd_total : int;
+}
+
+(* The materialized pathid set a reduction produces, to be probed on the
+   fact alias's column. *)
+type probe_src = {
+  pb_alias : string;
+  pb_col : string;
+  pb_set : (int, unit) Hashtbl.t;
+  pb_label : string;
+}
+
+type planned = {
+  pl_ctx : ctx;
+  pl_env : int;
+  pl_pre : pred_fn list;
+  pl_steps : step list;
+  pl_project : (value_fn * string) list;
+  pl_distinct : bool;
+  pl_order_by : value_fn list;
+  pl_total : int;
+  pl_reductions : reduction list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path-filter semi-join reduction                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Detect the PPF shape the translator emits — a dimension alias [p]
+   whose only uses are an integer equijoin [f.fcol = p.idcol] and a
+   [REGEXP_LIKE(p.pcol, pat)] — evaluate the regex once per dimension row
+   at plan time, and replace both conjuncts (and the join itself) with an
+   O(1) integer set probe on [f.fcol].
+
+   Soundness requires the dimension ids to be unique non-null integers:
+   then each fact row joins at most one dimension row, so dropping the
+   join preserves multiplicity exactly. Uniqueness is verified by the
+   plan-time scan itself (the reduction is abandoned on a duplicate), and
+   the verdict stays valid for the lifetime of the plan because plans are
+   epoch-guarded. A NULL id never joins and a NULL path never matches
+   REGEXP_LIKE, so skipping those rows is exact, not approximate. Both
+   columns must be declared INTEGER — {!Table.insert} enforces declared
+   types, so at runtime the probe only ever sees [Int] or [Null] and an
+   exact int lookup suffices. *)
+let reduce_path_filters ctx (sel : Sql.select) local_aliases conjuncts =
+  let projections_free =
+    List.concat_map (fun (e, _) -> Sql.free_aliases e) sel.Sql.projections
+  in
+  let order_free = List.concat_map Sql.free_aliases sel.Sql.order_by in
+  let try_alias ((locals, conjs, probes, reds) as acc) (p, ptable) =
+    if not (List.mem_assoc p locals) then acc
+    else begin
+      let mentioned, others =
+        List.partition (fun c -> List.mem p (Sql.free_aliases c)) conjs
+      in
+      let classify_eq = function
+        | Sql.Cmp (Sql.Eq, Sql.Col (a, ca), Sql.Col (b, cb)) ->
+          if String.equal b p && not (String.equal a p) then Some (a, ca, cb)
+          else if String.equal a p && not (String.equal b p) then Some (b, cb, ca)
+          else None
+        | _ -> None
+      in
+      let classify_re = function
+        | Sql.Regexp_like (Sql.Col (q, pcol), pat) when String.equal q p ->
+          Some (pcol, pat)
+        | _ -> None
+      in
+      let pair =
+        match mentioned with
+        | [ c1; c2 ] ->
+          (match classify_eq c1, classify_re c2 with
+           | Some eq, Some re -> Some (eq, re)
+           | _ ->
+             (match classify_eq c2, classify_re c1 with
+              | Some eq, Some re -> Some (eq, re)
+              | _ -> None))
+        | _ -> None
+      in
+      match pair with
+      | None -> acc
+      | Some ((f, fcol, idcol), (pcol, pat)) ->
+        let p_used_elsewhere =
+          List.mem p projections_free || List.mem p order_free
+        in
+        let ftable =
+          match List.assoc_opt f locals with
+          | Some t -> Some t
+          | None ->
+            let rec go i =
+              if i < 0 then None
+              else if String.equal (fst ctx.slots.(i)) f then Some (snd ctx.slots.(i))
+              else go (i - 1)
+            in
+            go (Array.length ctx.slots - 1)
+        in
+        (match ftable with
+         | None -> acc
+         | Some ft ->
+           let ok_types =
+             Table.column_ty ft fcol = Some Value.Tint
+             && Table.column_ty ptable idcol = Some Value.Tint
+           in
+           (match
+              (if p_used_elsewhere || not ok_types then None
+               else
+                 match Table.column_index ptable pcol, Table.column_index ptable idcol with
+                 | Some pci, Some ici -> Some (pci, ici)
+                 | _ -> None)
+            with
+            | None -> acc
+            | Some (pci, ici) ->
+              let re =
+                try Ppfx_regex.Regex.compile_cached pat
+                with Ppfx_regex.Regex.Parse_error msg ->
+                  error "invalid regular expression %S: %s" pat msg
+              in
+              let set = Hashtbl.create 64 in
+              let seen = Hashtbl.create 64 in
+              let total = ref 0 in
+              let sound = ref true in
+              (try
+                 Table.iter_rows
+                   (fun _ row ->
+                     incr total;
+                     ctx.counters.c_scanned <- ctx.counters.c_scanned + 1;
+                     match row.(ici) with
+                     | Value.Null -> ()
+                     | Value.Int id ->
+                       if Hashtbl.mem seen id then begin
+                         sound := false;
+                         raise Exit
+                       end;
+                       Hashtbl.add seen id ();
+                       (match Value.text row.(pci) with
+                        | None -> ()
+                        | Some s ->
+                          ctx.counters.c_regex_evals <-
+                            ctx.counters.c_regex_evals + 1;
+                          if Ppfx_regex.Regex.search re s then
+                            Hashtbl.replace set id ())
+                     | Value.Float _ | Value.Str _ | Value.Bin _ ->
+                       (* declared INTEGER, so unreachable; bail rather
+                          than guess at coercion semantics *)
+                       sound := false;
+                       raise Exit)
+                   ptable
+               with Exit -> ());
+              if not !sound then acc
+              else begin
+                ctx.counters.c_reductions <- ctx.counters.c_reductions + 1;
+                let matched = Hashtbl.length set in
+                let label =
+                  Printf.sprintf "pathid set probe (%d of %d paths)" matched !total
+                in
+                let pb =
+                  { pb_alias = f; pb_col = fcol; pb_set = set; pb_label = label }
+                in
+                let rd =
+                  {
+                    rd_dim_table = Table.name ptable;
+                    rd_dim_alias = p;
+                    rd_pattern = pat;
+                    rd_fact_alias = f;
+                    rd_fact_col = fcol;
+                    rd_matched = matched;
+                    rd_total = !total;
+                  }
+                in
+                ( List.filter (fun (a, _) -> not (String.equal a p)) locals,
+                  others,
+                  pb :: probes,
+                  rd :: reds )
+              end))
+    end
+  in
+  List.fold_left try_alias (local_aliases, conjuncts, [], []) local_aliases
+
+(* ------------------------------------------------------------------ *)
+(* Access execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let iter_access counters table (access : access) (bind : binding) (f : int -> unit) =
+  let f id =
+    counters.c_scanned <- counters.c_scanned + 1;
+    f id
+  in
+  match access with
+  | `Scan -> Table.iter_rows (fun id _ -> f id) table
+  | `Prefix_lookup (tree, fn) ->
+    (match fn bind with
+     | Value.Bin v | Value.Str v ->
+       for k = 1 to String.length v do
+         List.iter f (Btree.find_equal tree [| Value.Bin (String.sub v 0 k) |])
+       done
+     | Value.Null | Value.Int _ | Value.Float _ -> ())
+  | `Index_eq (tree, fns) ->
+    let key = Array.map (fun fn -> fn bind) fns in
+    if Array.exists (function Value.Null -> true | _ -> false) key then ()
+    else List.iter f (Btree.find_equal tree key)
+  | `Index_range (tree, fns, lo, hi) ->
+    let prefix = Array.map (fun fn -> fn bind) fns in
+    if Array.exists (function Value.Null -> true | _ -> false) prefix then ()
+    else begin
+      let bound side =
+        match side with
+        | None -> Some { Btree.key = prefix; inclusive = true }
+        | Some (fn, inclusive) ->
+          (match fn bind with
+           | Value.Null -> None
+           | v -> Some { Btree.key = Array.append prefix [| v |]; inclusive })
+      in
+      (* A NULL range bound means the comparison is unknown: no rows. *)
+      let lo_b = bound lo and hi_b = bound hi in
+      match lo, lo_b, hi, hi_b with
+      | Some _, None, _, _ | _, _, Some _, None -> ()
+      | _, lo_b, _, hi_b -> List.iter f (Btree.range tree ~lo:lo_b ~hi:hi_b)
+    end
+  | `Hash_probe hp ->
+    let build =
+      match !(hp.hp_build) with
+      | Some t -> t
+      | None ->
+        counters.c_hash_builds <- counters.c_hash_builds + 1;
+        let t = Hashtbl.create (max 16 (Table.live_count hp.hp_table)) in
+        Table.iter_rows
+          (fun id row ->
+            counters.c_scanned <- counters.c_scanned + 1;
+            match canon_key hp.hp_kind row.(hp.hp_idx) with
+            | Some k ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt t k) in
+              Hashtbl.replace t k (id :: prev)
+            | None -> ())
+          hp.hp_table;
+        (* Reverse each bucket so probes emit row ids in ascending order —
+           the same order a scan-plus-filter of this table would produce. *)
+        Hashtbl.filter_map_inplace (fun _ ids -> Some (List.rev ids)) t;
+        hp.hp_build := Some t;
+        t
+    in
+    counters.c_probed <- counters.c_probed + 1;
+    (match canon_key hp.hp_kind (hp.hp_key bind) with
+     | None -> ()
+     | Some k ->
+       (match Hashtbl.find_opt build k with
+        | Some ids -> List.iter f ids
+        | None -> ()))
+
+let rec exec_steps counters steps bind emit =
+  match steps with
+  | [] ->
+    counters.c_emitted <- counters.c_emitted + 1;
+    emit bind
+  | st :: rest ->
+    iter_access counters st.st_table st.st_access bind (fun row_id ->
+        bind.(st.st_slot) <- Table.row st.st_table row_id;
+        if List.for_all (fun p -> p bind = Some true) st.st_filters then
+          exec_steps counters rest bind emit)
 
 let rec compile_value ctx (e : Sql.expr) : value_fn =
   match e with
@@ -93,14 +493,15 @@ let rec compile_value ctx (e : Sql.expr) : value_fn =
   | Sql.Count_subquery sel ->
     (* Correlated scalar COUNT: plan once, count matching bindings per
        outer row. *)
-    let _ctx', env_slots, pre_filters, steps, _, _, _, total = plan_select ctx sel in
+    let p = plan_select ctx sel in
+    let counters = ctx.counters in
     fun outer ->
-      let bind = Array.make total [||] in
-      Array.blit outer 0 bind 0 env_slots;
-      if not (List.for_all (fun p -> p bind = Some true) pre_filters) then Value.Int 0
+      let bind = Array.make p.pl_total [||] in
+      Array.blit outer 0 bind 0 p.pl_env;
+      if not (List.for_all (fun f -> f bind = Some true) p.pl_pre) then Value.Int 0
       else begin
         let n = ref 0 in
-        exec_steps steps bind (fun _ -> incr n);
+        exec_steps counters p.pl_steps bind (fun _ -> incr n);
         Value.Int !n
       end
   | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
@@ -151,17 +552,18 @@ and compile_pred ctx (e : Sql.expr) : pred_fn =
     fun bind -> Option.map not (fa bind)
   | Sql.Regexp_like (e, pattern) ->
     let fe = compile_value ctx e in
+    let counters = ctx.counters in
     let re =
-      try Ppfx_regex.Regex.compile pattern
+      try Ppfx_regex.Regex.compile_cached pattern
       with Ppfx_regex.Regex.Parse_error msg ->
         error "invalid regular expression %S: %s" pattern msg
     in
     fun bind ->
-      (match fe bind with
-       | Value.Null -> None
-       | Value.Str s | Value.Bin s -> Some (Ppfx_regex.Regex.search re s)
-       | Value.Int i -> Some (Ppfx_regex.Regex.search re (string_of_int i))
-       | Value.Float f -> Some (Ppfx_regex.Regex.search re (string_of_float f)))
+      (match Value.text (fe bind) with
+       | None -> None
+       | Some s ->
+         counters.c_regex_evals <- counters.c_regex_evals + 1;
+         Some (Ppfx_regex.Regex.search re s))
   | Sql.Exists sel -> compile_exists ctx sel
   | Sql.Is_not_null a ->
     let fa = compile_value ctx a in
@@ -176,7 +578,7 @@ and compile_pred ctx (e : Sql.expr) : pred_fn =
 (* Planning                                                            *)
 (* ------------------------------------------------------------------ *)
 
-and plan_select ctx (sel : Sql.select) =
+and plan_select ctx (sel : Sql.select) : planned =
   (* Extend the slot table with the select's own aliases. *)
   let local_aliases =
     List.map
@@ -194,9 +596,16 @@ and plan_select ctx (sel : Sql.select) =
       if Hashtbl.mem seen alias then error "duplicate alias %s in FROM" alias;
       Hashtbl.add seen alias ())
     local_aliases;
+  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
+  (* The semi-join reduction runs before slot assignment: it may remove
+     aliases from the FROM list entirely. *)
+  let local_aliases, conjuncts, probes, reductions =
+    if ctx.naive || not ctx.opts.semijoin_reduction then
+      local_aliases, conjuncts, [], []
+    else reduce_path_filters ctx sel local_aliases conjuncts
+  in
   let env_slots = Array.length ctx.slots in
   let ctx = { ctx with slots = Array.append ctx.slots (Array.of_list local_aliases) } in
-  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
   let local_names = List.map fst local_aliases in
   let is_local a = List.mem a local_names in
   (* Greedy join-order selection. *)
@@ -213,7 +622,8 @@ and plan_select ctx (sel : Sql.select) =
         && List.for_all (fun f -> String.equal f alias || outer_bound f || List.mem f !bound) free
       in
       (* Estimated rows this alias contributes per outer binding, using
-         cached per-column distinct counts for equality conjuncts. *)
+         cached per-column distinct counts for equality conjuncts and the
+         materialized set sizes for pathid probes. *)
       let estimate alias table =
         let n = float_of_int (max 1 (Table.row_count table)) in
         let eq_sel col = 1.0 /. float_of_int (Table.distinct_estimate table col) in
@@ -232,9 +642,20 @@ and plan_select ctx (sel : Sql.select) =
           | Sql.Col _ | Sql.Const _ | Sql.Concat _ | Sql.Arith _ | Sql.To_number _
           | Sql.Length _ | Sql.Count_subquery _ -> 1.0
         in
+        let probe_sel =
+          List.fold_left
+            (fun acc pb ->
+              if String.equal pb.pb_alias alias then
+                acc
+                *. Float.min 1.0
+                     (float_of_int (Hashtbl.length pb.pb_set)
+                     /. float_of_int (max 1 (Table.distinct_estimate table pb.pb_col)))
+              else acc)
+            1.0 probes
+        in
         List.fold_left
           (fun acc conj -> if applicable alias conj then acc *. sel_of conj else acc)
-          n conjuncts
+          (n *. probe_sel) conjuncts
       in
       let connected alias =
         List.exists
@@ -308,8 +729,31 @@ and plan_select ctx (sel : Sql.select) =
     else earliest 0
   in
   let assigned = List.map (fun c -> step_of_conjunct c, c) conjuncts in
+  (* Compile each pathid probe against the final slot layout. The probed
+     column is declared INTEGER (checked by the reduction), and declared
+     types are enforced on insert, so only [Int] and [Null] can appear;
+     NULL never equals any id. *)
+  let probe_preds =
+    List.map
+      (fun pb ->
+        let slot, i = column_slot ctx pb.pb_alias pb.pb_col in
+        let counters = ctx.counters in
+        let set = pb.pb_set in
+        let pred : pred_fn =
+         fun bind ->
+          counters.c_probed <- counters.c_probed + 1;
+          match bind.(slot).(i) with
+          | Value.Int v -> Some (Hashtbl.mem set v)
+          | Value.Null | Value.Float _ | Value.Str _ | Value.Bin _ -> Some false
+        in
+        (pb, pred))
+      probes
+  in
   let pre_filters =
     List.filter_map (fun (i, c) -> if i = -1 then Some (compile_pred ctx c) else None) assigned
+    @ List.filter_map
+        (fun (pb, pred) -> if is_local pb.pb_alias then None else Some pred)
+        probe_preds
   in
   let steps =
     List.mapi
@@ -321,28 +765,43 @@ and plan_select ctx (sel : Sql.select) =
           if ctx.naive then `Scan
           else choose_access ctx ~table ~alias ~bound:(bound_after (i - 1)) conjuncts
         in
-        let filters = List.map (compile_pred ctx) my_conjuncts in
-        (slot, table, access, filters))
+        let my_probes =
+          List.filter (fun (pb, _) -> String.equal pb.pb_alias alias) probe_preds
+        in
+        {
+          st_slot = slot;
+          st_table = table;
+          st_access = access;
+          st_filters = List.map (compile_pred ctx) my_conjuncts @ List.map snd my_probes;
+          st_probe_labels = List.map (fun (pb, _) -> pb.pb_label) my_probes;
+        })
       order
   in
   let projections =
     List.map (fun (e, name) -> compile_value ctx e, name) sel.Sql.projections
   in
   let order_by = List.map (compile_value ctx) sel.Sql.order_by in
-  ( ctx,
-    env_slots,
-    pre_filters,
-    steps,
-    projections,
-    sel.Sql.distinct,
-    order_by,
-    Array.length ctx.slots )
+  {
+    pl_ctx = ctx;
+    pl_env = env_slots;
+    pl_pre = pre_filters;
+    pl_steps = steps;
+    pl_project = projections;
+    pl_distinct = sel.Sql.distinct;
+    pl_order_by = order_by;
+    pl_total = Array.length ctx.slots;
+    pl_reductions = List.rev reductions;
+  }
 
-(* Pick the best index access for [table]/[alias], given that [bound]
-   tells which other aliases are already available. Returns a strategy
-   that computes B+tree bounds per binding. All conjuncts are re-checked
-   as filters afterwards, so a lossy-but-superset access is sound. *)
-and choose_access ctx ~table ~alias ~bound conjuncts =
+(* Pick the best access for [table]/[alias], given that [bound] tells
+   which other aliases are already available. Returns a strategy that
+   computes B+tree bounds (or hash keys) per binding. All conjuncts are
+   re-checked as filters afterwards, so a lossy-but-superset access is
+   sound. A hash join is used for equijoins with no usable index path
+   (the fact tables index [(dewey_pos, path_id)] but not [path_id]
+   alone); which side builds is decided by the greedy join order, i.e. by
+   the existing cardinality estimates. *)
+and choose_access ctx ~table ~alias ~bound conjuncts : access =
   let bound_expr e =
     List.for_all (fun a -> (not (String.equal a alias)) && bound a) (Sql.free_aliases e)
     || Sql.free_aliases e = []
@@ -417,7 +876,7 @@ and choose_access ctx ~table ~alias ~bound conjuncts =
   let eq_selectivity col = 1.0 /. float_of_int (Table.distinct_estimate table col) in
   let range_selectivity = 0.25 in
   let best = ref None in
-  let consider cost access =
+  let consider cost (access : access) =
     match !best with
     | Some (c, _) when c <= cost -> ()
     | Some _ | None -> best := Some (cost, access)
@@ -465,55 +924,52 @@ and choose_access ctx ~table ~alias ~bound conjuncts =
      (* One probe per prefix length: bounded by the key depth. *)
      consider 24.0 (`Prefix_lookup (tree, fn))
    | None -> ());
-  match !best with
-  | Some (_, access) -> access
-  | None -> `Scan
+  (* Hash-join candidate: a true equijoin (the key references at least
+     one already-bound alias — constant equalities are selections and
+     gain nothing from a build) whose key types hash consistently (see
+     {!canon_key}). Preferred only when no index path exists — the
+     repeated full scans it replaces are the worst case — unless
+     [force_hash_join] pins it for differential testing. *)
+  let hash_candidate =
+    if ctx.opts.hash_join || ctx.opts.force_hash_join then
+      List.find_map
+        (fun (col, e) ->
+          if Sql.free_aliases e = [] then None
+          else
+          match Table.column_index table col, Table.column_ty table col, static_ty ctx e with
+          | Some idx, Some bty, Some pty ->
+            let kind =
+              match bty, pty with
+              | (Value.Tstr | Value.Tbin), (Value.Tstr | Value.Tbin) -> Some `Str
+              | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) -> Some `Num
+              | (Value.Tstr | Value.Tbin), (Value.Tint | Value.Tfloat)
+              | (Value.Tint | Value.Tfloat), (Value.Tstr | Value.Tbin) ->
+                None
+            in
+            Option.map
+              (fun kind ->
+                {
+                  hp_table = table;
+                  hp_col = col;
+                  hp_idx = idx;
+                  hp_kind = kind;
+                  hp_key = compile_value ctx e;
+                  hp_build = ref None;
+                })
+              kind
+          | _, _, _ -> None)
+        equalities
+    else None
+  in
+  match hash_candidate with
+  | Some hp when ctx.opts.force_hash_join -> `Hash_probe hp
+  | Some hp when !best = None -> `Hash_probe hp
+  | Some _ | None ->
+    (match !best with Some (_, access) -> access | None -> `Scan)
 
 (* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
+(* EXISTS                                                              *)
 (* ------------------------------------------------------------------ *)
-
-and iter_access table access (bind : binding) (f : int -> unit) =
-  match access with
-  | `Scan -> Table.iter_rows (fun id _ -> f id) table
-  | `Prefix_lookup (tree, fn) ->
-    (match fn bind with
-     | Value.Bin v | Value.Str v ->
-       for k = 1 to String.length v do
-         List.iter f (Btree.find_equal tree [| Value.Bin (String.sub v 0 k) |])
-       done
-     | Value.Null | Value.Int _ | Value.Float _ -> ())
-  | `Index_eq (tree, fns) ->
-    let key = Array.map (fun fn -> fn bind) fns in
-    if Array.exists (function Value.Null -> true | _ -> false) key then ()
-    else List.iter f (Btree.find_equal tree key)
-  | `Index_range (tree, fns, lo, hi) ->
-    let prefix = Array.map (fun fn -> fn bind) fns in
-    if Array.exists (function Value.Null -> true | _ -> false) prefix then ()
-    else begin
-      let bound side =
-        match side with
-        | None -> Some { Btree.key = prefix; inclusive = true }
-        | Some (fn, inclusive) ->
-          (match fn bind with
-           | Value.Null -> None
-           | v -> Some { Btree.key = Array.append prefix [| v |]; inclusive })
-      in
-      (* A NULL range bound means the comparison is unknown: no rows. *)
-      let lo_b = bound lo and hi_b = bound hi in
-      match lo, lo_b, hi, hi_b with
-      | Some _, None, _, _ | _, _, Some _, None -> ()
-      | _, lo_b, _, hi_b -> List.iter f (Btree.range tree ~lo:lo_b ~hi:hi_b)
-    end
-
-and exec_steps steps bind emit =
-  match steps with
-  | [] -> emit bind
-  | (slot, table, access, filters) :: rest ->
-    iter_access table access bind (fun row_id ->
-        bind.(slot) <- Table.row table row_id;
-        if List.for_all (fun p -> p bind = Some true) filters then
-          exec_steps rest bind emit)
 
 and compile_exists ctx (sel : Sql.select) : pred_fn =
   match (if ctx.naive then None else decorrelate_exists ctx sel) with
@@ -521,15 +977,16 @@ and compile_exists ctx (sel : Sql.select) : pred_fn =
   | None ->
     (* Correlated evaluation with early exit. Plan once, execute per
        binding. *)
-    let _ctx', env_slots, pre_filters, steps, _, _, _, total = plan_select ctx sel in
+    let p = plan_select ctx sel in
+    let counters = ctx.counters in
     let exception Found in
     fun outer ->
-      let bind = Array.make total [||] in
-      Array.blit outer 0 bind 0 env_slots;
-      if not (List.for_all (fun p -> p bind = Some true) pre_filters) then Some false
+      let bind = Array.make p.pl_total [||] in
+      Array.blit outer 0 bind 0 p.pl_env;
+      if not (List.for_all (fun f -> f bind = Some true) p.pl_pre) then Some false
       else
         (try
-           exec_steps steps bind (fun _ -> raise Found);
+           exec_steps counters p.pl_steps bind (fun _ -> raise Found);
            Some false
          with Found -> Some true)
 
@@ -551,9 +1008,10 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
   in
   if correlated = [] then begin
     (* Fully uncorrelated: evaluate once, cache the boolean. *)
-    let _ctx', env_slots, pre_filters, steps, _, _, _, total =
+    let p =
       plan_select ctx { sel with Sql.where = (match conjuncts with [] -> None | c :: cs -> List.fold_left (fun acc x -> Some (Sql.And (Option.get acc, x))) (Some c) cs) }
     in
+    let counters = ctx.counters in
     let cache = ref None in
     let exception Found in
     Some
@@ -561,13 +1019,13 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
         match !cache with
         | Some b -> Some b
         | None ->
-          let bind = Array.make total [||] in
-          Array.blit outer 0 bind 0 env_slots;
+          let bind = Array.make p.pl_total [||] in
+          Array.blit outer 0 bind 0 p.pl_env;
           let b =
-            List.for_all (fun p -> p bind = Some true) pre_filters
+            List.for_all (fun f -> f bind = Some true) p.pl_pre
             &&
             (try
-               exec_steps steps bind (fun _ -> raise Found);
+               exec_steps counters p.pl_steps bind (fun _ -> raise Found);
                false
              with Found -> true)
           in
@@ -622,17 +1080,6 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
       if List.exists (fun k -> k = None) kinds then None
       else begin
         let kinds = List.filter_map Fun.id kinds in
-        (* Canonical hash key for a value under a kind. *)
-        let canon kind v =
-          match kind, v with
-          | _, Value.Null -> None
-          | `Str, (Value.Str s | Value.Bin s) -> Some s
-          | `Str, (Value.Int _ | Value.Float _) -> None
-          | `Num, v ->
-            (match Value.to_float v with
-             | Some f -> Some (string_of_float f)
-             | None -> None)
-        in
         (* Build the uncorrelated inner query projecting the inner key
            expressions. *)
         let inner_sel =
@@ -667,7 +1114,7 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
                  the current binding anyway (harmless). *)
               iter_select_rows ctx inner_sel outer (fun row ->
                   let key =
-                    List.map2 (fun kind v -> canon kind v) kinds (Array.to_list row)
+                    List.map2 (fun kind v -> canon_key kind v) kinds (Array.to_list row)
                   in
                   if List.for_all Option.is_some key then
                     Hashtbl.replace t (List.map Option.get key) ());
@@ -678,7 +1125,7 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
             (fun outer ->
               let t = build outer in
               let key =
-                List.map2 (fun kind fn -> canon kind (fn outer)) kinds outer_fns
+                List.map2 (fun kind fn -> canon_key kind (fn outer)) kinds outer_fns
               in
               if List.exists Option.is_none key then Some false
               else Some (Hashtbl.mem t (List.map Option.get key)))
@@ -689,14 +1136,12 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
 
 (* Run a select and emit each projected row (no distinct/order). *)
 and iter_select_rows ctx sel outer emit_row =
-  let _ctx', env_slots, pre_filters, steps, projections, _, _, total =
-    plan_select ctx sel
-  in
-  let bind = Array.make total [||] in
-  Array.blit outer 0 bind 0 env_slots;
-  if List.for_all (fun p -> p bind = Some true) pre_filters then
-    exec_steps steps bind (fun b ->
-        emit_row (Array.of_list (List.map (fun (fn, _) -> fn b) projections)))
+  let p = plan_select ctx sel in
+  let bind = Array.make p.pl_total [||] in
+  Array.blit outer 0 bind 0 p.pl_env;
+  if List.for_all (fun f -> f bind = Some true) p.pl_pre then
+    exec_steps ctx.counters p.pl_steps bind (fun b ->
+        emit_row (Array.of_list (List.map (fun (fn, _) -> fn b) p.pl_project)))
 
 (* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
@@ -719,28 +1164,27 @@ module Row_set = Set.Make (struct
   let compare = compare_rows
 end)
 
-(* Compile a select once — planning, join ordering, access-path choice and
-   predicate compilation all happen here — and return a closure that
-   executes the compiled pipeline. Memoized EXISTS state created at
-   compile time is shared across executions, which is sound as long as
+(* Compile a select once — planning, join ordering, access-path choice,
+   the semi-join reduction and predicate compilation all happen here —
+   and return a closure that executes the compiled pipeline. Memoized
+   state created at compile time (EXISTS caches, pathid sets, hash-join
+   build tables) is shared across executions, which is sound as long as
    the database has not changed (enforced by {!run_plan}'s epoch check;
    the one-shot entry points execute immediately). *)
-let compile_select ~naive db (sel : Sql.select) : unit -> result =
-  let ctx = { db; slots = [||]; naive } in
-  let _ctx', _env, pre_filters, steps, projections, distinct, order_by, total =
-    plan_select ctx sel
-  in
+let compile_select ~naive ~opts ~counters db (sel : Sql.select) : unit -> result =
+  let ctx = { db; slots = [||]; naive; opts; counters } in
+  let p = plan_select ctx sel in
   fun () ->
-    let bind = Array.make total [||] in
+    let bind = Array.make p.pl_total [||] in
     let out = ref [] in
-    if List.for_all (fun p -> p bind = Some true) pre_filters then
-      exec_steps steps bind (fun b ->
-          let row = Array.of_list (List.map (fun (fn, _) -> fn b) projections) in
-          let keys = Array.of_list (List.map (fun fn -> fn b) order_by) in
+    if List.for_all (fun f -> f bind = Some true) p.pl_pre then
+      exec_steps counters p.pl_steps bind (fun b ->
+          let row = Array.of_list (List.map (fun (fn, _) -> fn b) p.pl_project) in
+          let keys = Array.of_list (List.map (fun fn -> fn b) p.pl_order_by) in
           out := (keys, row) :: !out);
     let rows = List.rev !out in
     let rows =
-      if distinct then begin
+      if p.pl_distinct then begin
         let seen = ref Row_set.empty in
         List.filter
           (fun (_, row) ->
@@ -754,16 +1198,16 @@ let compile_select ~naive db (sel : Sql.select) : unit -> result =
       else rows
     in
     let rows =
-      if order_by = [] then rows
+      if p.pl_order_by = [] then rows
       else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
     in
     { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
 
-let compile_statement ~naive db = function
-  | Sql.Select sel -> compile_select ~naive db sel
+let compile_statement ~naive ~opts ~counters db = function
+  | Sql.Select sel -> compile_select ~naive ~opts ~counters db sel
   | Sql.Select_count sel ->
     let counted =
-      compile_select ~naive db
+      compile_select ~naive ~opts ~counters db
         {
           sel with
           Sql.distinct = false;
@@ -783,7 +1227,7 @@ let compile_statement ~naive db = function
            if List.length b.Sql.projections <> arity then
              error "UNION branches project different arities")
          branches;
-       let compiled = List.map (compile_select ~naive db) branches in
+       let compiled = List.map (compile_select ~naive ~opts ~counters db) branches in
        fun () ->
          let all = List.concat_map (fun run -> (run ()).rows) compiled in
          let seen = ref Row_set.empty in
@@ -812,7 +1256,8 @@ let compile_statement ~naive db = function
          in
          { columns = List.map snd first.Sql.projections; rows })
 
-let run_statement ~naive db stmt = compile_statement ~naive db stmt ()
+let run_statement ~naive ~opts db stmt =
+  compile_statement ~naive ~opts ~counters:(counters_create ()) db stmt ()
 
 (* ------------------------------------------------------------------ *)
 (* Prepared plans                                                      *)
@@ -822,18 +1267,23 @@ type plan = {
   plan_db : Database.t;
   plan_epoch : int;
   plan_exec : unit -> result;
+  plan_counters : counters;
 }
 
-let prepare db stmt =
+let prepare ?(opts = default_opts) db stmt =
+  let counters = counters_create () in
   {
     plan_db = db;
     plan_epoch = Database.epoch db;
-    plan_exec = compile_statement ~naive:false db stmt;
+    plan_exec = compile_statement ~naive:false ~opts ~counters db stmt;
+    plan_counters = counters;
   }
 
 let plan_epoch p = p.plan_epoch
 
 let plan_valid p = Database.epoch p.plan_db = p.plan_epoch
+
+let plan_stats p = stats_of p.plan_counters
 
 let run_plan p =
   if not (plan_valid p) then
@@ -841,54 +1291,63 @@ let run_plan p =
       p.plan_epoch (Database.epoch p.plan_db);
   p.plan_exec ()
 
+(* ------------------------------------------------------------------ *)
+(* Profiled execution and EXPLAIN                                      *)
+(* ------------------------------------------------------------------ *)
+
 type step_profile = {
   table : string;
   alias : string;
   access : string;
   examined : int;
   passed : int;
+  seconds : float;
 }
 
-let access_label = function
+let access_label : access -> string = function
   | `Scan -> "full scan"
   | `Index_eq _ -> "index eq lookup"
   | `Index_range _ -> "index range scan"
   | `Prefix_lookup _ -> "prefix lookups"
+  | `Hash_probe _ -> "hash join"
 
-(* EXPLAIN-ANALYZE style execution of one select: like [run_select] with
-   per-step row counters. *)
-let run_select_profiled db (sel : Sql.select) =
-  let ctx = { db; slots = [||]; naive = false } in
-  let ctx', _env, pre_filters, steps, projections, distinct, order_by, total =
-    plan_select ctx sel
-  in
-  let nsteps = List.length steps in
+(* EXPLAIN-ANALYZE style execution of one select: like the compiled
+   pipeline with per-step row counters and inclusive per-step wall time
+   (a step's seconds include the steps nested inside its loop). *)
+let run_select_profiled ~opts ~counters db (sel : Sql.select) =
+  let ctx = { db; slots = [||]; naive = false; opts; counters } in
+  let p = plan_select ctx sel in
+  let steps_arr = Array.of_list p.pl_steps in
+  let nsteps = Array.length steps_arr in
   let examined = Array.make nsteps 0 in
   let passed = Array.make nsteps 0 in
-  let steps_arr = Array.of_list steps in
-  let bind = Array.make total [||] in
+  let seconds = Array.make nsteps 0.0 in
+  let bind = Array.make p.pl_total [||] in
   let out = ref [] in
   let rec exec i =
     if i >= nsteps then begin
-      let row = Array.of_list (List.map (fun (fn, _) -> fn bind) projections) in
-      let keys = Array.of_list (List.map (fun fn -> fn bind) order_by) in
+      counters.c_emitted <- counters.c_emitted + 1;
+      let row = Array.of_list (List.map (fun (fn, _) -> fn bind) p.pl_project) in
+      let keys = Array.of_list (List.map (fun fn -> fn bind) p.pl_order_by) in
       out := (keys, row) :: !out
     end
     else begin
-      let slot, table, access, filters = steps_arr.(i) in
-      iter_access table access bind (fun row_id ->
+      let st = steps_arr.(i) in
+      let t0 = Unix.gettimeofday () in
+      iter_access counters st.st_table st.st_access bind (fun row_id ->
           examined.(i) <- examined.(i) + 1;
-          bind.(slot) <- Table.row table row_id;
-          if List.for_all (fun p -> p bind = Some true) filters then begin
+          bind.(st.st_slot) <- Table.row st.st_table row_id;
+          if List.for_all (fun f -> f bind = Some true) st.st_filters then begin
             passed.(i) <- passed.(i) + 1;
             exec (i + 1)
-          end)
+          end);
+      seconds.(i) <- seconds.(i) +. (Unix.gettimeofday () -. t0)
     end
   in
-  if List.for_all (fun p -> p bind = Some true) pre_filters then exec 0;
+  if List.for_all (fun f -> f bind = Some true) p.pl_pre then exec 0;
   let rows = List.rev !out in
   let rows =
-    if distinct then begin
+    if p.pl_distinct then begin
       let seen = ref Row_set.empty in
       List.filter
         (fun (_, row) ->
@@ -902,62 +1361,112 @@ let run_select_profiled db (sel : Sql.select) =
     else rows
   in
   let rows =
-    if order_by = [] then rows
+    if p.pl_order_by = [] then rows
     else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
   in
   let profiles =
     List.mapi
-      (fun i (slot, table, access, _) ->
+      (fun i st ->
         {
-          table = Table.name table;
-          alias = fst ctx'.slots.(slot);
-          access = access_label access;
+          table = Table.name st.st_table;
+          alias = fst p.pl_ctx.slots.(st.st_slot);
+          access =
+            access_label st.st_access
+            ^ (match st.st_probe_labels with
+               | [] -> ""
+               | ls -> " + " ^ String.concat " + " ls);
           examined = examined.(i);
           passed = passed.(i);
+          seconds = seconds.(i);
         })
-      steps
+      p.pl_steps
   in
   ( { columns = List.map snd sel.Sql.projections; rows = List.map snd rows },
     profiles )
 
-let run_profiled db = function
-  | Sql.Select sel -> run_select_profiled db sel
-  | Sql.Select_count sel ->
-    let counted, profiles =
-      run_select_profiled db
-        {
-          sel with
-          Sql.distinct = false;
-          projections = [ Sql.Const (Value.Int 1), "one" ];
-          order_by = [];
-        }
-    in
-    ( { columns = [ "count" ]; rows = [ [| Value.Int (List.length counted.rows) |] ] },
-      profiles )
-  | Sql.Union (branches, order_cols) ->
-    let results = List.map (run_select_profiled db) branches in
-    let union =
-      run_statement ~naive:false db
-        (Sql.Union (branches, order_cols))
-    in
-    union, List.concat_map snd results
+let run_profiled ?(opts = default_opts) db stmt =
+  let counters = counters_create () in
+  let result, profiles =
+    match stmt with
+    | Sql.Select sel -> run_select_profiled ~opts ~counters db sel
+    | Sql.Select_count sel ->
+      let counted, profiles =
+        run_select_profiled ~opts ~counters db
+          {
+            sel with
+            Sql.distinct = false;
+            projections = [ Sql.Const (Value.Int 1), "one" ];
+            order_by = [];
+          }
+      in
+      ( { columns = [ "count" ]; rows = [ [| Value.Int (List.length counted.rows) |] ] },
+        profiles )
+    | Sql.Union (branches, order_cols) ->
+      (match branches with
+       | [] -> { columns = []; rows = [] }, []
+       | first :: _ ->
+         let arity = List.length first.Sql.projections in
+         List.iter
+           (fun b ->
+             if List.length b.Sql.projections <> arity then
+               error "UNION branches project different arities")
+           branches;
+         let results = List.map (run_select_profiled ~opts ~counters db) branches in
+         let all = List.concat_map (fun (r, _) -> r.rows) results in
+         let seen = ref Row_set.empty in
+         let rows =
+           List.filter
+             (fun row ->
+               if Row_set.mem row !seen then false
+               else begin
+                 seen := Row_set.add row !seen;
+                 true
+               end)
+             all
+         in
+         let rows =
+           if order_cols = [] then rows
+           else
+             List.stable_sort
+               (fun a b ->
+                 let rec go = function
+                   | [] -> 0
+                   | i :: rest ->
+                     (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
+                 in
+                 go order_cols)
+               rows
+         in
+         ( { columns = List.map snd first.Sql.projections; rows },
+           List.concat_map snd results ))
+  in
+  result, profiles, stats_of counters
 
-let run db stmt = run_statement ~naive:false db stmt
+let run ?(opts = default_opts) db stmt = run_statement ~naive:false ~opts db stmt
 
-let run_naive db stmt = run_statement ~naive:true db stmt
+let run_naive db stmt = run_statement ~naive:true ~opts:default_opts db stmt
 
-let explain db stmt =
+let explain ?(opts = default_opts) db stmt =
   let buf = Buffer.create 256 in
   let describe_select prefix (sel : Sql.select) =
-    let ctx = { db; slots = [||]; naive = false } in
-    let ctx', _env, pre, steps, _, distinct, order_by, _ = plan_select ctx sel in
-    if pre <> [] then
-      Buffer.add_string buf (Printf.sprintf "%sconstant filters: %d\n" prefix (List.length pre));
+    let ctx = { db; slots = [||]; naive = false; opts; counters = counters_create () } in
+    let p = plan_select ctx sel in
     List.iter
-      (fun (slot, table, access, filters) ->
-        let alias = fst ctx'.slots.(slot) in
+      (fun rd ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%ssemi-join reduction: %s(%s) REGEXP '%s' -> %d of %d path ids, probed on %s.%s\n"
+             prefix rd.rd_dim_table rd.rd_dim_alias rd.rd_pattern rd.rd_matched
+             rd.rd_total rd.rd_fact_alias rd.rd_fact_col))
+      p.pl_reductions;
+    if p.pl_pre <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "%sconstant filters: %d\n" prefix (List.length p.pl_pre));
+    List.iter
+      (fun st ->
+        let alias = fst p.pl_ctx.slots.(st.st_slot) in
         let access_str =
-          match access with
+          match st.st_access with
           | `Scan -> "full scan"
           | `Index_eq (tree, fns) ->
             Printf.sprintf "index eq lookup (%d cols, width %d)" (Array.length fns)
@@ -970,14 +1479,23 @@ let explain db stmt =
               (Btree.width tree)
           | `Prefix_lookup (tree, _) ->
             Printf.sprintf "prefix lookups (width %d)" (Btree.width tree)
+          | `Hash_probe hp ->
+            Printf.sprintf "hash join (build %s.%s)" (Table.name hp.hp_table) hp.hp_col
         in
+        let probe_str =
+          match st.st_probe_labels with
+          | [] -> ""
+          | ls -> " + " ^ String.concat " + " ls
+        in
+        let residual = List.length st.st_filters - List.length st.st_probe_labels in
         Buffer.add_string buf
-          (Printf.sprintf "%sstep %s(%s): %s, %d residual filters\n" prefix
-             (Table.name table) alias access_str (List.length filters)))
-      steps;
-    if distinct then Buffer.add_string buf (Printf.sprintf "%sdistinct\n" prefix);
-    if order_by <> [] then
-      Buffer.add_string buf (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length order_by))
+          (Printf.sprintf "%sstep %s(%s): %s%s, %d residual filters\n" prefix
+             (Table.name st.st_table) alias access_str probe_str residual))
+      p.pl_steps;
+    if p.pl_distinct then Buffer.add_string buf (Printf.sprintf "%sdistinct\n" prefix);
+    if p.pl_order_by <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length p.pl_order_by))
   in
   (match stmt with
    | Sql.Select sel | Sql.Select_count sel -> describe_select "" sel

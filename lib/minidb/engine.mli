@@ -3,15 +3,25 @@
     The planner turns a {!Sql.statement} into a pipeline of index-driven
     steps: WHERE conjuncts are classified per table alias, a greedy
     join-order heuristic picks the cheapest next table, and each step
-    accesses its table through the best available B+tree path — equality
-    lookup, range scan (the dewey structural-join windows of paper
-    Section 4.2 become per-outer-row index range scans), a memoized hash
-    semi-join for decorrelated [EXISTS], or a full scan. All conjuncts are
-    re-checked as residual filters, so access-path choice can never change
-    results, only speed.
+    accesses its table through the best available path — equality lookup,
+    range scan (the dewey structural-join windows of paper Section 4.2
+    become per-outer-row index range scans), a hash join for equijoins
+    with no usable index, a memoized hash semi-join for decorrelated
+    [EXISTS], or a full scan. All conjuncts are re-checked as residual
+    filters, so access-path choice can never change results, only speed.
+
+    Before any of that, an optimizer pass performs {e path-filter
+    semi-join reduction}: a dimension alias whose only uses are an
+    integer equijoin and a [REGEXP_LIKE] on one of its columns — the
+    shape of every PPF the translator emits against the [paths] table —
+    is evaluated once per dimension row at plan time and replaced by an
+    O(1) integer set probe on the fact column, eliminating both the join
+    and all per-row regex execution. The materialized set lives on the
+    plan and is invalidated with it ({!plan_valid}).
 
     [run_naive] executes the same statement by brute-force cross products
-    and is used as the test oracle for the planner. *)
+    with every optimization disabled and is the test oracle for the
+    planner. *)
 
 type result = {
   columns : string list;
@@ -22,25 +32,68 @@ exception Runtime_error of string
 (** Type errors detected during execution, e.g. a boolean expression used
     as a value, or an unknown table or column. *)
 
-val run : Database.t -> Sql.statement -> result
+(** {2 Optimizer switches} *)
+
+type opts = {
+  semijoin_reduction : bool;
+      (** resolve path-filter regexes once at plan time and probe the
+          materialized pathid set instead of joining [paths] *)
+  hash_join : bool;
+      (** build-and-probe hash joins for equijoins with no index path *)
+  force_hash_join : bool;
+      (** differential-testing hook: pick a hash join even when an index
+          path exists, so the operator is exercised everywhere *)
+}
+
+val default_opts : opts
+(** Reduction and hash joins on, [force_hash_join] off. *)
+
+(** {2 Execution statistics}
+
+    Operator-level counters accumulated by every plan: one snapshot per
+    plan ({!plan_stats}), deltas via {!stats_diff}. Plan-time work (the
+    reduction's regex sweep over the dimension table) is counted too, so
+    a freshly prepared plan already has non-zero stats. *)
+
+type exec_stats = {
+  rows_scanned : int;  (** rows fetched through access paths (incl. hash builds) *)
+  rows_probed : int;  (** hash-join and pathid-set probe operations *)
+  rows_emitted : int;  (** bindings surviving every join step *)
+  regex_evals : int;  (** REGEXP_LIKE DFA executions *)
+  hash_builds : int;  (** hash-join build tables materialized *)
+  reductions : int;  (** path-filter semi-join reductions applied *)
+}
+
+val stats_zero : exec_stats
+
+val stats_add : exec_stats -> exec_stats -> exec_stats
+
+val stats_diff : exec_stats -> exec_stats -> exec_stats
+(** [stats_diff after before]: per-field subtraction, for deltas around a
+    single execution of a long-lived plan. *)
+
+val run : ?opts:opts -> Database.t -> Sql.statement -> result
 
 val run_naive : Database.t -> Sql.statement -> result
-(** Cross-product evaluation, no indexes, no decorrelation. *)
+(** Cross-product evaluation, no indexes, no decorrelation, no optimizer
+    pass. *)
 
 (** {2 Prepared plans}
 
     [prepare] performs all planning work — join ordering, access-path
-    choice, predicate compilation — exactly once and returns a reusable
-    plan. Re-executing a plan skips planning entirely and also reuses
-    memoized EXISTS state across runs, so a warm plan is strictly cheaper
-    than [run]. A plan is tied to the database epoch observed at prepare
-    time: once the catalog changes ({!Database.epoch} moves), the plan is
-    stale and must be re-prepared — this is the invalidation signal the
-    service layer's plan cache keys on. *)
+    choice, semi-join reduction, predicate compilation — exactly once and
+    returns a reusable plan. Re-executing a plan skips planning entirely
+    and also reuses memoized EXISTS state, materialized pathid sets and
+    hash-join build tables across runs, so a warm plan is strictly
+    cheaper than [run]. A plan is tied to the database epoch observed at
+    prepare time: once the catalog changes ({!Database.epoch} moves), the
+    plan is stale and must be re-prepared — this is the invalidation
+    signal the service layer's plan cache keys on, and it is what makes
+    caching the reduction's verdict and set sound. *)
 
 type plan
 
-val prepare : Database.t -> Sql.statement -> plan
+val prepare : ?opts:opts -> Database.t -> Sql.statement -> plan
 (** Plan the statement against the database's current contents. *)
 
 val plan_epoch : plan -> int
@@ -53,18 +106,30 @@ val run_plan : plan -> result
 (** Execute a prepared plan. Raises {!Runtime_error} when the plan is
     stale ({!plan_valid} is false); callers are expected to re-{!prepare}. *)
 
-val explain : Database.t -> Sql.statement -> string
-(** Human-readable plan: one line per step with its access path. *)
+val plan_stats : plan -> exec_stats
+(** Cumulative counters for this plan: planning work plus every
+    {!run_plan} so far. Snapshot before and after an execution and
+    {!stats_diff} the two to attribute work to that execution. *)
+
+val explain : ?opts:opts -> Database.t -> Sql.statement -> string
+(** Human-readable plan: applied semi-join reductions first, then one
+    line per step with its access path ([hash join] and pathid set
+    probes included). *)
 
 type step_profile = {
   table : string;
   alias : string;
-  access : string;
+  access : string;  (** access path, plus any pathid set probes *)
   examined : int;  (** rows fetched through the access path *)
   passed : int;  (** rows surviving this step's residual filters *)
+  seconds : float;
+      (** inclusive wall time: a step's loop body contains all later
+          steps, so outer steps subsume inner ones *)
 }
 
-val run_profiled : Database.t -> Sql.statement -> result * step_profile list
-(** Like {!run}, additionally reporting per-step row counts for the
-    top-level select(s) (EXPLAIN-ANALYZE style; sub-queries are not
-    instrumented). Union branches concatenate their profiles. *)
+val run_profiled :
+  ?opts:opts -> Database.t -> Sql.statement -> result * step_profile list * exec_stats
+(** Like {!run}, additionally reporting per-step row counts and times for
+    the top-level select(s) (EXPLAIN-ANALYZE style; sub-queries are not
+    instrumented) and the run's operator counters. Union branches
+    concatenate their profiles. *)

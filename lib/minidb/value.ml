@@ -48,13 +48,31 @@ let compare_sql a b =
   | Bin x, (Bin y | Str y) | Str x, Bin y -> Some (String.compare x y)
   | Bin _, (Int _ | Float _) | (Int _ | Float _), Bin _ -> None
 
+(* The one canonical numeric rendering, shared by [concat], [text] and the
+   engine's REGEXP_LIKE operand coercion. Matches the XPath evaluator's
+   number-to-string convention (and Oracle's TO_CHAR on integral values):
+   integral floats print without a trailing dot — [string_of_float 3.0]
+   would render "3.", which no regex written against TO_CHAR output
+   expects to see. *)
+let float_text f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else string_of_float f
+
+let text = function
+  | Null -> None
+  | Int i -> Some (string_of_int i)
+  | Float f -> Some (float_text f)
+  | Str s | Bin s -> Some s
+
 let concat a b =
   match a, b with
   | Null, _ | _, Null -> Null
   | (Int _ | Float _ | Str _ | Bin _), (Int _ | Float _ | Str _ | Bin _) ->
     let s = function
       | Int i -> string_of_int i
-      | Float f -> string_of_float f
+      | Float f -> float_text f
       | Str s | Bin s -> s
       | Null -> assert false
     in

@@ -33,9 +33,21 @@ val equal : t -> t -> bool
 val to_float : t -> float option
 (** Numeric interpretation: numbers directly, strings via parsing. *)
 
+val float_text : float -> string
+(** Canonical numeric rendering: integral floats print as integers
+    ("3", never "3."), non-integral values via [string_of_float], NaN as
+    "NaN". This is the convention of the XPath reference evaluator and of
+    SQL [TO_CHAR], which the translator's path regexes assume. *)
+
+val text : t -> string option
+(** Text rendering for string coercion contexts (REGEXP_LIKE, [||]):
+    [None] for [Null]; numbers via {!float_text}/[string_of_int]; strings
+    and binaries verbatim. *)
+
 val concat : t -> t -> t
 (** SQL [||]: string/binary concatenation. If either side is [Bin] the
-    result is [Bin]. [Null] absorbs. *)
+    result is [Bin]. [Null] absorbs. Numeric operands render via
+    {!float_text}. *)
 
 val pp : Format.formatter -> t -> unit
 (** SQL-literal style printing; binary strings as hex. *)

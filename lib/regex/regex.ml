@@ -12,6 +12,50 @@ let compile source =
   let ast = Parse.parse source in
   { source; ast; nfa = Nfa.build ast; search_dfa = None; match_dfa = None }
 
+(* Process-wide compile cache: pattern -> (ast, nfa). Both components are
+   immutable once built, so one copy can be read concurrently by every
+   domain (service sessions, the cluster worker pool). The lazy DFAs are
+   NOT shared — [Dfa.step] memoizes transitions by mutating the holder —
+   so each [compile_cached] call returns a fresh handle whose DFA grows
+   privately; what the cache saves is the parse and the Thompson
+   construction, the per-pattern cost. The handle itself amortizes DFA
+   construction across executions of the plan that holds it. *)
+let cache_lock = Mutex.create ()
+
+let cache : (string, Syntax.t * Nfa.t) Hashtbl.t = Hashtbl.create 64
+
+let cache_hit_count = Atomic.make 0
+
+let cache_miss_count = Atomic.make 0
+
+let compile_cached source =
+  let found =
+    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache source)
+  in
+  match found with
+  | Some (ast, nfa) ->
+    Atomic.incr cache_hit_count;
+    { source; ast; nfa; search_dfa = None; match_dfa = None }
+  | None ->
+    (* Parse outside the lock; a racing duplicate insert is harmless. *)
+    let ast = Parse.parse source in
+    let nfa = Nfa.build ast in
+    Mutex.protect cache_lock (fun () ->
+        if not (Hashtbl.mem cache source) then Hashtbl.add cache source (ast, nfa));
+    Atomic.incr cache_miss_count;
+    { source; ast; nfa; search_dfa = None; match_dfa = None }
+
+let cache_hits () = Atomic.get cache_hit_count
+
+let cache_misses () = Atomic.get cache_miss_count
+
+let cache_size () = Mutex.protect cache_lock (fun () -> Hashtbl.length cache)
+
+let cache_clear () =
+  Mutex.protect cache_lock (fun () -> Hashtbl.reset cache);
+  Atomic.set cache_hit_count 0;
+  Atomic.set cache_miss_count 0
+
 let search t subject =
   let dfa =
     match t.search_dfa with

@@ -15,6 +15,27 @@ exception Parse_error of string
 val compile : string -> t
 (** Compile a pattern. Raises {!Parse_error} on syntax errors. *)
 
+val compile_cached : string -> t
+(** Like {!compile}, but serves the parsed AST and Thompson NFA from a
+    process-wide, mutex-protected cache keyed on the pattern text — safe
+    to call from any domain; the immutable compiled core is shared, while
+    the returned handle carries its own lazily-built DFA (DFA state is
+    mutable and must not be shared across domains). Raises {!Parse_error}
+    on syntax errors (failures are not cached). *)
+
+val cache_hits : unit -> int
+(** Number of {!compile_cached} calls served from the shared cache. *)
+
+val cache_misses : unit -> int
+(** Number of {!compile_cached} calls that had to parse and build. *)
+
+val cache_size : unit -> int
+(** Number of distinct patterns currently cached. *)
+
+val cache_clear : unit -> unit
+(** Drop every cached pattern and reset the hit/miss counters (tests and
+    benchmarks). *)
+
 val search : t -> string -> bool
 (** [search re subject] is [true] iff some substring of [subject] matches —
     the semantics of SQL [REGEXP_LIKE(subject, pattern)]. Anchors restrict

@@ -85,6 +85,7 @@ type t = {
   mutable evictions : int;
   mutable fallbacks : int;
   mutable rows : int;
+  mutable engine : Ppfx_minidb.Engine.exec_stats;
 }
 
 let create () =
@@ -103,6 +104,7 @@ let create () =
     evictions = 0;
     fallbacks = 0;
     rows = 0;
+    engine = Ppfx_minidb.Engine.stats_zero;
   }
 
 let reset t =
@@ -114,7 +116,8 @@ let reset t =
   t.invalidations <- 0;
   t.evictions <- 0;
   t.fallbacks <- 0;
-  t.rows <- 0
+  t.rows <- 0;
+  t.engine <- Ppfx_minidb.Engine.stats_zero
 
 let acc t = function
   | Parse -> t.parse
@@ -146,6 +149,8 @@ let incr_evictions t = t.evictions <- t.evictions + 1
 let incr_fallbacks t = t.fallbacks <- t.fallbacks + 1
 let add_rows t n = t.rows <- t.rows + n
 
+let add_engine t stats = t.engine <- Ppfx_minidb.Engine.stats_add t.engine stats
+
 let queries t = t.queries
 let prepares t = t.prepares
 let hits t = t.hits
@@ -154,6 +159,7 @@ let invalidations t = t.invalidations
 let evictions t = t.evictions
 let fallbacks t = t.fallbacks
 let rows t = t.rows
+let engine_stats t = t.engine
 
 let stage_count t stage = (acc t stage).count
 let stage_total t stage = (acc t stage).total
@@ -175,6 +181,13 @@ let dump t =
        (let r = hit_rate t in
         if Float.is_nan r then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. r))
        t.invalidations t.evictions);
+  Buffer.add_string buf
+    (let e = t.engine in
+     Printf.sprintf
+       "  engine: %d rows scanned, %d probes, %d rows emitted, %d regex evals, %d hash builds, %d reductions\n"
+       e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
+       e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
+       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions);
   Buffer.add_string buf
     (Printf.sprintf "  %-10s %8s %12s %12s %10s %10s %10s %10s %10s\n" "stage" "count"
        "total ms" "mean ms" "min ms" "max ms" "p50 ms" "p95 ms" "p99 ms");
@@ -212,10 +225,19 @@ let to_json t =
       (q "p95_s" (acc_percentile a 0.95))
       (q "p99_s" (acc_percentile a 0.99))
   in
+  let engine_json =
+    let e = t.engine in
+    Printf.sprintf
+      "{\"rows_scanned\":%d,\"rows_probed\":%d,\"rows_emitted\":%d,\
+       \"regex_evals\":%d,\"hash_builds\":%d,\"reductions\":%d}"
+      e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
+      e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
+      e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
+  in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
      \"invalidations\":%d,\"evictions\":%d,\"fallbacks\":%d,\"rows\":%d,\
-     \"stages\":{%s}}"
+     \"engine\":%s,\"stages\":{%s}}"
     t.queries t.prepares t.hits t.misses t.invalidations t.evictions t.fallbacks
-    t.rows
+    t.rows engine_json
     (String.concat "," (List.map stage_json all_stages))

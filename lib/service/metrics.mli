@@ -44,6 +44,11 @@ val incr_fallbacks : t -> unit
 val add_rows : t -> int -> unit
 (** Accumulate result rows produced (per shard, or overall). *)
 
+val add_engine : t -> Ppfx_minidb.Engine.exec_stats -> unit
+(** Accumulate a batch of engine operator counters (typically the
+    {!Ppfx_minidb.Engine.stats_diff} around one plan execution, or a
+    freshly prepared plan's plan-time stats). *)
+
 (** {2 Reading} *)
 
 val queries : t -> int
@@ -54,6 +59,11 @@ val invalidations : t -> int
 val evictions : t -> int
 val fallbacks : t -> int
 val rows : t -> int
+
+val engine_stats : t -> Ppfx_minidb.Engine.exec_stats
+(** Cumulative engine operator counters recorded via {!add_engine}:
+    rows scanned/probed/emitted, regex evaluations, hash-join builds and
+    semi-join reductions attributable to this metrics sink. *)
 
 val stage_count : t -> stage -> int
 val stage_total : t -> stage -> float

@@ -65,7 +65,13 @@ let prepare t text =
     let plan =
       Option.map
         (fun stmt ->
-          Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt))
+          let plan =
+            Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt)
+          in
+          (* Plan-time work: the semi-join reduction's regex sweep over the
+             dimension table happens inside [prepare]. *)
+          Metrics.add_engine t.metrics (Engine.plan_stats plan);
+          plan)
         sql
     in
     let entry = { canonical; sql; plan } in
@@ -91,10 +97,16 @@ let execute t (p : prepared) =
         let plan =
           Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt)
         in
+        Metrics.add_engine t.metrics (Engine.plan_stats plan);
         p.plan <- Some plan;
         plan
     in
-    Metrics.time t.metrics Metrics.Execute (fun () -> Engine.run_plan plan)
+    let before = Engine.plan_stats plan in
+    let result =
+      Metrics.time t.metrics Metrics.Execute (fun () -> Engine.run_plan plan)
+    in
+    Metrics.add_engine t.metrics (Engine.stats_diff (Engine.plan_stats plan) before);
+    result
 
 let execute_ids t p =
   match p.sql with

@@ -508,6 +508,42 @@ let prop_sharded_equals_unsharded =
             sharded
         else true)
 
+(* The cluster's sessions prepare every shard plan with the default
+   optimizer pass on (semi-join reduction + hash joins). A 4-shard
+   scatter must stay byte-identical to the unsharded engine running with
+   every optimization disabled — the optimizer differential and the
+   partitioning differential checked in one property. *)
+let opts_off =
+  { Engine.semijoin_reduction = false; hash_join = false; force_hash_join = false }
+
+let shared_cluster4 =
+  lazy (Cluster.create ~pool_size:2 ~shards:4 schema [ Lazy.force doc1 ])
+
+let unopt_render (store : Loader.t) query =
+  let expr = Xparser.parse query in
+  let tr = Translate.create store.Loader.mapping in
+  match Translate.translate tr expr with
+  | None -> "(empty)"
+  | Some stmt -> render (Engine.run ~opts:opts_off store.Loader.db stmt)
+
+let prop_optimized_sharded_equals_unoptimized =
+  QCheck.Test.make ~count:120
+    ~name:"4-shard optimized execution matches the unoptimized single store"
+    (QCheck.make ~print:(fun q -> q) gen_query)
+    (fun query ->
+      let c = Lazy.force shared_cluster4 in
+      let full = Session.store (Cluster.session c) in
+      match unopt_render full query with
+      | exception Xparser.Error _ -> QCheck.assume_fail ()
+      | exception Translate.Unsupported _ -> QCheck.assume_fail ()
+      | unopt ->
+        let sharded = cluster_render c query in
+        if sharded <> unopt then
+          QCheck.Test.fail_reportf
+            "query %s: optimized sharded result differs\nunoptimized:\n%s\nsharded:\n%s"
+            query unopt sharded
+        else true)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -548,5 +584,6 @@ let () =
             "multi-document create", test_cluster_multi_doc_create;
           ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sharded_equals_unsharded ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sharded_equals_unsharded; prop_optimized_sharded_equals_unoptimized ] );
     ]

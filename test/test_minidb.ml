@@ -624,7 +624,7 @@ let sql_tests =
                  ( Sql.Cmp (Sql.Eq, col "p" "dept_id", col "d" "id"),
                    Sql.Cmp (Sql.Eq, col "d" "name", str_ "eng") ))
         in
-        let result, profiles = Engine.run_profiled db (Sql.Select sel) in
+        let result, profiles, _stats = Engine.run_profiled db (Sql.Select sel) in
         Alcotest.(check int) "3 result rows" 3 (List.length result.Engine.rows);
         Alcotest.(check int) "2 steps" 2 (List.length profiles);
         (* the depts step scans 3 rows and keeps 1; the people probe via
@@ -867,6 +867,210 @@ let prop_planner_vs_naive =
       let slow = (Engine.run_naive db stmt).Engine.rows in
       fast = slow)
 
+(* ------------------------------------------------------------------ *)
+(* Optimizer pass: differential properties and EXPLAIN surface         *)
+(* ------------------------------------------------------------------ *)
+
+let opts_off =
+  { Engine.semijoin_reduction = false; hash_join = false; force_hash_join = false }
+
+let opts_forced =
+  { Engine.semijoin_reduction = true; hash_join = true; force_hash_join = true }
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Random queries over an XMark-shaped vocabulary: a small Paths
+   dimension (pathid, path) joined to a fact table on path_id and
+   filtered by a path regex — exactly the shape the semi-join reduction
+   targets. Sometimes the paths alias is also projected (the reduction
+   must then decline), fact path_ids sometimes dangle, and the optional
+   residual comparison keeps mixed filter lists in play. Every opts
+   configuration, including forced hash joins, must match the naive
+   cross-product oracle byte for byte. *)
+let gen_path_case =
+  let open QCheck.Gen in
+  let seg =
+    oneofl
+      [ "site"; "regions"; "item"; "description"; "parlist"; "listitem"; "text";
+        "keyword"; "name"; "emph" ]
+  in
+  let path = map (fun segs -> "/" ^ String.concat "/" segs) (list_size (int_range 1 4) seg) in
+  let pattern =
+    oneof
+      [
+        map (fun s -> "^/(.+/)?" ^ s ^ "$") seg;
+        map (fun s -> "^/" ^ s ^ "(/.+)?$") seg;
+        map2 (fun a b -> "^/" ^ a ^ "/(.+/)?" ^ b ^ "$") seg seg;
+      ]
+  in
+  let paths_gen = list_size (int_bound 20) path in
+  let fact_gen = list_size (int_bound 30) (pair (int_range (-2) 25) (int_bound 9)) in
+  quad paths_gen fact_gen pattern (pair bool (int_bound 9))
+
+let build_path_case (paths, facts, pattern, (project_path, cutoff)) =
+  let db = Database.create () in
+  let pt =
+    Database.create_table db ~name:"paths"
+      ~columns:
+        [ { Table.name = "pathid"; ty = Value.Tint };
+          { Table.name = "path"; ty = Value.Tstr } ]
+  in
+  List.iteri (fun i p -> ignore (Table.insert pt [| Value.Int i; Value.Str p |])) paths;
+  Table.create_index pt [ "pathid" ];
+  let ft =
+    Database.create_table db ~name:"fact"
+      ~columns:
+        [ { Table.name = "id"; ty = Value.Tint };
+          { Table.name = "path_id"; ty = Value.Tint };
+          { Table.name = "val"; ty = Value.Tint } ]
+  in
+  List.iteri
+    (fun i (pid, v) -> ignore (Table.insert ft [| Value.Int i; Value.Int pid; Value.Int v |]))
+    facts;
+  let sel =
+    {
+      Sql.distinct = false;
+      projections =
+        ((Sql.Col ("f", "id"), "id") :: (Sql.Col ("f", "val"), "val")
+        :: (if project_path then [ Sql.Col ("p", "path"), "path" ] else []));
+      from = [ "paths", "p"; "fact", "f" ];
+      where =
+        Some
+          (Sql.And
+             ( Sql.Regexp_like (Sql.Col ("p", "path"), pattern),
+               Sql.And
+                 ( Sql.Cmp (Sql.Eq, Sql.Col ("p", "pathid"), Sql.Col ("f", "path_id")),
+                   Sql.Cmp (Sql.Ge, Sql.Col ("f", "val"), Sql.Const (Value.Int cutoff)) )
+             ));
+      order_by = [ Sql.Col ("f", "id") ];
+    }
+  in
+  db, Sql.Select sel
+
+let prop_optimizer_vs_naive =
+  QCheck.Test.make ~count:300
+    ~name:"optimizer pass agrees with the naive oracle on path-filter queries"
+    (QCheck.make
+       ~print:(fun case ->
+         let _, stmt = build_path_case case in
+         Sql.to_string stmt)
+       gen_path_case)
+    (fun case ->
+      let db, stmt = build_path_case case in
+      let gold = (Engine.run_naive db stmt).Engine.rows in
+      List.for_all
+        (fun opts -> (Engine.run ~opts db stmt).Engine.rows = gold)
+        [ opts_off; Engine.default_opts; opts_forced ])
+
+(* Deterministic store for the EXPLAIN surface tests. *)
+let optimizer_fixture () =
+  let db = Database.create () in
+  let pt =
+    Database.create_table db ~name:"paths"
+      ~columns:
+        [ { Table.name = "pathid"; ty = Value.Tint };
+          { Table.name = "path"; ty = Value.Tstr } ]
+  in
+  List.iteri
+    (fun i p -> ignore (Table.insert pt [| Value.Int i; Value.Str p |]))
+    [ "/site"; "/site/regions"; "/site/regions/item"; "/site/regions/item/keyword";
+      "/site/people/person/name" ];
+  let ft =
+    Database.create_table db ~name:"fact"
+      ~columns:
+        [ { Table.name = "id"; ty = Value.Tint };
+          { Table.name = "path_id"; ty = Value.Tint };
+          { Table.name = "val"; ty = Value.Tint } ]
+  in
+  List.iteri
+    (fun i (pid, v) -> ignore (Table.insert ft [| Value.Int i; Value.Int pid; Value.Int v |]))
+    [ 3, 1; 3, 2; 4, 5; 2, 0; 0, 7 ];
+  db, pt, ft
+
+let reduce_stmt =
+  Sql.Select
+    {
+      Sql.distinct = false;
+      projections = [ Sql.Col ("f", "id"), "id" ];
+      from = [ "paths", "p"; "fact", "f" ];
+      where =
+        Some
+          (Sql.And
+             ( Sql.Regexp_like (Sql.Col ("p", "path"), "^/(.+/)?keyword$"),
+               Sql.Cmp (Sql.Eq, Sql.Col ("p", "pathid"), Sql.Col ("f", "path_id")) ));
+      order_by = [ Sql.Col ("f", "id") ];
+    }
+
+let hash_stmt =
+  Sql.Select
+    {
+      Sql.distinct = false;
+      projections = [ Sql.Col ("f", "id"), "fid"; Sql.Col ("g", "id"), "gid" ];
+      from = [ "fact", "f"; "fact", "g" ];
+      where = Some (Sql.Cmp (Sql.Eq, Sql.Col ("f", "path_id"), Sql.Col ("g", "path_id")));
+      order_by = [ Sql.Col ("f", "id"); Sql.Col ("g", "id") ];
+    }
+
+let optimizer_tests =
+  [
+    ( "explain surfaces the semi-join reduction",
+      fun () ->
+        let db, _, _ = optimizer_fixture () in
+        let on = Engine.explain db reduce_stmt in
+        Alcotest.(check bool) "reduction line" true (contains on "semi-join reduction");
+        Alcotest.(check bool) "probe step" true (contains on "pathid set probe");
+        let off = Engine.explain ~opts:opts_off db reduce_stmt in
+        Alcotest.(check bool) "off: no reduction" false
+          (contains off "semi-join reduction");
+        Alcotest.(check bool) "off: no probe" false (contains off "pathid set probe") );
+    ( "explain surfaces the hash join",
+      fun () ->
+        let db, _, _ = optimizer_fixture () in
+        let on = Engine.explain ~opts:opts_forced db hash_stmt in
+        Alcotest.(check bool) "hash join step" true (contains on "hash join");
+        let off = Engine.explain ~opts:opts_off db hash_stmt in
+        Alcotest.(check bool) "off: no hash join" false (contains off "hash join") );
+    ( "reduction and hash join preserve results on the fixture",
+      fun () ->
+        let db, _, _ = optimizer_fixture () in
+        List.iter
+          (fun stmt ->
+            let gold = (Engine.run ~opts:opts_off db stmt).Engine.rows in
+            Alcotest.(check int) "default opts" 0
+              (compare (Engine.run db stmt).Engine.rows gold);
+            Alcotest.(check int) "forced opts" 0
+              (compare (Engine.run ~opts:opts_forced db stmt).Engine.rows gold))
+          [ reduce_stmt; hash_stmt ] );
+    ( "reduction probe counts rows and regex evals",
+      fun () ->
+        let db, _, _ = optimizer_fixture () in
+        let plan = Engine.prepare db reduce_stmt in
+        let at_prepare = Engine.plan_stats plan in
+        Alcotest.(check int) "one reduction" 1 at_prepare.Engine.reductions;
+        Alcotest.(check int) "regex once per paths row" 5 at_prepare.Engine.regex_evals;
+        ignore (Engine.run_plan plan);
+        let per =
+          Engine.stats_diff (Engine.plan_stats plan) at_prepare
+        in
+        Alcotest.(check int) "no regex at execution" 0 per.Engine.regex_evals;
+        Alcotest.(check bool) "rows probed" true (per.Engine.rows_probed > 0) );
+    ( "prepared reduction is invalidated by writes",
+      fun () ->
+        let db, pt, ft = optimizer_fixture () in
+        let plan = Engine.prepare db reduce_stmt in
+        Alcotest.(check bool) "fresh plan valid" true (Engine.plan_valid plan);
+        ignore (Table.insert pt [| Value.Int 5; Value.Str "/site/keyword" |]);
+        ignore (Table.insert ft [| Value.Int 5; Value.Int 5; Value.Int 9 |]);
+        Alcotest.(check bool) "stale after writes" false (Engine.plan_valid plan);
+        let fresh = Engine.prepare db reduce_stmt in
+        let gold = (Engine.run ~opts:opts_off db reduce_stmt).Engine.rows in
+        Alcotest.(check int) "re-prepared plan sees the new rows" 0
+          (compare (Engine.run_plan fresh).Engine.rows gold) );
+  ]
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "minidb"
@@ -881,4 +1085,6 @@ let () =
       "codec", List.map tc codec_tests;
       "codec-properties", [ QCheck_alcotest.to_alcotest prop_codec_roundtrip ];
       "planner-properties", [ QCheck_alcotest.to_alcotest prop_planner_vs_naive ];
+      "optimizer", List.map tc optimizer_tests;
+      "optimizer-properties", [ QCheck_alcotest.to_alcotest prop_optimizer_vs_naive ];
     ]

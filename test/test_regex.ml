@@ -229,6 +229,79 @@ let prop_quote_literal =
       let re = Regex.compile ("^" ^ Regex.quote s ^ "$") in
       Regex.search re s)
 
+(* ------------------------------------------------------------------ *)
+(* Shared compile cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_tests =
+  [
+    ( "hit and miss accounting",
+      fun () ->
+        Regex.cache_clear ();
+        let a = Regex.compile_cached "^/(.+/)?keyword$" in
+        let b = Regex.compile_cached "^/(.+/)?keyword$" in
+        let c = Regex.compile_cached "^/site(/.+)?$" in
+        Alcotest.(check int) "misses" 2 (Regex.cache_misses ());
+        Alcotest.(check int) "hits" 1 (Regex.cache_hits ());
+        Alcotest.(check int) "size" 2 (Regex.cache_size ());
+        Alcotest.(check bool) "same behaviour" true
+          (Regex.search a "/a/keyword" && Regex.search b "/a/keyword"
+          && Regex.search c "/site/x") );
+    ( "cached handles are independent",
+      fun () ->
+        Regex.cache_clear ();
+        (* Each call returns a fresh handle (private lazy-DFA state), so a
+           handle can be used while another for the same pattern is mid-
+           search on a different domain. Equality of observable behaviour
+           with an uncached compile is the contract. *)
+        let cached = Regex.compile_cached "^/a/(.+/)?b$" in
+        let plain = Regex.compile "^/a/(.+/)?b$" in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) s (Regex.search plain s) (Regex.search cached s))
+          [ "/a/b"; "/a/x/b"; "/a/x/y/b"; "/b"; "/a/bc"; "" ] );
+    ( "parse errors are not cached",
+      fun () ->
+        Regex.cache_clear ();
+        (match Regex.compile_cached "(" with
+        | exception Regex.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected Parse_error");
+        Alcotest.(check int) "size unchanged" 0 (Regex.cache_size ());
+        (* and the error is deterministic on retry *)
+        (match Regex.compile_cached "(" with
+        | exception Regex.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected Parse_error again") );
+    ( "clear resets counters",
+      fun () ->
+        Regex.cache_clear ();
+        ignore (Regex.compile_cached "abc");
+        ignore (Regex.compile_cached "abc");
+        Regex.cache_clear ();
+        Alcotest.(check int) "hits" 0 (Regex.cache_hits ());
+        Alcotest.(check int) "misses" 0 (Regex.cache_misses ());
+        Alcotest.(check int) "size" 0 (Regex.cache_size ()) );
+    ( "concurrent domains share the cache safely",
+      fun () ->
+        Regex.cache_clear ();
+        let patterns =
+          [| "^/(.+/)?keyword$"; "^/site(/.+)?$"; "^/a/(.+/)?b$"; "abc" |]
+        in
+        let subject = "/site/regions/item/keyword" in
+        let expected = Array.map (fun p -> Regex.search (Regex.compile p) subject) patterns in
+        let worker () =
+          for i = 0 to 99 do
+            let j = i mod Array.length patterns in
+            let re = Regex.compile_cached patterns.(j) in
+            assert (Regex.search re subject = expected.(j))
+          done
+        in
+        let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+        List.iter Domain.join domains;
+        Alcotest.(check int) "only one miss per pattern"
+          (Array.length patterns) (Regex.cache_misses ());
+        Alcotest.(check int) "size" (Array.length patterns) (Regex.cache_size ()) );
+  ]
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "regex"
@@ -240,6 +313,7 @@ let () =
       "repeats", List.map tc repeat_tests;
       "paper-table1", List.map tc paper_table1_tests;
       "parse-errors", List.map tc parse_error_tests;
+      "compile-cache", List.map tc cache_tests;
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_nfa_vs_naive; prop_print_parse_roundtrip; prop_quote_literal ] );
