@@ -590,11 +590,13 @@ let cluster_bench () =
   let speedups = ref [] in
   List.iter
     (fun (name, q) ->
-      let scatter =
+      let route =
         match Cluster.verdict (snd (List.hd clusters)) q with
-        | Some Ppfx_cluster.Analysis.Partitionable -> true
-        | Some (Ppfx_cluster.Analysis.Fallback _) | None -> false
+        | Some Ppfx_cluster.Analysis.Partitionable -> `Scatter
+        | Some (Ppfx_cluster.Analysis.Order_partitionable _) -> `Order
+        | Some (Ppfx_cluster.Analysis.Fallback _) | None -> `Fallback
       in
+      let scatter = route <> `Fallback in
       let nodes = ref (-1) in
       let per_shard =
         List.map
@@ -633,7 +635,11 @@ let cluster_bench () =
        | Some c1, Some c4 when scatter && c4 > 0.0 ->
          speedups := (name, c1 /. c4) :: !speedups
        | _ -> ());
-      Printf.printf "%-5s %8d %9s" name !nodes (if scatter then "scatter" else "fallback");
+      Printf.printf "%-5s %8d %9s" name !nodes
+        (match route with
+         | `Scatter -> "scatter"
+         | `Order -> "order"
+         | `Fallback -> "fallback");
       List.iter
         (fun (_, wall, crit) ->
           Printf.printf " %6.2f/%6.2f" (1e3 *. wall) (1e3 *. crit))
@@ -669,22 +675,31 @@ module Regex = Ppfx_regex.Regex
 let engine_bench () =
   current_section := "engine";
   print_endline
-    "\n== Engine: optimizer pass (semi-join reduction + hash join) on vs off ==";
+    "\n== Engine: optimizer pass (semi-join reduction + hash/merge joins) on vs off ==";
   let st = xmark_stores config.small in
   let db = st.schema_store.Loader.db in
   let tr = Translate.create st.schema_store.Loader.mapping in
   let off =
-    { Engine.semijoin_reduction = false; hash_join = false; force_hash_join = false }
+    {
+      Engine.semijoin_reduction = false;
+      hash_join = false;
+      force_hash_join = false;
+      merge_join = false;
+      force_merge_join = false;
+    }
   in
   let configs =
     [
       "unopt", off;
       "reduce-only", { off with Engine.semijoin_reduction = true };
       "hash-only", { off with Engine.hash_join = true; force_hash_join = true };
+      "merge-only", { off with Engine.merge_join = true };
       "full", Engine.default_opts;
     ]
   in
-  let queries = [ "Q2"; "Q3"; "Q4"; "Q6" ] in
+  (* Q9/Q10/Q11 are the order-axis queries: preceding-sibling, following
+     and preceding — the shapes the Dewey merge join targets. *)
+  let queries = [ "Q2"; "Q3"; "Q4"; "Q6"; "Q9"; "Q10"; "Q11" ] in
   let reps = max 1 config.reps in
   Printf.printf "\n%s — warm prepared plans, median of %d executions\n" st.label reps;
   Printf.printf "%-5s %-12s %7s %10s %11s %12s %12s %10s\n" "query" "plan" "#nodes"
@@ -727,10 +742,15 @@ let engine_bench () =
                    "\"regex_evals_per_exec\":%.1f,\"rows_scanned_per_exec\":%.1f,\
                     \"rows_probed_per_exec\":%.1f,\"plan_regex_evals\":%d,\
                     \"plan_reductions\":%d,\"hash_builds\":%d,\
+                    \"merge_probes\":%d,\"merge_steps\":%d,\
+                    \"merge_backtracks\":%d,\"peak_bytes\":%d,\
                     \"regex_cache_hits\":%d,\"regex_cache_misses\":%d,\
                     \"regex_cache_hit_rate\":%s"
                    regex_pe scanned_pe probed_pe plan_cost.Engine.regex_evals
-                   plan_cost.Engine.reductions total.Engine.hash_builds hits misses
+                   plan_cost.Engine.reductions total.Engine.hash_builds
+                   total.Engine.merge_probes total.Engine.merge_steps
+                   total.Engine.merge_backtracks
+                   (Engine.plan_stats plan).Engine.peak_bytes hits misses
                    (if Float.is_nan hit_rate then "null"
                     else Printf.sprintf "%.3f" hit_rate))
               ();
@@ -769,6 +789,24 @@ let engine_bench () =
      Printf.printf
        "\nbest (%s): regex reduction %.1fx (>= 10x: %b), speedup %.2fx (>= 2x: %b)\n"
        qname r (r >= 10.0) s (s >= 2.0)
+   | None -> ());
+  (* Order-axis acceptance: the Dewey merge join alone vs no optimizer. *)
+  let merge_best = ref None in
+  List.iter
+    (fun qname ->
+      match find qname "unopt", find qname "merge-only" with
+      | Some (s0, _), Some (s1, _) when s1 > 0.0 ->
+        let speedup = s0 /. s1 in
+        Printf.printf "%-5s merge join vs unopt: %4.2fx faster\n" qname speedup;
+        (match !merge_best with
+         | Some (_, b) when b >= speedup -> ()
+         | _ -> merge_best := Some (qname, speedup))
+      | _ -> ())
+    [ "Q9"; "Q10"; "Q11" ];
+  (match !merge_best with
+   | Some (qname, s) ->
+     Printf.printf "best order-axis merge-join speedup: %.2fx (%s); > 1x: %b\n" s
+       qname (s > 1.0)
    | None -> ());
   Printf.printf "regex compile cache: %d entries, %d hits, %d misses overall\n"
     (Regex.cache_size ()) (Regex.cache_hits ()) (Regex.cache_misses ())

@@ -196,6 +196,10 @@ let explain_cmd =
         "scanned %d, probed %d, emitted %d, regex evals %d, hash builds %d, reductions %d\n"
         stats.Engine.rows_scanned stats.Engine.rows_probed stats.Engine.rows_emitted
         stats.Engine.regex_evals stats.Engine.hash_builds stats.Engine.reductions;
+      Printf.printf
+        "merge probes %d, merge steps %d, merge backtracks %d, peak bytes %d\n"
+        stats.Engine.merge_probes stats.Engine.merge_steps
+        stats.Engine.merge_backtracks stats.Engine.peak_bytes;
       Printf.printf "%d result rows\n" (List.length result.Engine.rows)
   in
   let term = Term.(const run $ doc_arg $ schema_arg $ query_arg) in

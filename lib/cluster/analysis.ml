@@ -30,7 +30,22 @@ module Sql = Ppfx_minidb.Sql
    emits it alongside a sibling fk join or a recursive containment
    BETWEEN, either of which already pins both aliases to one subtree. *)
 
-type verdict = Partitionable | Fallback of string
+type order_side = {
+  os_select : Sql.select;
+  os_key : int;
+  os_cols : (string * string * string) list;
+}
+
+type order_plan = {
+  op_left : order_side;
+  op_right : order_side;
+  op_coord : Sql.select;
+}
+
+type verdict =
+  | Partitionable
+  | Order_partitionable of order_plan
+  | Fallback of string
 
 let dewey_column = "dewey_pos"
 
@@ -157,6 +172,236 @@ and check_select ~bfks (sel : Sql.select) =
   List.iter (fun (e, _) -> check_value ~bfks e) sel.Sql.projections;
   List.iter (fun e -> check_value ~bfks e) sel.Sql.order_by
 
+(* ---- Order-axis decomposition ------------------------------------
+
+   A statement that fails the shard-locality check only because it
+   relates two node sets across subtree boundaries — an order-axis dewey
+   comparison, or a sibling join on a boundary fk — can still avoid the
+   full single-store fallback: split the FROM aliases into the two
+   locally-joined groups, run each group's select per shard (these pass
+   the ordinary check), k-way merge each side on the coordinator, and
+   evaluate only the boundary-crossing conjuncts there with a final
+   two-table select over the merged streams.
+
+   The split is a union-find over aliases: conjuncts that are themselves
+   shard-local join shapes (containment BETWEEN, fk equality off the
+   boundary set) or that contain sub-queries glue their aliases into one
+   side. Exactly two components must remain; every remaining conjunct
+   either falls wholly inside one side (side WHERE) or spans both
+   (coordinator WHERE — must be sub-query-free). Each side exports, with
+   mangled names [c0..cn], every column the cross conjuncts and the
+   final projections/ORDER BY touch, leading with a dewey merge key, and
+   orders by the full export list so the per-side shard merge has a
+   total key even when one alias's dewey repeats across side rows.
+
+   Soundness: sides are DISTINCT projections, so under the statement's
+   own DISTINCT, filtering the product of the two side sets by the cross
+   conjuncts and projecting yields exactly the single-store answer. *)
+
+exception Give_up
+
+let rec has_subquery = function
+  | Sql.Exists _ | Sql.Count_subquery _ -> true
+  | Sql.Col _ | Sql.Const _ | Sql.Bool_const _ -> false
+  | Sql.Concat (a, b)
+  | Sql.Arith (_, a, b)
+  | Sql.Cmp (_, a, b)
+  | Sql.And (a, b)
+  | Sql.Or (a, b) ->
+    has_subquery a || has_subquery b
+  | Sql.To_number a | Sql.Length a | Sql.Not a | Sql.Is_not_null a ->
+    has_subquery a
+  | Sql.Between (a, b, c) -> has_subquery a || has_subquery b || has_subquery c
+  | Sql.Regexp_like (a, _) -> has_subquery a
+
+let rec cols_of acc = function
+  | Sql.Col (a, c) -> (a, c) :: acc
+  | Sql.Const _ | Sql.Bool_const _ -> acc
+  | Sql.Concat (a, b)
+  | Sql.Arith (_, a, b)
+  | Sql.Cmp (_, a, b)
+  | Sql.And (a, b)
+  | Sql.Or (a, b) ->
+    cols_of (cols_of acc a) b
+  | Sql.To_number a | Sql.Length a | Sql.Not a | Sql.Is_not_null a ->
+    cols_of acc a
+  | Sql.Between (a, b, c) -> cols_of (cols_of (cols_of acc a) b) c
+  | Sql.Regexp_like (a, _) -> cols_of acc a
+  | Sql.Exists _ | Sql.Count_subquery _ -> raise Give_up
+
+(* The conjunct shapes that pin their aliases to one frontier subtree
+   (mirroring the acceptances in [check_cmp]); these force their aliases
+   onto the same side. *)
+let localizing_join ~bfks = function
+  | Sql.Between (e, lo, hi) -> containment_between e lo hi
+  | Sql.Cmp (Sql.Eq, Sql.Col (x, ca), Sql.Col (y, cb))
+    when not (String.equal x y) ->
+    if String.equal ca "id" || String.equal cb "id" then true
+    else if List.mem ca bfks || List.mem cb bfks then false
+    else is_fk_column ca && is_fk_column cb
+  | _ -> false
+
+let decompose ~bfks (sel : Sql.select) =
+  try
+    if not sel.Sql.distinct then raise Give_up;
+    let aliases = List.map snd sel.Sql.from in
+    if List.length aliases < 2 then raise Give_up;
+    let final_key_alias =
+      match sel.Sql.order_by with
+      | [ Sql.Col (a, c) ] when String.equal c dewey_column && List.mem a aliases
+        ->
+        a
+      | _ -> raise Give_up
+    in
+    (* union-find over FROM aliases *)
+    let parent = Hashtbl.create 16 in
+    List.iter (fun a -> Hashtbl.replace parent a a) aliases;
+    let rec find a =
+      match Hashtbl.find_opt parent a with
+      | None -> raise Give_up
+      | Some p ->
+        if String.equal p a then a
+        else begin
+          let r = find p in
+          Hashtbl.replace parent a r;
+          r
+        end
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+    in
+    let conjs =
+      match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w
+    in
+    List.iter
+      (fun c ->
+        if has_subquery c || localizing_join ~bfks c then
+          match Sql.free_aliases c with
+          | [] -> ()
+          | a :: rest -> List.iter (union a) rest)
+      conjs;
+    let roots = List.sort_uniq compare (List.map find aliases) in
+    let left_root = find (List.hd aliases) in
+    (match roots with
+     | [ r1; r2 ] -> ignore r1; ignore r2
+     | _ -> raise Give_up);
+    let on_left a = String.equal (find a) left_root in
+    (* conjunct assignment *)
+    let lconjs = ref [] and rconjs = ref [] and cross = ref [] in
+    List.iter
+      (fun c ->
+        match Sql.free_aliases c with
+        | [] -> lconjs := c :: !lconjs
+        | fa ->
+          if List.for_all on_left fa then lconjs := c :: !lconjs
+          else if List.for_all (fun a -> not (on_left a)) fa then
+            rconjs := c :: !rconjs
+          else if has_subquery c then raise Give_up
+          else cross := c :: !cross)
+      conjs;
+    let cross = List.rev !cross in
+    (* columns each side must export *)
+    let exported =
+      let acc = List.fold_left cols_of [] cross in
+      let acc =
+        List.fold_left (fun acc (e, _) -> cols_of acc e) acc sel.Sql.projections
+      in
+      let acc = List.fold_left cols_of acc sel.Sql.order_by in
+      List.sort_uniq compare acc
+    in
+    List.iter
+      (fun (a, _) -> if not (List.mem a aliases) then raise Give_up)
+      exported;
+    let table_of a =
+      match List.find_opt (fun (_, al) -> String.equal al a) sel.Sql.from with
+      | Some (tbl, _) -> tbl
+      | None -> raise Give_up
+    in
+    let build_side ~mine conjs_side =
+      let side_aliases = List.filter mine aliases in
+      let key_alias =
+        if mine final_key_alias then final_key_alias
+        else
+          match
+            List.find_opt
+              (fun (a, c) -> mine a && String.equal c dewey_column)
+              exported
+          with
+          | Some (a, _) -> a
+          | None -> (
+            match side_aliases with a :: _ -> a | [] -> raise Give_up)
+      in
+      let cols =
+        (key_alias, dewey_column)
+        :: List.filter
+             (fun (a, c) ->
+               mine a
+               && not
+                    (String.equal a key_alias && String.equal c dewey_column))
+             exported
+      in
+      let mangled i = Printf.sprintf "c%d" i in
+      let side_sel =
+        {
+          Sql.distinct = true;
+          projections = List.mapi (fun i (a, c) -> (Sql.Col (a, c), mangled i)) cols;
+          from = List.filter (fun (_, a) -> mine a) sel.Sql.from;
+          where = List.fold_left Sql.and_opt None conjs_side;
+          order_by = List.map (fun (a, c) -> Sql.Col (a, c)) cols;
+        }
+      in
+      check_select ~bfks side_sel;
+      ( {
+          os_select = side_sel;
+          os_key = 0;
+          os_cols = List.mapi (fun i (a, c) -> (mangled i, table_of a, c)) cols;
+        },
+        List.mapi (fun i (a, c) -> ((a, c), mangled i)) cols )
+    in
+    let left, lmap = build_side ~mine:on_left (List.rev !lconjs) in
+    let right, rmap =
+      build_side ~mine:(fun a -> not (on_left a)) (List.rev !rconjs)
+    in
+    let lookup key =
+      match List.assoc_opt key lmap with
+      | Some m -> Some (Sql.Col ("L", m))
+      | None -> (
+        match List.assoc_opt key rmap with
+        | Some m -> Some (Sql.Col ("R", m))
+        | None -> None)
+    in
+    let rec rewrite e =
+      match e with
+      | Sql.Col (a, c) -> (
+        match lookup (a, c) with Some e' -> e' | None -> raise Give_up)
+      | Sql.Const _ | Sql.Bool_const _ -> e
+      | Sql.Cmp (op, x, y) -> Sql.Cmp (op, rewrite x, rewrite y)
+      | Sql.Between (x, y, z) -> Sql.Between (rewrite x, rewrite y, rewrite z)
+      | Sql.And (x, y) -> Sql.And (rewrite x, rewrite y)
+      | Sql.Or (x, y) -> Sql.Or (rewrite x, rewrite y)
+      | Sql.Not x -> Sql.Not (rewrite x)
+      | Sql.Concat (x, y) -> Sql.Concat (rewrite x, rewrite y)
+      | Sql.Regexp_like (x, p) -> Sql.Regexp_like (rewrite x, p)
+      | Sql.Arith (op, x, y) -> Sql.Arith (op, rewrite x, rewrite y)
+      | Sql.To_number x -> Sql.To_number (rewrite x)
+      | Sql.Length x -> Sql.Length (rewrite x)
+      | Sql.Is_not_null x -> Sql.Is_not_null (rewrite x)
+      | Sql.Exists _ | Sql.Count_subquery _ -> raise Give_up
+    in
+    let coord =
+      {
+        Sql.distinct = true;
+        projections =
+          List.map (fun (e, n) -> (rewrite e, n)) sel.Sql.projections;
+        from = [ ("lhs", "L"); ("rhs", "R") ];
+        where = List.fold_left Sql.and_opt None (List.map rewrite cross);
+        order_by = List.map rewrite sel.Sql.order_by;
+      }
+    in
+    Some { op_left = left; op_right = right; op_coord = coord }
+  with Give_up | Stop _ -> None
+
 (* The merge needs a projected, statement-wide Dewey ordering: for a
    single SELECT an ORDER BY equal to one projection, for a UNION one
    output-column ordinal. Returns the 0-based projection index. *)
@@ -192,4 +437,10 @@ let analyze ~boundary_fks (stmt : Sql.statement) =
     (match merge_key stmt with
      | Some _ -> Partitionable
      | None -> Fallback "no statement-wide dewey ordering to merge on")
-  | exception Stop reason -> Fallback reason
+  | exception Stop reason ->
+    (match stmt with
+     | Sql.Select sel ->
+       (match decompose ~bfks sel with
+        | Some plan -> Order_partitionable plan
+        | None -> Fallback reason)
+     | Sql.Union _ | Sql.Select_count _ -> Fallback reason)

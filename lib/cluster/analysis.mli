@@ -12,12 +12,41 @@
     results or COUNT sub-queries, which would count per shard). For
     those, the verdict is {!Fallback} and the cluster runs the query on
     the unsharded store — answers stay exactly equal to single-store
-    execution either way. *)
+    execution either way.
+
+    One boundary-crossing family gets a middle road: a SELECT that fails
+    only because two locally-joined alias groups are related by
+    order-axis dewey comparisons or boundary sibling joins decomposes
+    into two per-shard side selects plus a coordinator join over their
+    merged streams ({!Order_partitionable}); see {!order_plan}. *)
 
 module Sql = Ppfx_minidb.Sql
 
+type order_side = {
+  os_select : Sql.select;
+      (** per-shard select for this alias group: DISTINCT, exports every
+          column the coordinator needs under mangled names [c0..cn], and
+          orders by the full export list (merge key first) so the k-way
+          shard merge has a total key *)
+  os_key : int;  (** projection index of the dewey merge key (always 0) *)
+  os_cols : (string * string * string) list;
+      (** per projection: (mangled name, source table, source column) —
+          enough to resolve the coordinator temp-table schema *)
+}
+
+type order_plan = {
+  op_left : order_side;
+  op_right : order_side;
+  op_coord : Sql.select;
+      (** final select over [FROM lhs L, rhs R]: the boundary-crossing
+          conjuncts plus the original projections/ORDER BY, rewritten to
+          the mangled side columns *)
+}
+
 type verdict =
   | Partitionable
+  | Order_partitionable of order_plan
+      (** run each side per shard, merge per side, join at the coordinator *)
   | Fallback of string  (** human-readable reason, surfaced in metrics *)
 
 val analyze : boundary_fks:string list -> Sql.statement -> verdict

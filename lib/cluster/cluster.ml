@@ -3,6 +3,9 @@ module Graph = Ppfx_schema.Graph
 module Mapping = Ppfx_shred.Mapping
 module Loader = Ppfx_shred.Loader
 module Engine = Ppfx_minidb.Engine
+module Sql = Ppfx_minidb.Sql
+module Database = Ppfx_minidb.Database
+module Table = Ppfx_minidb.Table
 module Translate = Ppfx_translate.Translate
 module Session = Ppfx_service.Session
 module Metrics = Ppfx_service.Metrics
@@ -27,8 +30,19 @@ module Lru = Ppfx_service.Lru
    share no mutable state: each runs a distinct plan against a distinct
    database. *)
 
+type order_exec = {
+  oplan : Analysis.order_plan;
+  lplans : Engine.plan option array;
+  rplans : Engine.plan option array;
+  lcols : Table.column list;  (* resolved coordinator temp-table schemas *)
+  rcols : Table.column list;
+}
+
 type mode =
   | Scatter of { key : int; plans : Engine.plan option array }
+  | Order_scatter of order_exec
+      (* two side selects scattered per shard, merged per side, joined by
+         a coordinator select over two temp tables *)
   | Single of string
   | Empty  (** schema proved the result empty; no SQL at all *)
 
@@ -126,6 +140,25 @@ let load t doc =
 
 let prepare t text = Session.prepare t.session text
 
+(* Resolve the coordinator temp-table schema of one side from the source
+   catalog: every exported column keeps its source column's type. *)
+let side_columns t (side : Analysis.order_side) =
+  let db = (Session.store t.session).Loader.db in
+  let rec go = function
+    | [] -> Some []
+    | (mangled, src_table, src_col) :: rest ->
+      (match Database.table_opt db src_table with
+       | None -> None
+       | Some tbl ->
+         (match Table.column_ty tbl src_col with
+          | None -> None
+          | Some ty ->
+            (match go rest with
+             | None -> None
+             | Some cols -> Some ({ Table.name = mangled; ty } :: cols))))
+  in
+  go side.Analysis.os_cols
+
 let mode_for t p =
   let canonical = Session.canonical p in
   match Lru.find t.cache canonical with
@@ -137,6 +170,19 @@ let mode_for t p =
       | Some stmt ->
         (match Analysis.analyze ~boundary_fks:t.boundary_fks stmt with
          | Analysis.Fallback reason -> Single reason
+         | Analysis.Order_partitionable oplan ->
+           (match side_columns t oplan.Analysis.op_left,
+                  side_columns t oplan.Analysis.op_right with
+            | Some lcols, Some rcols ->
+              Order_scatter
+                {
+                  oplan;
+                  lplans = Array.make t.nshards None;
+                  rplans = Array.make t.nshards None;
+                  lcols;
+                  rcols;
+                }
+            | _ -> Single "order decomposition: unresolvable side column")
          | Analysis.Partitionable ->
            (match Analysis.merge_key stmt with
             | Some key -> Scatter { key; plans = Array.make t.nshards None }
@@ -167,26 +213,28 @@ let revalidate_plans t stmt plans =
       end)
     t.shard_stores
 
+(* One pool task per shard plan. The worker owns its plan for the whole
+   task, so snapshotting its counters around the run is race-free;
+   [Pool.await] gives the coordinator a happens-before edge to read the
+   delta. *)
+let submit_shard_runs t plans =
+  Array.map
+    (fun plan ->
+      let plan = Option.get plan in
+      Pool.submit t.pool (fun () ->
+          let before = Engine.plan_stats plan in
+          let s0 = Unix.gettimeofday () in
+          let r = Engine.run_plan plan in
+          let dt = Unix.gettimeofday () -. s0 in
+          r, dt, Engine.stats_diff (Engine.plan_stats plan) before))
+    plans
+
 let scatter t ~key ~plans stmt =
   let m = Session.metrics t.session in
   Metrics.incr_queries m;
   revalidate_plans t stmt plans;
   let t0 = Unix.gettimeofday () in
-  let futures =
-    Array.map
-      (fun plan ->
-        let plan = Option.get plan in
-        Pool.submit t.pool (fun () ->
-            (* The worker owns this plan for the whole task, so snapshotting
-               its counters around the run is race-free; [Pool.await] gives
-               the coordinator a happens-before edge to read the delta. *)
-            let before = Engine.plan_stats plan in
-            let s0 = Unix.gettimeofday () in
-            let r = Engine.run_plan plan in
-            let dt = Unix.gettimeofday () -. s0 in
-            r, dt, Engine.stats_diff (Engine.plan_stats plan) before))
-      plans
-  in
+  let futures = submit_shard_runs t plans in
   let outcomes = Array.map Pool.await futures in
   Metrics.record m Metrics.Execute (Unix.gettimeofday () -. t0);
   let queue_waits = Array.map Pool.queue_wait futures in
@@ -212,6 +260,71 @@ let scatter t ~key ~plans stmt =
   t.last <- Some { critical_path = !critical; queue_waits; shard_rows };
   merged
 
+(* Cross-shard order-axis execution: scatter both side selects over the
+   shards, k-way merge each side, then load the two merged streams into
+   a throwaway coordinator database — temp tables [lhs]/[rhs], indexed
+   on the merge key so the engine can pick ordered access paths and the
+   Dewey merge join — and run the coordinator select there. *)
+let order_scatter t (oe : order_exec) =
+  let left = oe.oplan.Analysis.op_left and right = oe.oplan.Analysis.op_right in
+  let m = Session.metrics t.session in
+  Metrics.incr_queries m;
+  revalidate_plans t (Sql.Select left.Analysis.os_select) oe.lplans;
+  revalidate_plans t (Sql.Select right.Analysis.os_select) oe.rplans;
+  let t0 = Unix.gettimeofday () in
+  let lf = submit_shard_runs t oe.lplans in
+  let rf = submit_shard_runs t oe.rplans in
+  let louts = Array.map Pool.await lf in
+  let routs = Array.map Pool.await rf in
+  let lwaits = Array.map Pool.queue_wait lf in
+  let rwaits = Array.map Pool.queue_wait rf in
+  let shard_rows = Array.make t.nshards 0 in
+  let critical = ref 0.0 in
+  let account outs waits =
+    Array.iteri
+      (fun s (r, dt, stats) ->
+        let sm = t.shard_metrics.(s) in
+        Metrics.incr_queries sm;
+        Metrics.record sm Metrics.Execute dt;
+        Metrics.record sm Metrics.Queue waits.(s);
+        Metrics.add_engine sm stats;
+        let rows = List.length r.Engine.rows in
+        Metrics.add_rows sm rows;
+        shard_rows.(s) <- shard_rows.(s) + rows;
+        if dt > !critical then critical := dt)
+      outs
+  in
+  account louts lwaits;
+  account routs rwaits;
+  let results outs = Array.to_list (Array.map (fun (r, _, _) -> r) outs) in
+  let lmerged, rmerged =
+    Metrics.time m Metrics.Merge (fun () ->
+        ( Merge.merge ~key:left.Analysis.os_key (results louts),
+          Merge.merge ~key:right.Analysis.os_key (results routs) ))
+  in
+  let db = Database.create () in
+  let fill name cols (side : Analysis.order_side) merged =
+    let tbl = Database.create_table db ~name ~columns:cols in
+    List.iter (fun row -> ignore (Table.insert tbl row)) merged.Engine.rows;
+    match List.nth_opt side.Analysis.os_cols side.Analysis.os_key with
+    | Some (key_col, _, _) -> Table.create_index tbl [ key_col ]
+    | None -> ()
+  in
+  fill "lhs" oe.lcols left lmerged;
+  fill "rhs" oe.rcols right rmerged;
+  let p0 = Unix.gettimeofday () in
+  let plan = Engine.prepare db (Sql.Select oe.oplan.Analysis.op_coord) in
+  Metrics.record m Metrics.Plan (Unix.gettimeofday () -. p0);
+  Metrics.add_engine m (Engine.plan_stats plan);
+  let before = Engine.plan_stats plan in
+  let r = Engine.run_plan plan in
+  Metrics.add_engine m (Engine.stats_diff (Engine.plan_stats plan) before);
+  Metrics.record m Metrics.Execute (Unix.gettimeofday () -. t0);
+  Metrics.add_rows m (List.length r.Engine.rows);
+  let queue_waits = Array.init t.nshards (fun s -> lwaits.(s) +. rwaits.(s)) in
+  t.last <- Some { critical_path = !critical; queue_waits; shard_rows };
+  r
+
 let execute t p =
   match mode_for t p with
   | Empty -> Session.execute t.session p
@@ -221,6 +334,7 @@ let execute t p =
   | Scatter { key; plans } ->
     let stmt = match Session.sql p with Some s -> s | None -> assert false in
     scatter t ~key ~plans stmt
+  | Order_scatter oe -> order_scatter t oe
 
 let execute_ids t p =
   match Session.sql p with
@@ -236,6 +350,7 @@ let verdict t text =
   | Empty -> None
   | Single reason -> Some (Analysis.Fallback reason)
   | Scatter _ -> Some Analysis.Partitionable
+  | Order_scatter oe -> Some (Analysis.Order_partitionable oe.oplan)
 
 let close t = Pool.shutdown t.pool
 

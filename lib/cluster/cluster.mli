@@ -7,9 +7,15 @@
     translated SQL is analyzed once ({!Analysis}): partitionable
     statements are prepared per shard (plans revalidated against each
     shard's epoch), fanned out over a {!Pool} of domains, and k-way
-    merged by Dewey position ({!Merge}); everything else — order axes at
-    the partition boundary, counting queries, uncorrelated EXISTS — runs
-    on the unsharded store. Either way the answer is exactly equal to
+    merged by Dewey position ({!Merge}). Order-axis statements — two
+    locally-joined alias groups related only by document-order dewey
+    comparisons or boundary sibling joins — decompose instead of falling
+    back ({!Analysis.Order_partitionable}): both side selects scatter
+    over the shards, each side is k-way merged, and a coordinator select
+    joins the merged streams in a throwaway two-table database (indexed
+    on the merge key, so the engine's Dewey merge join applies).
+    Everything else — counting queries, uncorrelated EXISTS — runs on
+    the unsharded store. Either way the answer is exactly equal to
     single-store execution. *)
 
 module Doc = Ppfx_xml.Doc

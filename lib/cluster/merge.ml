@@ -5,12 +5,17 @@ module Value = Ppfx_minidb.Value
 
    Every shard result is already Dewey-ordered (Analysis.merge_key
    guarantees the statement orders on a projected column), and Dewey
-   positions are unique per element, so the only key ties — and the only
-   cross-shard duplicates — are rows of the replicated document root:
-   byte-identical in every shard (top-level selects are DISTINCT, so each
-   shard emits such a row at most once per distinct value). They land
-   adjacent in the merged stream, so dropping rows equal to the last
-   emitted one restores exactly the single-store output. *)
+   positions are unique per element, so for translated statements the
+   only key ties — and the only cross-shard duplicates — are rows of the
+   replicated document root: byte-identical in every shard (top-level
+   selects are DISTINCT, so each shard emits such a row at most once per
+   distinct value). Key ties break on the whole row, which changes
+   nothing there but makes the merge a total order for the order-axis
+   side streams (Analysis.order_plan), where one alias's dewey can head
+   several distinct rows: each side orders by its full projection list,
+   so full-row tie-breaking keeps the merged stream sorted the same way
+   and byte-identical duplicates adjacent. Dropping rows equal to the
+   last emitted one then restores exactly the single-store output. *)
 
 let compare_rows (a : Value.t array) (b : Value.t array) =
   let la = Array.length a and lb = Array.length b in
@@ -44,7 +49,11 @@ let merge ~key (results : Engine.result list) : Engine.result =
            | row :: _ ->
              if
                !best = -1
-               || Value.compare_total row.(key) (List.hd heads.(!best)).(key) < 0
+               ||
+               let cur = List.hd heads.(!best) in
+               (match Value.compare_total row.(key) cur.(key) with
+                | 0 -> compare_rows row cur < 0
+                | c -> c < 0)
              then best := i
          done;
          if !best = -1 then raise Done;

@@ -1,11 +1,14 @@
 (** Dewey-ordered k-way merge of per-shard results.
 
     Inputs must each be sorted ascending on column [key] (the projection
-    index from {!Analysis.merge_key}) under {!Ppfx_minidb.Value.compare_total}.
-    The merge is stable, preserves that order globally, and drops
-    adjacent byte-identical rows — which under subtree partitioning are
-    exactly the replicated document-root rows each shard re-emits — so
-    the merged result equals single-store execution. *)
+    index from {!Analysis.merge_key}) under {!Ppfx_minidb.Value.compare_total};
+    key ties within one input must be sorted by {!compare_rows} (engine
+    ORDER BY over the full projection list guarantees this, and inputs
+    with a unique key satisfy it vacuously). The merge preserves that
+    order globally — key first, then whole-row — and drops adjacent
+    byte-identical rows: under subtree partitioning exactly the
+    replicated spine rows each shard re-emits. The merged result equals
+    single-store execution. *)
 
 val merge : key:int -> Ppfx_minidb.Engine.result list -> Ppfx_minidb.Engine.result
 (** Raises [Invalid_argument] on an empty list. Column names are taken

@@ -15,17 +15,26 @@ type value_fn = binding -> Value.t
 
 type pred_fn = binding -> bool option
 
-(* Optimizer switches. [force_hash_join] exists for differential testing:
-   it makes the planner pick a hash join over an available index path, so
-   the operator is exercised even on queries where an index would win. *)
+(* Optimizer switches. The [force_*] variants exist for differential
+   testing: they make the planner pick the operator over an available
+   index path, so it is exercised even on queries where an index would
+   win. *)
 type opts = {
   semijoin_reduction : bool;
   hash_join : bool;
   force_hash_join : bool;
+  merge_join : bool;
+  force_merge_join : bool;
 }
 
 let default_opts =
-  { semijoin_reduction = true; hash_join = true; force_hash_join = false }
+  {
+    semijoin_reduction = true;
+    hash_join = true;
+    force_hash_join = false;
+    merge_join = true;
+    force_merge_join = false;
+  }
 
 (* Operator-level counters, shared by every operator compiled under one
    ctx (including sub-query plans). Mutable on purpose: they sit in the
@@ -39,6 +48,10 @@ type counters = {
   mutable c_regex_evals : int;
   mutable c_hash_builds : int;
   mutable c_reductions : int;
+  mutable c_merge_probes : int;
+  mutable c_merge_steps : int;
+  mutable c_merge_backtracks : int;
+  mutable c_peak_bytes : int;
 }
 
 let counters_create () =
@@ -49,6 +62,10 @@ let counters_create () =
     c_regex_evals = 0;
     c_hash_builds = 0;
     c_reductions = 0;
+    c_merge_probes = 0;
+    c_merge_steps = 0;
+    c_merge_backtracks = 0;
+    c_peak_bytes = 0;
   }
 
 type exec_stats = {
@@ -58,6 +75,10 @@ type exec_stats = {
   regex_evals : int;
   hash_builds : int;
   reductions : int;
+  merge_probes : int;
+  merge_steps : int;
+  merge_backtracks : int;
+  peak_bytes : int;
 }
 
 let stats_of c =
@@ -68,6 +89,10 @@ let stats_of c =
     regex_evals = c.c_regex_evals;
     hash_builds = c.c_hash_builds;
     reductions = c.c_reductions;
+    merge_probes = c.c_merge_probes;
+    merge_steps = c.c_merge_steps;
+    merge_backtracks = c.c_merge_backtracks;
+    peak_bytes = c.c_peak_bytes;
   }
 
 let stats_zero =
@@ -78,6 +103,10 @@ let stats_zero =
     regex_evals = 0;
     hash_builds = 0;
     reductions = 0;
+    merge_probes = 0;
+    merge_steps = 0;
+    merge_backtracks = 0;
+    peak_bytes = 0;
   }
 
 let stats_add a b =
@@ -88,6 +117,10 @@ let stats_add a b =
     regex_evals = a.regex_evals + b.regex_evals;
     hash_builds = a.hash_builds + b.hash_builds;
     reductions = a.reductions + b.reductions;
+    merge_probes = a.merge_probes + b.merge_probes;
+    merge_steps = a.merge_steps + b.merge_steps;
+    merge_backtracks = a.merge_backtracks + b.merge_backtracks;
+    peak_bytes = a.peak_bytes + b.peak_bytes;
   }
 
 let stats_diff a b =
@@ -98,6 +131,10 @@ let stats_diff a b =
     regex_evals = a.regex_evals - b.regex_evals;
     hash_builds = a.hash_builds - b.hash_builds;
     reductions = a.reductions - b.reductions;
+    merge_probes = a.merge_probes - b.merge_probes;
+    merge_steps = a.merge_steps - b.merge_steps;
+    merge_backtracks = a.merge_backtracks - b.merge_backtracks;
+    peak_bytes = a.peak_bytes - b.peak_bytes;
   }
 
 type ctx = {
@@ -171,13 +208,40 @@ type hash_probe = {
   hp_build : (string, int list) Hashtbl.t option ref;
 }
 
+(* A Dewey sort-merge join access. The step's table is materialized once
+   (lazily, cached on the plan under the epoch guard) as an array of
+   (key ^ [mj_suffix], row id) pairs sorted bytewise on the suffixed key;
+   each outer binding is then served by sliding a cursor shared across
+   probes. When consecutive outer bindings present nondecreasing lower
+   bounds — which the planner arranges by keeping the merge's outer
+   inputs in Dewey order — every probe advances the cursor forward
+   (merge steps); the band-join case, where an outer row's window starts
+   inside its predecessor's (a descendant range opening before the
+   ancestor's range closes), slides it back over a bounded window first
+   (backtracks). The operator is correct for any outer order; order only
+   buys the amortized O(1) repositioning. Keys are restricted to BINARY
+   columns so that skipping non-string keys and bounds is exact (see
+   {!choose_access}). *)
+type merge_probe = {
+  mj_table : Table.t;
+  mj_key_col : string;
+  mj_key_idx : int;
+  mj_suffix : string;
+  mj_lo : (value_fn * bool) option;  (* bound, inclusive? *)
+  mj_hi : (value_fn * bool) option;
+  mj_items : (string * int) array option ref;
+  mj_cursor : int ref;
+}
+
 type access =
   [ `Scan
   | `Index_eq of Btree.t * value_fn array
   | `Index_range of
     Btree.t * value_fn array * (value_fn * bool) option * (value_fn * bool) option
+  | `Index_order of Btree.t
   | `Prefix_lookup of Btree.t * value_fn
-  | `Hash_probe of hash_probe ]
+  | `Hash_probe of hash_probe
+  | `Merge_join of merge_probe ]
 
 type step = {
   st_slot : int;
@@ -217,9 +281,20 @@ type planned = {
   pl_project : (value_fn * string) list;
   pl_distinct : bool;
   pl_order_by : value_fn list;
+  pl_order_preserved : bool;
+      (* the pipeline provably emits rows nondecreasing on [pl_order_by],
+         so the final stable sort is the identity and is skipped *)
   pl_total : int;
   pl_reductions : reduction list;
 }
+
+(* First column of the index backed by [tree] in [table], if any. *)
+let index_first_col table tree =
+  List.find_map
+    (fun (cols, tr) ->
+      if tr == tree then match cols with c0 :: _ -> Some c0 | [] -> None
+      else None)
+    (Table.indexes table)
 
 (* ------------------------------------------------------------------ *)
 (* Path-filter semi-join reduction                                     *)
@@ -347,6 +422,8 @@ let reduce_path_filters ctx (sel : Sql.select) local_aliases conjuncts =
               if not !sound then acc
               else begin
                 ctx.counters.c_reductions <- ctx.counters.c_reductions + 1;
+                ctx.counters.c_peak_bytes <-
+                  ctx.counters.c_peak_bytes + (32 * Hashtbl.length set) + 64;
                 let matched = Hashtbl.length set in
                 let label =
                   Printf.sprintf "pathid set probe (%d of %d paths)" matched !total
@@ -385,6 +462,11 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
   in
   match access with
   | `Scan -> Table.iter_rows (fun id _ -> f id) table
+  | `Index_order tree ->
+    (* Full walk of an index in key order: same rows as a scan (every
+       row appears in every index exactly once), different order. Used
+       to feed merge joins Dewey-ordered outer rows. *)
+    Btree.iter (fun _ id -> f id) tree
   | `Prefix_lookup (tree, fn) ->
     (match fn bind with
      | Value.Bin v | Value.Str v ->
@@ -433,6 +515,12 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
         (* Reverse each bucket so probes emit row ids in ascending order —
            the same order a scan-plus-filter of this table would produce. *)
         Hashtbl.filter_map_inplace (fun _ ids -> Some (List.rev ids)) t;
+        let bytes =
+          Hashtbl.fold
+            (fun k ids acc -> acc + String.length k + 48 + (24 * List.length ids))
+            t 64
+        in
+        counters.c_peak_bytes <- counters.c_peak_bytes + bytes;
         hp.hp_build := Some t;
         t
     in
@@ -443,6 +531,94 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
        (match Hashtbl.find_opt build k with
         | Some ids -> List.iter f ids
         | None -> ()))
+  | `Merge_join mj ->
+    let items =
+      match !(mj.mj_items) with
+      | Some a -> a
+      | None ->
+        (* One-time build: materialize (key ^ suffix, row id) pairs and
+           sort. Appending the sentinel suffix is not monotone w.r.t. raw
+           key order when one key is a byte-prefix of another, so an
+           explicit sort is required rather than an ordered index walk.
+           A non-string key compares unknown against every string bound
+           under three-valued SQL semantics, so such rows can never pass
+           the residual conjunct and dropping them here is exact. *)
+        let acc = ref [] in
+        Table.iter_rows
+          (fun id row ->
+            counters.c_scanned <- counters.c_scanned + 1;
+            match row.(mj.mj_key_idx) with
+            | Value.Bin s | Value.Str s -> acc := (s ^ mj.mj_suffix, id) :: !acc
+            | Value.Null | Value.Int _ | Value.Float _ -> ())
+          mj.mj_table;
+        let a = Array.of_list !acc in
+        Array.sort
+          (fun (ka, ia) (kb, ib) ->
+            match String.compare ka kb with 0 -> Int.compare ia ib | c -> c)
+          a;
+        let bytes =
+          Array.fold_left (fun b (k, _) -> b + 48 + String.length k) 64 a
+        in
+        counters.c_peak_bytes <- counters.c_peak_bytes + bytes;
+        mj.mj_items := Some a;
+        a
+    in
+    counters.c_merge_probes <- counters.c_merge_probes + 1;
+    let n = Array.length items in
+    let str_bound side =
+      match side with
+      | None -> Some None
+      | Some (fn, incl) ->
+        (match fn bind with
+         | Value.Bin s | Value.Str s -> Some (Some (s, incl))
+         | Value.Null | Value.Int _ | Value.Float _ -> None)
+    in
+    (match str_bound mj.mj_lo, str_bound mj.mj_hi with
+     | None, _ | _, None ->
+       (* A NULL (or non-string) bound makes the comparison unknown for
+          every key: no rows qualify. *)
+       ()
+     | Some lo, Some hi ->
+       let above_lo key =
+         match lo with
+         | None -> true
+         | Some (s, incl) ->
+           let c = String.compare key s in
+           if incl then c >= 0 else c > 0
+       in
+       let below_hi key =
+         match hi with
+         | None -> true
+         | Some (s, incl) ->
+           let c = String.compare key s in
+           if incl then c <= 0 else c < 0
+       in
+       (match lo with
+        | None -> mj.mj_cursor := 0
+        | Some _ ->
+          (* Reposition to the first key satisfying the lower bound:
+             backtrack first (band-join window), then advance. Both
+             loops are amortized O(1) per probe when the outer side is
+             Dewey-ordered. *)
+          let pos = ref (min !(mj.mj_cursor) n) in
+          while !pos > 0 && above_lo (fst items.(!pos - 1)) do
+            decr pos;
+            counters.c_merge_backtracks <- counters.c_merge_backtracks + 1
+          done;
+          while !pos < n && not (above_lo (fst items.(!pos))) do
+            incr pos;
+            counters.c_merge_steps <- counters.c_merge_steps + 1
+          done;
+          mj.mj_cursor := !pos);
+       let i = ref !(mj.mj_cursor) in
+       let continue = ref true in
+       while !continue && !i < n do
+         if below_hi (fst items.(!i)) then begin
+           f (snd items.(!i));
+           incr i
+         end
+         else continue := false
+       done)
 
 let rec exec_steps counters steps bind emit =
   match steps with
@@ -755,23 +931,72 @@ and plan_select ctx (sel : Sql.select) : planned =
         (fun (pb, pred) -> if is_local pb.pb_alias then None else Some pred)
         probe_preds
   in
+  (* Access-path selection threads the accesses already chosen for
+     earlier steps into each choice: a merge join is only competitive
+     when its outer inputs arrive in Dewey order, and when it wins it may
+     upgrade an earlier full scan to an ordered index walk to make that
+     true. *)
+  let order_arr = Array.of_list order in
+  let nsteps = Array.length order_arr in
+  let accesses : access array = Array.make nsteps `Scan in
+  if not ctx.naive then
+    Array.iteri
+      (fun i slot ->
+        let alias = alias_of_slot slot in
+        let table = snd ctx.slots.(slot) in
+        let prev =
+          List.init i (fun j ->
+              let s = order_arr.(j) in
+              alias_of_slot s, snd ctx.slots.(s), accesses.(j), j)
+        in
+        let access, upgrades =
+          choose_access ctx ~table ~alias ~bound:(bound_after (i - 1))
+            ~prev:(List.map (fun (a, t, acc, _) -> a, t, acc) prev)
+            conjuncts
+        in
+        accesses.(i) <- access;
+        List.iter
+          (fun (dep_alias, dep_col) ->
+            List.iter
+              (fun (a, t, acc, j) ->
+                match acc with
+                | `Scan when String.equal a dep_alias ->
+                  (match Table.index_with_prefix t [ dep_col ] with
+                   | Some (tree, _) -> accesses.(j) <- `Index_order tree
+                   | None -> ())
+                | _ -> ())
+              prev)
+          upgrades)
+      order_arr;
+  (* Sort elision: when the final ORDER BY is a single column of the
+     outermost step and that step is still a full scan, walk an index
+     leading on the column instead — same rows, but emitted already in
+     the requested order, so the final stable sort becomes the identity
+     and is skipped ([pl_order_preserved]). *)
+  if (not ctx.naive) && env_slots = 0 && nsteps > 0 then begin
+    match sel.Sql.order_by with
+    | [ Sql.Col (oa, oc) ] when String.equal (alias_of_slot order_arr.(0)) oa ->
+      (match accesses.(0) with
+       | `Scan ->
+         (match Table.index_with_prefix (snd ctx.slots.(order_arr.(0))) [ oc ] with
+          | Some (tree, _) -> accesses.(0) <- `Index_order tree
+          | None -> ())
+       | _ -> ())
+    | _ -> ()
+  end;
   let steps =
     List.mapi
       (fun i slot ->
         let alias = alias_of_slot slot in
         let table = snd ctx.slots.(slot) in
         let my_conjuncts = List.filter_map (fun (j, c) -> if j = i then Some c else None) assigned in
-        let access =
-          if ctx.naive then `Scan
-          else choose_access ctx ~table ~alias ~bound:(bound_after (i - 1)) conjuncts
-        in
         let my_probes =
           List.filter (fun (pb, _) -> String.equal pb.pb_alias alias) probe_preds
         in
         {
           st_slot = slot;
           st_table = table;
-          st_access = access;
+          st_access = accesses.(i);
           st_filters = List.map (compile_pred ctx) my_conjuncts @ List.map snd my_probes;
           st_probe_labels = List.map (fun (pb, _) -> pb.pb_label) my_probes;
         })
@@ -781,6 +1006,25 @@ and plan_select ctx (sel : Sql.select) : planned =
     List.map (fun (e, name) -> compile_value ctx e, name) sel.Sql.projections
   in
   let order_by = List.map (compile_value ctx) sel.Sql.order_by in
+  (* The final stable sort is the identity exactly when (a) the sort key
+     is a single column of the first (outermost) step — nested-loop
+     emission is then grouped by outer row, hence nondecreasing on any
+     key the outer step emits in nondecreasing order — and (b) that step
+     walks an index leading on the key column. Requires no outer slots:
+     a correlated sub-select's emission order depends on its caller. *)
+  let order_preserved =
+    env_slots = 0
+    && (match sel.Sql.order_by, steps with
+        | [ Sql.Col (oa, oc) ], st0 :: _ ->
+          String.equal (alias_of_slot st0.st_slot) oa
+          && (match st0.st_access with
+              | `Index_order tree | `Index_range (tree, [||], _, _) ->
+                (match index_first_col st0.st_table tree with
+                 | Some c0 -> String.equal c0 oc
+                 | None -> false)
+              | _ -> false)
+        | _ -> false)
+  in
   {
     pl_ctx = ctx;
     pl_env = env_slots;
@@ -789,19 +1033,26 @@ and plan_select ctx (sel : Sql.select) : planned =
     pl_project = projections;
     pl_distinct = sel.Sql.distinct;
     pl_order_by = order_by;
+    pl_order_preserved = order_preserved;
     pl_total = Array.length ctx.slots;
     pl_reductions = List.rev reductions;
   }
 
 (* Pick the best access for [table]/[alias], given that [bound] tells
-   which other aliases are already available. Returns a strategy that
-   computes B+tree bounds (or hash keys) per binding. All conjuncts are
-   re-checked as filters afterwards, so a lossy-but-superset access is
-   sound. A hash join is used for equijoins with no usable index path
-   (the fact tables index [(dewey_pos, path_id)] but not [path_id]
-   alone); which side builds is decided by the greedy join order, i.e. by
-   the existing cardinality estimates. *)
-and choose_access ctx ~table ~alias ~bound conjuncts : access =
+   which other aliases are already available and [prev] lists the
+   already-planned local steps (alias, table, chosen access) in plan
+   order. Returns a strategy that computes B+tree bounds (or hash/merge
+   keys) per binding, plus upgrade requests: (alias, col) pairs asking
+   the planner to turn an earlier full scan into an ordered walk of the
+   index leading on [col], so a chosen merge join sees Dewey-ordered
+   outer rows. All conjuncts are re-checked as filters afterwards, so a
+   lossy-but-superset access is sound. A hash join is used for equijoins
+   with no usable index path (the fact tables index
+   [(dewey_pos, path_id)] but not [path_id] alone); which side builds is
+   decided by the greedy join order, i.e. by the existing cardinality
+   estimates. *)
+and choose_access ctx ~table ~alias ~bound ~prev conjuncts :
+    access * (string * string) list =
   let bound_expr e =
     List.for_all (fun a -> (not (String.equal a alias)) && bound a) (Sql.free_aliases e)
     || Sql.free_aliases e = []
@@ -867,6 +1118,122 @@ and choose_access ctx ~table ~alias ~bound conjuncts : access =
           Some (col, None, Some (e, false))
         | _ -> None)
       conjuncts
+  in
+  (* Dewey merge-join candidates: an order-axis comparison between this
+     alias's key column (optionally suffixed with the 0xFF subtree
+     sentinel, as in [d > a || 0xFF]) and a bound expression referencing
+     at least one other alias. Restricted to BINARY key columns: against
+     those, {!Value.compare_sql} with any non-string operand is unknown
+     (three-valued reject), so the operator's skipping of non-string
+     keys and bounds loses no rows the residual filter would keep. *)
+  let merge_cands =
+    if ctx.opts.merge_join || ctx.opts.force_merge_join then begin
+      let key_of = function
+        | Sql.Col (a, col) when String.equal a alias -> Some (col, "")
+        | Sql.Concat (Sql.Col (a, col), Sql.Const (Value.Bin sfx | Value.Str sfx))
+          when String.equal a alias && sfx <> "" ->
+          Some (col, sfx)
+        | _ -> None
+      in
+      let joinish e = bound_expr e && Sql.free_aliases e <> [] in
+      let cands =
+        List.filter_map
+          (fun conj ->
+            match conj with
+            | Sql.Cmp (op, k, e) when key_of k <> None && joinish e ->
+              let col, sfx = Option.get (key_of k) in
+              (match op with
+               | Sql.Gt -> Some (col, sfx, Some (e, false), None)
+               | Sql.Ge -> Some (col, sfx, Some (e, true), None)
+               | Sql.Lt -> Some (col, sfx, None, Some (e, false))
+               | Sql.Le -> Some (col, sfx, None, Some (e, true))
+               | Sql.Eq | Sql.Ne -> None)
+            | Sql.Cmp (op, e, k) when key_of k <> None && joinish e ->
+              let col, sfx = Option.get (key_of k) in
+              (match op with
+               | Sql.Lt -> Some (col, sfx, Some (e, false), None)
+               | Sql.Le -> Some (col, sfx, Some (e, true), None)
+               | Sql.Gt -> Some (col, sfx, None, Some (e, false))
+               | Sql.Ge -> Some (col, sfx, None, Some (e, true))
+               | Sql.Eq | Sql.Ne -> None)
+            | Sql.Between (k, lo, hi)
+              when key_of k <> None && bound_expr lo && bound_expr hi
+                   && (Sql.free_aliases lo <> [] || Sql.free_aliases hi <> []) ->
+              let col, sfx = Option.get (key_of k) in
+              Some (col, sfx, Some (lo, true), Some (hi, true))
+            | _ -> None)
+          conjuncts
+      in
+      (* Combine bounds targeting the same suffixed key. *)
+      let rec combine acc = function
+        | [] -> List.rev acc
+        | (col, sfx, lo, hi) :: rest ->
+          let same (c, s, _, _) = String.equal c col && String.equal s sfx in
+          let lo, hi =
+            List.fold_left
+              (fun (lo, hi) (_, _, lo', hi') ->
+                ( (match lo with None -> lo' | some -> some),
+                  match hi with None -> hi' | some -> some ))
+              (lo, hi)
+              (List.filter same rest)
+          in
+          combine ((col, sfx, lo, hi) :: acc)
+            (List.filter (fun c -> not (same c)) rest)
+      in
+      List.filter
+        (fun (col, _, _, _) -> Table.column_ty table col = Some Value.Tbin)
+        (combine [] cands)
+    end
+    else []
+  in
+  (* Is the outer side of a merge candidate provably Dewey-ordered? A
+     bound's dependencies must be columns of already-planned steps whose
+     access emits rows ascending on that column — or full scans that can
+     be upgraded to one (index leading on the column exists). Outer-query
+     aliases are rejected: a correlated sub-select's probe order is its
+     caller's business. *)
+  let dep_of_bound = function
+    | Sql.Col (a, c) -> Some [ a, c ]
+    | Sql.Concat (Sql.Col (a, c), Sql.Const _) -> Some [ a, c ]
+    | Sql.Const _ -> Some []
+    | _ -> None
+  in
+  let emits_ascending t access c =
+    match access with
+    | `Index_order tree ->
+      (match index_first_col t tree with
+       | Some c0 -> String.equal c0 c
+       | None -> false)
+    | `Index_range (tree, [||], _, _) ->
+      (match index_first_col t tree with
+       | Some c0 -> String.equal c0 c
+       | None -> false)
+    | `Merge_join mj -> String.equal mj.mj_suffix "" && String.equal mj.mj_key_col c
+    | _ -> false
+  in
+  let dep_status (a, c) =
+    match List.find_opt (fun (pa, _, _) -> String.equal pa a) prev with
+    | None -> `Unknown
+    | Some (_, t, access) ->
+      if emits_ascending t access c then `Ordered
+      else (
+        match access with
+        | `Scan when Table.index_with_prefix t [ c ] <> None -> `Upgrade (a, c)
+        | _ -> `Unknown)
+  in
+  let ordered_info (_, _, lo, hi) =
+    let bounds = List.filter_map (Option.map fst) [ lo; hi ] in
+    let deps = List.map dep_of_bound bounds in
+    if List.exists Option.is_none deps then None
+    else begin
+      let statuses = List.map dep_status (List.concat_map Option.get deps) in
+      if List.exists (fun s -> s = `Unknown) statuses then None
+      else
+        Some
+          (List.filter_map
+             (function `Upgrade u -> Some u | `Ordered | `Unknown -> None)
+             statuses)
+    end
   in
   (* Cost-based choice: estimate the rows each candidate access path
      fetches. Equality selectivity comes from cached per-column distinct
@@ -961,11 +1328,65 @@ and choose_access ctx ~table ~alias ~bound conjuncts : access =
         equalities
     else None
   in
+  (* Merge-join candidate: competitive only when the outer side is (or
+     can be upgraded to be) Dewey-ordered — the sliding cursor then
+     replaces a B+tree descent and per-probe id-list allocation with
+     amortized O(1) repositioning, modeled as a flat discount over the
+     equivalent index range scan. [force_merge_join] pins it regardless,
+     for differential testing. *)
+  let upgrades = ref [] in
+  let mk_merge (col, sfx, lo, hi) =
+    match Table.column_index table col with
+    | None -> None
+    | Some idx ->
+      Some
+        (`Merge_join
+           {
+             mj_table = table;
+             mj_key_col = col;
+             mj_key_idx = idx;
+             mj_suffix = sfx;
+             mj_lo = Option.map (fun (e, incl) -> compile_value ctx e, incl) lo;
+             mj_hi = Option.map (fun (e, incl) -> compile_value ctx e, incl) hi;
+             mj_items = ref None;
+             mj_cursor = ref 0;
+           })
+  in
+  let merge_choice = ref None in
+  List.iter
+    (fun ((_, _, lo, hi) as cand) ->
+      let info = ordered_info cand in
+      if info <> None || ctx.opts.force_merge_join then
+        match mk_merge cand with
+        | None -> ()
+        | Some access ->
+          let rsel =
+            if lo <> None && hi <> None then range_selectivity /. 2.0
+            else range_selectivity
+          in
+          let cost = n_rows *. rsel *. 0.4 in
+          (match !merge_choice with
+           | Some (c, _, _) when c <= cost -> ()
+           | Some _ | None ->
+             merge_choice := Some (cost, access, Option.value ~default:[] info)))
+    merge_cands;
+  (match !merge_choice with
+   | None -> ()
+   | Some (cost, access, ups) ->
+     let cost = if ctx.opts.force_merge_join then neg_infinity else cost in
+     (match !best with
+      | Some (c, _) when c <= cost -> ()
+      | Some _ | None ->
+        best := Some (cost, access);
+        upgrades := ups));
   match hash_candidate with
-  | Some hp when ctx.opts.force_hash_join -> `Hash_probe hp
-  | Some hp when !best = None -> `Hash_probe hp
+  | Some hp when ctx.opts.force_hash_join -> `Hash_probe hp, []
+  | Some hp when !best = None -> `Hash_probe hp, []
   | Some _ | None ->
-    (match !best with Some (_, access) -> access | None -> `Scan)
+    (match !best with
+     | Some (_, (`Merge_join _ as access)) -> access, !upgrades
+     | Some (_, access) -> access, []
+     | None -> `Scan, [])
 
 (* ------------------------------------------------------------------ *)
 (* EXISTS                                                              *)
@@ -1164,6 +1585,55 @@ module Row_set = Set.Make (struct
   let compare = compare_rows
 end)
 
+(* Shared DISTINCT / ORDER BY tail for one select's emitted
+   (sort keys, projected row) pairs, in emission order. DISTINCT keeps
+   the first occurrence of each row. When the plan proved it emits rows
+   nondecreasing on the sort keys ([pl_order_preserved]), the stable
+   sort would be the identity and is skipped. *)
+let finalize_select p rows =
+  let rows =
+    if p.pl_distinct then begin
+      let seen = ref Row_set.empty in
+      List.filter
+        (fun (_, row) ->
+          if Row_set.mem row !seen then false
+          else begin
+            seen := Row_set.add row !seen;
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  if p.pl_order_by = [] || p.pl_order_preserved then rows
+  else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
+
+(* Shared UNION tail: distinct over whole rows (first occurrence wins),
+   then ORDER BY the given projection ordinals. *)
+let finalize_union order_cols all =
+  let seen = ref Row_set.empty in
+  let rows =
+    List.filter
+      (fun row ->
+        if Row_set.mem row !seen then false
+        else begin
+          seen := Row_set.add row !seen;
+          true
+        end)
+      all
+  in
+  if order_cols = [] then rows
+  else
+    List.stable_sort
+      (fun a b ->
+        let rec go = function
+          | [] -> 0
+          | i :: rest ->
+            (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
+        in
+        go order_cols)
+      rows
+
 (* Compile a select once — planning, join ordering, access-path choice,
    the semi-join reduction and predicate compilation all happen here —
    and return a closure that executes the compiled pipeline. Memoized
@@ -1182,25 +1652,7 @@ let compile_select ~naive ~opts ~counters db (sel : Sql.select) : unit -> result
           let row = Array.of_list (List.map (fun (fn, _) -> fn b) p.pl_project) in
           let keys = Array.of_list (List.map (fun fn -> fn b) p.pl_order_by) in
           out := (keys, row) :: !out);
-    let rows = List.rev !out in
-    let rows =
-      if p.pl_distinct then begin
-        let seen = ref Row_set.empty in
-        List.filter
-          (fun (_, row) ->
-            if Row_set.mem row !seen then false
-            else begin
-              seen := Row_set.add row !seen;
-              true
-            end)
-          rows
-      end
-      else rows
-    in
-    let rows =
-      if p.pl_order_by = [] then rows
-      else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
-    in
+    let rows = finalize_select p (List.rev !out) in
     { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
 
 let compile_statement ~naive ~opts ~counters db = function
@@ -1230,30 +1682,7 @@ let compile_statement ~naive ~opts ~counters db = function
        let compiled = List.map (compile_select ~naive ~opts ~counters db) branches in
        fun () ->
          let all = List.concat_map (fun run -> (run ()).rows) compiled in
-         let seen = ref Row_set.empty in
-         let rows =
-           List.filter
-             (fun row ->
-               if Row_set.mem row !seen then false
-               else begin
-                 seen := Row_set.add row !seen;
-                 true
-               end)
-             all
-         in
-         let rows =
-           if order_cols = [] then rows
-           else
-             List.stable_sort
-               (fun a b ->
-                 let rec go = function
-                   | [] -> 0
-                   | i :: rest ->
-                     (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
-                 in
-                 go order_cols)
-               rows
-         in
+         let rows = finalize_union order_cols all in
          { columns = List.map snd first.Sql.projections; rows })
 
 let run_statement ~naive ~opts db stmt =
@@ -1308,8 +1737,10 @@ let access_label : access -> string = function
   | `Scan -> "full scan"
   | `Index_eq _ -> "index eq lookup"
   | `Index_range _ -> "index range scan"
+  | `Index_order _ -> "index order scan"
   | `Prefix_lookup _ -> "prefix lookups"
   | `Hash_probe _ -> "hash join"
+  | `Merge_join _ -> "merge join (dewey)"
 
 (* EXPLAIN-ANALYZE style execution of one select: like the compiled
    pipeline with per-step row counters and inclusive per-step wall time
@@ -1345,25 +1776,7 @@ let run_select_profiled ~opts ~counters db (sel : Sql.select) =
     end
   in
   if List.for_all (fun f -> f bind = Some true) p.pl_pre then exec 0;
-  let rows = List.rev !out in
-  let rows =
-    if p.pl_distinct then begin
-      let seen = ref Row_set.empty in
-      List.filter
-        (fun (_, row) ->
-          if Row_set.mem row !seen then false
-          else begin
-            seen := Row_set.add row !seen;
-            true
-          end)
-        rows
-    end
-    else rows
-  in
-  let rows =
-    if p.pl_order_by = [] then rows
-    else List.stable_sort (fun (ka, _) (kb, _) -> compare_rows ka kb) rows
-  in
+  let rows = finalize_select p (List.rev !out) in
   let profiles =
     List.mapi
       (fun i st ->
@@ -1413,30 +1826,7 @@ let run_profiled ?(opts = default_opts) db stmt =
            branches;
          let results = List.map (run_select_profiled ~opts ~counters db) branches in
          let all = List.concat_map (fun (r, _) -> r.rows) results in
-         let seen = ref Row_set.empty in
-         let rows =
-           List.filter
-             (fun row ->
-               if Row_set.mem row !seen then false
-               else begin
-                 seen := Row_set.add row !seen;
-                 true
-               end)
-             all
-         in
-         let rows =
-           if order_cols = [] then rows
-           else
-             List.stable_sort
-               (fun a b ->
-                 let rec go = function
-                   | [] -> 0
-                   | i :: rest ->
-                     (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
-                 in
-                 go order_cols)
-               rows
-         in
+         let rows = finalize_union order_cols all in
          ( { columns = List.map snd first.Sql.projections; rows },
            List.concat_map snd results ))
   in
@@ -1477,10 +1867,18 @@ let explain ?(opts = default_opts) db stmt =
               (if lo = None then "-inf" else "bound")
               (if hi = None then "+inf" else "bound")
               (Btree.width tree)
+          | `Index_order tree ->
+            Printf.sprintf "index order scan (width %d)" (Btree.width tree)
           | `Prefix_lookup (tree, _) ->
             Printf.sprintf "prefix lookups (width %d)" (Btree.width tree)
           | `Hash_probe hp ->
             Printf.sprintf "hash join (build %s.%s)" (Table.name hp.hp_table) hp.hp_col
+          | `Merge_join mj ->
+            Printf.sprintf "merge join (dewey) (sort %s.%s%s, lo %s, hi %s)"
+              (Table.name mj.mj_table) mj.mj_key_col
+              (if String.equal mj.mj_suffix "" then "" else " || sentinel")
+              (if mj.mj_lo = None then "-inf" else "bound")
+              (if mj.mj_hi = None then "+inf" else "bound")
         in
         let probe_str =
           match st.st_probe_labels with
@@ -1494,8 +1892,13 @@ let explain ?(opts = default_opts) db stmt =
       p.pl_steps;
     if p.pl_distinct then Buffer.add_string buf (Printf.sprintf "%sdistinct\n" prefix);
     if p.pl_order_by <> [] then
-      Buffer.add_string buf
-        (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length p.pl_order_by))
+      if p.pl_order_preserved then
+        Buffer.add_string buf
+          (Printf.sprintf "%sorder: preserved (%d keys, sort elided)\n" prefix
+             (List.length p.pl_order_by))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length p.pl_order_by))
   in
   (match stmt with
    | Sql.Select sel | Sql.Select_count sel -> describe_select "" sel

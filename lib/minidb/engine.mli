@@ -5,10 +5,16 @@
     join-order heuristic picks the cheapest next table, and each step
     accesses its table through the best available path — equality lookup,
     range scan (the dewey structural-join windows of paper Section 4.2
-    become per-outer-row index range scans), a hash join for equijoins
-    with no usable index, a memoized hash semi-join for decorrelated
-    [EXISTS], or a full scan. All conjuncts are re-checked as residual
-    filters, so access-path choice can never change results, only speed.
+    become per-outer-row index range scans), a Dewey sort-merge join for
+    inter-alias order-axis range predicates ([d > a || 0xFF] and
+    mirrors) whose outer inputs are, or can be upgraded to be, in Dewey
+    order, a hash join for equijoins with no usable index, a memoized
+    hash semi-join for decorrelated [EXISTS], or a full scan. All
+    conjuncts are re-checked as residual filters, so access-path choice
+    can never change results, only speed. When the chosen pipeline
+    already emits rows in the requested ORDER BY order (the outermost
+    step walks an index leading on the single sort column), the final
+    stable sort is elided (EXPLAIN: [order: preserved]).
 
     Before any of that, an optimizer pass performs {e path-filter
     semi-join reduction}: a dimension alias whose only uses are an
@@ -43,10 +49,16 @@ type opts = {
   force_hash_join : bool;
       (** differential-testing hook: pick a hash join even when an index
           path exists, so the operator is exercised everywhere *)
+  merge_join : bool;
+      (** sort-merge joins for inter-alias Dewey range predicates whose
+          outer inputs are (or can be upgraded to be) in Dewey order *)
+  force_merge_join : bool;
+      (** differential-testing hook: pick a merge join for every
+          candidate order-axis predicate, ordered outer or not *)
 }
 
 val default_opts : opts
-(** Reduction and hash joins on, [force_hash_join] off. *)
+(** Reduction, hash joins and merge joins on, [force_*] off. *)
 
 (** {2 Execution statistics}
 
@@ -56,12 +68,20 @@ val default_opts : opts
     a freshly prepared plan already has non-zero stats. *)
 
 type exec_stats = {
-  rows_scanned : int;  (** rows fetched through access paths (incl. hash builds) *)
+  rows_scanned : int;  (** rows fetched through access paths (incl. hash and merge builds) *)
   rows_probed : int;  (** hash-join and pathid-set probe operations *)
   rows_emitted : int;  (** bindings surviving every join step *)
   regex_evals : int;  (** REGEXP_LIKE DFA executions *)
   hash_builds : int;  (** hash-join build tables materialized *)
   reductions : int;  (** path-filter semi-join reductions applied *)
+  merge_probes : int;  (** merge-join probe operations (one per outer binding) *)
+  merge_steps : int;  (** merge cursor forward advances *)
+  merge_backtracks : int;  (** merge cursor band-join backward slides *)
+  peak_bytes : int;
+      (** estimated peak resident bytes of plan-owned materializations:
+          hash-join build tables, semi-join pathid sets, merge-join
+          sorted arrays. These live for the plan's lifetime, so the
+          running sum is the peak; across plans the field aggregates. *)
 }
 
 val stats_zero : exec_stats

@@ -184,10 +184,13 @@ let dump t =
   Buffer.add_string buf
     (let e = t.engine in
      Printf.sprintf
-       "  engine: %d rows scanned, %d probes, %d rows emitted, %d regex evals, %d hash builds, %d reductions\n"
+       "  engine: %d rows scanned, %d probes, %d rows emitted, %d regex evals, %d hash builds, %d reductions\n\
+       \  engine: %d merge probes, %d merge steps, %d merge backtracks, %d peak bytes\n"
        e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
        e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
-       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions);
+       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
+       e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
+       e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes);
   Buffer.add_string buf
     (Printf.sprintf "  %-10s %8s %12s %12s %10s %10s %10s %10s %10s\n" "stage" "count"
        "total ms" "mean ms" "min ms" "max ms" "p50 ms" "p95 ms" "p99 ms");
@@ -229,10 +232,14 @@ let to_json t =
     let e = t.engine in
     Printf.sprintf
       "{\"rows_scanned\":%d,\"rows_probed\":%d,\"rows_emitted\":%d,\
-       \"regex_evals\":%d,\"hash_builds\":%d,\"reductions\":%d}"
+       \"regex_evals\":%d,\"hash_builds\":%d,\"reductions\":%d,\
+       \"merge_probes\":%d,\"merge_steps\":%d,\"merge_backtracks\":%d,\
+       \"peak_bytes\":%d}"
       e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
       e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
+      e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
+      e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes
   in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\

@@ -32,6 +32,9 @@ let doc2 = lazy (Doc.of_tree (Xmark.generate ~seed:2 ~items_per_region:2 ()))
 let shared_cluster =
   lazy (Cluster.create ~pool_size:2 ~shards:3 schema [ Lazy.force doc1 ])
 
+let shared_cluster4 =
+  lazy (Cluster.create ~pool_size:2 ~shards:4 schema [ Lazy.force doc1 ])
+
 let render (r : Engine.result) =
   String.concat "|" r.Engine.columns
   ^ "\n"
@@ -204,11 +207,13 @@ let base_select ?(from = [ "item", "n" ]) ?where () =
 let check_verdict name expected verdict =
   let to_str = function
     | Analysis.Partitionable -> "partitionable"
+    | Analysis.Order_partitionable _ -> "order-partitionable"
     | Analysis.Fallback r -> "fallback: " ^ r
   in
   let matches =
     match expected, verdict with
     | `Partitionable, Analysis.Partitionable -> true
+    | `Order, Analysis.Order_partitionable _ -> true
     | `Fallback, Analysis.Fallback _ -> true
     | _ -> false
   in
@@ -226,10 +231,10 @@ let test_analysis_shapes () =
           (base_select ~from:j2
              ~where:(Sql.Between (dewey "n", dewey "n2", upper "n2"))
              ())));
-  check_verdict "order-axis comparison" `Fallback
+  check_verdict "order-axis comparison" `Order
     (analyze
        (Sql.Select (base_select ~from:j2 ~where:(Sql.Cmp (Sql.Gt, dewey "n", upper "n2")) ())));
-  check_verdict "order-axis under OR" `Fallback
+  check_verdict "order-axis under OR" `Order
     (analyze
        (Sql.Select
           (base_select ~from:j2
@@ -248,7 +253,7 @@ let test_analysis_shapes () =
                       (Sql.Eq, Sql.Col ("n", "africa_id"), Sql.Col ("n2", "africa_id")),
                     Sql.Cmp (Sql.Gt, dewey "n", dewey "n2") ))
              ())));
-  check_verdict "sibling join at the boundary" `Fallback
+  check_verdict "sibling join at the boundary" `Order
     (analyze
        (Sql.Select
           (base_select ~from:j2
@@ -260,7 +265,10 @@ let test_analysis_shapes () =
           (base_select ~from:[ "item", "n"; "paths", "p" ]
              ~where:(Sql.Cmp (Sql.Eq, Sql.Col ("n", "path_id"), Sql.Col ("p", "id")))
              ())));
-  check_verdict "cross-alias value join" `Fallback
+  (* A general cross-alias comparison is not shard-local, but it is a
+     perfectly good coordinator conjunct: the two-sided decomposition
+     rescues it too. *)
+  check_verdict "cross-alias value join" `Order
     (analyze
        (Sql.Select
           (base_select ~from:j2
@@ -364,10 +372,15 @@ let test_cluster_routing () =
        (match v with
         | None -> "empty"
         | Some (Analysis.Fallback r) -> "fallback: " ^ r
-        | Some Analysis.Partitionable -> "?"));
+        | Some _ -> "?"));
   (match Cluster.verdict c "//item/following::item" with
+   | Some (Analysis.Order_partitionable _) -> ()
+   | Some (Analysis.Fallback r) ->
+     Alcotest.failf "following:: should order-scatter, fell back: %s" r
+   | _ -> Alcotest.fail "following:: should order-scatter");
+  (match Cluster.verdict c "//parlist[count(listitem) >= 2]" with
    | Some (Analysis.Fallback _) -> ()
-   | _ -> Alcotest.fail "following:: should fall back");
+   | _ -> Alcotest.fail "COUNT sub-query should fall back");
   Alcotest.(check (option string)) "provably empty query" None
     (Option.map (fun _ -> "") (Cluster.verdict c "/site/person"));
   Alcotest.(check (list int)) "empty query returns nothing" []
@@ -408,7 +421,43 @@ let test_cluster_metrics () =
            (List.length ids)
            (Array.fold_left ( + ) 0 s.Cluster.shard_rows));
       ignore (Cluster.run_ids c "//item/following::item");
+      Alcotest.(check int) "order axis is not a fallback" 0
+        (Metrics.fallbacks (Cluster.metrics c));
+      Alcotest.(check int) "order-axis side merges recorded" 2
+        (Metrics.stage_count (Cluster.metrics c) Metrics.Merge);
+      ignore (Cluster.run_ids c "//parlist[count(listitem) >= 2]");
       Alcotest.(check int) "fallback counted" 1 (Metrics.fallbacks (Cluster.metrics c)))
+
+(* Order-axis queries must route through the two-sided decomposition
+   (Order_partitionable — no single-store fallback) and still come back
+   byte-identical to unsharded execution, on more than one shard. *)
+let test_cluster_order_axis_scatter () =
+  let queries =
+    [
+      "//item/following::item";
+      "//item/preceding::item";
+      "/site/regions/*/item/following::person";
+      "//person/preceding::item/name";
+    ]
+  in
+  List.iter
+    (fun cluster ->
+      let c = Lazy.force cluster in
+      let full = Session.store (Cluster.session c) in
+      List.iter
+        (fun q ->
+          (match Cluster.verdict c q with
+           | Some (Analysis.Order_partitionable _) -> ()
+           | Some (Analysis.Fallback r) ->
+             Alcotest.failf "%s should order-scatter, fell back: %s" q r
+           | Some Analysis.Partitionable ->
+             Alcotest.failf "%s unexpectedly plain-partitionable" q
+           | None -> Alcotest.failf "%s translated to nothing" q);
+          Alcotest.(check string)
+            (Printf.sprintf "%s byte-identical on %d shards" q (Cluster.shards c))
+            (cold_render full q) (cluster_render c q))
+        queries)
+    [ shared_cluster; shared_cluster4 ]
 
 let test_cluster_load_invalidates () =
   Cluster.with_cluster ~pool_size:0 ~shards:2 schema [ Lazy.force doc1 ] (fun c ->
@@ -514,10 +563,13 @@ let prop_sharded_equals_unsharded =
    every optimization disabled — the optimizer differential and the
    partitioning differential checked in one property. *)
 let opts_off =
-  { Engine.semijoin_reduction = false; hash_join = false; force_hash_join = false }
-
-let shared_cluster4 =
-  lazy (Cluster.create ~pool_size:2 ~shards:4 schema [ Lazy.force doc1 ])
+  {
+    Engine.semijoin_reduction = false;
+    hash_join = false;
+    force_hash_join = false;
+    merge_join = false;
+    force_merge_join = false;
+  }
 
 let unopt_render (store : Loader.t) query =
   let expr = Xparser.parse query in
@@ -579,6 +631,7 @@ let () =
           [
             "routing", test_cluster_routing;
             "equals session on XPathMark", test_cluster_equals_session_on_xpathmark;
+            "order-axis scatter", test_cluster_order_axis_scatter;
             "metrics", test_cluster_metrics;
             "load invalidates", test_cluster_load_invalidates;
             "multi-document create", test_cluster_multi_doc_create;

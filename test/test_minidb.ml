@@ -872,10 +872,24 @@ let prop_planner_vs_naive =
 (* ------------------------------------------------------------------ *)
 
 let opts_off =
-  { Engine.semijoin_reduction = false; hash_join = false; force_hash_join = false }
+  {
+    Engine.semijoin_reduction = false;
+    hash_join = false;
+    force_hash_join = false;
+    merge_join = false;
+    force_merge_join = false;
+  }
 
 let opts_forced =
-  { Engine.semijoin_reduction = true; hash_join = true; force_hash_join = true }
+  {
+    Engine.semijoin_reduction = true;
+    hash_join = true;
+    force_hash_join = true;
+    merge_join = true;
+    force_merge_join = false;
+  }
+
+let opts_forced_merge = { Engine.default_opts with Engine.force_merge_join = true }
 
 let contains s sub =
   let n = String.length sub in
@@ -1071,6 +1085,176 @@ let optimizer_tests =
           (compare (Engine.run_plan fresh).Engine.rows gold) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Dewey merge join: differential property and EXPLAIN surface         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random order-axis queries over two tables with unique Tbin dewey
+   keys — the shapes the translator emits for following/preceding and
+   containment windows ([d > a || 0xFF], [d < a], [BETWEEN a AND
+   a || 0xFF], both orientations). Every opts configuration, including
+   forced merge joins (ordered outer or not), must match the naive
+   cross-product oracle byte for byte. Dewey keys are deduplicated per
+   table, mirroring real stores where dewey_pos is unique, and the
+   ORDER BY covers every projection so the expected row list is total. *)
+let gen_order_case =
+  let open QCheck.Gen in
+  let byte = map Char.chr (int_range 1 4) in
+  let dewey = string_size ~gen:byte (int_range 1 4) in
+  let rows = list_size (int_bound 15) (pair dewey (int_bound 9)) in
+  triple rows rows (pair (int_bound 3) (int_bound 9))
+
+let build_order_case (rows_x, rows_y, (shape, cutoff)) =
+  let db = Database.create () in
+  let mk name rows =
+    let t =
+      Database.create_table db ~name
+        ~columns:
+          [ { Table.name = "dewey"; ty = Value.Tbin };
+            { Table.name = "val"; ty = Value.Tint } ]
+    in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (d, v) ->
+        if not (Hashtbl.mem seen d) then begin
+          Hashtbl.add seen d ();
+          ignore (Table.insert t [| Value.Bin d; Value.Int v |])
+        end)
+      rows;
+    Table.create_index t [ "dewey" ];
+    t
+  in
+  ignore (mk "x" rows_x);
+  ignore (mk "y" rows_y);
+  let dx = Sql.Col ("x", "dewey") and dy = Sql.Col ("y", "dewey") in
+  let sentinel = Sql.Concat (dx, Sql.Const (Value.Bin "\xff")) in
+  let order_pred =
+    match shape with
+    | 0 -> Sql.Cmp (Sql.Gt, dy, sentinel) (* following *)
+    | 1 -> Sql.Cmp (Sql.Lt, sentinel, dy) (* mirrored following *)
+    | 2 -> Sql.Cmp (Sql.Lt, dy, dx) (* preceding *)
+    | _ -> Sql.Between (dy, dx, sentinel) (* containment window *)
+  in
+  let where =
+    Sql.And
+      (order_pred, Sql.Cmp (Sql.Ge, Sql.Col ("y", "val"), Sql.Const (Value.Int cutoff)))
+  in
+  let sel =
+    {
+      Sql.distinct = true;
+      projections =
+        [ dx, "xd"; Sql.Col ("x", "val"), "xv"; dy, "yd"; Sql.Col ("y", "val"), "yv" ];
+      from = [ "x", "x"; "y", "y" ];
+      where = Some where;
+      order_by = [ dx; Sql.Col ("x", "val"); dy; Sql.Col ("y", "val") ];
+    }
+  in
+  db, Sql.Select sel
+
+let prop_merge_join_vs_naive =
+  QCheck.Test.make ~count:400
+    ~name:"dewey merge join agrees with the naive oracle on order-axis queries"
+    (QCheck.make
+       ~print:(fun case ->
+         let _, stmt = build_order_case case in
+         Sql.to_string stmt)
+       gen_order_case)
+    (fun case ->
+      let db, stmt = build_order_case case in
+      let gold = (Engine.run_naive db stmt).Engine.rows in
+      List.for_all
+        (fun opts -> (Engine.run ~opts db stmt).Engine.rows = gold)
+        [ opts_off; Engine.default_opts; opts_forced_merge ])
+
+(* Deterministic store for the merge-join EXPLAIN surface tests. *)
+let order_fixture () =
+  let db = Database.create () in
+  let mk name rows =
+    let t =
+      Database.create_table db ~name
+        ~columns:
+          [ { Table.name = "dewey"; ty = Value.Tbin };
+            { Table.name = "val"; ty = Value.Tint } ]
+    in
+    List.iteri (fun i d -> ignore (Table.insert t [| Value.Bin d; Value.Int i |])) rows;
+    Table.create_index t [ "dewey" ];
+    t
+  in
+  ignore (mk "x" [ "\x01"; "\x01\x01"; "\x02"; "\x02\x01"; "\x03" ]);
+  ignore (mk "y" [ "\x01"; "\x01\x02"; "\x02"; "\x02\x02"; "\x04" ]);
+  db
+
+let order_stmt shape =
+  let dx = Sql.Col ("x", "dewey") and dy = Sql.Col ("y", "dewey") in
+  let sentinel = Sql.Concat (dx, Sql.Const (Value.Bin "\xff")) in
+  let pred =
+    match shape with
+    | `Following -> Sql.Cmp (Sql.Gt, dy, sentinel)
+    | `Preceding -> Sql.Cmp (Sql.Lt, dy, dx)
+    | `Containment -> Sql.Between (dy, dx, sentinel)
+  in
+  Sql.Select
+    {
+      Sql.distinct = true;
+      projections = [ dx, "xd"; dy, "yd" ];
+      from = [ "x", "x"; "y", "y" ];
+      where = Some pred;
+      order_by = [ dx; dy ];
+    }
+
+let merge_join_tests =
+  [
+    ( "explain surfaces the dewey merge join",
+      fun () ->
+        let db = order_fixture () in
+        let on = Engine.explain db (order_stmt `Following) in
+        Alcotest.(check bool) "merge join step" true (contains on "merge join (dewey)");
+        let off = Engine.explain ~opts:opts_off db (order_stmt `Following) in
+        Alcotest.(check bool) "off: no merge join" false (contains off "merge join") );
+    ( "explain notes preserved order",
+      fun () ->
+        let db = order_fixture () in
+        let by col =
+          Sql.Select
+            {
+              Sql.distinct = false;
+              projections = [ Sql.Col ("x", "dewey"), "d"; Sql.Col ("x", "val"), "v" ];
+              from = [ "x", "x" ];
+              where = None;
+              order_by = [ Sql.Col ("x", col) ];
+            }
+        in
+        let dewey_plan = Engine.explain db (by "dewey") in
+        Alcotest.(check bool) "dewey order preserved" true
+          (contains dewey_plan "order: preserved");
+        let val_plan = Engine.explain db (by "val") in
+        Alcotest.(check bool) "unindexed order still sorts" false
+          (contains val_plan "order: preserved") );
+    ( "merge join preserves results on the fixture",
+      fun () ->
+        let db = order_fixture () in
+        List.iter
+          (fun shape ->
+            let stmt = order_stmt shape in
+            let gold = (Engine.run ~opts:opts_off db stmt).Engine.rows in
+            Alcotest.(check int) "default opts" 0
+              (compare (Engine.run db stmt).Engine.rows gold);
+            Alcotest.(check int) "forced merge" 0
+              (compare (Engine.run ~opts:opts_forced_merge db stmt).Engine.rows gold))
+          [ `Following; `Preceding; `Containment ] );
+    ( "forced merge join counts probes, steps and bytes",
+      fun () ->
+        let db = order_fixture () in
+        let plan = Engine.prepare ~opts:opts_forced_merge db (order_stmt `Following) in
+        let at_prepare = Engine.plan_stats plan in
+        ignore (Engine.run_plan plan);
+        let per = Engine.stats_diff (Engine.plan_stats plan) at_prepare in
+        Alcotest.(check bool) "merge probes" true (per.Engine.merge_probes > 0);
+        Alcotest.(check bool) "merge steps" true (per.Engine.merge_steps > 0);
+        Alcotest.(check bool) "peak bytes accounted" true
+          ((Engine.plan_stats plan).Engine.peak_bytes > 0) );
+  ]
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "minidb"
@@ -1087,4 +1271,6 @@ let () =
       "planner-properties", [ QCheck_alcotest.to_alcotest prop_planner_vs_naive ];
       "optimizer", List.map tc optimizer_tests;
       "optimizer-properties", [ QCheck_alcotest.to_alcotest prop_optimizer_vs_naive ];
+      "merge-join", List.map tc merge_join_tests;
+      "merge-join-properties", [ QCheck_alcotest.to_alcotest prop_merge_join_vs_naive ];
     ]
