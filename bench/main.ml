@@ -22,6 +22,10 @@
    - engine   : minidb optimizer pass on vs off — path-filter semi-join
                 reduction and hash joins over warm prepared plans, with
                 operator counters (beyond the paper)
+   - net      : the wire-protocol TCP server under an open-loop load
+                generator — latency percentiles from scheduled arrival
+                at >= 32 concurrent connections, plus an overload point
+                where admission control rejects (beyond the paper)
 
    Usage: dune exec bench/main.exe -- [section ...] [options]
    Options: --small N (items/region, default 50)
@@ -812,6 +816,160 @@ let engine_bench () =
     (Regex.cache_size ()) (Regex.cache_hits ()) (Regex.cache_misses ())
 
 (* ------------------------------------------------------------------ *)
+(* Net: the wire-protocol server under open-loop load                  *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Ppfx_net.Server
+module Wire = Ppfx_net.Wire
+module Client = Ppfx_client.Client
+
+(* Open-loop load generation: requests fire on a fixed arrival schedule
+   (t_i = t0 + i/qps) drawn from a shared atomic index by [conns]
+   client threads, one wire connection each. Latency is measured from
+   the scheduled arrival, not the send, so queueing delay under
+   overload is part of the number — a closed-loop generator would hide
+   it by slowing its arrival rate to match the server (coordinated
+   omission). Percentiles come from the same log2 histograms the
+   serving metrics use. *)
+
+type load = {
+  ok : int;
+  req_rejected : int;  (* request-level admission errors *)
+  conn_rejected : int;  (* connections refused at accept *)
+  load_failed : int;  (* transport / protocol failures *)
+  wall : float;
+  lat : Metrics.t;  (* Execute stage = per-request latency *)
+}
+
+let open_loop ~port ~conns ~qps ~total ~queries =
+  let lat = Metrics.create () in
+  let ok = Atomic.make 0 and rejected = Atomic.make 0 in
+  let conn_rejected = Atomic.make 0 and failed = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let period = 1.0 /. qps in
+  let nq = Array.length queries in
+  let t0 = Unix.gettimeofday () +. 0.05 in
+  let worker _ =
+    match Client.connect ~client_name:"ppfx-bench" ~port () with
+    | exception Client.Server_error { code = Wire.Admission; _ } ->
+      Atomic.incr conn_rejected
+    | exception _ -> Atomic.incr failed
+    | c ->
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < total then begin
+          let sched = t0 +. (float_of_int i *. period) in
+          let now = Unix.gettimeofday () in
+          if sched > now then Unix.sleepf (sched -. now);
+          (match Client.run_ids c queries.(i mod nq) with
+           | _ ->
+             Metrics.record lat Metrics.Execute (Unix.gettimeofday () -. sched);
+             Atomic.incr ok
+           | exception Client.Server_error { code = Wire.Admission; _ } ->
+             Atomic.incr rejected
+           | exception _ -> Atomic.incr failed);
+          loop ()
+        end
+      in
+      (try loop () with _ -> ());
+      (try Client.close c with _ -> ())
+  in
+  let threads = List.init conns (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  {
+    ok = Atomic.get ok;
+    req_rejected = Atomic.get rejected;
+    conn_rejected = Atomic.get conn_rejected;
+    load_failed = Atomic.get failed;
+    wall = Unix.gettimeofday () -. t0;
+    lat;
+  }
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let report_load ~dataset ~phase ~conns ~qps ~total (r : load) (m : Metrics.t) =
+  let pct q = 1e3 *. Metrics.stage_percentile r.lat Metrics.Execute q in
+  let p50 = pct 0.5 and p95 = pct 0.95 and p99 = pct 0.99 in
+  let achieved = float_of_int r.ok /. r.wall in
+  Printf.printf
+    "%-9s %4d conns %6.0f qps -> %7.1f qps  p50 %8.2f  p95 %8.2f  p99 %8.2f ms  \
+     ok %4d  adm rej %d+%d  failed %d\n"
+    phase conns qps achieved p50 p95 p99 r.ok r.conn_rejected r.req_rejected
+    r.load_failed;
+  flush stdout;
+  record ~dataset ~query:phase ~engine:"net" ~nodes:(-1) ~seconds:r.wall
+    ~extra:
+      (Printf.sprintf
+         "\"conns\":%d,\"target_qps\":%.0f,\"achieved_qps\":%.1f,\"requests\":%d,\
+          \"ok\":%d,\"rejected\":%d,\"conn_rejected\":%d,\"failed\":%d,\
+          \"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"bytes_in\":%d,\
+          \"bytes_out\":%d,\"queue_depth_hwm\":%d,\"peak_conns\":%d"
+         conns qps achieved total r.ok r.req_rejected r.conn_rejected r.load_failed
+         (json_float p50) (json_float p95) (json_float p99) (Metrics.bytes_in m)
+         (Metrics.bytes_out m) (Metrics.queue_depth_hwm m)
+         (Metrics.peak_connections m))
+    ()
+
+let net () =
+  current_section := "net";
+  print_endline "\n== Net: wire-protocol server under open-loop load (XMark) ==";
+  let doc = Doc.of_tree (Xmark.generate ~items_per_region:config.small ()) in
+  let store = Loader.shred (Xmark.schema ()) doc in
+  let dataset = Printf.sprintf "XMark (%d elements)" (Doc.size doc) in
+  let factory () = Server.session_executor (Session.create store) in
+  let queries =
+    [| Xmark.query "Q1"; Xmark.query "Q3"; Xmark.query "Q6"; Xmark.query "Q13" |]
+  in
+  (* Sanity: the wire path must answer exactly like an in-process session. *)
+  let serving =
+    Server.start ~config:{ Server.default_config with workers = 2 } factory
+  in
+  let check_session = Session.create store in
+  let agree =
+    let c = Client.connect ~port:(Server.port serving) () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Array.for_all
+          (fun q -> Client.run_ids c q = Session.run_ids check_session q)
+          queries)
+  in
+  Printf.printf "wire results match in-process session: %b\n%!" agree;
+  record ~dataset ~query:"wire-vs-session" ~engine:"net" ~nodes:(if agree then 1 else 0)
+    ~seconds:nan ();
+  Printf.printf "\n%s — open-loop, latency from scheduled arrival\n" dataset;
+  let phase name ~conns ~qps ~total ~on =
+    let r = open_loop ~port:(Server.port on) ~conns ~qps ~total ~queries in
+    report_load ~dataset ~phase:name ~conns ~qps ~total r (Server.metrics on);
+    r
+  in
+  ignore (phase "steady" ~conns:8 ~qps:150.0 ~total:320 ~on:serving);
+  ignore (phase "c32" ~conns:32 ~qps:400.0 ~total:640 ~on:serving);
+  Server.stop serving;
+  (* Overload: a deliberately tiny server — one worker, a two-deep
+     dispatch queue, eight connection slots — hit far above capacity.
+     Admission control must reject (error frames) rather than degrade:
+     the served requests still complete and the server survives. *)
+  let tiny =
+    { Server.default_config with
+      workers = 1; queue_depth = 2; max_connections = 8 }
+  in
+  let overload = Server.start ~config:tiny factory in
+  let r = phase "overload" ~conns:16 ~qps:2000.0 ~total:480 ~on:overload in
+  Printf.printf
+    "overload admission: %d connections refused, %d requests rejected, %d served \
+     — rejects && survivors: %b\n"
+    r.conn_rejected r.req_rejected r.ok
+    ((r.conn_rejected > 0 || r.req_rejected > 0) && r.ok > 0);
+  let m = Server.metrics overload in
+  Printf.printf
+    "overload server counters: accepted %d, rejected %d, peak active %d, \
+     queue hwm %d, bytes in %d, bytes out %d\n"
+    (Metrics.accepted m) (Metrics.rejected m) (Metrics.peak_connections m)
+    (Metrics.queue_depth_hwm m) (Metrics.bytes_in m) (Metrics.bytes_out m);
+  Server.stop overload
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -910,5 +1068,6 @@ let () =
   if wants "service" then service ();
   if wants "cluster" then cluster_bench ();
   if wants "engine" then engine_bench ();
+  if wants "net" then net ();
   if wants "micro" then micro ();
   write_json ()

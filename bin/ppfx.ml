@@ -6,8 +6,9 @@
      explain    show the relational plan for a translated query
      stats      show the relational store a document shreds into
      gen        generate XMark- or DBLP-like synthetic documents
-     serve      answer a batch of queries through one prepared-query
-                session (translation/plan cache + serving metrics) *)
+     serve      wire-protocol TCP server over worker-domain sessions
+                (--stdio: one-shot batch through an in-process session)
+     query      run one query against a running ppfx server *)
 
 open Cmdliner
 
@@ -26,6 +27,7 @@ module Session = Ppfx_service.Session
 module Batch = Ppfx_service.Batch
 module Metrics = Ppfx_service.Metrics
 module Cluster = Ppfx_cluster.Cluster
+module Server = Ppfx_net.Server
 
 let read_file path =
   let ic = open_in_bin path in
@@ -399,21 +401,42 @@ let serve_cmd =
            ~doc:"Worker domains for --shards (default: one per shard; 0 runs \
                  shard tasks inline).")
   in
-  let run doc_path schema_path queries_path cache repeat shards pool no_opt
-      no_metrics =
-    handle_errors @@ fun () ->
-    if cache < 1 then (
-      Printf.eprintf "--cache must be at least 1 (got %d)\n" cache;
-      exit 1);
-    if shards < 1 then (
-      Printf.eprintf "--shards must be at least 1 (got %d)\n" shards;
-      exit 1);
-    let doc = load_doc doc_path in
-    let schema = schema_of ~schema_path doc in
-    let options =
-      if no_opt then { Translate.default_options with omit_path_filters = false }
-      else Translate.default_options
-    in
+  let stdio_arg =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve a batch of queries from --queries/stdin through one \
+                 in-process session and exit (the pre-network REPL behavior) \
+                 instead of listening on TCP.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7464 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Bind address.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Executor worker domains; each owns a private session (plan \
+                 cache included) over the shared store.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Admission bound on concurrent connections; connections \
+                 beyond it are refused with an admission error frame.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Admission bound on queued requests; requests arriving over \
+                 a full dispatch queue are answered with an admission error.")
+  in
+  let window_arg =
+    Arg.(value & opt int 512 & info [ "window" ] ~docv:"ROWS"
+           ~doc:"Server-side cap on rows per response frame; larger results \
+                 stream through Fetch.")
+  in
+  let serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
+      ~no_metrics doc =
     let queries =
       match queries_path with
       | Some path -> Batch.parse_queries (read_file path)
@@ -454,19 +477,135 @@ let serve_cmd =
           serve_rounds (Cluster.run_ids cluster) (Cluster.metrics cluster)
             (Cluster.shard_metrics cluster))
   in
+  let serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
+      ~shards ~pool ~options ~schema ~no_metrics doc =
+    let config =
+      { Server.default_config with
+        host; port; workers;
+        max_connections = max_conns;
+        queue_depth;
+        fetch_window = window;
+        shards }
+    in
+    let start_and_wait factory =
+      let server = Server.start ~config factory in
+      Printf.printf
+        "ppfx serving on %s:%d (%d workers, %d shards) — Ctrl-C to stop\n%!"
+        host (Server.port server) workers shards;
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      while not (Atomic.get stop_requested) do
+        try Unix.sleepf 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      print_endline "shutting down — draining in-flight requests...";
+      Server.stop server;
+      if not no_metrics then begin
+        print_newline ();
+        print_string (Metrics.dump (Server.metrics server))
+      end
+    in
+    if shards = 1 then begin
+      let store = Loader.shred schema doc in
+      start_and_wait (fun () ->
+          Server.session_executor (Session.create ~cache_capacity:cache ~options store))
+    end
+    else
+      Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options ~shards
+        schema [ doc ]
+        (fun cluster ->
+          let lock = Mutex.create () in
+          start_and_wait (fun () -> Server.cluster_executor lock cluster))
+  in
+  let run doc_path schema_path queries_path cache repeat shards pool no_opt
+      no_metrics stdio host port workers max_conns queue_depth window =
+    handle_errors @@ fun () ->
+    if cache < 1 then (
+      Printf.eprintf "--cache must be at least 1 (got %d)\n" cache;
+      exit 1);
+    if shards < 1 then (
+      Printf.eprintf "--shards must be at least 1 (got %d)\n" shards;
+      exit 1);
+    if workers < 1 then (
+      Printf.eprintf "--workers must be at least 1 (got %d)\n" workers;
+      exit 1);
+    if window < 1 then (
+      Printf.eprintf "--window must be at least 1 (got %d)\n" window;
+      exit 1);
+    let doc = load_doc doc_path in
+    let schema = schema_of ~schema_path doc in
+    let options =
+      if no_opt then { Translate.default_options with omit_path_filters = false }
+      else Translate.default_options
+    in
+    if stdio then
+      serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
+        ~no_metrics doc
+    else
+      serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
+        ~shards ~pool ~options ~schema ~no_metrics doc
+  in
   let term =
     Term.(
       const run $ doc_arg $ schema_arg $ queries_arg $ cache_arg $ repeat_arg
-      $ shards_arg $ pool_arg $ no_opt_arg $ no_metrics_arg)
+      $ shards_arg $ pool_arg $ no_opt_arg $ no_metrics_arg $ stdio_arg
+      $ host_arg $ port_arg $ workers_arg $ max_conns_arg $ queue_depth_arg
+      $ window_arg)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Answer a batch of queries through one prepared-query session: \
-             parse/translate/plan are paid once per distinct query and cached \
-             (LRU, store-epoch invalidation); serving metrics are dumped at \
-             the end. With --shards N the store is partitioned by root-child \
-             subtree and partitionable queries execute scatter-gather across \
-             a domain worker pool, merged by document order.")
+       ~doc:"Serve prepared XPath queries over the ppfx wire protocol: listen \
+             on TCP (--port), answer Prepare/Execute/Fetch requests from a \
+             pool of worker domains each owning a session (translation/plan \
+             cache) over the shared store, with admission control \
+             (--max-conns, --queue-depth) and windowed result streaming \
+             (--window). With --shards N queries execute scatter-gather \
+             across a shard domain pool. --stdio instead answers a batch of \
+             queries from stdin/--queries through one in-process session and \
+             exits, dumping serving metrics.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* query: wire-protocol client                                         *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let port_arg =
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Port of a running ppfx server.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Server address.")
+  in
+  let run host port query =
+    match Ppfx_client.Client.connect ~host ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s:%d: %s\n" host port (Unix.error_message e);
+      exit 1
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Ppfx_client.Client.close c)
+        (fun () ->
+          match Ppfx_client.Client.run_ids c query with
+          | ids ->
+            Printf.printf "%d nodes\n" (List.length ids);
+            List.iter (fun id -> Printf.printf "  %d\n" id) ids
+          | exception Ppfx_client.Client.Server_error { code; message } ->
+            Printf.eprintf "server error (%s): %s\n"
+              (Ppfx_net.Wire.error_code_to_string code) message;
+            exit 1
+          | exception Ppfx_client.Client.Protocol_error msg ->
+            Printf.eprintf "protocol error: %s\n" msg;
+            exit 1)
+  in
+  let term = Term.(const run $ host_arg $ port_arg $ query_arg) in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run one XPath query against a running ppfx server over the wire \
+             protocol and print the matching element ids.")
     term
 
 let () =
@@ -478,4 +617,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; run_cmd; explain_cmd; stats_cmd; gen_cmd; shred_cmd; sql_cmd;
-            serve_cmd ]))
+            serve_cmd; query_cmd ]))

@@ -1,0 +1,146 @@
+module Wire = Ppfx_net.Wire
+module Engine = Ppfx_minidb.Engine
+module Translate = Ppfx_translate.Translate
+
+exception Server_error of { code : Wire.error_code; message : string }
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable server_name : string;
+  mutable server_shards : int;
+  mutable closed : bool;
+}
+
+type stmt = {
+  id : int;
+  cols : Wire.column list;
+  empty : bool;
+  sql_text : string option;
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> raise (Protocol_error ("cannot resolve host " ^ host)))
+
+let recv t =
+  match Wire.recv_response ~max_frame:t.max_frame t.fd with
+  | None -> raise (Protocol_error "connection closed by server")
+  | Some resp -> resp
+  | exception Wire.Codec e -> raise (Protocol_error (Wire.codec_error_to_string e))
+
+let request t req =
+  if t.closed then raise (Protocol_error "connection is closed");
+  ignore (Wire.send_request t.fd req);
+  match recv t with
+  | Wire.Error { code; message } -> raise (Server_error { code; message })
+  | Wire.Bye ->
+    t.closed <- true;
+    raise (Protocol_error "server closed the connection")
+  | resp -> resp
+
+let unexpected what = raise (Protocol_error ("unexpected response to " ^ what))
+
+let connect ?(host = "127.0.0.1") ?(client_name = "ppfx-client")
+    ?(max_frame = Wire.default_max_frame) ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t = { fd; max_frame; server_name = ""; server_shards = 1; closed = false } in
+  (try
+     match
+       request t (Wire.Hello { version = Wire.protocol_version; client = client_name })
+     with
+     | Wire.Welcome { version = _; server; shards } ->
+       t.server_name <- server;
+       t.server_shards <- shards
+     | _ -> unexpected "Hello"
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try ignore (Wire.send_request t.fd Wire.Quit) with _ -> ());
+    (* Read until Bye/EOF so the server sees an orderly shutdown. *)
+    (try
+       let rec drain () =
+         match Wire.recv_response ~max_frame:t.max_frame t.fd with
+         | Some Wire.Bye | None -> ()
+         | Some _ -> drain ()
+       in
+       drain ()
+     with _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let ping t = match request t Wire.Ping with Wire.Pong -> () | _ -> unexpected "Ping"
+
+let server_name t = t.server_name
+let server_shards t = t.server_shards
+
+let prepare t query =
+  match request t (Wire.Prepare { query }) with
+  | Wire.Prepared { stmt; columns; empty; sql } ->
+    { id = stmt; cols = columns; empty; sql_text = sql }
+  | _ -> unexpected "Prepare"
+
+let stmt_id s = s.id
+let columns s = s.cols
+let is_empty s = s.empty
+let sql s = s.sql_text
+
+let fetch_rows t ~first acc0 =
+  let rec go req acc =
+    match request t req with
+    | Wire.Rows { stmt = _; rows; more } ->
+      let acc = List.rev_append rows acc in
+      if more then go (next_fetch req) acc else List.rev acc
+    | _ -> unexpected "Execute/Fetch"
+  and next_fetch = function
+    | Wire.Execute { stmt; window } | Wire.Fetch { stmt; window } ->
+      Wire.Fetch { stmt; window }
+    | _ -> assert false
+  in
+  go first acc0
+
+let execute_result ?(window = 0) t s =
+  let columns = List.map (fun c -> c.Wire.name) s.cols in
+  if s.empty then { Engine.columns = []; rows = [] }
+  else
+    let rows = fetch_rows t ~first:(Wire.Execute { stmt = s.id; window }) [] in
+    { Engine.columns; rows }
+
+let execute ?window t s =
+  let r = execute_result ?window t s in
+  let names = List.map (fun c -> c.Wire.name) s.cols in
+  List.map (Row.create ~columns:names) r.Engine.rows
+
+let close_stmt t s =
+  match request t (Wire.Close_stmt { stmt = s.id }) with
+  | Wire.Closed _ -> ()
+  | _ -> unexpected "Close_stmt"
+
+let run ?window t query =
+  let s = prepare t query in
+  Fun.protect
+    ~finally:(fun () -> try close_stmt t s with _ -> ())
+    (fun () -> execute ?window t s)
+
+let run_result ?window t query =
+  let s = prepare t query in
+  Fun.protect
+    ~finally:(fun () -> try close_stmt t s with _ -> ())
+    (fun () -> execute_result ?window t s)
+
+let run_ids t query = Translate.result_ids (run_result t query)

@@ -1,0 +1,71 @@
+(** Blocking typed client for the ppfx wire protocol.
+
+    One connection, one in-flight request: every call sends a frame and
+    waits for the response. [execute]/[fetch_all] transparently walk the
+    server's bounded fetch windows, so arbitrarily large results arrive
+    in backpressured batches. Query-level failures ([Parse_error],
+    [Unsupported], [Runtime], [Bad_statement], [Admission]) raise
+    {!Server_error} and leave the connection usable; transport and
+    framing failures raise {!Protocol_error} (or [Unix_error]) and mean
+    the connection is dead. *)
+
+module Wire = Ppfx_net.Wire
+module Engine = Ppfx_minidb.Engine
+
+exception Server_error of { code : Wire.error_code; message : string }
+exception Protocol_error of string
+
+type t
+
+val connect :
+  ?host:string -> ?client_name:string -> ?max_frame:int -> port:int -> unit -> t
+(** TCP connect plus [Hello]/[Welcome] handshake. Raises {!Server_error}
+    when the server refuses admission or the protocol versions differ. *)
+
+val close : t -> unit
+(** Best-effort [Quit]/[Bye], then close the socket. Idempotent. *)
+
+val ping : t -> unit
+
+val server_name : t -> string
+val server_shards : t -> int
+(** From the [Welcome] frame. *)
+
+(** {2 Statements} *)
+
+type stmt
+
+val prepare : t -> string -> stmt
+(** Compile an XPath query server-side; the statement handle carries the
+    typed column metadata from the [Prepared] frame. *)
+
+val stmt_id : stmt -> int
+val columns : stmt -> Wire.column list
+val is_empty : stmt -> bool
+(** The schema proved the translation empty: [execute] returns no rows
+    without touching the engine. *)
+
+val sql : stmt -> string option
+(** The translated SQL text, as reported by the server. *)
+
+val execute : ?window:int -> t -> stmt -> Row.t list
+(** Run the statement and fetch the whole result, [window] rows per
+    round trip (0 = server default). *)
+
+val execute_result : ?window:int -> t -> stmt -> Engine.result
+(** Like {!execute} but as a raw {!Engine.result} (column names from the
+    statement metadata) — the shape the in-process API returns, for
+    byte-identical comparison. *)
+
+val close_stmt : t -> stmt -> unit
+
+(** {2 One-shot conveniences} *)
+
+val run : ?window:int -> t -> string -> Row.t list
+(** [prepare] + [execute] + [close_stmt]. *)
+
+val run_result : ?window:int -> t -> string -> Engine.result
+
+val run_ids : t -> string -> int list
+(** [run] projected to sorted distinct element ids — the wire-protocol
+    equivalent of {!Ppfx_service.Session.run_ids}. *)

@@ -1,0 +1,100 @@
+type t = {
+  host : string;
+  port : int;
+  client_name : string;
+  cap : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable idle : Client.t list;
+  mutable live : int;  (* connections existing (idle + checked out) *)
+  mutable closed : bool;
+}
+
+let create ?(size = 4) ?(host = "127.0.0.1") ?(client_name = "ppfx-pool") ~port () =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  {
+    host;
+    port;
+    client_name;
+    cap = size;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    idle = [];
+    live = 0;
+    closed = false;
+  }
+
+let size t = t.cap
+
+(* A connection is fatally broken when the failure is at the transport
+   level; server-reported query errors leave it reusable. *)
+let broken = function
+  | Client.Protocol_error _ | Unix.Unix_error _ | Ppfx_net.Wire.Codec _ -> true
+  | _ -> false
+
+let checkout t =
+  Mutex.lock t.lock;
+  let rec go () =
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.with_conn: pool is closed"
+    end
+    else
+      match t.idle with
+      | c :: rest ->
+        t.idle <- rest;
+        Mutex.unlock t.lock;
+        c
+      | [] ->
+        if t.live < t.cap then begin
+          t.live <- t.live + 1;
+          Mutex.unlock t.lock;
+          match Client.connect ~host:t.host ~client_name:t.client_name ~port:t.port () with
+          | c -> c
+          | exception e ->
+            Mutex.lock t.lock;
+            t.live <- t.live - 1;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.lock;
+            raise e
+        end
+        else begin
+          Condition.wait t.cond t.lock;
+          go ()
+        end
+  in
+  go ()
+
+let checkin t c ~discard =
+  Mutex.lock t.lock;
+  if discard || t.closed then begin
+    t.live <- t.live - 1;
+    Mutex.unlock t.lock;
+    Client.close c;
+    Mutex.lock t.lock
+  end
+  else t.idle <- c :: t.idle;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let with_conn t f =
+  let c = checkout t in
+  match f c with
+  | v ->
+    checkin t c ~discard:false;
+    v
+  | exception e ->
+    checkin t c ~discard:(broken e);
+    raise e
+
+let run_ids t query = with_conn t (fun c -> Client.run_ids c query)
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  let idle = t.idle in
+  t.idle <- [];
+  t.live <- t.live - List.length idle;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  List.iter Client.close idle

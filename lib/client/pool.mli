@@ -1,0 +1,26 @@
+(** A bounded pool of {!Client} connections.
+
+    Connections are opened lazily up to [size]; {!with_conn} checks one
+    out (blocking while all are busy) and returns it afterwards. A
+    connection that fails with a transport error ([Protocol_error],
+    [Unix_error], [Codec]) is discarded — the pool reopens a fresh one
+    on a later checkout — while {!Client.Server_error} (a query-level
+    failure on a healthy connection) returns it to the pool. Safe to
+    share across threads and domains. *)
+
+type t
+
+val create : ?size:int -> ?host:string -> ?client_name:string -> port:int -> unit -> t
+(** [size] defaults to 4. No connection is opened until first use. *)
+
+val size : t -> int
+
+val with_conn : t -> (Client.t -> 'a) -> 'a
+
+val run_ids : t -> string -> int list
+(** {!Client.run_ids} on a pooled connection. *)
+
+val close : t -> unit
+(** Close every idle connection and refuse further checkouts; safe to
+    call while checkouts are outstanding (their connections close on
+    return). *)

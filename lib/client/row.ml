@@ -1,0 +1,70 @@
+module Value = Ppfx_minidb.Value
+
+type t = { columns : string array; values : Value.t array }
+
+exception No_column of string
+
+exception Conversion of { column : string; expected : string; actual : string }
+
+let create ~columns values = { columns = Array.of_list columns; values }
+
+let columns t = Array.to_list t.columns
+
+let width t = Array.length t.values
+
+let value_at t i = t.values.(i)
+
+let index t name =
+  let n = Array.length t.columns in
+  let rec go i = if i >= n then raise (No_column name) else if t.columns.(i) = name then i else go (i + 1) in
+  go 0
+
+let value t name = t.values.(index t name)
+
+let actual_of = function
+  | Value.Null -> "null"
+  | Value.Int _ -> "int"
+  | Value.Float _ -> "float"
+  | Value.Str _ -> "text"
+  | Value.Bin _ -> "bin"
+
+let conv column expected v = raise (Conversion { column; expected; actual = actual_of v })
+
+let opt ~expected ~of_value t name =
+  match value t name with
+  | Value.Null -> None
+  | v ->
+    (match of_value v with
+     | Some x -> Some x
+     | None -> conv name expected v)
+
+let exn ~expected ~of_value t name =
+  match value t name with
+  | Value.Null as v -> conv name expected v
+  | v ->
+    (match of_value v with
+     | Some x -> x
+     | None -> conv name expected v)
+
+let int_of = function Value.Int n -> Some n | _ -> None
+
+let float_of = function
+  | Value.Int n -> Some (float_of_int n)
+  | Value.Float f -> Some f
+  | _ -> None
+
+let bin_of = function Value.Bin s | Value.Str s -> Some s | _ -> None
+
+let int t name = opt ~expected:"int" ~of_value:int_of t name
+let int_exn t name = exn ~expected:"int" ~of_value:int_of t name
+let float t name = opt ~expected:"float" ~of_value:float_of t name
+let float_exn t name = exn ~expected:"float" ~of_value:float_of t name
+let text t name = opt ~expected:"text" ~of_value:Value.text t name
+let text_exn t name = exn ~expected:"text" ~of_value:Value.text t name
+let bin t name = opt ~expected:"bin" ~of_value:bin_of t name
+let bin_exn t name = exn ~expected:"bin" ~of_value:bin_of t name
+
+let to_alist t =
+  List.init (Array.length t.values) (fun i ->
+      let name = if i < Array.length t.columns then t.columns.(i) else string_of_int i in
+      (name, Value.to_string t.values.(i)))

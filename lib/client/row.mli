@@ -1,0 +1,55 @@
+(** A result row accessible by column name, with typed conversion
+    helpers (the [Row.int_exn] / [Row.text] idiom of native database
+    client libraries). *)
+
+module Value = Ppfx_minidb.Value
+
+type t
+
+exception No_column of string
+(** The named column is not in the result. *)
+
+exception Conversion of { column : string; expected : string; actual : string }
+(** The column's value cannot be converted to the requested type (or,
+    for the [_exn] accessors, is NULL). *)
+
+val create : columns:string list -> Value.t array -> t
+(** Pair a row of values with its column names. The column list is
+    typically shared across all rows of a result. *)
+
+val columns : t -> string list
+val width : t -> int
+
+val value : t -> string -> Value.t
+(** Raw value by column name; raises {!No_column}. *)
+
+val value_at : t -> int -> Value.t
+(** Raw value by position. *)
+
+(** {2 Typed accessors}
+
+    The option-returning accessor yields [None] for NULL and raises
+    {!Conversion} on a type mismatch; the [_exn] variant additionally
+    raises {!Conversion} on NULL. *)
+
+val int : t -> string -> int option
+val int_exn : t -> string -> int
+
+val float : t -> string -> float option
+(** Accepts [Int] and [Float] values. *)
+
+val float_exn : t -> string -> float
+
+val text : t -> string -> string option
+(** Any non-null value rendered as text: strings and binaries verbatim,
+    numbers canonically (via {!Value.text}). *)
+
+val text_exn : t -> string -> string
+
+val bin : t -> string -> string option
+(** Binary columns (e.g. [dewey_pos]); accepts [Bin] and [Str]. *)
+
+val bin_exn : t -> string -> string
+
+val to_alist : t -> (string * string) list
+(** [(column, rendered value)] pairs, NULLs as ["NULL"]. *)

@@ -1,0 +1,409 @@
+module Value = Ppfx_minidb.Value
+
+let protocol_version = 1
+
+let default_max_frame = 16 * 1024 * 1024
+
+type codec_error =
+  | Truncated
+  | Oversized of int
+  | Bad_tag of int
+  | Trailing of int
+
+exception Codec of codec_error
+
+let codec_error_to_string = function
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Bad_tag t -> Printf.sprintf "unknown tag 0x%02x" t
+  | Trailing n -> Printf.sprintf "%d trailing bytes after message" n
+
+type error_code =
+  | Protocol
+  | Parse_error
+  | Unsupported
+  | Runtime
+  | Admission
+  | Bad_statement
+  | Version_mismatch
+  | Shutting_down
+
+let error_code_to_string = function
+  | Protocol -> "protocol"
+  | Parse_error -> "parse"
+  | Unsupported -> "unsupported"
+  | Runtime -> "runtime"
+  | Admission -> "admission"
+  | Bad_statement -> "bad-statement"
+  | Version_mismatch -> "version-mismatch"
+  | Shutting_down -> "shutting-down"
+
+let error_code_to_int = function
+  | Protocol -> 1
+  | Parse_error -> 2
+  | Unsupported -> 3
+  | Runtime -> 4
+  | Admission -> 5
+  | Bad_statement -> 6
+  | Version_mismatch -> 7
+  | Shutting_down -> 8
+
+let error_code_of_int = function
+  | 1 -> Protocol
+  | 2 -> Parse_error
+  | 3 -> Unsupported
+  | 4 -> Runtime
+  | 5 -> Admission
+  | 6 -> Bad_statement
+  | 7 -> Version_mismatch
+  | 8 -> Shutting_down
+  | t -> raise (Codec (Bad_tag t))
+
+type col_ty = Tany | Tint | Tfloat | Ttext | Tbin
+
+type column = { name : string; ty : col_ty }
+
+let col_ty_of_value_ty = function
+  | Value.Tint -> Tint
+  | Value.Tfloat -> Tfloat
+  | Value.Tstr -> Ttext
+  | Value.Tbin -> Tbin
+
+let col_ty_to_string = function
+  | Tany -> "any"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Ttext -> "text"
+  | Tbin -> "bin"
+
+let col_ty_to_int = function Tany -> 0 | Tint -> 1 | Tfloat -> 2 | Ttext -> 3 | Tbin -> 4
+
+let col_ty_of_int = function
+  | 0 -> Tany
+  | 1 -> Tint
+  | 2 -> Tfloat
+  | 3 -> Ttext
+  | 4 -> Tbin
+  | t -> raise (Codec (Bad_tag t))
+
+type request =
+  | Hello of { version : int; client : string }
+  | Prepare of { query : string }
+  | Execute of { stmt : int; window : int }
+  | Fetch of { stmt : int; window : int }
+  | Close_stmt of { stmt : int }
+  | Ping
+  | Quit
+
+type response =
+  | Welcome of { version : int; server : string; shards : int }
+  | Prepared of {
+      stmt : int;
+      columns : column list;
+      empty : bool;
+      sql : string option;
+    }
+  | Rows of { stmt : int; rows : Value.t array list; more : bool }
+  | Closed of { stmt : int }
+  | Pong
+  | Error of { code : error_code; message : string }
+  | Bye
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let put_u16 buf v = Buffer.add_uint16_be buf (v land 0xffff)
+let put_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_value buf = function
+  | Value.Null -> put_u8 buf 0
+  | Value.Int n ->
+    put_u8 buf 1;
+    put_i64 buf n
+  | Value.Float f ->
+    put_u8 buf 2;
+    put_f64 buf f
+  | Value.Str s ->
+    put_u8 buf 3;
+    put_str buf s
+  | Value.Bin s ->
+    put_u8 buf 4;
+    put_str buf s
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers: every access is bounds-checked against the        *)
+(* payload, so a lying length field inside the payload surfaces as      *)
+(* [Truncated] instead of a read past the frame.                        *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { s : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.s then raise (Codec Truncated)
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  need r 2;
+  let v = String.get_uint16_be r.s r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.s r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_f64 r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_str r =
+  let n = get_u32 r in
+  need r n;
+  let v = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let get_value r =
+  match get_u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_i64 r)
+  | 2 -> Value.Float (get_f64 r)
+  | 3 -> Value.Str (get_str r)
+  | 4 -> Value.Bin (get_str r)
+  | t -> raise (Codec (Bad_tag t))
+
+let finish r v =
+  let left = String.length r.s - r.pos in
+  if left <> 0 then raise (Codec (Trailing left));
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Message codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let request_payload req =
+  let buf = Buffer.create 64 in
+  (match req with
+   | Hello { version; client } ->
+     put_u8 buf 0x01;
+     put_u16 buf version;
+     put_str buf client
+   | Prepare { query } ->
+     put_u8 buf 0x02;
+     put_str buf query
+   | Execute { stmt; window } ->
+     put_u8 buf 0x03;
+     put_u32 buf stmt;
+     put_u32 buf window
+   | Fetch { stmt; window } ->
+     put_u8 buf 0x04;
+     put_u32 buf stmt;
+     put_u32 buf window
+   | Close_stmt { stmt } ->
+     put_u8 buf 0x05;
+     put_u32 buf stmt
+   | Ping -> put_u8 buf 0x06
+   | Quit -> put_u8 buf 0x07);
+  Buffer.contents buf
+
+let response_payload resp =
+  let buf = Buffer.create 256 in
+  (match resp with
+   | Welcome { version; server; shards } ->
+     put_u8 buf 0x81;
+     put_u16 buf version;
+     put_str buf server;
+     put_u16 buf shards
+   | Prepared { stmt; columns; empty; sql } ->
+     put_u8 buf 0x82;
+     put_u32 buf stmt;
+     put_u8 buf (if empty then 1 else 0);
+     put_u32 buf (List.length columns);
+     List.iter
+       (fun { name; ty } ->
+         put_str buf name;
+         put_u8 buf (col_ty_to_int ty))
+       columns;
+     (match sql with
+      | None -> put_u8 buf 0
+      | Some s ->
+        put_u8 buf 1;
+        put_str buf s)
+   | Rows { stmt; rows; more } ->
+     put_u8 buf 0x83;
+     put_u32 buf stmt;
+     put_u8 buf (if more then 1 else 0);
+     put_u32 buf (List.length rows);
+     List.iter
+       (fun row ->
+         put_u16 buf (Array.length row);
+         Array.iter (put_value buf) row)
+       rows
+   | Closed { stmt } ->
+     put_u8 buf 0x84;
+     put_u32 buf stmt
+   | Pong -> put_u8 buf 0x85
+   | Error { code; message } ->
+     put_u8 buf 0x86;
+     put_u8 buf (error_code_to_int code);
+     put_str buf message
+   | Bye -> put_u8 buf 0x87);
+  Buffer.contents buf
+
+let request_of_payload s =
+  let r = { s; pos = 0 } in
+  let req =
+    match get_u8 r with
+    | 0x01 ->
+      let version = get_u16 r in
+      let client = get_str r in
+      Hello { version; client }
+    | 0x02 -> Prepare { query = get_str r }
+    | 0x03 ->
+      let stmt = get_u32 r in
+      let window = get_u32 r in
+      Execute { stmt; window }
+    | 0x04 ->
+      let stmt = get_u32 r in
+      let window = get_u32 r in
+      Fetch { stmt; window }
+    | 0x05 -> Close_stmt { stmt = get_u32 r }
+    | 0x06 -> Ping
+    | 0x07 -> Quit
+    | t -> raise (Codec (Bad_tag t))
+  in
+  finish r req
+
+let response_of_payload s =
+  let r = { s; pos = 0 } in
+  let resp =
+    match get_u8 r with
+    | 0x81 ->
+      let version = get_u16 r in
+      let server = get_str r in
+      let shards = get_u16 r in
+      Welcome { version; server; shards }
+    | 0x82 ->
+      let stmt = get_u32 r in
+      let empty = get_u8 r = 1 in
+      let ncols = get_u32 r in
+      let columns =
+        List.init ncols (fun _ ->
+            let name = get_str r in
+            let ty = col_ty_of_int (get_u8 r) in
+            { name; ty })
+      in
+      let sql = match get_u8 r with 0 -> None | _ -> Some (get_str r) in
+      Prepared { stmt; columns; empty; sql }
+    | 0x83 ->
+      let stmt = get_u32 r in
+      let more = get_u8 r = 1 in
+      let nrows = get_u32 r in
+      let rows =
+        List.init nrows (fun _ ->
+            let ncols = get_u16 r in
+            Array.init ncols (fun _ -> get_value r))
+      in
+      Rows { stmt; rows; more }
+    | 0x84 -> Closed { stmt = get_u32 r }
+    | 0x85 -> Pong
+    | 0x86 ->
+      let code = error_code_of_int (get_u8 r) in
+      let message = get_str r in
+      Error { code; message }
+    | 0x87 -> Bye
+    | t -> raise (Codec (Bad_tag t))
+  in
+  finish r resp
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame_of_payload payload =
+  let buf = Buffer.create (String.length payload + 4) in
+  put_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let extract_frame ?(max_frame = default_max_frame) buf ~off ~len =
+  if len < 4 then None
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be buf off) land 0xffffffff in
+    if n > max_frame then raise (Codec (Oversized n));
+    if len < 4 + n then None
+    else Some (Bytes.sub_string buf (off + 4) n, 4 + n)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking transport                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec restart_write fd bytes off len =
+  if len = 0 then ()
+  else
+    match Unix.write fd bytes off len with
+    | n -> restart_write fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 1.0);
+      restart_write fd bytes off len
+
+let write_frame fd payload =
+  let frame = frame_of_payload payload in
+  restart_write fd (Bytes.of_string frame) 0 (String.length frame);
+  String.length frame
+
+(* Read exactly [n] bytes; [`Eof] on a clean close before the first
+   byte, [Codec Truncated] on a close in the middle. *)
+let read_exactly fd n ~at_start =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Bytes.unsafe_to_string buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 && at_start then raise Exit else raise (Codec Truncated)
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [ fd ] [] [] 1.0);
+        go off
+  in
+  go 0
+
+let read_payload ?(max_frame = default_max_frame) fd =
+  match read_exactly fd 4 ~at_start:true with
+  | exception Exit -> None
+  | prefix ->
+    let n = Int32.to_int (String.get_int32_be prefix 0) land 0xffffffff in
+    if n > max_frame then raise (Codec (Oversized n));
+    Some (read_exactly fd n ~at_start:false)
+
+let send_request fd req = write_frame fd (request_payload req)
+let send_response fd resp = write_frame fd (response_payload resp)
+
+let recv_request ?max_frame fd =
+  Option.map request_of_payload (read_payload ?max_frame fd)
+
+let recv_response ?max_frame fd =
+  Option.map response_of_payload (read_payload ?max_frame fd)

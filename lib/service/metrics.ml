@@ -86,6 +86,17 @@ type t = {
   mutable fallbacks : int;
   mutable rows : int;
   mutable engine : Ppfx_minidb.Engine.exec_stats;
+  (* network serving counters (the socket server's sink) *)
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable active : int;
+  mutable peak_active : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable queue_hwm : int;
+  (* The server records from several domains at once; every mutation is
+     serialized here. Single-threaded users pay one uncontended lock. *)
+  lock : Mutex.t;
 }
 
 let create () =
@@ -105,9 +116,22 @@ let create () =
     fallbacks = 0;
     rows = 0;
     engine = Ppfx_minidb.Engine.stats_zero;
+    accepted = 0;
+    rejected = 0;
+    active = 0;
+    peak_active = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    queue_hwm = 0;
+    lock = Mutex.create ();
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let reset t =
+  locked t @@ fun () ->
   List.iter acc_reset [ t.parse; t.translate; t.plan; t.queue; t.execute; t.merge ];
   t.queries <- 0;
   t.prepares <- 0;
@@ -117,7 +141,14 @@ let reset t =
   t.evictions <- 0;
   t.fallbacks <- 0;
   t.rows <- 0;
-  t.engine <- Ppfx_minidb.Engine.stats_zero
+  t.engine <- Ppfx_minidb.Engine.stats_zero;
+  t.accepted <- 0;
+  t.rejected <- 0;
+  t.active <- 0;
+  t.peak_active <- 0;
+  t.bytes_in <- 0;
+  t.bytes_out <- 0;
+  t.queue_hwm <- 0
 
 let acc t = function
   | Parse -> t.parse
@@ -128,6 +159,7 @@ let acc t = function
   | Merge -> t.merge
 
 let record t stage seconds =
+  locked t @@ fun () ->
   let a = acc t stage in
   a.count <- a.count + 1;
   a.total <- a.total +. seconds;
@@ -140,16 +172,33 @@ let time t stage f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> record t stage (Unix.gettimeofday () -. t0)) f
 
-let incr_queries t = t.queries <- t.queries + 1
-let incr_prepares t = t.prepares <- t.prepares + 1
-let incr_hits t = t.hits <- t.hits + 1
-let incr_misses t = t.misses <- t.misses + 1
-let incr_invalidations t = t.invalidations <- t.invalidations + 1
-let incr_evictions t = t.evictions <- t.evictions + 1
-let incr_fallbacks t = t.fallbacks <- t.fallbacks + 1
-let add_rows t n = t.rows <- t.rows + n
+let incr_queries t = locked t @@ fun () -> t.queries <- t.queries + 1
+let incr_prepares t = locked t @@ fun () -> t.prepares <- t.prepares + 1
+let incr_hits t = locked t @@ fun () -> t.hits <- t.hits + 1
+let incr_misses t = locked t @@ fun () -> t.misses <- t.misses + 1
+let incr_invalidations t = locked t @@ fun () -> t.invalidations <- t.invalidations + 1
+let incr_evictions t = locked t @@ fun () -> t.evictions <- t.evictions + 1
+let incr_fallbacks t = locked t @@ fun () -> t.fallbacks <- t.fallbacks + 1
+let add_rows t n = locked t @@ fun () -> t.rows <- t.rows + n
 
-let add_engine t stats = t.engine <- Ppfx_minidb.Engine.stats_add t.engine stats
+let add_engine t stats =
+  locked t @@ fun () -> t.engine <- Ppfx_minidb.Engine.stats_add t.engine stats
+
+let incr_accepted t = locked t @@ fun () -> t.accepted <- t.accepted + 1
+let incr_rejected t = locked t @@ fun () -> t.rejected <- t.rejected + 1
+
+let connection_opened t =
+  locked t @@ fun () ->
+  t.active <- t.active + 1;
+  if t.active > t.peak_active then t.peak_active <- t.active
+
+let connection_closed t = locked t @@ fun () -> t.active <- max 0 (t.active - 1)
+
+let add_bytes_in t n = locked t @@ fun () -> t.bytes_in <- t.bytes_in + n
+let add_bytes_out t n = locked t @@ fun () -> t.bytes_out <- t.bytes_out + n
+
+let note_queue_depth t d =
+  locked t @@ fun () -> if d > t.queue_hwm then t.queue_hwm <- d
 
 let queries t = t.queries
 let prepares t = t.prepares
@@ -160,6 +209,14 @@ let evictions t = t.evictions
 let fallbacks t = t.fallbacks
 let rows t = t.rows
 let engine_stats t = t.engine
+
+let accepted t = t.accepted
+let rejected t = t.rejected
+let active_connections t = t.active
+let peak_connections t = t.peak_active
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+let queue_depth_hwm t = t.queue_hwm
 
 let stage_count t stage = (acc t stage).count
 let stage_total t stage = (acc t stage).total
@@ -191,6 +248,13 @@ let dump t =
        e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
        e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
        e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes);
+  if t.accepted > 0 || t.rejected > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  net: %d accepted, %d rejected, %d active (peak %d), %d bytes in, \
+          %d bytes out, queue depth hwm %d\n"
+         t.accepted t.rejected t.active t.peak_active t.bytes_in t.bytes_out
+         t.queue_hwm);
   Buffer.add_string buf
     (Printf.sprintf "  %-10s %8s %12s %12s %10s %10s %10s %10s %10s\n" "stage" "count"
        "total ms" "mean ms" "min ms" "max ms" "p50 ms" "p95 ms" "p99 ms");
@@ -241,10 +305,17 @@ let to_json t =
       e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
       e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes
   in
+  let net_json =
+    Printf.sprintf
+      "{\"accepted\":%d,\"rejected\":%d,\"active\":%d,\"peak_active\":%d,\
+       \"bytes_in\":%d,\"bytes_out\":%d,\"queue_depth_hwm\":%d}"
+      t.accepted t.rejected t.active t.peak_active t.bytes_in t.bytes_out
+      t.queue_hwm
+  in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
      \"invalidations\":%d,\"evictions\":%d,\"fallbacks\":%d,\"rows\":%d,\
-     \"engine\":%s,\"stages\":{%s}}"
+     \"engine\":%s,\"net\":%s,\"stages\":{%s}}"
     t.queries t.prepares t.hits t.misses t.invalidations t.evictions t.fallbacks
-    t.rows engine_json
+    t.rows engine_json net_json
     (String.concat "," (List.map stage_json all_stages))

@@ -49,6 +49,29 @@ val add_engine : t -> Ppfx_minidb.Engine.exec_stats -> unit
     {!Ppfx_minidb.Engine.stats_diff} around one plan execution, or a
     freshly prepared plan's plan-time stats). *)
 
+(** {2 Network server counters}
+
+    Populated by the wire-protocol server ({!Ppfx_net.Server}); all
+    mutators are safe to call from multiple domains concurrently. *)
+
+val incr_accepted : t -> unit
+(** A connection passed admission control and was accepted. *)
+
+val incr_rejected : t -> unit
+(** A connection or request was refused by admission control. *)
+
+val connection_opened : t -> unit
+(** Track a live connection; also updates the peak-active high-water
+    mark. *)
+
+val connection_closed : t -> unit
+
+val add_bytes_in : t -> int -> unit
+val add_bytes_out : t -> int -> unit
+
+val note_queue_depth : t -> int -> unit
+(** Observe the dispatch-queue depth; keeps the high-water mark. *)
+
 (** {2 Reading} *)
 
 val queries : t -> int
@@ -59,6 +82,14 @@ val invalidations : t -> int
 val evictions : t -> int
 val fallbacks : t -> int
 val rows : t -> int
+
+val accepted : t -> int
+val rejected : t -> int
+val active_connections : t -> int
+val peak_connections : t -> int
+val bytes_in : t -> int
+val bytes_out : t -> int
+val queue_depth_hwm : t -> int
 
 val engine_stats : t -> Ppfx_minidb.Engine.exec_stats
 (** Cumulative engine operator counters recorded via {!add_engine}:

@@ -1,0 +1,326 @@
+(* Integration tests for the wire-protocol server and typed client over
+   loopback: byte-identical results vs the in-process session, windowed
+   fetch backpressure, concurrent clients through the pool, error
+   containment (a malformed frame kills only its own connection),
+   admission control at both levels, and shutdown that drains in-flight
+   requests. *)
+
+module Doc = Ppfx_xml.Doc
+module Loader = Ppfx_shred.Loader
+module Session = Ppfx_service.Session
+module Metrics = Ppfx_service.Metrics
+module Xmark = Ppfx_workloads.Xmark
+module Wire = Ppfx_net.Wire
+module Server = Ppfx_net.Server
+module Client = Ppfx_client.Client
+module Pool = Ppfx_client.Pool
+module Row = Ppfx_client.Row
+
+let store =
+  let doc = Doc.of_tree (Xmark.generate ~items_per_region:3 ()) in
+  Loader.shred (Xmark.schema ()) doc
+
+let factory () = Server.session_executor (Session.create store)
+
+let with_server ?(config = Server.default_config) f =
+  let server = Server.start ~config factory in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let with_client server f =
+  let c = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* ------------------------------------------------------------------ *)
+(* Result identity vs the in-process session                           *)
+(* ------------------------------------------------------------------ *)
+
+let workload_identical () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let session = Session.create store in
+  List.iter
+    (fun (name, q) ->
+      Alcotest.(check (list int))
+        (name ^ " over the wire = in-process")
+        (Session.run_ids session q) (Client.run_ids c q))
+    Xmark.queries
+
+let rows_identical_windowed () =
+  (* A 2-row fetch window forces the Execute/Fetch/more loop; the
+     reassembled result must still equal the in-process one, row for
+     row, value for value. *)
+  with_server ~config:{ Server.default_config with fetch_window = 2 }
+  @@ fun server ->
+  with_client server @@ fun c ->
+  let session = Session.create store in
+  List.iter
+    (fun (name, q) ->
+      let wire = Client.run_result c q in
+      let local =
+        let p = Session.prepare session q in
+        match Session.sql p with
+        | None -> { Ppfx_minidb.Engine.columns = []; rows = [] }
+        | Some _ -> Session.execute session p
+      in
+      Alcotest.(check (list string))
+        (name ^ " columns") local.Ppfx_minidb.Engine.columns
+        wire.Ppfx_minidb.Engine.columns;
+      Alcotest.(check int)
+        (name ^ " row count")
+        (List.length local.Ppfx_minidb.Engine.rows)
+        (List.length wire.Ppfx_minidb.Engine.rows);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) (name ^ " row values") true
+            (Array.for_all2 Ppfx_minidb.Value.equal a b))
+        local.Ppfx_minidb.Engine.rows wire.Ppfx_minidb.Engine.rows)
+    [ "Q1", Xmark.query "Q1"; "Q3", Xmark.query "Q3"; "Q6", Xmark.query "Q6" ]
+
+let typed_rows () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let stmt = Client.prepare c (Xmark.query "Q1") in
+  let cols = Client.columns stmt in
+  Alcotest.(check bool) "has columns" true (cols <> []);
+  let first = (List.hd cols).Wire.name in
+  let rows = Client.execute c stmt in
+  Alcotest.(check bool) "has rows" true (rows <> []);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "first column is an int id" true
+        (Row.int_exn row first >= 0);
+      match Row.int row "no_such_column" with
+      | _ -> Alcotest.fail "missing column accepted"
+      | exception Row.No_column _ -> ())
+    rows;
+  Client.close_stmt c stmt
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: a pool of clients against one server                   *)
+(* ------------------------------------------------------------------ *)
+
+let concurrent_pool () =
+  with_server ~config:{ Server.default_config with workers = 2 }
+  @@ fun server ->
+  let session = Session.create store in
+  let expected =
+    List.map (fun (_, q) -> q, Session.run_ids session q) Xmark.queries
+  in
+  let pool = Pool.create ~size:4 ~port:(Server.port server) () in
+  let mismatches = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            List.iteri
+              (fun j (q, want) ->
+                if (i + j) mod 3 = 0 then ignore (Pool.with_conn pool Client.ping);
+                if Pool.run_ids pool q <> want then Atomic.incr mismatches)
+              expected)
+          ())
+  in
+  List.iter Thread.join threads;
+  Pool.close pool;
+  Alcotest.(check int) "every concurrent result identical" 0
+    (Atomic.get mismatches);
+  let m = Server.metrics server in
+  Alcotest.(check bool) "connections were pooled" true (Metrics.accepted m <= 4);
+  Alcotest.(check bool) "traffic counted" true
+    (Metrics.bytes_in m > 0 && Metrics.bytes_out m > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Error containment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let query_error_keeps_connection () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  (match Client.run_ids c "//a[" with
+   | _ -> Alcotest.fail "malformed XPath accepted"
+   | exception Client.Server_error { code = Wire.Parse_error; _ } -> ());
+  (match Client.prepare c (Xmark.query "QA") with
+   | stmt -> Client.close_stmt c stmt
+   | exception Client.Server_error { code = Wire.Unsupported; _ } -> ());
+  (* The connection survived both failures. *)
+  Client.ping c;
+  Alcotest.(check bool) "still serves queries" true
+    (Client.run_ids c (Xmark.query "Q1") <> [])
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  ignore
+    (Wire.send_request fd
+       (Wire.Hello { version = Wire.protocol_version; client = "raw" }));
+  (match Wire.recv_response fd with
+   | Some (Wire.Welcome _) -> ()
+   | _ -> Alcotest.fail "no Welcome on raw connection");
+  fd
+
+let malformed_frame_isolated () =
+  with_server @@ fun server ->
+  with_client server @@ fun healthy ->
+  let fd = raw_connect (Server.port server) in
+  (* A frame with an unknown tag: the offending connection gets a
+     Protocol error frame and is closed... *)
+  ignore (Wire.write_frame fd "\x50\xde\xad\xbe\xef");
+  (match Wire.recv_response fd with
+   | Some (Wire.Error { code = Wire.Protocol; _ }) -> ()
+   | Some _ -> Alcotest.fail "expected a Protocol error frame"
+   | None -> Alcotest.fail "connection closed without an error frame");
+  (match Wire.recv_response fd with
+   | None -> ()
+   | Some _ -> Alcotest.fail "connection not closed after protocol error"
+   | exception Wire.Codec Wire.Truncated -> ());
+  Unix.close fd;
+  (* ...while every other connection keeps serving. *)
+  Client.ping healthy;
+  Alcotest.(check bool) "other connections unaffected" true
+    (Client.run_ids healthy (Xmark.query "Q1") <> []);
+  (* And new connections are still accepted. *)
+  with_client server @@ fun fresh -> Client.ping fresh
+
+let abrupt_disconnect_isolated () =
+  with_server @@ fun server ->
+  with_client server @@ fun healthy ->
+  (* Kill a connection mid-request: send Execute for a prepared
+     statement and slam the socket shut without reading. *)
+  let fd = raw_connect (Server.port server) in
+  ignore (Wire.send_request fd (Wire.Prepare { query = Xmark.query "Q1" }));
+  (match Wire.recv_response fd with
+   | Some (Wire.Prepared { stmt; _ }) ->
+     ignore (Wire.send_request fd (Wire.Execute { stmt; window = 0 }))
+   | _ -> Alcotest.fail "prepare failed");
+  Unix.close fd;
+  (* The server must absorb the dead peer (EPIPE/ECONNRESET on its
+     pending write) and keep everyone else alive. *)
+  Client.ping healthy;
+  Alcotest.(check bool) "server survives dead peers" true
+    (Client.run_ids healthy (Xmark.query "Q3") <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let connection_admission () =
+  with_server ~config:{ Server.default_config with max_connections = 1 }
+  @@ fun server ->
+  with_client server @@ fun first ->
+  (match Client.connect ~port:(Server.port server) () with
+   | c ->
+     Client.close c;
+     Alcotest.fail "second connection accepted over max_connections"
+   | exception Client.Server_error { code = Wire.Admission; _ } -> ());
+  (* The admitted connection is unaffected by the rejection. *)
+  Client.ping first;
+  let m = Server.metrics server in
+  Alcotest.(check int) "one accepted" 1 (Metrics.accepted m);
+  Alcotest.(check bool) "rejection counted" true (Metrics.rejected m >= 1);
+  (* Closing the admitted connection frees the slot. *)
+  Client.close first;
+  let rec retry n =
+    match Client.connect ~port:(Server.port server) () with
+    | c -> Client.close c
+    | exception Client.Server_error { code = Wire.Admission; _ } when n > 0 ->
+      Thread.delay 0.05;
+      retry (n - 1)
+  in
+  retry 40
+
+let request_admission () =
+  (* queue_depth 0: every request is turned away at the dispatch queue —
+     including the handshake — but the TCP accept itself succeeded, so
+     the rejection is request-level (accepted=1, not 0). *)
+  with_server ~config:{ Server.default_config with queue_depth = 0 }
+  @@ fun server ->
+  (match Client.connect ~port:(Server.port server) () with
+   | c ->
+     Client.close c;
+     Alcotest.fail "request admitted through a zero-depth queue"
+   | exception Client.Server_error { code = Wire.Admission; _ } -> ());
+  let m = Server.metrics server in
+  Alcotest.(check int) "connection was accepted" 1 (Metrics.accepted m);
+  Alcotest.(check bool) "request rejected" true (Metrics.rejected m >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown drain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shutdown_drains () =
+  let server = Server.start factory in
+  let fd = raw_connect (Server.port server) in
+  ignore (Wire.send_request fd (Wire.Prepare { query = Xmark.query "Q1" }));
+  let stmt =
+    match Wire.recv_response fd with
+    | Some (Wire.Prepared { stmt; _ }) -> stmt
+    | _ -> Alcotest.fail "prepare failed"
+  in
+  (* Fire the request and only then stop the server: the response must
+     still arrive (drained), followed by Bye. *)
+  ignore (Wire.send_request fd (Wire.Execute { stmt; window = 0 }));
+  let stopper = Thread.create (fun () -> Server.stop server) () in
+  (match Wire.recv_response fd with
+   | Some (Wire.Rows { rows; more; _ }) ->
+     Alcotest.(check bool) "in-flight request completed" true (rows <> []);
+     Alcotest.(check bool) "no dangling cursor" false more
+   | Some r ->
+     Alcotest.failf "expected Rows, got %s"
+       (match r with
+        | Wire.Error { message; _ } -> "Error: " ^ message
+        | Wire.Bye -> "Bye"
+        | _ -> "other")
+   | None -> Alcotest.fail "connection closed before the response");
+  (match Wire.recv_response fd with
+   | Some Wire.Bye | None -> ()
+   | Some _ -> Alcotest.fail "expected Bye after drain"
+   | exception Wire.Codec Wire.Truncated -> ());
+  Thread.join stopper;
+  Unix.close fd;
+  (* stop is idempotent. *)
+  Server.stop server
+
+let stopped_server_refuses () =
+  let server = Server.start factory in
+  let port = Server.port server in
+  Server.stop server;
+  match Client.connect ~port () with
+  | c ->
+    Client.close c;
+    Alcotest.fail "stopped server accepted a connection"
+  | exception _ -> ()
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "XMark workload over the wire" `Quick
+            workload_identical;
+          Alcotest.test_case "windowed fetch reassembles rows" `Quick
+            rows_identical_windowed;
+          Alcotest.test_case "typed row accessors" `Quick typed_rows;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "8 threads through a 4-conn pool" `Quick
+            concurrent_pool ] );
+      ( "containment",
+        [
+          Alcotest.test_case "query errors keep the connection" `Quick
+            query_error_keeps_connection;
+          Alcotest.test_case "malformed frame kills only its connection" `Quick
+            malformed_frame_isolated;
+          Alcotest.test_case "abrupt disconnect mid-request" `Quick
+            abrupt_disconnect_isolated;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "connection-level" `Quick connection_admission;
+          Alcotest.test_case "request-level" `Quick request_admission;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "drains in-flight requests" `Quick shutdown_drains;
+          Alcotest.test_case "stopped server refuses" `Quick
+            stopped_server_refuses;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Wire codec properties: byte-identical round-trips for every message
+   shape, and the typed rejections — truncated payloads, trailing bytes,
+   unknown tags, oversized length prefixes — that keep the decoder from
+   ever reading past the declared frame. *)
+
+module Wire = Ppfx_net.Wire
+module Value = Ppfx_minidb.Value
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_bytes n = QCheck.Gen.(string_size (0 -- n))
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) float;
+        map (fun s -> Value.Str s) (gen_bytes 20);
+        map (fun s -> Value.Bin s) (gen_bytes 20);
+      ])
+
+let gen_row = QCheck.Gen.(map Array.of_list (list_size (0 -- 6) gen_value))
+
+let gen_column =
+  QCheck.Gen.(
+    map2
+      (fun name ty -> { Wire.name; ty })
+      (gen_bytes 12)
+      (oneofl [ Wire.Tany; Wire.Tint; Wire.Tfloat; Wire.Ttext; Wire.Tbin ]))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun version client -> Wire.Hello { version; client })
+          small_nat (gen_bytes 16);
+        map (fun query -> Wire.Prepare { query }) (gen_bytes 64);
+        map2 (fun stmt window -> Wire.Execute { stmt; window }) small_nat small_nat;
+        map2 (fun stmt window -> Wire.Fetch { stmt; window }) small_nat small_nat;
+        map (fun stmt -> Wire.Close_stmt { stmt }) small_nat;
+        return Wire.Ping;
+        return Wire.Quit;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun version server shards -> Wire.Welcome { version; server; shards })
+          small_nat (gen_bytes 16) small_nat;
+        map
+          (fun (stmt, columns, empty, sql) ->
+            Wire.Prepared { stmt; columns; empty; sql })
+          (quad small_nat
+             (list_size (0 -- 5) gen_column)
+             bool
+             (option (gen_bytes 40)));
+        map3
+          (fun stmt rows more -> Wire.Rows { stmt; rows; more })
+          small_nat
+          (list_size (0 -- 5) gen_row)
+          bool;
+        map (fun stmt -> Wire.Closed { stmt }) small_nat;
+        return Wire.Pong;
+        map2
+          (fun code message -> Wire.Error { code; message })
+          (oneofl
+             [
+               Wire.Protocol; Wire.Parse_error; Wire.Unsupported; Wire.Runtime;
+               Wire.Admission; Wire.Bad_statement; Wire.Version_mismatch;
+               Wire.Shutting_down;
+             ])
+          (gen_bytes 32);
+        return Wire.Bye;
+      ])
+
+let request_arb = QCheck.make ~print:(fun _ -> "<request>") gen_request
+let response_arb = QCheck.make ~print:(fun _ -> "<response>") gen_response
+
+(* ------------------------------------------------------------------ *)
+(* Round trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-identical re-encode: decode-then-encode reproduces the exact
+   payload (structural comparison would be weaker — Float NaN cells
+   compare unequal to themselves, while their byte image is stable). *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request decode/encode is byte-identical"
+    request_arb (fun req ->
+      let p = Wire.request_payload req in
+      let req' = Wire.request_of_payload p in
+      req' = req && String.equal (Wire.request_payload req') p)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response decode/encode is byte-identical"
+    response_arb (fun resp ->
+      let p = Wire.response_payload resp in
+      String.equal (Wire.response_payload (Wire.response_of_payload p)) p)
+
+(* ------------------------------------------------------------------ *)
+(* Rejections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_truncated =
+  QCheck.Test.make ~count:500
+    ~name:"every strict prefix of a response payload is Truncated"
+    QCheck.(pair response_arb (0 -- 1000))
+    (fun (resp, k) ->
+      let p = Wire.response_payload resp in
+      let k = k mod max 1 (String.length p) in
+      match Wire.response_of_payload (String.sub p 0 k) with
+      | _ -> false
+      | exception Wire.Codec Wire.Truncated -> true
+      | exception Wire.Codec _ -> false)
+
+let prop_trailing =
+  QCheck.Test.make ~count:300 ~name:"payloads with trailing bytes are rejected"
+    request_arb (fun req ->
+      let p = Wire.request_payload req ^ "\x00" in
+      match Wire.request_of_payload p with
+      | _ -> false
+      | exception Wire.Codec (Wire.Trailing 1) -> true
+      | exception Wire.Codec _ -> false)
+
+let prop_frame_extraction =
+  QCheck.Test.make ~count:300
+    ~name:"extract_frame stops at the length prefix, never reads past it"
+    QCheck.(pair response_arb (QCheck.make (gen_bytes 16)))
+    (fun (resp, garbage) ->
+      let p = Wire.response_payload resp in
+      let frame = Wire.frame_of_payload p in
+      let buf = Bytes.of_string (frame ^ garbage) in
+      (* A complete frame followed by junk: exactly the frame is consumed. *)
+      (match Wire.extract_frame buf ~off:0 ~len:(Bytes.length buf) with
+       | Some (payload, consumed) ->
+         String.equal payload p && consumed = String.length frame
+       | None -> false)
+      (* Any window shorter than the frame: need more bytes, no error. *)
+      && (String.length frame < 2
+          ||
+          let cut = String.length frame - 1 in
+          Wire.extract_frame (Bytes.of_string (String.sub frame 0 cut)) ~off:0
+            ~len:cut
+          = None))
+
+let bad_tag () =
+  let p = Wire.request_payload Wire.Ping in
+  let mangled = "\x50" ^ String.sub p 1 (String.length p - 1) in
+  (match Wire.request_of_payload mangled with
+   | _ -> Alcotest.fail "unknown tag accepted"
+   | exception Wire.Codec (Wire.Bad_tag 0x50) -> ());
+  match Wire.response_of_payload mangled with
+  | _ -> Alcotest.fail "unknown response tag accepted"
+  | exception Wire.Codec (Wire.Bad_tag 0x50) -> ()
+
+let oversized () =
+  (* A 4-byte prefix declaring a payload over the bound is rejected
+     before any payload byte exists. *)
+  let prefix = Bytes.of_string "\x00\x10\x00\x00" (* 1 MiB *) in
+  match Wire.extract_frame ~max_frame:1024 prefix ~off:0 ~len:4 with
+  | _ -> Alcotest.fail "oversized prefix accepted"
+  | exception Wire.Codec (Wire.Oversized n) ->
+    Alcotest.(check int) "declared length" 0x100000 n
+
+let frame_layout () =
+  Alcotest.(check string) "length prefix is 4-byte big-endian"
+    "\x00\x00\x00\x03abc"
+    (Wire.frame_of_payload "abc");
+  Alcotest.(check string) "Ping is tag 0x06" "\x06"
+    (Wire.request_payload Wire.Ping);
+  Alcotest.(check string) "Bye is tag 0x87" "\x87"
+    (Wire.response_payload Wire.Bye)
+
+let version_pinned () =
+  Alcotest.(check int) "protocol version" 1 Wire.protocol_version
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "roundtrip",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_request_roundtrip; prop_response_roundtrip ] );
+      ( "rejection",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_truncated; prop_trailing; prop_frame_extraction ]
+        @ [
+            Alcotest.test_case "bad tag" `Quick bad_tag;
+            Alcotest.test_case "oversized prefix" `Quick oversized;
+          ] );
+      ( "layout",
+        [
+          Alcotest.test_case "frame layout" `Quick frame_layout;
+          Alcotest.test_case "version" `Quick version_pinned;
+        ] );
+    ]
