@@ -26,6 +26,11 @@
                 generator — latency percentiles from scheduled arrival
                 at >= 32 concurrent connections, plus an overload point
                 where admission control rejects (beyond the paper)
+   - write    : lib/update subtree mutations — mutations/sec by subtree
+                size, plan-cache retention under a 90/10 read/write mix
+                (fine-grained vs whole-epoch invalidation), and ORDPATH
+                label growth under adversarial front inserts (beyond
+                the paper)
 
    Usage: dune exec bench/main.exe -- [section ...] [options]
    Options: --small N (items/region, default 50)
@@ -571,7 +576,8 @@ module Cluster = Ppfx_cluster.Cluster
 let cluster_bench () =
   current_section := "cluster";
   print_endline "\n== Cluster: shard-count scaling, scatter-gather (XPathMark) ==";
-  let doc = Doc.of_tree (Xmark.generate ~items_per_region:config.small ()) in
+  let tree = Xmark.generate ~items_per_region:config.small () in
+  let doc = Doc.of_tree tree in
   let schema = Xmark.schema () in
   let dataset = Printf.sprintf "XMark (%d elements)" (Doc.size doc) in
   let shard_counts = [ 1; 2; 4; 8 ] in
@@ -581,7 +587,7 @@ let cluster_bench () =
   let clusters =
     List.map
       (fun n ->
-        let c = Cluster.create ~shards:n schema [ doc ] in
+        let c = Cluster.create ~shards:n schema [ tree ] in
         Printf.printf "shards=%d: partition %s\n" n
           (String.concat " "
              (Array.to_list (Array.map string_of_int (Cluster.partition_counts c))));
@@ -970,6 +976,183 @@ let net () =
   Server.stop overload
 
 (* ------------------------------------------------------------------ *)
+(* Write path: mutation throughput, plan retention, label growth       *)
+(* ------------------------------------------------------------------ *)
+
+module Update = Ppfx_update.Update
+module Xtree = Ppfx_xml.Tree
+
+(* Three measurements of the lib/update write path:
+   - mutations/sec by subtree size (text patch, small fragment insert,
+     full item-subtree insert, subtree delete);
+   - a 90/10 read/write mix over a warm session: plan-cache retention
+     with fine-grained invalidation vs the whole-epoch baseline (the
+     optimization off), from the plans-retained / plans-invalidated
+     session counters;
+   - label-length growth under adversarial front inserts — every insert
+     lands before the current first child, the worst case for ORDPATH
+     caret labels (existing labels never move; only new ones grow). *)
+let write_bench () =
+  current_section := "write";
+  print_endline "\n== Write path: ORDPATH subtree mutations (XMark) ==";
+  let tree = Xmark.generate ~items_per_region:config.small () in
+  let schema = Xmark.schema () in
+  let dataset =
+    Printf.sprintf "XMark (%d elements)" (Xtree.count_elements tree)
+  in
+  let by_tag u tag =
+    Hashtbl.fold
+      (fun id _ acc ->
+        if String.equal (Update.node_tag u id) tag then id :: acc else acc)
+      (Update.ranks u) []
+  in
+  (* First subtree with the given root tag, paired with its parent's
+     tag, so the clone can be re-inserted at a conforming position. *)
+  let find_fragment tag =
+    let rec go ptag = function
+      | Xtree.Text _ -> None
+      | Xtree.Element { tag = t; children; _ } as e ->
+        if String.equal t tag && ptag <> None then
+          Some (Option.get ptag, e)
+        else
+          List.fold_left
+            (fun acc c -> match acc with Some _ -> acc | None -> go (Some t) c)
+            None children
+    in
+    match go None tree with
+    | Some p -> p
+    | None -> failwith ("write_bench: no <" ^ tag ^ "> in the document")
+  in
+  (* (a) mutation throughput by subtree size *)
+  let u = Update.create schema [ tree ] in
+  let n_ops = max 50 (config.reps * 50) in
+  let bench_ops name ~elems f =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n_ops - 1 do
+      f i
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let rate = float_of_int n_ops /. dt in
+    Printf.printf "  %-30s %10.0f mutations/s  (subtree = %d elements)\n" name
+      rate elems;
+    record ~dataset ~query:name ~engine:"update" ~nodes:elems
+      ~seconds:(dt /. float_of_int n_ops)
+      ~extra:(Printf.sprintf "\"ops\":%d,\"mutations_per_sec\":%.1f" n_ops rate)
+      ()
+  in
+  let cities = Array.of_list (by_tag u "city") in
+  bench_ops "set-text" ~elems:1 (fun i ->
+      ignore
+        (Update.exec u
+           (Update.Set_text
+              { target = cities.(i mod Array.length cities);
+                text = Printf.sprintf "c%d" i })));
+  let people = List.hd (by_tag u "people") in
+  let person_frag =
+    Ppfx_xml.Parser.parse
+      {|<person id="wb"><name>w</name><emailaddress>mailto:w@b</emailaddress></person>|}
+  in
+  bench_ops "insert-small-fragment"
+    ~elems:(Xtree.count_elements person_frag)
+    (fun _ ->
+      ignore
+        (Update.exec u
+           (Update.Insert_subtree
+              { parent = people; before = None; fragment = person_frag })));
+  let item_ptag, item_frag = find_fragment "item" in
+  let item_parent = List.hd (by_tag u item_ptag) in
+  let inserted_items = ref [] in
+  bench_ops "insert-item-subtree"
+    ~elems:(Xtree.count_elements item_frag)
+    (fun _ ->
+      ignore
+        (Update.exec u
+           (Update.Insert_subtree
+              { parent = item_parent; before = None; fragment = item_frag }));
+      match List.rev (Update.node_children u item_parent) with
+      | last :: _ -> inserted_items := last :: !inserted_items
+      | [] -> ());
+  bench_ops "delete-item-subtree"
+    ~elems:(Xtree.count_elements item_frag)
+    (fun _ ->
+      match !inserted_items with
+      | id :: rest ->
+        inserted_items := rest;
+        ignore (Update.exec u (Update.Delete_subtree { target = id }))
+      | [] -> ());
+  (* (b) 90/10 read/write mix: plan retention vs whole-epoch *)
+  let mixed fine_grained =
+    let u = Update.create schema [ tree ] in
+    let session = Session.create ~fine_grained (Update.store u) in
+    let m = Session.metrics session in
+    (* Reads whose path footprints are disjoint from the city-text
+       writes below — the workload where fine-grained invalidation
+       should shine. (Q13 `//*[@id]` would legitimately re-plan every
+       time: its footprint covers all paths.) *)
+    let reads =
+      [| Xmark.query "Q1"; Xmark.query "Q6"; Xmark.query "Q2" |]
+    in
+    let cities = Array.of_list (by_tag u "city") in
+    let iters = max 20 (config.reps * 10) in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to iters - 1 do
+      for r = 0 to 8 do
+        ignore (Session.run_ids session reads.((i + r) mod Array.length reads))
+      done;
+      ignore
+        (Update.exec u
+           (Update.Set_text
+              { target = cities.(i mod Array.length cities);
+                text = Printf.sprintf "w%d" i }))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let retained = Metrics.retained m and inval = Metrics.invalidations m in
+    let total = retained + inval in
+    let retention =
+      if total = 0 then 0.0 else float_of_int retained /. float_of_int total
+    in
+    Printf.printf
+      "  %-30s retained %4d, re-planned %4d -> %5.1f%% retention  (%.2f s)\n"
+      (if fine_grained then "fine-grained invalidation" else "whole-epoch invalidation")
+      retained inval (100. *. retention) dt;
+    record ~dataset ~query:"mixed-90-10"
+      ~engine:(if fine_grained then "fine-grained" else "whole-epoch")
+      ~nodes:(iters * 10) ~seconds:dt
+      ~extra:
+        (Printf.sprintf "\"retained\":%d,\"invalidated\":%d,\"retention\":%.4f"
+           retained inval retention)
+      ()
+  in
+  print_endline "  90/10 read/write mix over a warm session:";
+  mixed true;
+  mixed false;
+  (* (c) adversarial label growth: always insert before the first child *)
+  let u = Update.create schema [ tree ] in
+  let text_el = List.hd (by_tag u "text") in
+  let base_len = Update.max_label_len u in
+  let keyword = Ppfx_xml.Parser.parse "<keyword>w</keyword>" in
+  Printf.printf
+    "  adversarial front inserts under one <text> (base max label %d bytes):\n"
+    base_len;
+  let total = 64 in
+  for i = 1 to total do
+    let before =
+      match Update.node_children u text_el with [] -> None | k :: _ -> Some k
+    in
+    ignore
+      (Update.exec u
+         (Update.Insert_subtree { parent = text_el; before; fragment = keyword }));
+    if i land (i - 1) = 0 || i = total then begin
+      let len = Update.max_label_len u in
+      Printf.printf "    after %3d inserts: max label %3d bytes\n" i len;
+      record ~dataset ~query:"adversarial-front-insert" ~engine:"update"
+        ~nodes:i ~seconds:nan
+        ~extra:(Printf.sprintf "\"max_label_bytes\":%d,\"base_label_bytes\":%d" len base_len)
+        ()
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1068,6 +1251,7 @@ let () =
   if wants "service" then service ();
   if wants "cluster" then cluster_bench ();
   if wants "engine" then engine_bench ();
+  if wants "write" then write_bench ();
   if wants "net" then net ();
   if wants "micro" then micro ();
   write_json ()

@@ -28,6 +28,7 @@ module Batch = Ppfx_service.Batch
 module Metrics = Ppfx_service.Metrics
 module Cluster = Ppfx_cluster.Cluster
 module Server = Ppfx_net.Server
+module Update = Ppfx_update.Update
 
 let read_file path =
   let ic = open_in_bin path in
@@ -91,6 +92,9 @@ let handle_errors f =
     exit 1
   | Loader.Rejected msg ->
     Printf.eprintf "document rejected: %s\n" msg;
+    exit 1
+  | Update.Update_error msg ->
+    Printf.eprintf "update error: %s\n" msg;
     exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -436,7 +440,7 @@ let serve_cmd =
                  stream through Fetch.")
   in
   let serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
-      ~no_metrics doc =
+      ~no_metrics ~tree doc =
     let queries =
       match queries_path with
       | Some path -> Batch.parse_queries (read_file path)
@@ -472,13 +476,13 @@ let serve_cmd =
     end
     else
       Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options ~shards
-        schema [ doc ]
+        schema [ tree ]
         (fun cluster ->
           serve_rounds (Cluster.run_ids cluster) (Cluster.metrics cluster)
             (Cluster.shard_metrics cluster))
   in
   let serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
-      ~shards ~pool ~options ~schema ~no_metrics doc =
+      ~shards ~pool ~options ~schema ~no_metrics ~tree doc =
     let config =
       { Server.default_config with
         host; port; workers;
@@ -509,12 +513,18 @@ let serve_cmd =
     in
     if shards = 1 then begin
       let store = Loader.shred schema doc in
+      (* One shared write path (shadow forest + commit lock) behind the
+         worker domains' private read sessions: Update requests stage
+         through it, and the store's fine-grained commit log lets each
+         session retain footprint-disjoint prepared plans. *)
+      let write_path = (Mutex.create (), Update.of_store store [ tree ]) in
       start_and_wait (fun () ->
-          Server.session_executor (Session.create ~cache_capacity:cache ~options store))
+          Server.session_executor ~update:write_path
+            (Session.create ~cache_capacity:cache ~options store))
     end
     else
       Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options ~shards
-        schema [ doc ]
+        schema [ tree ]
         (fun cluster ->
           let lock = Mutex.create () in
           start_and_wait (fun () -> Server.cluster_executor lock cluster))
@@ -534,7 +544,8 @@ let serve_cmd =
     if window < 1 then (
       Printf.eprintf "--window must be at least 1 (got %d)\n" window;
       exit 1);
-    let doc = load_doc doc_path in
+    let tree = Ppfx_xml.Parser.parse (read_file doc_path) in
+    let doc = Doc.of_tree tree in
     let schema = schema_of ~schema_path doc in
     let options =
       if no_opt then { Translate.default_options with omit_path_filters = false }
@@ -542,10 +553,10 @@ let serve_cmd =
     in
     if stdio then
       serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
-        ~no_metrics doc
+        ~no_metrics ~tree doc
     else
       serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
-        ~shards ~pool ~options ~schema ~no_metrics doc
+        ~shards ~pool ~options ~schema ~no_metrics ~tree doc
   in
   let term =
     Term.(
@@ -565,6 +576,135 @@ let serve_cmd =
              across a shard domain pool. --stdio instead answers a batch of \
              queries from stdin/--queries through one in-process session and \
              exits, dumping serving metrics.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* update: one-shot subtree mutation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let update_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ "insert", `Insert; "delete", `Delete; "replace", `Replace;
+                  "set-attr", `Set_attr; "set-text", `Set_text ]))
+          None
+      & info [] ~docv:"OP"
+          ~doc:"insert, delete, replace, set-attr or set-text.")
+  in
+  let target_arg =
+    Arg.(value & opt (some int) None & info [ "target" ] ~docv:"ID"
+           ~doc:"Element id the mutation applies to (delete, replace, \
+                 set-attr, set-text).")
+  in
+  let parent_arg =
+    Arg.(value & opt (some int) None & info [ "parent" ] ~docv:"ID"
+           ~doc:"Parent element id (insert).")
+  in
+  let before_arg =
+    Arg.(value & opt (some int) None & info [ "before" ] ~docv:"ID"
+           ~doc:"Existing child element to insert immediately before \
+                 (insert; appended as last child if omitted).")
+  in
+  let fragment_arg =
+    Arg.(value & opt (some string) None & info [ "fragment" ] ~docv:"XML"
+           ~doc:"XML fragment to splice (insert, replace). Must conform \
+                 to the schema at the target position.")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+           ~doc:"Attribute name (set-attr).")
+  in
+  let value_arg =
+    Arg.(value & opt (some string) None & info [ "value" ] ~docv:"VALUE"
+           ~doc:"Attribute value (set-attr; omitting it removes the \
+                 attribute).")
+  in
+  let text_arg =
+    Arg.(value & opt (some string) None & info [ "text" ] ~docv:"TEXT"
+           ~doc:"New direct text content (set-text).")
+  in
+  let query_opt_arg =
+    Arg.(value & opt (some string) None & info [ "query" ] ~docv:"XPATH"
+           ~doc:"XPath query to run against the mutated store afterwards.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the mutated document back out as XML.")
+  in
+  let run doc_path schema_path kind target parent before fragment name value
+      text query out =
+    handle_errors @@ fun () ->
+    let need what = function
+      | Some v -> v
+      | None ->
+        Printf.eprintf "--%s is required for this operation\n" what;
+        exit 1
+    in
+    let frag () = Ppfx_xml.Parser.parse (need "fragment" fragment) in
+    let op =
+      match kind with
+      | `Insert ->
+        Update.Insert_subtree
+          { parent = need "parent" parent; before; fragment = frag () }
+      | `Delete -> Update.Delete_subtree { target = need "target" target }
+      | `Replace ->
+        Update.Replace_subtree
+          { target = need "target" target; fragment = frag () }
+      | `Set_attr ->
+        Update.Set_attribute
+          { target = need "target" target; name = need "name" name; value }
+      | `Set_text ->
+        Update.Set_text { target = need "target" target; text = need "text" text }
+    in
+    let tree = Ppfx_xml.Parser.parse (read_file doc_path) in
+    let doc = Doc.of_tree tree in
+    let schema = schema_of ~schema_path doc in
+    let u = Update.create schema [ tree ] in
+    let o = Update.exec u op in
+    Printf.printf
+      "rows: +%d inserted, %d updated, -%d deleted; paths: +%d/-%d; %d live \
+       elements, max label %d bytes\n"
+      o.Update.inserted o.Update.updated o.Update.deleted o.Update.new_paths
+      o.Update.dead_paths (Update.size u)
+      (Update.max_label_len u);
+    (match query with
+     | None -> ()
+     | Some q ->
+       let session = Session.create (Update.store u) in
+       let ids = Session.run_ids session q in
+       Printf.printf "%d nodes: %s\n" (List.length ids)
+         (String.concat " " (List.map string_of_int ids)));
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun t -> Ppfx_xml.Printer.to_channel ~indent:2 oc t)
+            (Update.current_trees u));
+      Printf.printf "wrote %s\n" path
+  in
+  let term =
+    Term.(
+      const run $ doc_arg $ schema_arg $ kind_arg $ target_arg $ parent_arg
+      $ before_arg $ fragment_arg $ name_arg $ value_arg $ text_arg
+      $ query_opt_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply one subtree mutation to a document's relational store \
+             without re-shredding: fragments get ORDPATH caret labels \
+             between their siblings, the Paths dimension is maintained \
+             incrementally, and the commit is logged fine-grained for \
+             prepared-plan revalidation. Prints the changeset row counts; \
+             --query then runs an XPath query against the mutated store, \
+             --output writes the mutated document back out.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -617,4 +757,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; run_cmd; explain_cmd; stats_cmd; gen_cmd; shred_cmd; sql_cmd;
-            serve_cmd; query_cmd ]))
+            update_cmd; serve_cmd; query_cmd ]))

@@ -144,3 +144,29 @@ let run_result ?window t query =
     (fun () -> execute_result ?window t s)
 
 let run_ids t query = Translate.result_ids (run_result t query)
+
+type update_outcome = {
+  inserted : int;
+  updated : int;
+  deleted : int;
+  new_paths : int;
+  dead_paths : int;
+}
+
+let update t op =
+  match request t (Wire.Update { op }) with
+  | Wire.Updated { inserted; updated; deleted; new_paths; dead_paths } ->
+    { inserted; updated; deleted; new_paths; dead_paths }
+  | _ -> unexpected "Update"
+
+let insert t ~parent ?before fragment =
+  update t (Wire.Op_insert { parent; before; fragment })
+
+let delete t ~target = update t (Wire.Op_delete { target })
+
+let replace t ~target fragment = update t (Wire.Op_replace { target; fragment })
+
+let set_attribute t ~target ~name value =
+  update t (Wire.Op_set_attr { target; name; value })
+
+let set_text t ~target text = update t (Wire.Op_set_text { target; text })

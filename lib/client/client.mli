@@ -69,3 +69,34 @@ val run_result : ?window:int -> t -> string -> Engine.result
 val run_ids : t -> string -> int list
 (** [run] projected to sorted distinct element ids — the wire-protocol
     equivalent of {!Ppfx_service.Session.run_ids}. *)
+
+(** {2 Mutations}
+
+    The wire [Update] request: one subtree mutation per round trip.
+    Invalid operations (unknown ids, non-conforming fragments) raise
+    {!Server_error} with code [Runtime]; malformed fragment XML raises
+    {!Server_error} with code [Parse_error]. The connection stays
+    usable after either. *)
+
+type update_outcome = {
+  inserted : int;
+  updated : int;
+  deleted : int;
+  new_paths : int;
+  dead_paths : int;
+}
+
+val update : t -> Wire.update_op -> update_outcome
+
+val insert : t -> parent:int -> ?before:int -> string -> update_outcome
+(** Insert fragment XML under [parent], before child [before] (element
+    id) or as the last child. *)
+
+val delete : t -> target:int -> update_outcome
+
+val replace : t -> target:int -> string -> update_outcome
+
+val set_attribute : t -> target:int -> name:string -> string option -> update_outcome
+(** [None] removes the attribute. *)
+
+val set_text : t -> target:int -> string -> update_outcome

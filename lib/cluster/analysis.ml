@@ -98,34 +98,41 @@ let containment_between e lo hi =
     && is_dewey_col e
   | _ -> false
 
-let rec check_expr ~bfks (e : Sql.expr) =
+(* [neg] tracks boolean polarity: inside an odd number of NOTs. A
+   positive fk join to a replicated spine parent is shard-local — the
+   child row lives on exactly one shard next to one of the parent's
+   replicas, and the Dewey merge dedups the replicas a spine projection
+   emits. Under negation the same join is NOT shard-local: every shard
+   missing the child sees the (replicated) outer row as unmatched, so a
+   per-shard anti-join invents rows the single store rejects. *)
+let rec check_expr ~bfks ~neg (e : Sql.expr) =
   match e with
-  | Sql.Cmp (op, a, b) -> check_cmp ~bfks op a b
+  | Sql.Cmp (op, a, b) -> check_cmp ~bfks ~neg op a b
   | Sql.Between (e1, lo, hi) ->
     if containment_between e1 lo hi then ()
     else if mentions_dewey e1 || mentions_dewey lo || mentions_dewey hi then
       fail "non-containment dewey BETWEEN"
     else begin
-      check_value ~bfks e1;
-      check_value ~bfks lo;
-      check_value ~bfks hi
+      check_value ~bfks ~neg e1;
+      check_value ~bfks ~neg lo;
+      check_value ~bfks ~neg hi
     end
   | Sql.And (a, b) | Sql.Or (a, b) ->
-    check_expr ~bfks a;
-    check_expr ~bfks b
-  | Sql.Not a -> check_expr ~bfks a
+    check_expr ~bfks ~neg a;
+    check_expr ~bfks ~neg b
+  | Sql.Not a -> check_expr ~bfks ~neg:(not neg) a
   | Sql.Exists sel ->
     if Sql.free_aliases (Sql.Exists sel) = [] then
       fail "uncorrelated EXISTS (checks a global property per shard)"
-    else check_select ~bfks sel
+    else check_select ~bfks ~neg sel
   | Sql.Count_subquery _ -> fail "COUNT sub-query (counts rows per shard)"
-  | Sql.Regexp_like (a, _) | Sql.Is_not_null a -> check_value ~bfks a
+  | Sql.Regexp_like (a, _) | Sql.Is_not_null a -> check_value ~bfks ~neg a
   | Sql.Bool_const _ -> ()
   | Sql.Col _ | Sql.Const _ | Sql.Concat _ | Sql.Arith _ | Sql.To_number _
   | Sql.Length _ ->
-    check_value ~bfks e
+    check_value ~bfks ~neg e
 
-and check_cmp ~bfks op a b =
+and check_cmp ~bfks ~neg op a b =
   match a, b with
   | Sql.Col (x, ca), Sql.Col (y, cb) when not (String.equal x y) ->
     if String.equal ca dewey_column && String.equal cb dewey_column then
@@ -133,10 +140,16 @@ and check_cmp ~bfks op a b =
          recursive-containment join; those joins pin both aliases. *)
       ()
     else if op <> Sql.Eq then fail "cross-alias non-equality comparison"
-    else if String.equal ca "id" || String.equal cb "id" then
+    else if String.equal ca "id" || String.equal cb "id" then begin
       (* Foreign-key join: the parent side is in the same frontier
-         subtree or replicated (spine / Paths). *)
-      ()
+         subtree or replicated (spine / Paths). Under negation a join to
+         a replicated parent stops being shard-local — the anti-joined
+         child exists on one shard while the parent's replicas on every
+         other shard count as unmatched. *)
+      let fk = if String.equal ca "id" then cb else ca in
+      if neg && List.mem fk bfks then
+        fail "negated join through a replicated spine parent (per-shard anti-join is unsound)"
+    end
     else if List.mem ca bfks || List.mem cb bfks then
       fail "sibling join at a partition boundary (children of a spine element)"
     else if is_fk_column ca && is_fk_column cb then ()
@@ -151,26 +164,26 @@ and check_cmp ~bfks op a b =
       | _ :: _ :: _ -> fail "order-axis dewey comparison (following/preceding)"
     end
     else begin
-      check_value ~bfks a;
-      check_value ~bfks b
+      check_value ~bfks ~neg a;
+      check_value ~bfks ~neg b
     end
 
-and check_value ~bfks (e : Sql.expr) =
+and check_value ~bfks ~neg (e : Sql.expr) =
   match e with
   | Sql.Col _ | Sql.Const _ | Sql.Bool_const _ -> ()
   | Sql.Concat (a, b) | Sql.Arith (_, a, b) ->
-    check_value ~bfks a;
-    check_value ~bfks b
-  | Sql.To_number a | Sql.Length a -> check_value ~bfks a
+    check_value ~bfks ~neg a;
+    check_value ~bfks ~neg b
+  | Sql.To_number a | Sql.Length a -> check_value ~bfks ~neg a
   | Sql.Count_subquery _ -> fail "COUNT sub-query (counts rows per shard)"
   | Sql.Cmp _ | Sql.Between _ | Sql.And _ | Sql.Or _ | Sql.Not _
   | Sql.Regexp_like _ | Sql.Exists _ | Sql.Is_not_null _ ->
-    check_expr ~bfks e
+    check_expr ~bfks ~neg e
 
-and check_select ~bfks (sel : Sql.select) =
-  (match sel.Sql.where with None -> () | Some w -> check_expr ~bfks w);
-  List.iter (fun (e, _) -> check_value ~bfks e) sel.Sql.projections;
-  List.iter (fun e -> check_value ~bfks e) sel.Sql.order_by
+and check_select ~bfks ~neg (sel : Sql.select) =
+  (match sel.Sql.where with None -> () | Some w -> check_expr ~bfks ~neg w);
+  List.iter (fun (e, _) -> check_value ~bfks ~neg e) sel.Sql.projections;
+  List.iter (fun e -> check_value ~bfks ~neg e) sel.Sql.order_by
 
 (* ---- Order-axis decomposition ------------------------------------
 
@@ -351,7 +364,7 @@ let decompose ~bfks (sel : Sql.select) =
           order_by = List.map (fun (a, c) -> Sql.Col (a, c)) cols;
         }
       in
-      check_select ~bfks side_sel;
+      check_select ~bfks ~neg:false side_sel;
       ( {
           os_select = side_sel;
           os_key = 0;
@@ -429,8 +442,8 @@ let analyze ~boundary_fks (stmt : Sql.statement) =
   let check () =
     match stmt with
     | Sql.Select_count _ -> fail "top-level COUNT aggregates across shards"
-    | Sql.Select sel -> check_select ~bfks sel
-    | Sql.Union (branches, _) -> List.iter (check_select ~bfks) branches
+    | Sql.Select sel -> check_select ~bfks ~neg:false sel
+    | Sql.Union (branches, _) -> List.iter (check_select ~bfks ~neg:false) branches
   in
   match check () with
   | () ->

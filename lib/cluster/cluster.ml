@@ -1,7 +1,11 @@
 module Doc = Ppfx_xml.Doc
+module Tree = Ppfx_xml.Tree
 module Graph = Ppfx_schema.Graph
 module Mapping = Ppfx_shred.Mapping
 module Loader = Ppfx_shred.Loader
+module Update = Ppfx_update.Update
+module Btree = Ppfx_minidb.Btree
+module Value = Ppfx_minidb.Value
 module Engine = Ppfx_minidb.Engine
 module Sql = Ppfx_minidb.Sql
 module Database = Ppfx_minidb.Database
@@ -54,6 +58,7 @@ type scatter_stats = {
 
 type t = {
   session : Session.t;
+  update : Update.t;  (* the full store's write path (shadow forest) *)
   mutable shard_stores : Loader.t array;
   shard_metrics : Metrics.t array;
   partition_counts : int array;
@@ -70,12 +75,33 @@ type prepared = Session.prepared
 
 let partition_into ~counts stores doc =
   let nshards = Array.length stores in
-  let p = Partition.compute ~shards:nshards doc in
+  (* Deficit-aware: steer this document's frontier subtrees toward the
+     shards that are currently lightest, so repeated loads converge to
+     balance instead of compounding per-document rounding drift. *)
+  let p = Partition.compute ~current:counts ~shards:nshards doc in
   Array.iteri (fun s c -> counts.(s) <- counts.(s) + c) (Partition.counts p);
   ( Array.mapi
       (fun s store -> Loader.load ~keep:(Partition.keep p ~shard:s) store doc)
       stores,
     p )
+
+(* Live element rows per shard (Paths excluded): the balance gauge
+   surfaced through the session metrics after every load and routed
+   mutation. *)
+let shard_row_counts t =
+  Array.to_list
+    (Array.map
+       (fun (st : Loader.t) ->
+         List.fold_left
+           (fun acc tbl ->
+             if String.equal (Table.name tbl) Mapping.paths_table then acc
+             else acc + Table.live_count tbl)
+           0
+           (Database.tables st.Loader.db))
+       t.shard_stores)
+
+let refresh_shard_gauge t =
+  Metrics.set_shard_rows (Session.metrics t.session) (shard_row_counts t)
 
 (* The boundary set of one partitioned document: [<relation>_id] for
    every relation instantiated by a spine element. The root relation's
@@ -95,9 +121,10 @@ let boundary_fks_of full doc p =
   List.sort_uniq compare
     ((Mapping.relation full.Loader.mapping root_def ^ "_id") :: spine_fks)
 
-let create ?pool_size ?(cache_capacity = 256) ?options ~shards:nshards schema docs =
+let create ?pool_size ?(cache_capacity = 256) ?options ~shards:nshards schema trees =
   if nshards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
   let pool_size = match pool_size with Some n -> n | None -> nshards in
+  let docs = List.map Doc.of_tree trees in
   let mapping = Mapping.of_schema schema in
   let full = ref (Loader.create mapping) in
   let stores = ref (Array.init nshards (fun _ -> Loader.create mapping)) in
@@ -110,20 +137,27 @@ let create ?pool_size ?(cache_capacity = 256) ?options ~shards:nshards schema do
       stores := stores';
       bfks := List.sort_uniq compare (boundary_fks_of !full doc p @ !bfks))
     docs;
-  {
-    session = Session.create ~cache_capacity ?options !full;
-    shard_stores = !stores;
-    shard_metrics = Array.init nshards (fun _ -> Metrics.create ());
-    partition_counts = counts;
-    pool = Pool.create pool_size;
-    cache = Lru.create ~capacity:cache_capacity;
-    boundary_fks = !bfks;
-    nshards;
-    last = None;
-  }
+  let t =
+    {
+      session = Session.create ~cache_capacity ?options !full;
+      update = Update.of_store !full trees;
+      shard_stores = !stores;
+      shard_metrics = Array.init nshards (fun _ -> Metrics.create ());
+      partition_counts = counts;
+      pool = Pool.create pool_size;
+      cache = Lru.create ~capacity:cache_capacity;
+      boundary_fks = !bfks;
+      nshards;
+      last = None;
+    }
+  in
+  refresh_shard_gauge t;
+  t
 
-let load t doc =
+let load t tree =
+  let doc = Doc.of_tree tree in
   Session.load t.session doc;
+  Update.extend t.update (Session.store t.session) tree;
   let stores, p = partition_into ~counts:t.partition_counts t.shard_stores doc in
   t.shard_stores <- stores;
   let bfks =
@@ -136,7 +170,110 @@ let load t doc =
   if bfks <> t.boundary_fks then begin
     t.boundary_fks <- bfks;
     Lru.clear t.cache
+  end;
+  refresh_shard_gauge t
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Does this shard hold element [id]'s row in relation [rel]? Probes the
+   relation's id index (iter fallback for index-less tables). *)
+let shard_holds (st : Loader.t) rel id =
+  match Database.table_opt st.Loader.db rel with
+  | None -> false
+  | Some tbl -> (
+    match Table.index_on tbl [ "id" ] with
+    | Some tree -> Btree.find_equal tree [| Value.Int id |] <> []
+    | None ->
+      let found = ref false in
+      Table.iter_rows
+        (fun _ row -> if row.(0) = Value.Int id then found := true)
+        tbl;
+      !found)
+
+let holders t id =
+  match Update.node_relation t.update id with
+  | rel ->
+    let hs = ref [] in
+    Array.iteri
+      (fun s st -> if shard_holds st rel id then hs := s :: !hs)
+      t.shard_stores;
+    List.rev !hs
+  | exception Ppfx_update.Update.Update_error _ -> []
+
+let lightest t =
+  let counts = Array.of_list (shard_row_counts t) in
+  let best = ref 0 in
+  Array.iteri (fun s c -> if c < counts.(!best) then best := s) counts;
+  !best
+
+let add_boundary_fk t fk =
+  let bfks = List.sort_uniq compare (fk :: t.boundary_fks) in
+  if bfks <> t.boundary_fks then begin
+    t.boundary_fks <- bfks;
+    (* A grown boundary set can flip cached Partitionable verdicts. *)
+    Lru.clear t.cache
   end
+
+(* Which shard owns a changeset's new rows? Probe the splice point's
+   element-sibling anchors first (a non-replicated anchor pins the
+   subtree to its shard), then the parent. A parent replicated into
+   several shards is a spine element: the insert starts a fresh frontier
+   subtree, routed to the lightest shard — and its parent fk joins the
+   boundary set, because sibling joins under that spine now cross
+   shards. *)
+let owner_shard t (rt : Update.routing) =
+  let anchor_owner =
+    List.fold_left
+      (fun acc anchor ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match holders t anchor with [ s ] -> Some s | _ -> None))
+      None
+      (List.filter_map Fun.id [ rt.Update.rt_left; rt.Update.rt_right ])
+  in
+  match anchor_owner with
+  | Some s -> s
+  | None -> (
+    match holders t rt.Update.rt_parent with
+    | [ s ] -> s
+    | [] -> lightest t
+    | _ :: _ :: _ ->
+      Option.iter (fun (_, fkcol) -> add_boundary_fk t fkcol) rt.Update.rt_fk;
+      lightest t)
+
+let update t op =
+  let cs = Update.stage t.update op in
+  let owner =
+    let has_inserts =
+      List.exists
+        (function Update.Row_insert _ -> true | _ -> false)
+        cs.Update.cs_ops
+    in
+    match cs.Update.cs_routing with
+    | Some rt when has_inserts -> Some (owner_shard t rt)
+    | Some _ | None -> None
+  in
+  (* Coordinator first (it owns every row), then the shard replicas:
+     updates/deletes apply where the row lives, inserts only on the
+     owning shard. Each commit is logged fine-grained, so every store's
+     prepared plans revalidate by footprint intersection. *)
+  Update.commit (Update.db t.update) cs;
+  Array.iteri
+    (fun s (st : Loader.t) ->
+      let inserts = match owner with None -> true | Some o -> s = o in
+      Update.commit ~inserts st.Loader.db cs)
+    t.shard_stores;
+  let outcome = Update.outcome_of cs in
+  (match owner with
+   | Some s ->
+     t.partition_counts.(s) <-
+       t.partition_counts.(s) + outcome.Update.inserted
+   | None -> ());
+  refresh_shard_gauge t;
+  outcome
 
 let prepare t text = Session.prepare t.session text
 
@@ -198,6 +335,12 @@ let revalidate_plans t stmt plans =
         match plans.(s) with
         | None -> true
         | Some plan when Engine.plan_valid plan -> false
+        | Some plan when Engine.plan_compatible plan ->
+          (* The shard's epoch moved, but every commit since this plan was
+             prepared is footprint-disjoint from it (fine-grained write
+             path): keep the plan. *)
+          Metrics.incr_retained t.shard_metrics.(s);
+          false
         | Some _ ->
           Metrics.incr_invalidations t.shard_metrics.(s);
           true
@@ -354,8 +497,8 @@ let verdict t text =
 
 let close t = Pool.shutdown t.pool
 
-let with_cluster ?pool_size ?cache_capacity ?options ~shards schema docs f =
-  let t = create ?pool_size ?cache_capacity ?options ~shards schema docs in
+let with_cluster ?pool_size ?cache_capacity ?options ~shards schema trees f =
+  let t = create ?pool_size ?cache_capacity ?options ~shards schema trees in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let session t = t.session
@@ -373,3 +516,5 @@ let shard_stores t = Array.copy t.shard_stores
 let partition_counts t = Array.copy t.partition_counts
 
 let last_stats t = t.last
+
+let full_update t = t.update

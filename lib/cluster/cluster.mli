@@ -18,13 +18,14 @@
     the unsharded store. Either way the answer is exactly equal to
     single-store execution. *)
 
-module Doc = Ppfx_xml.Doc
+module Tree = Ppfx_xml.Tree
 module Graph = Ppfx_schema.Graph
 module Loader = Ppfx_shred.Loader
 module Translate = Ppfx_translate.Translate
 module Engine = Ppfx_minidb.Engine
 module Session = Ppfx_service.Session
 module Metrics = Ppfx_service.Metrics
+module Update = Ppfx_update.Update
 
 type t
 
@@ -34,19 +35,40 @@ val create :
   ?options:Translate.options ->
   shards:int ->
   Graph.t ->
-  Doc.t list ->
+  Tree.node list ->
   t
-(** Build the full store and [shards] shard stores from the documents.
-    [pool_size] defaults to [shards] worker domains; [0] executes tasks
-    inline on the caller (deterministic, for tests). [cache_capacity]
-    bounds both the session's translation cache and the cluster's
-    per-query routing cache (default 256). Raises [Invalid_argument]
-    when [shards < 1]. *)
+(** Build the full store and [shards] shard stores from the documents
+    (source trees — the cluster keeps the full store's write path, whose
+    shadow forest needs them). [pool_size] defaults to [shards] worker
+    domains; [0] executes tasks inline on the caller (deterministic, for
+    tests). [cache_capacity] bounds both the session's translation cache
+    and the cluster's per-query routing cache (default 256). Raises
+    [Invalid_argument] when [shards < 1]. *)
 
-val load : t -> Doc.t -> unit
+val load : t -> Tree.node -> unit
 (** Shred one more document into the full store and, partitioned, into
-    every shard store. Bumps every store's epoch: all cached plans
-    re-prepare on next use. *)
+    every shard store. Bulk loads are conservative: every store's epoch
+    bumps and all cached plans re-prepare on next use (mutations through
+    {!update} commit fine-grained instead). Same id-space restriction as
+    {!Update.load}: raises [Update_error] after a caret insert. *)
+
+val update : t -> Update.op -> Update.outcome
+(** Execute one subtree mutation cluster-wide. The changeset is staged
+    once against the full store's shadow, committed to the full store,
+    and replayed on every shard: updates and deletes apply wherever the
+    row lives (spine replicas included), inserts only on the {e owning}
+    shard — the shard holding the splice point's sibling anchors or
+    non-replicated parent, or the lightest shard when the parent is a
+    replicated spine element (the new frontier subtree's parent fk then
+    joins the boundary set). Every commit is logged fine-grained, so
+    prepared plans on all stores revalidate by footprint intersection
+    ([retained] vs [invalidations] in the metrics). Raises
+    {!Update.Update_error} on invalid operations. *)
+
+val shard_row_counts : t -> int list
+(** Live element rows per shard, [Paths] excluded — the balance gauge
+    (also pushed into {!metrics} as [shard_rows] after every load and
+    mutation). *)
 
 val close : t -> unit
 (** Shut the worker pool down (idempotent via {!Pool.shutdown}). *)
@@ -57,7 +79,7 @@ val with_cluster :
   ?options:Translate.options ->
   shards:int ->
   Graph.t ->
-  Doc.t list ->
+  Tree.node list ->
   (t -> 'a) ->
   'a
 (** [create] / run / [close], exception-safe. *)
@@ -111,3 +133,8 @@ val shard_metrics : t -> Metrics.t array
 val shard_stores : t -> Loader.t array
 val partition_counts : t -> int array
 (** Stored elements per shard (roots excluded), summed over documents. *)
+
+val full_update : t -> Update.t
+(** The full store's write path — exposes the shadow forest's
+    introspection ({!Update.ranks}, {!Update.current_trees}) for the
+    incremental-vs-reshred differential. *)

@@ -34,8 +34,16 @@ let replicated t = t.replicated
 
 let split_factor = 8
 
-let compute ~shards doc =
+let compute ?current ~shards doc =
   if shards < 1 then invalid_arg "Partition.compute: shards must be >= 1";
+  let current =
+    match current with
+    | None -> Array.make shards 0
+    | Some c ->
+      if Array.length c <> shards then
+        invalid_arg "Partition.compute: current has the wrong length";
+      c
+  in
   let n = Doc.size doc in
   (* Subtree sizes: preorder ids, so every child id exceeds its parent's
      and a reverse sweep accumulates bottom-up. *)
@@ -61,14 +69,30 @@ let compute ~shards doc =
   let units = Array.of_list (List.rev !units) in
   let nunits = Array.length units in
   let total = Array.fold_left (fun acc u -> acc + size.(u)) 0 units in
-  (* Greedy contiguous size-balanced grouping of the frontier. *)
+  (* Greedy contiguous size-balanced grouping of the frontier, deficit
+     aware: with [current] pre-existing elements per shard, shard [s]
+     closes once the grand cumulative total (existing + newly assigned)
+     crosses [grand * (s+1) / shards]. An already-heavy shard therefore
+     receives less of this document — possibly nothing — so repeated
+     loads converge toward balance instead of drifting. With an all-zero
+     [current] this is exactly the classic proportional rule. *)
+  let grand = total + Array.fold_left ( + ) 0 current in
+  let cum_existing = Array.make shards 0 in
+  Array.iteri
+    (fun s c -> cum_existing.(s) <- (if s = 0 then 0 else cum_existing.(s - 1)) + c)
+    current;
   let unit_shard = Array.make nunits 0 in
   let s = ref 0 in
   let seen = ref 0 in
   for u = 0 to nunits - 1 do
+    (* Skip shards whose existing load already exceeds their target. *)
+    while
+      !s < shards - 1 && (cum_existing.(!s) + !seen) * shards >= grand * (!s + 1)
+    do
+      incr s
+    done;
     unit_shard.(u) <- !s;
-    seen := !seen + size.(units.(u));
-    if !s < shards - 1 && !seen * shards >= total * (!s + 1) then incr s
+    seen := !seen + size.(units.(u))
   done;
   (* Propagate: spine -> -1, unit roots -> their shard, everything else
      inherits its parent (preorder: parents first). *)

@@ -21,9 +21,16 @@ module Doc = Ppfx_xml.Doc
 
 type t
 
-val compute : shards:int -> Doc.t -> t
+val compute : ?current:int array -> shards:int -> Doc.t -> t
 (** Partition a document. [shards >= 1] or [Invalid_argument]. Shards
-    may end up empty when the document is too small to split. *)
+    may end up empty when the document is too small to split.
+
+    [current] (default all zeros, length [shards]) is the element count
+    each shard already holds from earlier loads: the greedy grouping then
+    balances the {e cumulative} totals, steering this document's frontier
+    subtrees toward the lightest shards, so repeated loads do not drift.
+    Without it every load splits proportionally in isolation, and any
+    per-document rounding bias compounds. *)
 
 val shards : t -> int
 

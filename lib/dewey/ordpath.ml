@@ -147,6 +147,18 @@ let insert_between a b =
     if pa <> pb then invalid "insert_between: labels are not siblings";
     of_components (pa @ between_tails ta tb)
 
+let to_raw t = t
+
+let of_raw s =
+  (* Validate by decoding: raises {!Invalid} on malformed bytes. A raw
+     label may legitimately end in a careting run only as an internal
+     prefix of stored bytes, so enforce the odd-last invariant too. *)
+  (match List.rev (to_components s) with
+   | last :: _ when not (is_odd last) ->
+     invalid "ordpath labels must end with an odd component"
+   | _ -> ());
+  s
+
 let to_dotted t = String.concat "." (List.map string_of_int (to_components t))
 
 let pp ppf t = Format.pp_print_string ppf (to_dotted t)

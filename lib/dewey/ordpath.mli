@@ -54,5 +54,14 @@ val parent : t -> t option
 (** Strips the trailing odd component and any careting components before
     it. *)
 
+val to_raw : t -> string
+(** The encoded bytes as stored in a BINARY column. Lexicographic byte
+    order over these equals document order. *)
+
+val of_raw : string -> t
+(** Re-adopt bytes previously produced by {!to_raw} (e.g. read back from
+    a table's label column). Validates the encoding; raises {!Invalid}
+    on malformed bytes. *)
+
 val to_dotted : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1,9 +1,38 @@
+type commit = {
+  seq : int;
+  touched : (string * int * int) list;
+      (** table name, version before, version after *)
+  pathids : int list;  (** query-visible pathids changed by this commit *)
+}
+
 type t = {
   by_name : (string, Table.t) Hashtbl.t;
   mutable ordered : Table.t list;  (** reverse creation order *)
+  mutable log : commit list;  (** newest first, bounded *)
+  mutable next_seq : int;
+  lock : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable writers_waiting : int;
 }
 
-let create () = { by_name = Hashtbl.create 16; ordered = [] }
+let log_capacity = 512
+
+let create () =
+  {
+    by_name = Hashtbl.create 16;
+    ordered = [];
+    log = [];
+    next_seq = 1;
+    lock = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
 
 let create_table t ~name ~columns =
   if Hashtbl.mem t.by_name name then
@@ -28,6 +57,110 @@ let epoch t =
   (* Table creation and every per-table modification both move the epoch,
      so any change a prepared plan could observe changes the value. *)
   List.fold_left (fun acc tbl -> acc + Table.version tbl) (List.length t.ordered) t.ordered
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot lock: many readers or one writer. Writers get preference   *)
+(* so a stream of queries cannot starve a commit.                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_read t f =
+  Mutex.lock t.lock;
+  while t.writer || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.lock
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.lock;
+  let finish () =
+    Mutex.lock t.lock;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then Condition.signal t.can_write;
+    Mutex.unlock t.lock
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let with_write t f =
+  Mutex.lock t.lock;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.lock
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer <- true;
+  Mutex.unlock t.lock;
+  let finish () =
+    Mutex.lock t.lock;
+    t.writer <- false;
+    if t.writers_waiting > 0 then Condition.signal t.can_write
+    else Condition.broadcast t.can_read;
+    Mutex.unlock t.lock
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Commit log: each logged commit explains a table-version delta with  *)
+(* the set of pathids it changed, so prepared plans whose pathid       *)
+(* footprint is disjoint from everything that happened since compile   *)
+(* can keep running. Unlogged writes (bulk loads, raw Table mutation)  *)
+(* leave a gap in the version chain and fall back to conservative      *)
+(* whole-plan invalidation.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let record_commit t ~touched ~pathids =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let commit = { seq; touched; pathids } in
+  let rec trim n = function
+    | [] -> []
+    | _ when n >= log_capacity - 1 -> []
+    | c :: rest -> c :: trim (n + 1) rest
+  in
+  t.log <- commit :: trim 0 t.log;
+  seq
+
+let commit_log t = List.rev t.log
+
+let delta_pathids t ~table ~from_version =
+  let tbl =
+    match table_opt t table with None -> None | Some tbl -> Some (Table.version tbl)
+  in
+  match tbl with
+  | None -> None
+  | Some current when current = from_version -> Some []
+  | Some current ->
+    (* Walk the log oldest-to-newest, chaining before/after versions for
+       this table from [from_version]. The delta is explained iff logged
+       commits connect [from_version] to the current version with no gap;
+       commits that predate [from_version] are skipped, anything else that
+       breaks the chain means an unlogged write happened in between. *)
+    let relevant =
+      List.filter_map
+        (fun { touched; pathids; _ } ->
+          match List.find_opt (fun (n, _, _) -> n = table) touched with
+          | None -> None
+          | Some (_, before, after) when before >= from_version ->
+            Some (before, after, pathids)
+          | Some _ -> None)
+        (List.rev t.log)
+    in
+    let rec chain v acc = function
+      | [] -> if v = current then Some acc else None
+      | (before, after, pathids) :: rest ->
+        if before = v then chain after (List.rev_append pathids acc) rest
+        else None
+    in
+    chain from_version [] relevant
 
 let pp_stats ppf t =
   List.iter

@@ -1,6 +1,17 @@
-(** The database catalog: a set of named tables. *)
+(** The database catalog: a set of named tables, plus the write-path
+    machinery prepared plans revalidate against: a bounded commit log
+    (per-table version deltas + changed pathids) and a store-wide
+    reader/writer snapshot lock. *)
 
 type t
+
+type commit = {
+  seq : int;
+  touched : (string * int * int) list;
+      (** table name, version before the commit, version after *)
+  pathids : int list;
+      (** query-visible pathids whose rows or values this commit changed *)
+}
 
 val create : unit -> t
 
@@ -21,8 +32,35 @@ val epoch : t -> int
 (** Catalog-wide modification counter: moves whenever a table is created
     or any table's contents or indexes change (see {!Table.version}).
     Prepared plans ({!Engine.prepare}) and service-layer caches record the
-    epoch at compile time and treat any later value as an invalidation
-    signal. *)
+    epoch at compile time; an unchanged epoch is the fast path, and a
+    moved epoch triggers the fine-grained {!delta_pathids} check before
+    falling back to re-planning. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the read side of the snapshot lock: any number of
+    readers, excluded from {!with_write} commits, writer-preferring so
+    queries cannot starve a commit. Plan execution runs under this. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the write side: exclusive against readers and other
+    writers. Update commits run under this, so a reader sees the store
+    entirely before or entirely after a commit, never mid-commit. *)
+
+val record_commit : t -> touched:(string * int * int) list -> pathids:int list -> int
+(** Append a commit to the log (bounded; oldest entries drop off) and
+    return its sequence number. [touched] must carry each mutated table's
+    version as observed immediately before and after the commit's writes. *)
+
+val commit_log : t -> commit list
+(** Oldest first. For diagnostics and tests. *)
+
+val delta_pathids : t -> table:string -> from_version:int -> int list option
+(** [delta_pathids t ~table ~from_version] explains how [table] moved
+    from [from_version] to its current version using only logged commits:
+    [Some pathids] is the union of changed-pathid sets along that chain
+    ([Some []] when the version is unchanged); [None] means part of the
+    delta is unlogged (bulk load, raw table mutation, log overflow) and
+    the caller must treat the plan as invalid. *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** Per-table row counts and indexes — a [\d+]-style catalog dump. *)

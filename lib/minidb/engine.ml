@@ -137,13 +137,38 @@ let stats_diff a b =
     peak_bytes = a.peak_bytes - b.peak_bytes;
   }
 
+(* What a compiled plan depends on, per table. [Dep_paths] means every
+   access the plan makes to the table is guarded by a pathid set probe
+   on the given set, so a commit that only changed rows of other pathids
+   cannot alter the plan's result; anything weaker is [Dep_all]. *)
+type fp_dep = Dep_all | Dep_paths of (int, unit) Hashtbl.t
+
+type fp_entry = { mutable fe_version : int; mutable fe_dep : fp_dep }
+
 type ctx = {
   db : Database.t;
   slots : (string * Table.t) array;
   naive : bool;
   opts : opts;
   counters : counters;
+  footprint : (string, fp_entry) Hashtbl.t;
+      (** accumulated across every [plan_select] under one compile *)
 }
+
+let fp_merge a b =
+  match a, b with
+  | Dep_all, _ | _, Dep_all -> Dep_all
+  | Dep_paths sa, Dep_paths sb ->
+    let u = Hashtbl.copy sa in
+    Hashtbl.iter (fun k () -> Hashtbl.replace u k ()) sb;
+    Dep_paths u
+
+let footprint_add ctx table dep =
+  let name = Table.name table in
+  match Hashtbl.find_opt ctx.footprint name with
+  | None ->
+    Hashtbl.add ctx.footprint name { fe_version = Table.version table; fe_dep = dep }
+  | Some e -> e.fe_dep <- fp_merge e.fe_dep dep
 
 let slot_of ctx alias =
   (* Search from the end: inner FROM aliases shadow outer ones. *)
@@ -627,9 +652,17 @@ let rec exec_steps counters steps bind emit =
     emit bind
   | st :: rest ->
     iter_access counters st.st_table st.st_access bind (fun row_id ->
-        bind.(st.st_slot) <- Table.row st.st_table row_id;
-        if List.for_all (fun p -> p bind = Some true) st.st_filters then
-          exec_steps counters rest bind emit)
+        let row = Table.row st.st_table row_id in
+        (* Memoized hash builds and merge arrays can outlive a retained
+           plan's rows: a fine-grained commit may tombstone a row whose id
+           they still hold. The commit's pathid-disjointness guarantees
+           such rows could never satisfy this plan's probes, so skipping
+           the tombstone is exact. *)
+        if Array.length row > 0 then begin
+          bind.(st.st_slot) <- row;
+          if List.for_all (fun p -> p bind = Some true) st.st_filters then
+            exec_steps counters rest bind emit
+        end)
 
 let rec compile_value ctx (e : Sql.expr) : value_fn =
   match e with
@@ -1025,6 +1058,30 @@ and plan_select ctx (sel : Sql.select) : planned =
               | _ -> false)
         | _ -> false)
   in
+  (* Record what this select depends on. An alias is pathid-guarded only
+     when a reduction probe on its literal [path_id] column filters every
+     row it binds; the reduction's dimension table was swept at plan time,
+     so any change to it (new or dropped pathids) invalidates. *)
+  List.iter
+    (fun (alias, table) ->
+      let dep =
+        match
+          List.find_opt
+            (fun pb ->
+              String.equal pb.pb_alias alias && String.equal pb.pb_col "path_id")
+            probes
+        with
+        | Some pb -> Dep_paths pb.pb_set
+        | None -> Dep_all
+      in
+      footprint_add ctx table dep)
+    local_aliases;
+  List.iter
+    (fun rd ->
+      match Database.table_opt ctx.db rd.rd_dim_table with
+      | Some t -> footprint_add ctx t Dep_all
+      | None -> ())
+    reductions;
   {
     pl_ctx = ctx;
     pl_env = env_slots;
@@ -1641,8 +1698,9 @@ let finalize_union order_cols all =
    build tables) is shared across executions, which is sound as long as
    the database has not changed (enforced by {!run_plan}'s epoch check;
    the one-shot entry points execute immediately). *)
-let compile_select ~naive ~opts ~counters db (sel : Sql.select) : unit -> result =
-  let ctx = { db; slots = [||]; naive; opts; counters } in
+let compile_select ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db
+    (sel : Sql.select) : unit -> result =
+  let ctx = { db; slots = [||]; naive; opts; counters; footprint } in
   let p = plan_select ctx sel in
   fun () ->
     let bind = Array.make p.pl_total [||] in
@@ -1655,11 +1713,12 @@ let compile_select ~naive ~opts ~counters db (sel : Sql.select) : unit -> result
     let rows = finalize_select p (List.rev !out) in
     { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
 
-let compile_statement ~naive ~opts ~counters db = function
-  | Sql.Select sel -> compile_select ~naive ~opts ~counters db sel
+let compile_statement ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db =
+  function
+  | Sql.Select sel -> compile_select ~footprint ~naive ~opts ~counters db sel
   | Sql.Select_count sel ->
     let counted =
-      compile_select ~naive ~opts ~counters db
+      compile_select ~footprint ~naive ~opts ~counters db
         {
           sel with
           Sql.distinct = false;
@@ -1679,14 +1738,17 @@ let compile_statement ~naive ~opts ~counters db = function
            if List.length b.Sql.projections <> arity then
              error "UNION branches project different arities")
          branches;
-       let compiled = List.map (compile_select ~naive ~opts ~counters db) branches in
+       let compiled =
+         List.map (compile_select ~footprint ~naive ~opts ~counters db) branches
+       in
        fun () ->
          let all = List.concat_map (fun run -> (run ()).rows) compiled in
          let rows = finalize_union order_cols all in
          { columns = List.map snd first.Sql.projections; rows })
 
 let run_statement ~naive ~opts db stmt =
-  compile_statement ~naive ~opts ~counters:(counters_create ()) db stmt ()
+  Database.with_read db (fun () ->
+      compile_statement ~naive ~opts ~counters:(counters_create ()) db stmt ())
 
 (* ------------------------------------------------------------------ *)
 (* Prepared plans                                                      *)
@@ -1694,19 +1756,23 @@ let run_statement ~naive ~opts db stmt =
 
 type plan = {
   plan_db : Database.t;
-  plan_epoch : int;
+  mutable plan_epoch : int;
   plan_exec : unit -> result;
   plan_counters : counters;
+  plan_fp : (string, fp_entry) Hashtbl.t;
 }
 
 let prepare ?(opts = default_opts) db stmt =
-  let counters = counters_create () in
-  {
-    plan_db = db;
-    plan_epoch = Database.epoch db;
-    plan_exec = compile_statement ~naive:false ~opts ~counters db stmt;
-    plan_counters = counters;
-  }
+  Database.with_read db (fun () ->
+      let counters = counters_create () in
+      let footprint = Hashtbl.create 8 in
+      {
+        plan_db = db;
+        plan_epoch = Database.epoch db;
+        plan_exec = compile_statement ~footprint ~naive:false ~opts ~counters db stmt;
+        plan_counters = counters;
+        plan_fp = footprint;
+      })
 
 let plan_epoch p = p.plan_epoch
 
@@ -1714,11 +1780,57 @@ let plan_valid p = Database.epoch p.plan_db = p.plan_epoch
 
 let plan_stats p = stats_of p.plan_counters
 
+let plan_footprint p =
+  Hashtbl.fold
+    (fun table e acc ->
+      let dep =
+        match e.fe_dep with
+        | Dep_all -> `All
+        | Dep_paths set ->
+          `Paths (List.sort Int.compare (Hashtbl.fold (fun k () l -> k :: l) set []))
+      in
+      (table, dep) :: acc)
+    p.plan_fp []
+  |> List.sort compare
+
+(* Fine-grained revalidation: the plan stays runnable after commits whose
+   changed-pathid sets are disjoint from its footprint. On success the
+   recorded versions (and epoch) advance so the next check is O(1) when
+   nothing further changed. *)
+let plan_compatible p =
+  Database.epoch p.plan_db = p.plan_epoch
+  || Hashtbl.fold
+       (fun table e ok ->
+         ok
+         &&
+         match Database.delta_pathids p.plan_db ~table ~from_version:e.fe_version with
+         | None -> false
+         | Some changed -> (
+           match e.fe_dep with
+           | Dep_all -> (
+             (* Any touch at all invalidates a Dep_all table. *)
+             match Database.table_opt p.plan_db table with
+             | None -> false
+             | Some tbl -> Table.version tbl = e.fe_version)
+           | Dep_paths set -> not (List.exists (Hashtbl.mem set) changed)))
+       p.plan_fp true
+     && begin
+          Hashtbl.iter
+            (fun table e ->
+              match Database.table_opt p.plan_db table with
+              | Some tbl -> e.fe_version <- Table.version tbl
+              | None -> ())
+            p.plan_fp;
+          p.plan_epoch <- Database.epoch p.plan_db;
+          true
+        end
+
 let run_plan p =
-  if not (plan_valid p) then
-    error "stale plan: database epoch moved from %d to %d since prepare"
-      p.plan_epoch (Database.epoch p.plan_db);
-  p.plan_exec ()
+  Database.with_read p.plan_db (fun () ->
+      if not (plan_compatible p) then
+        error "stale plan: database epoch moved from %d to %d since prepare"
+          p.plan_epoch (Database.epoch p.plan_db);
+      p.plan_exec ())
 
 (* ------------------------------------------------------------------ *)
 (* Profiled execution and EXPLAIN                                      *)
@@ -1746,7 +1858,9 @@ let access_label : access -> string = function
    pipeline with per-step row counters and inclusive per-step wall time
    (a step's seconds include the steps nested inside its loop). *)
 let run_select_profiled ~opts ~counters db (sel : Sql.select) =
-  let ctx = { db; slots = [||]; naive = false; opts; counters } in
+  let ctx =
+    { db; slots = [||]; naive = false; opts; counters; footprint = Hashtbl.create 8 }
+  in
   let p = plan_select ctx sel in
   let steps_arr = Array.of_list p.pl_steps in
   let nsteps = Array.length steps_arr in
@@ -1766,11 +1880,14 @@ let run_select_profiled ~opts ~counters db (sel : Sql.select) =
       let st = steps_arr.(i) in
       let t0 = Unix.gettimeofday () in
       iter_access counters st.st_table st.st_access bind (fun row_id ->
-          examined.(i) <- examined.(i) + 1;
-          bind.(st.st_slot) <- Table.row st.st_table row_id;
-          if List.for_all (fun f -> f bind = Some true) st.st_filters then begin
-            passed.(i) <- passed.(i) + 1;
-            exec (i + 1)
+          let row = Table.row st.st_table row_id in
+          if Array.length row > 0 then begin
+            examined.(i) <- examined.(i) + 1;
+            bind.(st.st_slot) <- row;
+            if List.for_all (fun f -> f bind = Some true) st.st_filters then begin
+              passed.(i) <- passed.(i) + 1;
+              exec (i + 1)
+            end
           end);
       seconds.(i) <- seconds.(i) +. (Unix.gettimeofday () -. t0)
     end
@@ -1798,6 +1915,7 @@ let run_select_profiled ~opts ~counters db (sel : Sql.select) =
     profiles )
 
 let run_profiled ?(opts = default_opts) db stmt =
+  Database.with_read db @@ fun () ->
   let counters = counters_create () in
   let result, profiles =
     match stmt with
@@ -1837,9 +1955,19 @@ let run ?(opts = default_opts) db stmt = run_statement ~naive:false ~opts db stm
 let run_naive db stmt = run_statement ~naive:true ~opts:default_opts db stmt
 
 let explain ?(opts = default_opts) db stmt =
+  Database.with_read db @@ fun () ->
   let buf = Buffer.create 256 in
   let describe_select prefix (sel : Sql.select) =
-    let ctx = { db; slots = [||]; naive = false; opts; counters = counters_create () } in
+    let ctx =
+      {
+        db;
+        slots = [||];
+        naive = false;
+        opts;
+        counters = counters_create ();
+        footprint = Hashtbl.create 8;
+      }
+    in
     let p = plan_select ctx sel in
     List.iter
       (fun rd ->

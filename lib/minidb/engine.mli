@@ -122,9 +122,30 @@ val plan_epoch : plan -> int
 val plan_valid : plan -> bool
 (** Whether the database is still at the plan's prepare-time epoch. *)
 
+val plan_compatible : plan -> bool
+(** Fine-grained revalidation against the write path's commit log: true
+    when the database is unchanged, {e or} when every change since the
+    plan's recorded table versions is explained by logged commits
+    ({!Database.delta_pathids}) whose changed-pathid sets are disjoint
+    from the plan's footprint — a table is pathid-scoped in the footprint
+    exactly when every access the plan makes to it is guarded by a
+    semi-join reduction probe on its [path_id] column; any other access
+    (including the swept [paths] dimension itself) invalidates on any
+    touch. On success the plan's recorded versions advance, so the next
+    check is O(1) again. Strictly weaker than {!plan_valid}: a valid plan
+    is always compatible. *)
+
+val plan_footprint : plan -> (string * [ `All | `Paths of int list ]) list
+(** The plan's per-table dependency footprint, sorted by table name —
+    [`Paths ids] for pathid-guarded tables, [`All] otherwise. For tests
+    and diagnostics. *)
+
 val run_plan : plan -> result
-(** Execute a prepared plan. Raises {!Runtime_error} when the plan is
-    stale ({!plan_valid} is false); callers are expected to re-{!prepare}. *)
+(** Execute a prepared plan under the database's read lock (so a
+    concurrent {!Database.with_write} commit never interleaves with row
+    fetches). Raises {!Runtime_error} when the plan is incompatible with
+    what changed ({!plan_compatible} is false); callers are expected to
+    re-{!prepare}. *)
 
 val plan_stats : plan -> exec_stats
 (** Cumulative counters for this plan: planning work plus every

@@ -107,6 +107,37 @@ let delete t id =
     true
   end
 
+let update t id values =
+  if id < 0 || id >= t.row_count || Array.length t.rows.(id) = 0 then false
+  else begin
+    if Array.length values <> Array.length t.columns then
+      invalid_arg
+        (Printf.sprintf "Table.update(%s): %d values for %d columns" t.name
+           (Array.length values) (Array.length t.columns));
+    Array.iteri
+      (fun i v ->
+        if not (type_ok t.columns.(i).ty v) then
+          invalid_arg
+            (Printf.sprintf "Table.update(%s): value %s does not match column %s : %s"
+               t.name (Value.to_string v) t.columns.(i).name
+               (Format.asprintf "%a" Value.pp_ty t.columns.(i).ty)))
+      values;
+    let old_values = t.rows.(id) in
+    List.iter
+      (fun (_, positions, tree) ->
+        let old_key = Array.map (fun p -> old_values.(p)) positions in
+        let new_key = Array.map (fun p -> values.(p)) positions in
+        if old_key <> new_key then begin
+          ignore (Btree.delete tree old_key id);
+          Btree.insert tree new_key id
+        end)
+      t.indexes;
+    t.rows.(id) <- values;
+    t.distinct_cache <- [];
+    t.version <- t.version + 1;
+    true
+  end
+
 let row_count t = t.row_count
 
 let live_count t =

@@ -27,6 +27,12 @@ val delete : t -> int -> bool
     {!iter_rows}; its id is never reused. Returns false when the id is
     out of range or already deleted. *)
 
+val update : t -> int -> Value.t array -> bool
+(** Rewrite a live row in place, preserving its id: indexes whose keys
+    changed are maintained, statistics caches are invalidated, and the
+    version is bumped. Returns false when the id is out of range or
+    tombstoned; raises [Invalid_argument] on a count or type mismatch. *)
+
 val live_count : t -> int
 (** Rows minus tombstones. *)
 

@@ -8,7 +8,9 @@ module Sql = Ppfx_minidb.Sql
 module Value = Ppfx_minidb.Value
 module Loader = Ppfx_shred.Loader
 module Translate = Ppfx_translate.Translate
+module Update = Ppfx_update.Update
 module Xparser = Ppfx_xpath.Parser
+module Xmlparser = Ppfx_xml.Parser
 
 type config = {
   host : string;
@@ -42,16 +44,42 @@ let default_config =
 type executor = {
   exec_prepare : string -> string * Sql.statement option;
   exec_run : string -> Engine.result;
+  exec_update : Wire.update_op -> Update.outcome;
   exec_db : Database.t option;
 }
 
-let session_executor s =
+(* Parse the wire form into the typed mutation; fragment XML parses
+   here so a malformed fragment surfaces as [Parse_error]. *)
+let op_of_wire (op : Wire.update_op) : Update.op =
+  match op with
+  | Wire.Op_insert { parent; before; fragment } ->
+    Update.Insert_subtree { parent; before; fragment = Xmlparser.parse fragment }
+  | Wire.Op_delete { target } -> Update.Delete_subtree { target }
+  | Wire.Op_replace { target; fragment } ->
+    Update.Replace_subtree { target; fragment = Xmlparser.parse fragment }
+  | Wire.Op_set_attr { target; name; value } ->
+    Update.Set_attribute { target; name; value }
+  | Wire.Op_set_text { target; text } -> Update.Set_text { target; text }
+
+let no_write_path _ =
+  raise (Update.Update_error "server has no write path (read-only store)")
+
+let session_executor ?update s =
   {
     exec_prepare =
       (fun q ->
         let p = Session.prepare s q in
         (Session.canonical p, Session.sql p));
     exec_run = (fun q -> Session.run s q);
+    exec_update =
+      (match update with
+       | None -> no_write_path
+       | Some (lock, u) ->
+         fun op ->
+           (* Staging mutates the shared shadow forest; one writer at a
+              time. Readers keep running — the store-level snapshot lock
+              serializes only the commit against plan execution. *)
+           Mutex.protect lock (fun () -> Update.exec u (op_of_wire op)));
     exec_db = Some (Session.store s).Loader.db;
   }
 
@@ -63,6 +91,8 @@ let cluster_executor lock c =
             let p = Cluster.prepare c q in
             (Session.canonical p, Session.sql p)));
     exec_run = (fun q -> Mutex.protect lock (fun () -> Cluster.run c q));
+    exec_update =
+      (fun op -> Mutex.protect lock (fun () -> Cluster.update c (op_of_wire op)));
     exec_db = Some (Session.store (Cluster.session c)).Loader.db;
   }
 
@@ -147,6 +177,10 @@ type t = {
   mutable next_cid : int;
   mutable busy_count : int;
   mutable stopping : bool;
+  (* set by the event loop once its final stop-time read sweep is done;
+     workers must not exit before it, or late-swept requests would
+     never be served *)
+  mutable reads_done : bool;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   mutable io_domain : unit Domain.t option;
@@ -285,6 +319,26 @@ let process t exec c (req : Wire.request) =
       Hashtbl.remove c.stmts stmt;
       respond t c (Wire.Closed { stmt });
       false
+    | Wire.Update { op } ->
+      (try
+         let o = exec.exec_update op in
+         respond t c
+           (Wire.Updated
+              {
+                inserted = o.Update.inserted;
+                updated = o.Update.updated;
+                deleted = o.Update.deleted;
+                new_paths = o.Update.new_paths;
+                dead_paths = o.Update.dead_paths;
+              });
+         false
+       with
+       | Update.Update_error msg -> fail Wire.Runtime msg
+       | Xmlparser.Error { line; column; message } ->
+         fail Wire.Parse_error
+           (Printf.sprintf "fragment XML parse error at %d:%d: %s" line column
+              message)
+       | Engine.Runtime_error msg -> fail Wire.Runtime msg)
 
 let worker_loop t factory () =
   let exec = factory () in
@@ -297,7 +351,7 @@ let worker_loop t factory () =
         Mutex.unlock t.lock;
         Some (c, req, t_enq)
       end
-      else if t.stopping && t.busy_count = 0 then begin
+      else if t.stopping && t.reads_done && t.busy_count = 0 then begin
         Condition.broadcast t.cond;
         Mutex.unlock t.lock;
         None
@@ -519,13 +573,48 @@ let io_loop t () =
         if List.mem t.listener readable then handle_accept t;
         List.iter
           (fun (fd, c) ->
-            if List.mem fd readable then
+            (* A worker may have destroyed [c] (closing its fd) while we
+               were blocked in select, and [handle_accept] above may have
+               already reused that fd number for a fresh connection.
+               Reading through the stale snapshot entry would steal the
+               new connection's bytes into a dead conn's buffer, so
+               re-check liveness under the lock: destruction marks [dead]
+               before the fd can be reused. *)
+            if
+              List.mem fd readable
+              && locked t (fun () -> not (c.dead || c.draining))
+            then
               try handle_readable t c
               with e -> protocol_fail t c (Printexc.to_string e))
           conn_fds;
         loop ()
     end
   and drain_and_exit () =
+    (* Final read sweep: the drain contract covers every request the
+       kernel had received when stop landed, not just frames this loop
+       had already decoded. One non-blocking select picks up bytes that
+       arrived while we were noticing [stopping]. *)
+    let conn_fds =
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun _ c acc -> if c.draining || c.dead then acc else (c.fd, c) :: acc)
+            t.conns [])
+    in
+    (match Unix.select (List.map fst conn_fds) [] [] 0.0 with
+     | exception Unix.Unix_error _ -> ()
+     | readable, _, _ ->
+       List.iter
+         (fun (fd, c) ->
+           if
+             List.mem fd readable
+             && locked t (fun () -> not (c.dead || c.draining))
+           then
+             try handle_readable t c
+             with e -> protocol_fail t c (Printexc.to_string e))
+         conn_fds);
+    locked t (fun () ->
+        t.reads_done <- true;
+        Condition.broadcast t.cond);
     (* Drain: every queued and in-flight request finishes and its
        response is written before any connection is torn down. *)
     Mutex.lock t.lock;
@@ -587,6 +676,7 @@ let start ?(config = default_config) factory =
       next_cid = 1;
       busy_count = 0;
       stopping = false;
+      reads_done = false;
       pipe_r;
       pipe_w;
       io_domain = None;

@@ -67,13 +67,26 @@ type executor = {
       (** canonical text and translated SQL; raises the usual parse /
           unsupported exceptions *)
   exec_run : string -> Engine.result;
+  exec_update : Wire.update_op -> Ppfx_update.Update.outcome;
+      (** apply one mutation; raises {!Ppfx_update.Update.Update_error}
+          on invalid operations (answered with a [Runtime] error frame)
+          and {!Ppfx_xml.Parser.Error} on malformed fragment XML *)
   exec_db : Database.t option;
       (** catalog used to type the prepared-statement column metadata *)
 }
 
-val session_executor : Session.t -> executor
+val session_executor :
+  ?update:Mutex.t * Ppfx_update.Update.t -> Session.t -> executor
+(** Without [update] the server is read-only: [Update] requests are
+    answered with a [Runtime] error. With [update], mutations stage
+    through the shared updatable store, serialized by the mutex (worker
+    domains each hold a private session but share one shadow forest;
+    readers are serialized against commits by the store's own snapshot
+    lock, not this mutex). *)
 
 val cluster_executor : Mutex.t -> Cluster.t -> executor
+(** Mutations route through {!Cluster.update} under the same mutex as
+    queries. *)
 
 val columns_of_statement : Database.t option -> Sql.statement -> Wire.column list
 (** Static column metadata for a translated statement: output names from

@@ -86,6 +86,13 @@ let col_ty_of_int = function
   | 4 -> Tbin
   | t -> raise (Codec (Bad_tag t))
 
+type update_op =
+  | Op_insert of { parent : int; before : int option; fragment : string }
+  | Op_delete of { target : int }
+  | Op_replace of { target : int; fragment : string }
+  | Op_set_attr of { target : int; name : string; value : string option }
+  | Op_set_text of { target : int; text : string }
+
 type request =
   | Hello of { version : int; client : string }
   | Prepare of { query : string }
@@ -94,6 +101,7 @@ type request =
   | Close_stmt of { stmt : int }
   | Ping
   | Quit
+  | Update of { op : update_op }
 
 type response =
   | Welcome of { version : int; server : string; shards : int }
@@ -108,6 +116,13 @@ type response =
   | Pong
   | Error of { code : error_code; message : string }
   | Bye
+  | Updated of {
+      inserted : int;
+      updated : int;
+      deleted : int;
+      new_paths : int;
+      dead_paths : int;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Primitive writers                                                   *)
@@ -225,7 +240,41 @@ let request_payload req =
      put_u8 buf 0x05;
      put_u32 buf stmt
    | Ping -> put_u8 buf 0x06
-   | Quit -> put_u8 buf 0x07);
+   | Quit -> put_u8 buf 0x07
+   | Update { op } ->
+     put_u8 buf 0x08;
+     (* Element ids ride as i64; fragments travel as XML text and are
+        parsed (and schema-validated) server-side. *)
+     (match op with
+      | Op_insert { parent; before; fragment } ->
+        put_u8 buf 1;
+        put_i64 buf parent;
+        (match before with
+         | None -> put_u8 buf 0
+         | Some b ->
+           put_u8 buf 1;
+           put_i64 buf b);
+        put_str buf fragment
+      | Op_delete { target } ->
+        put_u8 buf 2;
+        put_i64 buf target
+      | Op_replace { target; fragment } ->
+        put_u8 buf 3;
+        put_i64 buf target;
+        put_str buf fragment
+      | Op_set_attr { target; name; value } ->
+        put_u8 buf 4;
+        put_i64 buf target;
+        put_str buf name;
+        (match value with
+         | None -> put_u8 buf 0
+         | Some v ->
+           put_u8 buf 1;
+           put_str buf v)
+      | Op_set_text { target; text } ->
+        put_u8 buf 5;
+        put_i64 buf target;
+        put_str buf text));
   Buffer.contents buf
 
 let response_payload resp =
@@ -269,7 +318,14 @@ let response_payload resp =
      put_u8 buf 0x86;
      put_u8 buf (error_code_to_int code);
      put_str buf message
-   | Bye -> put_u8 buf 0x87);
+   | Bye -> put_u8 buf 0x87
+   | Updated { inserted; updated; deleted; new_paths; dead_paths } ->
+     put_u8 buf 0x88;
+     put_u32 buf inserted;
+     put_u32 buf updated;
+     put_u32 buf deleted;
+     put_u32 buf new_paths;
+     put_u32 buf dead_paths);
   Buffer.contents buf
 
 let request_of_payload s =
@@ -292,6 +348,31 @@ let request_of_payload s =
     | 0x05 -> Close_stmt { stmt = get_u32 r }
     | 0x06 -> Ping
     | 0x07 -> Quit
+    | 0x08 ->
+      let op =
+        match get_u8 r with
+        | 1 ->
+          let parent = get_i64 r in
+          let before = match get_u8 r with 0 -> None | _ -> Some (get_i64 r) in
+          let fragment = get_str r in
+          Op_insert { parent; before; fragment }
+        | 2 -> Op_delete { target = get_i64 r }
+        | 3 ->
+          let target = get_i64 r in
+          let fragment = get_str r in
+          Op_replace { target; fragment }
+        | 4 ->
+          let target = get_i64 r in
+          let name = get_str r in
+          let value = match get_u8 r with 0 -> None | _ -> Some (get_str r) in
+          Op_set_attr { target; name; value }
+        | 5 ->
+          let target = get_i64 r in
+          let text = get_str r in
+          Op_set_text { target; text }
+        | t -> raise (Codec (Bad_tag t))
+      in
+      Update { op }
     | t -> raise (Codec (Bad_tag t))
   in
   finish r req
@@ -334,6 +415,13 @@ let response_of_payload s =
       let message = get_str r in
       Error { code; message }
     | 0x87 -> Bye
+    | 0x88 ->
+      let inserted = get_u32 r in
+      let updated = get_u32 r in
+      let deleted = get_u32 r in
+      let new_paths = get_u32 r in
+      let dead_paths = get_u32 r in
+      Updated { inserted; updated; deleted; new_paths; dead_paths }
     | t -> raise (Codec (Bad_tag t))
   in
   finish r resp

@@ -2,8 +2,8 @@
 
     Every frame on the wire is a 4-byte big-endian payload length
     followed by exactly that many payload bytes; the first payload byte
-    is the message tag. Requests (client to server) use tags [0x01-0x07],
-    responses (server to client) [0x81-0x87]. All integers are
+    is the message tag. Requests (client to server) use tags [0x01-0x08],
+    responses (server to client) [0x81-0x88]. All integers are
     big-endian; strings are a [u32] byte length followed by the bytes;
     cells are self-describing (a one-byte type tag before the value), so
     a result stream can be decoded without out-of-band schema knowledge,
@@ -62,6 +62,16 @@ val col_ty_to_string : col_ty -> string
 
 (** {2 Messages} *)
 
+(** A mutation request, mirroring {!Ppfx_update.Update.op}. Fragments
+    travel as XML text and are parsed and schema-validated on the server;
+    element ids are the globally unique ids query results project. *)
+type update_op =
+  | Op_insert of { parent : int; before : int option; fragment : string }
+  | Op_delete of { target : int }
+  | Op_replace of { target : int; fragment : string }
+  | Op_set_attr of { target : int; name : string; value : string option }
+  | Op_set_text of { target : int; text : string }
+
 type request =
   | Hello of { version : int; client : string }
   | Prepare of { query : string }
@@ -73,6 +83,9 @@ type request =
   | Close_stmt of { stmt : int }
   | Ping
   | Quit
+  | Update of { op : update_op }
+      (** apply one subtree mutation; answered with [Updated] (or
+          [Error] with [Runtime] on invalid targets/fragments) *)
 
 type response =
   | Welcome of { version : int; server : string; shards : int }
@@ -89,6 +102,13 @@ type response =
   | Pong
   | Error of { code : error_code; message : string }
   | Bye
+  | Updated of {
+      inserted : int;  (** rows inserted *)
+      updated : int;  (** rows rewritten (sibling/ancestor descriptors) *)
+      deleted : int;  (** rows tombstoned *)
+      new_paths : int;  (** paths interned into the Paths relation *)
+      dead_paths : int;  (** paths whose last instance died *)
+    }
 
 (** {2 Encoding} *)
 

@@ -82,9 +82,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable retained : int;
   mutable evictions : int;
   mutable fallbacks : int;
   mutable rows : int;
+  mutable shard_rows : int array;
   mutable engine : Ppfx_minidb.Engine.exec_stats;
   (* network serving counters (the socket server's sink) *)
   mutable accepted : int;
@@ -112,9 +114,11 @@ let create () =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    retained = 0;
     evictions = 0;
     fallbacks = 0;
     rows = 0;
+    shard_rows = [||];
     engine = Ppfx_minidb.Engine.stats_zero;
     accepted = 0;
     rejected = 0;
@@ -138,9 +142,11 @@ let reset t =
   t.hits <- 0;
   t.misses <- 0;
   t.invalidations <- 0;
+  t.retained <- 0;
   t.evictions <- 0;
   t.fallbacks <- 0;
   t.rows <- 0;
+  t.shard_rows <- [||];
   t.engine <- Ppfx_minidb.Engine.stats_zero;
   t.accepted <- 0;
   t.rejected <- 0;
@@ -177,9 +183,24 @@ let incr_prepares t = locked t @@ fun () -> t.prepares <- t.prepares + 1
 let incr_hits t = locked t @@ fun () -> t.hits <- t.hits + 1
 let incr_misses t = locked t @@ fun () -> t.misses <- t.misses + 1
 let incr_invalidations t = locked t @@ fun () -> t.invalidations <- t.invalidations + 1
+let incr_retained t = locked t @@ fun () -> t.retained <- t.retained + 1
 let incr_evictions t = locked t @@ fun () -> t.evictions <- t.evictions + 1
 let incr_fallbacks t = locked t @@ fun () -> t.fallbacks <- t.fallbacks + 1
 let add_rows t n = locked t @@ fun () -> t.rows <- t.rows + n
+
+let set_shard_rows t counts =
+  locked t @@ fun () -> t.shard_rows <- Array.of_list counts
+
+(* Largest shard over the mean: 1.0 is perfect balance. *)
+let shard_skew_of rows =
+  let n = Array.length rows in
+  if n = 0 then nan
+  else
+    let total = Array.fold_left ( + ) 0 rows in
+    if total = 0 then nan
+    else
+      let mean = float_of_int total /. float_of_int n in
+      float_of_int (Array.fold_left max 0 rows) /. mean
 
 let add_engine t stats =
   locked t @@ fun () -> t.engine <- Ppfx_minidb.Engine.stats_add t.engine stats
@@ -205,9 +226,12 @@ let prepares t = t.prepares
 let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations
+let retained t = t.retained
 let evictions t = t.evictions
 let fallbacks t = t.fallbacks
 let rows t = t.rows
+let shard_rows t = Array.to_list t.shard_rows
+let shard_skew t = shard_skew_of t.shard_rows
 let engine_stats t = t.engine
 
 let accepted t = t.accepted
@@ -233,11 +257,18 @@ let dump t =
     (Printf.sprintf "  queries %d, prepares %d, fallbacks %d, result rows %d\n"
        t.queries t.prepares t.fallbacks t.rows);
   Buffer.add_string buf
-    (Printf.sprintf "  cache: %d hits, %d misses (hit rate %s), %d invalidations, %d evictions\n"
+    (Printf.sprintf
+       "  cache: %d hits, %d misses (hit rate %s), %d invalidations, %d retained, %d evictions\n"
        t.hits t.misses
        (let r = hit_rate t in
         if Float.is_nan r then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. r))
-       t.invalidations t.evictions);
+       t.invalidations t.retained t.evictions);
+  if Array.length t.shard_rows > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  shards: rows [%s], skew %s\n"
+         (String.concat "; " (List.map string_of_int (Array.to_list t.shard_rows)))
+         (let s = shard_skew_of t.shard_rows in
+          if Float.is_nan s then "n/a" else Printf.sprintf "%.2fx" s));
   Buffer.add_string buf
     (let e = t.engine in
      Printf.sprintf
@@ -312,10 +343,16 @@ let to_json t =
       t.accepted t.rejected t.active t.peak_active t.bytes_in t.bytes_out
       t.queue_hwm
   in
+  let shards_json =
+    Printf.sprintf "{\"rows\":[%s],\"skew\":%s}"
+      (String.concat "," (List.map string_of_int (Array.to_list t.shard_rows)))
+      (let s = shard_skew_of t.shard_rows in
+       if Float.is_nan s then "null" else Printf.sprintf "%.4f" s)
+  in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
-     \"invalidations\":%d,\"evictions\":%d,\"fallbacks\":%d,\"rows\":%d,\
-     \"engine\":%s,\"net\":%s,\"stages\":{%s}}"
-    t.queries t.prepares t.hits t.misses t.invalidations t.evictions t.fallbacks
-    t.rows engine_json net_json
+     \"invalidations\":%d,\"retained\":%d,\"evictions\":%d,\"fallbacks\":%d,\
+     \"rows\":%d,\"engine\":%s,\"net\":%s,\"shards\":%s,\"stages\":{%s}}"
+    t.queries t.prepares t.hits t.misses t.invalidations t.retained t.evictions
+    t.fallbacks t.rows engine_json net_json shards_json
     (String.concat "," (List.map stage_json all_stages))

@@ -35,6 +35,15 @@ val incr_prepares : t -> unit
 val incr_hits : t -> unit
 val incr_misses : t -> unit
 val incr_invalidations : t -> unit
+(** A cached plan had to be rebuilt: the store changed in a way that
+    overlaps the plan's footprint (or fine-grained checking is off). *)
+
+val incr_retained : t -> unit
+(** A cached plan survived a store change: the fine-grained footprint
+    check ({!Ppfx_minidb.Engine.plan_compatible}) proved the commits
+    since prepare disjoint from the plan's tables and pathids, so the
+    plan ran without re-planning. *)
+
 val incr_evictions : t -> unit
 
 val incr_fallbacks : t -> unit
@@ -43,6 +52,11 @@ val incr_fallbacks : t -> unit
 
 val add_rows : t -> int -> unit
 (** Accumulate result rows produced (per shard, or overall). *)
+
+val set_shard_rows : t -> int list -> unit
+(** Record the current per-shard live row counts (a gauge, not a
+    counter): the cluster layer refreshes this after loads and routed
+    mutations so balance drift is visible in {!dump} and {!to_json}. *)
 
 val add_engine : t -> Ppfx_minidb.Engine.exec_stats -> unit
 (** Accumulate a batch of engine operator counters (typically the
@@ -79,9 +93,17 @@ val prepares : t -> int
 val hits : t -> int
 val misses : t -> int
 val invalidations : t -> int
+val retained : t -> int
 val evictions : t -> int
 val fallbacks : t -> int
 val rows : t -> int
+
+val shard_rows : t -> int list
+(** Last recorded per-shard row counts; empty when not clustered. *)
+
+val shard_skew : t -> float
+(** Largest shard's row count over the mean (1.0 = perfectly balanced);
+    [nan] when no shard counts were recorded or all shards are empty. *)
 
 val accepted : t -> int
 val rejected : t -> int

@@ -24,11 +24,12 @@ type t = {
   fingerprint : string;
   cache : entry Lru.t;
   metrics : Metrics.t;
+  fine_grained : bool;
 }
 
 type prepared = entry
 
-let create ?(cache_capacity = 256) ?options store =
+let create ?(cache_capacity = 256) ?(fine_grained = true) ?options store =
   let translator = Translate.create ?options store.Loader.mapping in
   {
     store;
@@ -36,11 +37,12 @@ let create ?(cache_capacity = 256) ?options store =
     fingerprint = Translate.fingerprint translator;
     cache = Lru.create ~capacity:cache_capacity;
     metrics = Metrics.create ();
+    fine_grained;
   }
 
-let of_doc ?cache_capacity ?options ?schema doc =
+let of_doc ?cache_capacity ?fine_grained ?options ?schema doc =
   let schema = match schema with Some s -> s | None -> Graph.infer doc in
-  create ?cache_capacity ?options (Loader.shred schema doc)
+  create ?cache_capacity ?fine_grained ?options (Loader.shred schema doc)
 
 let load t doc = t.store <- Loader.load t.store doc
 
@@ -82,6 +84,15 @@ let prepare t text =
 
 let empty_result = { Engine.columns = []; rows = [] }
 
+let replan t (p : prepared) stmt =
+  Metrics.incr_invalidations t.metrics;
+  let plan =
+    Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt)
+  in
+  Metrics.add_engine t.metrics (Engine.plan_stats plan);
+  p.plan <- Some plan;
+  plan
+
 let execute t (p : prepared) =
   Metrics.incr_queries t.metrics;
   match p.sql with
@@ -90,23 +101,28 @@ let execute t (p : prepared) =
     let plan =
       match p.plan with
       | Some plan when Engine.plan_valid plan -> plan
-      | Some _ | None ->
-        (* The store epoch moved since this entry was planned: the SQL is
-           still correct, only the plan must be rebuilt. *)
-        Metrics.incr_invalidations t.metrics;
-        let plan =
-          Metrics.time t.metrics Metrics.Plan (fun () -> Engine.prepare (db t) stmt)
-        in
-        Metrics.add_engine t.metrics (Engine.plan_stats plan);
-        p.plan <- Some plan;
+      | Some plan when t.fine_grained && Engine.plan_compatible plan ->
+        (* The store changed, but every commit since prepare is logged and
+           disjoint from this plan's table/pathid footprint: keep it. *)
+        Metrics.incr_retained t.metrics;
         plan
+      | Some _ | None ->
+        (* The store moved in a way that overlaps (or cannot be proven
+           disjoint from) this plan: the SQL is still correct, only the
+           plan must be rebuilt. *)
+        replan t p stmt
     in
-    let before = Engine.plan_stats plan in
-    let result =
-      Metrics.time t.metrics Metrics.Execute (fun () -> Engine.run_plan plan)
+    let run plan =
+      let before = Engine.plan_stats plan in
+      let result =
+        Metrics.time t.metrics Metrics.Execute (fun () -> Engine.run_plan plan)
+      in
+      Metrics.add_engine t.metrics (Engine.stats_diff (Engine.plan_stats plan) before);
+      result
     in
-    Metrics.add_engine t.metrics (Engine.stats_diff (Engine.plan_stats plan) before);
-    result
+    (* A commit may land between the compatibility check and run_plan's
+       own locked re-check; one re-plan retry absorbs that race. *)
+    (try run plan with Engine.Runtime_error _ -> run (replan t p stmt))
 
 let execute_ids t p =
   match p.sql with

@@ -29,12 +29,19 @@ module Sql = Ppfx_minidb.Sql
 
 type t
 
-val create : ?cache_capacity:int -> ?options:Translate.options -> Loader.t -> t
+val create : ?cache_capacity:int -> ?fine_grained:bool ->
+  ?options:Translate.options -> Loader.t -> t
 (** Wrap an existing store. [cache_capacity] bounds the number of live
-    compiled queries (default 256). *)
+    compiled queries (default 256). [fine_grained] (default true) enables
+    footprint-based plan retention on {!execute}: a plan whose epoch moved
+    is kept — not re-planned — when
+    {!Ppfx_minidb.Engine.plan_compatible} proves every commit since its
+    prepare disjoint from the plan's tables and pathids. Pass [false] to
+    fall back to whole-epoch invalidation (the pre-write-path behavior,
+    kept for comparison benchmarks). *)
 
-val of_doc : ?cache_capacity:int -> ?options:Translate.options ->
-  ?schema:Graph.t -> Doc.t -> t
+val of_doc : ?cache_capacity:int -> ?fine_grained:bool ->
+  ?options:Translate.options -> ?schema:Graph.t -> Doc.t -> t
 (** Shred a document (inferring the schema unless given) and open a
     session over the resulting store. *)
 
@@ -54,9 +61,11 @@ val prepare : t -> string -> prepared
     {!Translate.Unsupported} on out-of-subset constructs. *)
 
 val execute : t -> prepared -> Engine.result
-(** Run the prepared plan against the current store contents,
-    transparently re-planning first if the store epoch moved since the
-    plan was prepared. *)
+(** Run the prepared plan against the current store contents. If the
+    store epoch moved since the plan was prepared, the plan is kept when
+    its footprint is provably disjoint from every intervening commit
+    (counted in {!Metrics.retained}) and transparently re-planned
+    otherwise (counted in {!Metrics.invalidations}). *)
 
 val execute_ids : t -> prepared -> int list
 (** {!execute} projected to sorted element ids (empty for provably-empty

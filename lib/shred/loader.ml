@@ -1,6 +1,7 @@
 module Graph = Ppfx_schema.Graph
 module Doc = Ppfx_xml.Doc
 module Dewey = Ppfx_dewey.Dewey
+module Ordpath = Ppfx_dewey.Ordpath
 module Table = Ppfx_minidb.Table
 module Database = Ppfx_minidb.Database
 module Value = Ppfx_minidb.Value
@@ -43,21 +44,25 @@ let intern_path t path =
     ignore (Table.insert paths [| Value.Int id; Value.Str path |]);
     id
 
+(* The stored label of an element: the ORDPATH encoding of the document
+   id followed by the element's Dewey vector, every component mapped to
+   its odd form [2c - 1]. Odd-mapping preserves per-component order, so
+   byte comparison still equals document order, and the write path
+   ({!Ppfx_update}) can later caret new labels between existing ones
+   ([Ordpath.insert_between]) without relabeling any stored row. *)
+let label ~doc_id dewey =
+  Ordpath.to_raw
+    (Ordpath.of_components
+       (List.map (fun c -> (2 * c) - 1) (doc_id :: Dewey.to_components dewey)))
+
 let load ?keep t doc =
   let keep = match keep with None -> fun _ -> true | Some f -> f in
   let schema = Mapping.schema t.mapping in
   let doc_id = List.length t.docs + 1 in
   (* Global ids: offset this document's preorder ids past all previously
-     loaded elements; global dewey: prefix the doc_id component. *)
+     loaded elements; global label: prefix the doc_id component. *)
   let offset = List.fold_left (fun acc d -> acc + Doc.size d) 0 t.docs in
   let global i = if i = 0 then 0 else i + offset in
-  let doc_component =
-    let buf = Buffer.create 3 in
-    Buffer.add_char buf (Char.chr ((doc_id lsr 16) land 0x7F));
-    Buffer.add_char buf (Char.chr ((doc_id lsr 8) land 0xFF));
-    Buffer.add_char buf (Char.chr (doc_id land 0xFF));
-    Buffer.contents buf
-  in
   (* Assign schema vertices top-down. *)
   let assignment = Array.make (Doc.size doc + 1) (-1) in
   let def_by_id = Hashtbl.create 16 in
@@ -129,7 +134,7 @@ let load ?keep t doc =
           ([ Value.Int (global e.Doc.id) ]
           @ doc_col @ fk_values
           @ [
-              Value.Bin (doc_component ^ Dewey.to_raw e.Doc.dewey);
+              Value.Bin (label ~doc_id e.Doc.dewey);
               Value.Int pid;
               Value.Str e.Doc.string_value;
               Value.Str e.Doc.text;

@@ -16,16 +16,23 @@ exception Rejected of string
 val create : Mapping.t -> t
 (** Create the store: all mapping relations and indexes, no data. *)
 
+val label : doc_id:int -> Ppfx_dewey.Dewey.t -> string
+(** The stored label bytes of an element: the ORDPATH encoding of
+    [doc_id :: dewey components], every component mapped to its odd form
+    [2c - 1]. Byte order equals document order, and the write path can
+    caret fresh labels between existing ones without relabeling. *)
+
 val load : ?keep:(Doc.element -> bool) -> t -> Doc.t -> t
 (** Shred one document into the store; assigns the next [doc_id]. The
     [Paths] relation grows with any paths not seen before (Section 3.1).
 
     Element ids are made globally unique by offsetting each document's
-    preorder ids past the previous documents', and Dewey positions are
-    prefixed with a [doc_id] component (every document root becomes a
-    child of a virtual collection root). Structural joins therefore never
-    cross documents; the order axes see the store as one forest ordered
-    by [doc_id]. Raises {!Rejected} on schema mismatch.
+    preorder ids past the previous documents', and stored labels are
+    ORDPATH encodings prefixed with a [doc_id] component (every document
+    root becomes a child of a virtual collection root) — see {!label}.
+    Structural joins therefore never cross documents; the order axes see
+    the store as one forest ordered by [doc_id]. Raises {!Rejected} on
+    schema mismatch.
 
     [keep] (default: keep everything) selects the subset of elements whose
     rows are stored — the cluster layer's partitioned loading. Dropped

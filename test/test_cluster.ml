@@ -24,16 +24,18 @@ module Cluster = Ppfx_cluster.Cluster
 
 let schema = Xmark.schema ()
 
-let doc1 = lazy (Doc.of_tree (Xmark.generate ~seed:1 ~items_per_region:3 ()))
-let doc2 = lazy (Doc.of_tree (Xmark.generate ~seed:2 ~items_per_region:2 ()))
+let tree1 = lazy (Xmark.generate ~seed:1 ~items_per_region:3 ())
+let tree2 = lazy (Xmark.generate ~seed:2 ~items_per_region:2 ())
+let doc1 = lazy (Doc.of_tree (Lazy.force tree1))
+let doc2 = lazy (Doc.of_tree (Lazy.force tree2))
 
 (* One shared cluster for the differential property: pool smaller than
    the shard count, so tasks genuinely queue behind busy workers. *)
 let shared_cluster =
-  lazy (Cluster.create ~pool_size:2 ~shards:3 schema [ Lazy.force doc1 ])
+  lazy (Cluster.create ~pool_size:2 ~shards:3 schema [ Lazy.force tree1 ])
 
 let shared_cluster4 =
-  lazy (Cluster.create ~pool_size:2 ~shards:4 schema [ Lazy.force doc1 ])
+  lazy (Cluster.create ~pool_size:2 ~shards:4 schema [ Lazy.force tree1 ])
 
 let render (r : Engine.result) =
   String.concat "|" r.Engine.columns
@@ -168,7 +170,8 @@ let test_store_accounting () =
   let shards = 3 in
   let p = Partition.compute ~shards doc in
   let spine = List.length (Partition.replicated p) in
-  Cluster.with_cluster ~pool_size:0 ~shards schema [ doc ] (fun c ->
+  Cluster.with_cluster ~pool_size:0 ~shards schema [ Lazy.force tree1 ]
+    (fun c ->
       let full = Session.store (Cluster.session c) in
       let full_paths = Table.row_count (Database.table full.Loader.db "paths") in
       let full_nodes = Database.total_rows full.Loader.db - full_paths in
@@ -397,7 +400,7 @@ let test_cluster_equals_session_on_xpathmark () =
     Xmark.queries
 
 let test_cluster_metrics () =
-  Cluster.with_cluster ~pool_size:0 ~shards:3 schema [ Lazy.force doc1 ] (fun c ->
+  Cluster.with_cluster ~pool_size:0 ~shards:3 schema [ Lazy.force tree1 ] (fun c ->
       let ids = Cluster.run_ids c "//keyword" in
       Alcotest.(check bool) "some keywords" true (ids <> []);
       let m = Cluster.metrics c in
@@ -460,9 +463,9 @@ let test_cluster_order_axis_scatter () =
     [ shared_cluster; shared_cluster4 ]
 
 let test_cluster_load_invalidates () =
-  Cluster.with_cluster ~pool_size:0 ~shards:2 schema [ Lazy.force doc1 ] (fun c ->
+  Cluster.with_cluster ~pool_size:0 ~shards:2 schema [ Lazy.force tree1 ] (fun c ->
       let before = Cluster.run_ids c "//keyword" in
-      Cluster.load c (Lazy.force doc1);
+      Cluster.load c (Lazy.force tree1);
       let after = Cluster.run_ids c "//keyword" in
       Alcotest.(check int) "identical second document doubles the answer"
         (2 * List.length before) (List.length after);
@@ -480,7 +483,7 @@ let test_cluster_load_invalidates () =
 
 let test_cluster_multi_doc_create () =
   Cluster.with_cluster ~pool_size:0 ~shards:3 schema
-    [ Lazy.force doc1; Lazy.force doc2 ]
+    [ Lazy.force tree1; Lazy.force tree2 ]
     (fun c ->
       let session = Session.of_doc ~schema (Lazy.force doc1) in
       Session.load session (Lazy.force doc2);

@@ -335,6 +335,79 @@ let prop_ordpath_insertions =
           && Ordpath.is_descendant fresh ~of_:parent)
         ops)
 
+(* Caret-heavy trees: grow a random tree by bulk child appends and
+   insert_between splices at random gaps, then check on {e every} pair of
+   labels that the Table-2 byte-window predicate — descendants of [d] are
+   exactly the labels strictly between [d] and [d || 0xFF] — agrees with
+   the construction's ground-truth ancestry, that [is_descendant] agrees
+   with both, and that lexicographic byte order over all labels equals
+   the tree's DFS preorder (document order). Existing labels are never
+   touched by an insert, so sorting at the end is only correct if every
+   earlier label kept its byte image. *)
+let prop_ordpath_caret_window =
+  QCheck.Test.make ~count:200
+    ~name:"Table-2 descendant window + document order hold on careted trees"
+    QCheck.(
+      make
+        ~print:(fun ops ->
+          String.concat ";"
+            (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) ops))
+        (Gen.list_size (Gen.int_range 1 30)
+           (Gen.pair (Gen.int_bound 10000) (Gen.int_bound 10000))))
+    (fun ops ->
+      let raw = Ordpath.to_raw in
+      let labels = ref [ Ordpath.root ] in
+      (* children in sibling (label) order, keyed by the parent's bytes *)
+      let kids : (string, Ordpath.t list) Hashtbl.t = Hashtbl.create 16 in
+      (* ancestor byte-sets from the construction: the ground truth *)
+      let anc : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.replace anc (raw Ordpath.root) [];
+      List.iter
+        (fun (pick, gap_seed) ->
+          let arr = Array.of_list !labels in
+          let p = arr.(pick mod Array.length arr) in
+          let sibs = Option.value ~default:[] (Hashtbl.find_opt kids (raw p)) in
+          let k = List.length sibs in
+          let gap = gap_seed mod (k + 1) in
+          let left = if gap = 0 then None else Some (List.nth sibs (gap - 1)) in
+          let right = if gap = k then None else Some (List.nth sibs gap) in
+          let fresh =
+            if k = 0 then Ordpath.child p 1 else Ordpath.insert_between left right
+          in
+          Hashtbl.replace kids (raw p)
+            (List.filteri (fun i _ -> i < gap) sibs
+            @ (fresh :: List.filteri (fun i _ -> i >= gap) sibs));
+          Hashtbl.replace anc (raw fresh) (raw p :: Hashtbl.find anc (raw p));
+          labels := fresh :: !labels)
+        ops;
+      let window_ok =
+        List.for_all
+          (fun d ->
+            let lo = raw d in
+            let hi = lo ^ "\xFF" in
+            List.for_all
+              (fun l ->
+                let lraw = raw l in
+                let in_window =
+                  String.compare lo lraw < 0 && String.compare lraw hi < 0
+                in
+                let truth = List.mem lo (Hashtbl.find anc lraw) in
+                Ordpath.is_descendant l ~of_:d = truth && in_window = truth)
+              !labels)
+          !labels
+      in
+      let rec dfs l =
+        l
+        :: List.concat_map dfs
+             (Option.value ~default:[] (Hashtbl.find_opt kids (raw l)))
+      in
+      let order_ok =
+        List.map raw (dfs Ordpath.root)
+        = List.map raw
+            (List.sort (fun a b -> String.compare (raw a) (raw b)) !labels)
+      in
+      window_ok && order_ok)
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "dewey"
@@ -345,7 +418,9 @@ let () =
       "lemmas", List.map tc lemma_tests;
       "region", List.map tc region_tests;
       "ordpath", List.map tc ordpath_unit_tests;
-      "ordpath-properties", [ QCheck_alcotest.to_alcotest prop_ordpath_insertions ];
+      ( "ordpath-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ordpath_insertions; prop_ordpath_caret_window ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_axes; prop_roundtrip ] );
     ]

@@ -12,6 +12,7 @@ module Table = Ppfx_minidb.Table
 module Database = Ppfx_minidb.Database
 module Value = Ppfx_minidb.Value
 module Dewey = Ppfx_dewey.Dewey
+module Ordpath = Ppfx_dewey.Ordpath
 
 let fig1_schema () =
   let b = Graph.Builder.create () in
@@ -86,10 +87,15 @@ let mapping_tests =
         Alcotest.(check int) "two F rows" 2 (Table.row_count f);
         let row = Table.row f 0 in
         (match row.(0), row.(2), row.(4) with
-         | Value.Int 7, Value.Bin dewey, Value.Str "1" ->
-           (* The stored position is prefixed with the doc_id component. *)
-           Alcotest.(check string) "dewey of first F" "1.1.1.2.1.1"
-             (Dewey.to_dotted (Dewey.of_string_exn dewey))
+         | Value.Int 7, Value.Bin label, Value.Str "1" ->
+           (* Stored labels are ORDPATH: the doc_id component followed by
+              the Dewey vector, each component odd-mapped to [2c - 1] so
+              the write path can caret inserts between them. Dewey
+              1.1.2.1.1 in document 1 therefore stores as 1.1.1.3.1.1. *)
+           Alcotest.(check string) "label of first F" "1.1.1.3.1.1"
+             (Ordpath.to_dotted (Ordpath.of_raw label));
+           Alcotest.(check string) "loader label helper" label
+             (Loader.label ~doc_id:1 (Dewey.of_components [ 1; 1; 2; 1; 1 ]))
          | _ -> Alcotest.fail "unexpected F row shape") );
     ( "parent foreign keys point at the right relation",
       fun () ->

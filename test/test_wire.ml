@@ -32,6 +32,27 @@ let gen_column =
       (gen_bytes 12)
       (oneofl [ Wire.Tany; Wire.Tint; Wire.Tfloat; Wire.Ttext; Wire.Tbin ]))
 
+let gen_update_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun parent before fragment ->
+            Wire.Op_insert { parent; before; fragment })
+          small_nat (option small_nat) (gen_bytes 32);
+        map (fun target -> Wire.Op_delete { target }) small_nat;
+        map2
+          (fun target fragment -> Wire.Op_replace { target; fragment })
+          small_nat (gen_bytes 32);
+        map3
+          (fun target name value -> Wire.Op_set_attr { target; name; value })
+          small_nat (gen_bytes 12)
+          (option (gen_bytes 12));
+        map2
+          (fun target text -> Wire.Op_set_text { target; text })
+          small_nat (gen_bytes 24);
+      ])
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -43,6 +64,7 @@ let gen_request =
         map2 (fun stmt window -> Wire.Execute { stmt; window }) small_nat small_nat;
         map2 (fun stmt window -> Wire.Fetch { stmt; window }) small_nat small_nat;
         map (fun stmt -> Wire.Close_stmt { stmt }) small_nat;
+        map (fun op -> Wire.Update { op }) gen_update_op;
         return Wire.Ping;
         return Wire.Quit;
       ])
@@ -67,6 +89,11 @@ let gen_response =
           (list_size (0 -- 5) gen_row)
           bool;
         map (fun stmt -> Wire.Closed { stmt }) small_nat;
+        map2
+          (fun (inserted, updated, deleted) (new_paths, dead_paths) ->
+            Wire.Updated { inserted; updated; deleted; new_paths; dead_paths })
+          (triple small_nat small_nat small_nat)
+          (pair small_nat small_nat);
         return Wire.Pong;
         map2
           (fun code message -> Wire.Error { code; message })
