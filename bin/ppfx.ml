@@ -203,9 +203,11 @@ let explain_cmd =
         stats.Engine.rows_scanned stats.Engine.rows_probed stats.Engine.rows_emitted
         stats.Engine.regex_evals stats.Engine.hash_builds stats.Engine.reductions;
       Printf.printf
-        "merge probes %d, merge steps %d, merge backtracks %d, peak bytes %d\n"
+        "merge probes %d, merge steps %d, merge backtracks %d, partitions scanned %d, \
+         partitions pruned %d, peak bytes %d\n"
         stats.Engine.merge_probes stats.Engine.merge_steps
-        stats.Engine.merge_backtracks stats.Engine.peak_bytes;
+        stats.Engine.merge_backtracks stats.Engine.partitions_scanned
+        stats.Engine.partitions_pruned stats.Engine.peak_bytes;
       Printf.printf "%d result rows\n" (List.length result.Engine.rows)
   in
   let term = Term.(const run $ doc_arg $ schema_arg $ query_arg) in

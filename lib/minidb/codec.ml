@@ -2,7 +2,9 @@ exception Corrupt of string
 
 let corrupt fmt = Format.kasprintf (fun m -> raise (Corrupt m)) fmt
 
-let magic = "PPFXDB1"
+(* DB2 added the partition-spec bytes after the column list (PR 8); DB1
+   files predate partitioned layouts and are not readable. *)
+let magic = "PPFXDB2"
 
 (* --- primitive writers --------------------------------------------- *)
 
@@ -97,6 +99,12 @@ let write_table oc table =
       write_string oc c.Table.name;
       output_byte oc (ty_code c.Table.ty))
     columns;
+  (match Table.partition_spec table with
+   | None -> output_byte oc 0
+   | Some spec ->
+     output_byte oc 1;
+     write_string oc spec.Table.part_col;
+     write_string oc spec.Table.part_sort);
   write_varint oc (Table.live_count table);
   Table.iter_rows (fun _ row -> Array.iter (write_value oc) row) table;
   let indexes = Table.indexes table in
@@ -117,7 +125,16 @@ let read_table db ic =
         let ty = ty_of_code (input_byte ic) in
         { Table.name = cname; ty })
   in
-  let table = Database.create_table db ~name ~columns in
+  let partition =
+    match input_byte ic with
+    | 0 -> None
+    | 1 ->
+      let part_col = read_string ic in
+      let part_sort = read_string ic in
+      Some { Table.part_col; part_sort }
+    | tag -> corrupt "table %s: unknown partition tag %d" name tag
+  in
+  let table = Database.create_table ?partition db ~name ~columns in
   let nrows = read_varint ic in
   if nrows < 0 then corrupt "table %s has negative row count" name;
   for _ = 1 to nrows do

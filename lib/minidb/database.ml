@@ -34,10 +34,10 @@ let create () =
     writers_waiting = 0;
   }
 
-let create_table t ~name ~columns =
+let create_table ?partition t ~name ~columns =
   if Hashtbl.mem t.by_name name then
     invalid_arg (Printf.sprintf "Database.create_table: table %s already exists" name);
-  let table = Table.create ~name ~columns in
+  let table = Table.create ?partition ~name ~columns () in
   Hashtbl.add t.by_name name table;
   t.ordered <- table :: t.ordered;
   table

@@ -15,8 +15,10 @@ type commit = {
 
 val create : unit -> t
 
-val create_table : t -> name:string -> columns:Table.column list -> Table.t
-(** Raises [Invalid_argument] if the name is taken. *)
+val create_table :
+  ?partition:Table.partition_spec -> t -> name:string -> columns:Table.column list -> Table.t
+(** Raises [Invalid_argument] if the name is taken. [?partition] declares
+    the table path-partitioned (see {!Table.partition_spec}). *)
 
 val table : t -> string -> Table.t
 (** Raises [Not_found]. *)

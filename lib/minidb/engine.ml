@@ -51,6 +51,8 @@ type counters = {
   mutable c_merge_probes : int;
   mutable c_merge_steps : int;
   mutable c_merge_backtracks : int;
+  mutable c_parts_scanned : int;
+  mutable c_parts_pruned : int;
   mutable c_peak_bytes : int;
 }
 
@@ -65,6 +67,8 @@ let counters_create () =
     c_merge_probes = 0;
     c_merge_steps = 0;
     c_merge_backtracks = 0;
+    c_parts_scanned = 0;
+    c_parts_pruned = 0;
     c_peak_bytes = 0;
   }
 
@@ -78,6 +82,8 @@ type exec_stats = {
   merge_probes : int;
   merge_steps : int;
   merge_backtracks : int;
+  partitions_scanned : int;
+  partitions_pruned : int;
   peak_bytes : int;
 }
 
@@ -92,6 +98,8 @@ let stats_of c =
     merge_probes = c.c_merge_probes;
     merge_steps = c.c_merge_steps;
     merge_backtracks = c.c_merge_backtracks;
+    partitions_scanned = c.c_parts_scanned;
+    partitions_pruned = c.c_parts_pruned;
     peak_bytes = c.c_peak_bytes;
   }
 
@@ -106,6 +114,8 @@ let stats_zero =
     merge_probes = 0;
     merge_steps = 0;
     merge_backtracks = 0;
+    partitions_scanned = 0;
+    partitions_pruned = 0;
     peak_bytes = 0;
   }
 
@@ -120,6 +130,8 @@ let stats_add a b =
     merge_probes = a.merge_probes + b.merge_probes;
     merge_steps = a.merge_steps + b.merge_steps;
     merge_backtracks = a.merge_backtracks + b.merge_backtracks;
+    partitions_scanned = a.partitions_scanned + b.partitions_scanned;
+    partitions_pruned = a.partitions_pruned + b.partitions_pruned;
     peak_bytes = a.peak_bytes + b.peak_bytes;
   }
 
@@ -134,6 +146,8 @@ let stats_diff a b =
     merge_probes = a.merge_probes - b.merge_probes;
     merge_steps = a.merge_steps - b.merge_steps;
     merge_backtracks = a.merge_backtracks - b.merge_backtracks;
+    partitions_scanned = a.partitions_scanned - b.partitions_scanned;
+    partitions_pruned = a.partitions_pruned - b.partitions_pruned;
     peak_bytes = a.peak_bytes - b.peak_bytes;
   }
 
@@ -153,6 +167,11 @@ type ctx = {
   counters : counters;
   footprint : (string, fp_entry) Hashtbl.t;
       (** accumulated across every [plan_select] under one compile *)
+  verdicts : (string * string, bool) Hashtbl.t;
+      (** plan-time regex verdict memo, (pattern, path string) -> matched;
+          shared across every reduction sweep of one compile (all UNION
+          branches, sub-selects) so no statement evaluates a pattern more
+          than once per distinct path *)
 }
 
 let fp_merge a b =
@@ -258,6 +277,27 @@ type merge_probe = {
   mj_cursor : int ref;
 }
 
+(* A pruned partition scan: the step's table is physically partitioned on
+   the probed fk column (see {!Table.partition_spec}), so a plan-time
+   pathid set resolves to the list of matching partitions and the scan
+   k-way-merges just those segments. Each segment is kept sorted on the
+   sort column (Dewey bytes), so emission is globally ascending on it —
+   feeding merge joins and ORDER BY elision — and the partition invariant
+   (every row in partition k has key k) makes the per-row set probe
+   redundant: pruning does the filtering with zero per-row work. The
+   matched-key list is fixed at plan time; that is sound under the plan's
+   footprint ([Dep_paths] over the full matched pathid set), which
+   invalidates the plan before any commit can grow, shrink or create a
+   partition the scan should have seen. *)
+type partition_scan = {
+  ps_table : Table.t;
+  ps_keys : int array;  (* matched partition keys, ascending *)
+  ps_total : int;  (* partitions present at plan time *)
+  ps_rows : int;  (* live rows under the matched keys at plan time *)
+  ps_sort_col : string;
+  ps_sort_idx : int;
+}
+
 type access =
   [ `Scan
   | `Index_eq of Btree.t * value_fn array
@@ -266,7 +306,8 @@ type access =
   | `Index_order of Btree.t
   | `Prefix_lookup of Btree.t * value_fn
   | `Hash_probe of hash_probe
-  | `Merge_join of merge_probe ]
+  | `Merge_join of merge_probe
+  | `Partition_scan of partition_scan ]
 
 type step = {
   st_slot : int;
@@ -433,10 +474,17 @@ let reduce_path_filters ctx (sel : Sql.select) local_aliases conjuncts =
                        (match Value.text row.(pci) with
                         | None -> ()
                         | Some s ->
-                          ctx.counters.c_regex_evals <-
-                            ctx.counters.c_regex_evals + 1;
-                          if Ppfx_regex.Regex.search re s then
-                            Hashtbl.replace set id ())
+                          let verdict =
+                            match Hashtbl.find_opt ctx.verdicts (pat, s) with
+                            | Some v -> v
+                            | None ->
+                              ctx.counters.c_regex_evals <-
+                                ctx.counters.c_regex_evals + 1;
+                              let v = Ppfx_regex.Regex.search re s in
+                              Hashtbl.add ctx.verdicts (pat, s) v;
+                              v
+                          in
+                          if verdict then Hashtbl.replace set id ())
                      | Value.Float _ | Value.Str _ | Value.Bin _ ->
                        (* declared INTEGER, so unreachable; bail rather
                           than guess at coercion semantics *)
@@ -487,6 +535,52 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
   in
   match access with
   | `Scan -> Table.iter_rows (fun id _ -> f id) table
+  | `Partition_scan ps ->
+    counters.c_parts_scanned <- counters.c_parts_scanned + Array.length ps.ps_keys;
+    counters.c_parts_pruned <-
+      counters.c_parts_pruned + max 0 (ps.ps_total - Array.length ps.ps_keys);
+    let n = Array.length ps.ps_keys in
+    if n = 1 then begin
+      let ids, len = Table.partition_view ps.ps_table ps.ps_keys.(0) in
+      for j = 0 to len - 1 do
+        f ids.(j)
+      done
+    end
+    else if n > 1 then begin
+      (* K-way merge of the matched segments on (sort bytes, id): each
+         segment is already sorted, so emission is globally ascending on
+         the sort column. Linear min pick — k is the matched path count,
+         small in practice. *)
+      let seg_ids = Array.map (fun k -> fst (Table.partition_view ps.ps_table k)) ps.ps_keys in
+      let seg_len = Array.map (fun k -> snd (Table.partition_view ps.ps_table k)) ps.ps_keys in
+      let cur = Array.make n 0 in
+      let sort_key id = (Table.row ps.ps_table id).(ps.ps_sort_idx) in
+      let continue_ = ref true in
+      while !continue_ do
+        let best = ref (-1) in
+        let best_id = ref 0 in
+        for j = 0 to n - 1 do
+          if cur.(j) < seg_len.(j) then begin
+            let id = seg_ids.(j).(cur.(j)) in
+            if
+              !best < 0
+              ||
+              match Value.compare_total (sort_key id) (sort_key !best_id) with
+              | 0 -> id < !best_id
+              | c -> c < 0
+            then begin
+              best := j;
+              best_id := id
+            end
+          end
+        done;
+        if !best < 0 then continue_ := false
+        else begin
+          f !best_id;
+          cur.(!best) <- cur.(!best) + 1
+        end
+      done
+    end
   | `Index_order tree ->
     (* Full walk of an index in key order: same rows as a scan (every
        row appears in every index exactly once), different order. Used
@@ -985,7 +1079,7 @@ and plan_select ctx (sel : Sql.select) : planned =
         let access, upgrades =
           choose_access ctx ~table ~alias ~bound:(bound_after (i - 1))
             ~prev:(List.map (fun (a, t, acc, _) -> a, t, acc) prev)
-            conjuncts
+            ~probes conjuncts
         in
         accesses.(i) <- access;
         List.iter
@@ -1026,6 +1120,33 @@ and plan_select ctx (sel : Sql.select) : planned =
         let my_probes =
           List.filter (fun (pb, _) -> String.equal pb.pb_alias alias) probe_preds
         in
+        (* A pruned partition scan subsumes every set probe on the
+           partition column: the partition invariant guarantees each
+           emitted row's key is one of the matched keys, which were
+           intersected over exactly those probe sets — so the per-row
+           probe is dropped (the point of pruning) while the sets stay in
+           the plan footprint for fine-grained invalidation. The
+           retained plan state shrinks from the probe hashtable to the
+           matched-key list; peak-bytes accounting follows. *)
+        let my_probes =
+          match accesses.(i), Table.partition_spec table with
+          | `Partition_scan ps, Some spec ->
+            let subsumed, kept =
+              List.partition
+                (fun (pb, _) -> String.equal pb.pb_col spec.Table.part_col)
+                my_probes
+            in
+            List.iter
+              (fun (pb, _) ->
+                ctx.counters.c_peak_bytes <-
+                  ctx.counters.c_peak_bytes - ((32 * Hashtbl.length pb.pb_set) + 64))
+              subsumed;
+            if subsumed <> [] then
+              ctx.counters.c_peak_bytes <-
+                ctx.counters.c_peak_bytes + (8 * Array.length ps.ps_keys) + 48;
+            kept
+          | _ -> my_probes
+        in
         {
           st_slot = slot;
           st_table = table;
@@ -1055,6 +1176,7 @@ and plan_select ctx (sel : Sql.select) : planned =
                 (match index_first_col st0.st_table tree with
                  | Some c0 -> String.equal c0 oc
                  | None -> false)
+              | `Partition_scan ps -> String.equal ps.ps_sort_col oc
               | _ -> false)
         | _ -> false)
   in
@@ -1108,7 +1230,7 @@ and plan_select ctx (sel : Sql.select) : planned =
    [(dewey_pos, path_id)] but not [path_id] alone); which side builds is
    decided by the greedy join order, i.e. by the existing cardinality
    estimates. *)
-and choose_access ctx ~table ~alias ~bound ~prev conjuncts :
+and choose_access ctx ~table ~alias ~bound ~prev ~probes conjuncts :
     access * (string * string) list =
   let bound_expr e =
     List.for_all (fun a -> (not (String.equal a alias)) && bound a) (Sql.free_aliases e)
@@ -1266,6 +1388,7 @@ and choose_access ctx ~table ~alias ~bound ~prev conjuncts :
        | Some c0 -> String.equal c0 c
        | None -> false)
     | `Merge_join mj -> String.equal mj.mj_suffix "" && String.equal mj.mj_key_col c
+    | `Partition_scan ps -> String.equal ps.ps_sort_col c
     | _ -> false
   in
   let dep_status (a, c) =
@@ -1348,6 +1471,47 @@ and choose_access ctx ~table ~alias ~bound ~prev conjuncts :
      (* One probe per prefix length: bounded by the key depth. *)
      consider 24.0 (`Prefix_lookup (tree, fn))
    | None -> ());
+  (* Partition-pruning candidate: the table is physically partitioned on
+     a column carrying a plan-time pathid set probe for this alias, so
+     the probe set resolves to a matched-partition list and the scan cost
+     is the exact matched row count — beating a full scan whenever any
+     partition is pruned, and competing fairly (rows fetched per binding)
+     with index paths. Emission is ascending on the partition sort
+     column, which downstream merge joins and ORDER BY elision exploit. *)
+  (match Table.partition_spec table with
+   | None -> ()
+   | Some spec ->
+     let sets =
+       List.filter_map
+         (fun pb ->
+           if
+             String.equal pb.pb_alias alias
+             && String.equal pb.pb_col spec.Table.part_col
+           then Some pb.pb_set
+           else None)
+         probes
+     in
+     (match sets, Table.column_index table spec.Table.part_sort with
+      | [], _ | _, None -> ()
+      | sets, Some sort_idx ->
+        let keys =
+          List.filter
+            (fun k -> List.for_all (fun s -> Hashtbl.mem s k) sets)
+            (Table.partition_keys table)
+        in
+        let rows =
+          List.fold_left (fun n k -> n + Table.partition_size table k) 0 keys
+        in
+        consider (float_of_int rows)
+          (`Partition_scan
+             {
+               ps_table = table;
+               ps_keys = Array.of_list keys;
+               ps_total = Table.partition_count table;
+               ps_rows = rows;
+               ps_sort_col = spec.Table.part_sort;
+               ps_sort_idx = sort_idx;
+             })));
   (* Hash-join candidate: a true equijoin (the key references at least
      one already-bound alias — constant equalities are selections and
      gain nothing from a build) whose key types hash consistently (see
@@ -1698,9 +1862,9 @@ let finalize_union order_cols all =
    build tables) is shared across executions, which is sound as long as
    the database has not changed (enforced by {!run_plan}'s epoch check;
    the one-shot entry points execute immediately). *)
-let compile_select ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db
-    (sel : Sql.select) : unit -> result =
-  let ctx = { db; slots = [||]; naive; opts; counters; footprint } in
+let compile_select ?(footprint = Hashtbl.create 8) ?(verdicts = Hashtbl.create 16)
+    ~naive ~opts ~counters db (sel : Sql.select) : unit -> result =
+  let ctx = { db; slots = [||]; naive; opts; counters; footprint; verdicts } in
   let p = plan_select ctx sel in
   fun () ->
     let bind = Array.make p.pl_total [||] in
@@ -1714,11 +1878,12 @@ let compile_select ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db
     { columns = List.map snd sel.Sql.projections; rows = List.map snd rows }
 
 let compile_statement ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db =
+  let verdicts = Hashtbl.create 16 in
   function
-  | Sql.Select sel -> compile_select ~footprint ~naive ~opts ~counters db sel
+  | Sql.Select sel -> compile_select ~footprint ~verdicts ~naive ~opts ~counters db sel
   | Sql.Select_count sel ->
     let counted =
-      compile_select ~footprint ~naive ~opts ~counters db
+      compile_select ~footprint ~verdicts ~naive ~opts ~counters db
         {
           sel with
           Sql.distinct = false;
@@ -1739,7 +1904,7 @@ let compile_statement ?(footprint = Hashtbl.create 8) ~naive ~opts ~counters db 
              error "UNION branches project different arities")
          branches;
        let compiled =
-         List.map (compile_select ~footprint ~naive ~opts ~counters db) branches
+         List.map (compile_select ~footprint ~verdicts ~naive ~opts ~counters db) branches
        in
        fun () ->
          let all = List.concat_map (fun run -> (run ()).rows) compiled in
@@ -1853,13 +2018,22 @@ let access_label : access -> string = function
   | `Prefix_lookup _ -> "prefix lookups"
   | `Hash_probe _ -> "hash join"
   | `Merge_join _ -> "merge join (dewey)"
+  | `Partition_scan _ -> "partition scan"
 
 (* EXPLAIN-ANALYZE style execution of one select: like the compiled
    pipeline with per-step row counters and inclusive per-step wall time
    (a step's seconds include the steps nested inside its loop). *)
 let run_select_profiled ~opts ~counters db (sel : Sql.select) =
   let ctx =
-    { db; slots = [||]; naive = false; opts; counters; footprint = Hashtbl.create 8 }
+    {
+      db;
+      slots = [||];
+      naive = false;
+      opts;
+      counters;
+      footprint = Hashtbl.create 8;
+      verdicts = Hashtbl.create 16;
+    }
   in
   let p = plan_select ctx sel in
   let steps_arr = Array.of_list p.pl_steps in
@@ -1957,6 +2131,7 @@ let run_naive db stmt = run_statement ~naive:true ~opts:default_opts db stmt
 let explain ?(opts = default_opts) db stmt =
   Database.with_read db @@ fun () ->
   let buf = Buffer.create 256 in
+  let verdicts = Hashtbl.create 16 in
   let describe_select prefix (sel : Sql.select) =
     let ctx =
       {
@@ -1966,6 +2141,7 @@ let explain ?(opts = default_opts) db stmt =
         opts;
         counters = counters_create ();
         footprint = Hashtbl.create 8;
+        verdicts;
       }
     in
     let p = plan_select ctx sel in
@@ -2007,6 +2183,12 @@ let explain ?(opts = default_opts) db stmt =
               (if String.equal mj.mj_suffix "" then "" else " || sentinel")
               (if mj.mj_lo = None then "-inf" else "bound")
               (if mj.mj_hi = None then "+inf" else "bound")
+          | `Partition_scan ps ->
+            Printf.sprintf
+              "partition scan (%s order), partitions: scanned %d/%d (pruned %d, %d rows)"
+              ps.ps_sort_col (Array.length ps.ps_keys) ps.ps_total
+              (ps.ps_total - Array.length ps.ps_keys)
+              ps.ps_rows
         in
         let probe_str =
           match st.st_probe_labels with

@@ -77,6 +77,10 @@ type exec_stats = {
   merge_probes : int;  (** merge-join probe operations (one per outer binding) *)
   merge_steps : int;  (** merge cursor forward advances *)
   merge_backtracks : int;  (** merge cursor band-join backward slides *)
+  partitions_scanned : int;
+      (** partitions a pruned partition scan touched (per execution) *)
+  partitions_pruned : int;
+      (** partitions a pruned partition scan skipped (per execution) *)
   peak_bytes : int;
       (** estimated peak resident bytes of plan-owned materializations:
           hash-join build tables, semi-join pathid sets, merge-join

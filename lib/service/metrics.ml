@@ -273,12 +273,13 @@ let dump t =
     (let e = t.engine in
      Printf.sprintf
        "  engine: %d rows scanned, %d probes, %d rows emitted, %d regex evals, %d hash builds, %d reductions\n\
-       \  engine: %d merge probes, %d merge steps, %d merge backtracks, %d peak bytes\n"
+       \  engine: %d merge probes, %d merge steps, %d merge backtracks, %d partitions scanned, %d partitions pruned, %d peak bytes\n"
        e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
        e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
        e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
        e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
-       e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes);
+       e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.partitions_scanned
+       e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.peak_bytes);
   if t.accepted > 0 || t.rejected > 0 then
     Buffer.add_string buf
       (Printf.sprintf
@@ -329,12 +330,14 @@ let to_json t =
       "{\"rows_scanned\":%d,\"rows_probed\":%d,\"rows_emitted\":%d,\
        \"regex_evals\":%d,\"hash_builds\":%d,\"reductions\":%d,\
        \"merge_probes\":%d,\"merge_steps\":%d,\"merge_backtracks\":%d,\
+       \"partitions_scanned\":%d,\"partitions_pruned\":%d,\
        \"peak_bytes\":%d}"
       e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
       e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
       e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
-      e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.peak_bytes
+      e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.partitions_scanned
+      e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.peak_bytes
   in
   let net_json =
     Printf.sprintf

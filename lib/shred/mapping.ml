@@ -59,7 +59,7 @@ let columns_of_def t (def : Graph.def) =
     ]
   @ attr_cols
 
-let create_tables t db =
+let create_tables ?(partitioned = true) t db =
   let paths =
     Database.create_table db ~name:paths_table
       ~columns:
@@ -72,7 +72,15 @@ let create_tables t db =
   Table.create_index paths [ "path" ];
   List.iter
     (fun def ->
-      let table = Database.create_table db ~name:(relation t def) ~columns:(columns_of_def t def) in
+      let partition =
+        if partitioned then
+          Some { Table.part_col = "path_id"; part_sort = "dewey_pos" }
+        else None
+      in
+      let table =
+        Database.create_table ?partition db ~name:(relation t def)
+          ~columns:(columns_of_def t def)
+      in
       Table.create_index table [ "id" ];
       List.iter
         (fun p -> Table.create_index table [ p.Graph.relation ^ "_id" ])

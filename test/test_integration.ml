@@ -259,6 +259,28 @@ let count_queries fx () =
       "//open_auction[count(bidder) = 0]";
     ]
 
+(* The translated plan over a shredded store (path-partitioned by
+   default) must execute the fact step as a pruned partition scan and
+   surface the pruning in EXPLAIN — the end-to-end golden behind the
+   CLI's `ppfx explain` output. *)
+let partition_pruning_explain fx () =
+  let translator = Translate.create fx.schema_store.Loader.mapping in
+  match Translate.translate translator (Xparser.parse "//item/name") with
+  | None -> Alcotest.fail "//item/name should translate"
+  | Some stmt ->
+    let plan = Engine.explain fx.schema_store.Loader.db stmt in
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length plan && (String.sub plan i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    if not (contains "partition scan") then
+      Alcotest.failf "no partition scan in plan:\n%s" plan;
+    if not (contains "partitions: scanned") then
+      Alcotest.failf "no pruning line in plan:\n%s" plan
+
 let () =
   let fx = Lazy.force xmark_fixture in
   let dfx = Lazy.force dblp_fixture in
@@ -280,6 +302,11 @@ let () =
       "multi-document", [ Alcotest.test_case "load" `Quick multi_document ];
       "count-extension", [ Alcotest.test_case "ppf and monet" `Quick (count_queries fx) ];
       "twig-extension", [ Alcotest.test_case "twig subset" `Quick (twig_agrees fx) ];
+      ( "partition-pruning",
+        [
+          Alcotest.test_case "explain surfaces pruning" `Quick
+            (partition_pruning_explain fx);
+        ] );
       ( "random-cross-engine",
         [ QCheck_alcotest.to_alcotest (prop_xmark_cross_engine fx) ] );
     ]

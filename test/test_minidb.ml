@@ -285,7 +285,7 @@ let table_tests =
       fun () ->
         let t =
           Table.create ~name:"t"
-            ~columns:[ { Table.name = "a"; ty = Value.Tint } ]
+            ~columns:[ { Table.name = "a"; ty = Value.Tint } ] ()
         in
         (match Table.insert t [| Value.Str "no" |] with
          | _ -> Alcotest.fail "expected Invalid_argument"
@@ -297,7 +297,7 @@ let table_tests =
       fun () ->
         let t =
           Table.create ~name:"t"
-            ~columns:[ { Table.name = "a"; ty = Value.Tint } ]
+            ~columns:[ { Table.name = "a"; ty = Value.Tint } ] ()
         in
         ignore (Table.insert t [| Value.Int 1 |]);
         Table.create_index t [ "a" ];
@@ -316,6 +316,7 @@ let table_tests =
                 { Table.name = "a"; ty = Value.Tint };
                 { Table.name = "b"; ty = Value.Tint };
               ]
+            ()
         in
         Table.create_index t [ "a"; "b" ];
         Alcotest.(check bool) "prefix a" true (Table.index_with_prefix t [ "a" ] <> None);
@@ -1086,6 +1087,200 @@ let optimizer_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Path-partitioned storage: pruning, differentials, and mutations     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same vocabulary as [build_path_case], but built through a layout
+   knob: the fact table is optionally partitioned by [path_id] with
+   segments sorted on [id] -- the shredder's layout, with the unique
+   [id] column standing in for [dewey_pos]. The partitioned store must
+   agree with the heap store and the naive oracle under every opts
+   configuration, and [Table.check_partitions] must hold before and
+   after arbitrary insert/delete/update sequences. *)
+let build_path_store ~partitioned (paths, facts, _, _) =
+  let db = Database.create () in
+  let pt =
+    Database.create_table db ~name:"paths"
+      ~columns:
+        [ { Table.name = "pathid"; ty = Value.Tint };
+          { Table.name = "path"; ty = Value.Tstr } ]
+  in
+  List.iteri (fun i p -> ignore (Table.insert pt [| Value.Int i; Value.Str p |])) paths;
+  Table.create_index pt [ "pathid" ];
+  let partition =
+    if partitioned then Some { Table.part_col = "path_id"; part_sort = "id" } else None
+  in
+  let ft =
+    Database.create_table ?partition db ~name:"fact"
+      ~columns:
+        [ { Table.name = "id"; ty = Value.Tint };
+          { Table.name = "path_id"; ty = Value.Tint };
+          { Table.name = "val"; ty = Value.Tint } ]
+  in
+  List.iteri
+    (fun i (pid, v) -> ignore (Table.insert ft [| Value.Int i; Value.Int pid; Value.Int v |]))
+    facts;
+  db, ft
+
+let prop_partitioned_vs_heap =
+  QCheck.Test.make ~count:300
+    ~name:"partitioned layout agrees with the heap layout and the naive oracle"
+    (QCheck.make
+       ~print:(fun case ->
+         let _, stmt = build_path_case case in
+         Sql.to_string stmt)
+       gen_path_case)
+    (fun case ->
+      let heap_db, stmt = build_path_case case in
+      let part_db, part_ft = build_path_store ~partitioned:true case in
+      (match Table.check_partitions part_ft with
+       | Ok () -> ()
+       | Error e -> QCheck.Test.fail_reportf "partition invariant: %s" e);
+      let gold = (Engine.run_naive heap_db stmt).Engine.rows in
+      List.for_all
+        (fun opts ->
+          (Engine.run ~opts part_db stmt).Engine.rows = gold
+          && (Engine.run ~opts heap_db stmt).Engine.rows = gold)
+        [ opts_off; Engine.default_opts; opts_forced ])
+
+(* Mutations are replayed identically against both layouts: row ids
+   stay in lockstep because both tables see the same insert order, and
+   the [id] column value is preserved across updates so the ORDER BY
+   stays a total order. *)
+let apply_path_mutations ft muts =
+  let live = ref [] in
+  for i = Table.live_count ft - 1 downto 0 do
+    live := (i, i) :: !live
+  done;
+  let fresh = ref 1000 in
+  List.iter
+    (fun (op, sel, pid, v) ->
+      match op, !live with
+      | 0, _ | _, [] ->
+        incr fresh;
+        let rid = Table.insert ft [| Value.Int !fresh; Value.Int pid; Value.Int v |] in
+        live := (rid, !fresh) :: !live
+      | 1, l ->
+        let rid, _ = List.nth l (sel mod List.length l) in
+        ignore (Table.delete ft rid);
+        live := List.remove_assoc rid !live
+      | _, l ->
+        let rid, idv = List.nth l (sel mod List.length l) in
+        ignore (Table.update ft rid [| Value.Int idv; Value.Int pid; Value.Int v |]))
+    muts
+
+let gen_path_mutations =
+  QCheck.Gen.(
+    list_size (int_bound 25)
+      (quad (int_bound 2) (int_bound 99) (int_range (-2) 25) (int_bound 9)))
+
+let prop_partitioned_mutations =
+  QCheck.Test.make ~count:200
+    ~name:"partitions stay sorted and differential after random mutations"
+    (QCheck.make
+       ~print:(fun (case, muts) ->
+         let _, stmt = build_path_case case in
+         Printf.sprintf "%s with %d mutations" (Sql.to_string stmt) (List.length muts))
+       (QCheck.Gen.pair gen_path_case gen_path_mutations))
+    (fun (case, muts) ->
+      let _, stmt = build_path_case case in
+      let heap_db, heap_ft = build_path_store ~partitioned:false case in
+      let part_db, part_ft = build_path_store ~partitioned:true case in
+      apply_path_mutations heap_ft muts;
+      apply_path_mutations part_ft muts;
+      (match Table.check_partitions part_ft with
+       | Ok () -> ()
+       | Error e -> QCheck.Test.fail_reportf "partition invariant after mutations: %s" e);
+      let gold = (Engine.run_naive heap_db stmt).Engine.rows in
+      (Engine.run part_db stmt).Engine.rows = gold
+      && (Engine.run heap_db stmt).Engine.rows = gold)
+
+(* [optimizer_fixture] with the fact table partitioned: pathids
+   {0, 2, 3, 4} give four partitions, and [reduce_stmt]'s regex matches
+   only pathid 3 (two rows), so a pruned scan touches 1 of 4 segments. *)
+let partitioned_fixture () =
+  let db = Database.create () in
+  let pt =
+    Database.create_table db ~name:"paths"
+      ~columns:
+        [ { Table.name = "pathid"; ty = Value.Tint };
+          { Table.name = "path"; ty = Value.Tstr } ]
+  in
+  List.iteri
+    (fun i p -> ignore (Table.insert pt [| Value.Int i; Value.Str p |]))
+    [ "/site"; "/site/regions"; "/site/regions/item"; "/site/regions/item/keyword";
+      "/site/people/person/name" ];
+  let ft =
+    Database.create_table db
+      ~partition:{ Table.part_col = "path_id"; part_sort = "id" }
+      ~name:"fact"
+      ~columns:
+        [ { Table.name = "id"; ty = Value.Tint };
+          { Table.name = "path_id"; ty = Value.Tint };
+          { Table.name = "val"; ty = Value.Tint } ]
+  in
+  List.iteri
+    (fun i (pid, v) -> ignore (Table.insert ft [| Value.Int i; Value.Int pid; Value.Int v |]))
+    [ 3, 1; 3, 2; 4, 5; 2, 0; 0, 7 ];
+  db, pt, ft
+
+let partition_tests =
+  [
+    ( "partitioned table: spec, keys, segment sizes and invariant",
+      fun () ->
+        let _, _, ft = partitioned_fixture () in
+        (match Table.partition_spec ft with
+         | Some s ->
+           Alcotest.(check string) "part col" "path_id" s.Table.part_col;
+           Alcotest.(check string) "sort col" "id" s.Table.part_sort
+         | None -> Alcotest.fail "expected a partition spec");
+        Alcotest.(check (list int)) "keys" [ 0; 2; 3; 4 ] (Table.partition_keys ft);
+        Alcotest.(check int) "partition count" 4 (Table.partition_count ft);
+        Alcotest.(check int) "rows in partition 3" 2 (Table.partition_size ft 3);
+        (match Table.check_partitions ft with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e) );
+    ( "explain surfaces partition pruning",
+      fun () ->
+        let db, _, _ = partitioned_fixture () in
+        let on = Engine.explain db reduce_stmt in
+        Alcotest.(check bool) "partition scan" true (contains on "partition scan");
+        Alcotest.(check bool) "pruning line" true
+          (contains on "partitions: scanned 1/4");
+        Alcotest.(check bool) "sort elided over one id-sorted segment" true
+          (contains on "sort elided");
+        let off = Engine.explain ~opts:opts_off db reduce_stmt in
+        Alcotest.(check bool) "off: no partition scan" false
+          (contains off "partition scan") );
+    ( "partition scan prunes and collapses rows scanned",
+      fun () ->
+        let db, _, _ = partitioned_fixture () in
+        let plan = Engine.prepare db reduce_stmt in
+        let before = Engine.plan_stats plan in
+        let r = Engine.run_plan plan in
+        let per = Engine.stats_diff (Engine.plan_stats plan) before in
+        Alcotest.(check int) "result rows" 2 (List.length r.Engine.rows);
+        Alcotest.(check int) "scanned = matched partition rows" 2
+          per.Engine.rows_scanned;
+        Alcotest.(check int) "partitions scanned" 1 per.Engine.partitions_scanned;
+        Alcotest.(check int) "partitions pruned" 3 per.Engine.partitions_pruned;
+        Alcotest.(check int) "pathid probe subsumed by pruning" 0
+          per.Engine.rows_probed );
+    ( "mutations keep segments sorted and results correct",
+      fun () ->
+        let db, _, ft = partitioned_fixture () in
+        ignore (Table.insert ft [| Value.Int 9; Value.Int 3; Value.Int 4 |]);
+        ignore (Table.delete ft 0);
+        ignore (Table.update ft 1 [| Value.Int 1; Value.Int 4; Value.Int 2 |]);
+        (match Table.check_partitions ft with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        let gold = (Engine.run_naive db reduce_stmt).Engine.rows in
+        Alcotest.(check int) "agrees with oracle after mutations" 0
+          (compare (Engine.run db reduce_stmt).Engine.rows gold) );
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Dewey merge join: differential property and EXPLAIN surface         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1271,6 +1466,10 @@ let () =
       "planner-properties", [ QCheck_alcotest.to_alcotest prop_planner_vs_naive ];
       "optimizer", List.map tc optimizer_tests;
       "optimizer-properties", [ QCheck_alcotest.to_alcotest prop_optimizer_vs_naive ];
+      "partitioning", List.map tc partition_tests;
+      "partitioning-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_partitioned_vs_heap; prop_partitioned_mutations ];
       "merge-join", List.map tc merge_join_tests;
       "merge-join-properties", [ QCheck_alcotest.to_alcotest prop_merge_join_vs_naive ];
     ]

@@ -229,11 +229,53 @@ let prop_edge_complete =
         !ok
       end)
 
+(* The schema-aware shredder's physical layout: every element fact
+   table is partitioned by [path_id] with [dewey_pos]-sorted segments,
+   the [paths] dimension stays a heap, and a freshly shredded store
+   satisfies the partition invariant. [~partitioned:false] restores the
+   flat heap layout for comparisons. *)
+let layout_tests =
+  [
+    ( "shredded fact tables are path-partitioned and dewey-sorted",
+      fun () ->
+        let st = Loader.shred (fig1_schema ()) (fig1_doc ()) in
+        List.iter
+          (fun t ->
+            if Table.name t = "paths" then
+              Alcotest.(check bool) "paths stays a heap" true
+                (Table.partition_spec t = None)
+            else
+              match Table.partition_spec t with
+              | Some s ->
+                Alcotest.(check string) "partition column" "path_id" s.Table.part_col;
+                Alcotest.(check string) "sort column" "dewey_pos" s.Table.part_sort;
+                (match Table.check_partitions t with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.failf "%s: %s" (Table.name t) e)
+              | None -> Alcotest.failf "%s: expected partitioned layout" (Table.name t))
+          (Database.tables st.Loader.db) );
+    ( "partitioned layout can be disabled",
+      fun () ->
+        let st =
+          Loader.load
+            (Loader.create ~partitioned:false (Mapping.of_schema (fig1_schema ())))
+            (fig1_doc ())
+        in
+        List.iter
+          (fun t ->
+            Alcotest.(check bool)
+              (Table.name t ^ " is a heap")
+              true
+              (Table.partition_spec t = None))
+          (Database.tables st.Loader.db) );
+  ]
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "shred"
     [
       "schema-aware", List.map tc mapping_tests;
       "edge", List.map tc edge_tests;
+      "layout", List.map tc layout_tests;
       "properties", [ QCheck_alcotest.to_alcotest prop_edge_complete ];
     ]

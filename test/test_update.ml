@@ -21,6 +21,7 @@ module Doc = Ppfx_xml.Doc
 module Xmlparser = Ppfx_xml.Parser
 module Graph = Ppfx_schema.Graph
 module Database = Ppfx_minidb.Database
+module Table = Ppfx_minidb.Table
 module Loader = Ppfx_shred.Loader
 module Update = Ppfx_update.Update
 module Session = Ppfx_service.Session
@@ -339,6 +340,27 @@ let steps_arb n =
 
 let rank_set rk ids = List.sort compare (List.map (Hashtbl.find rk) ids)
 
+(* The shredder's fact tables are path-partitioned with Dewey-sorted
+   segments; every incremental commit must preserve that physical
+   invariant (inserts caret into the right slot, deletes shrink the
+   segment). Checked after each full mutation sequence. *)
+let check_store_partitions label (st : Loader.t) =
+  let partitioned = ref 0 in
+  List.iter
+    (fun t ->
+      match Table.partition_spec t with
+      | None -> ()
+      | Some _ -> (
+        incr partitioned;
+        match Table.check_partitions t with
+        | Ok () -> ()
+        | Error e ->
+          QCheck.Test.fail_reportf "%s: %s violates partition invariant: %s" label
+            (Table.name t) e))
+    (Database.tables st.Loader.db);
+  if !partitioned = 0 then
+    QCheck.Test.fail_reportf "%s: expected partitioned fact tables" label
+
 (* Differential: incremental mutations == full re-shred, on one store. *)
 let prop_incremental_equals_reshred =
   QCheck.Test.make ~count:8
@@ -350,6 +372,7 @@ let prop_incremental_equals_reshred =
       let pool = fragment_pool tree in
       let u = Update.create schema [ tree ] in
       List.iter (apply_step ~pool ~u ~exec:(Update.exec u)) steps;
+      check_store_partitions "single store" (Update.store u);
       let fresh = Update.create schema (Update.current_trees u) in
       let s_inc = Session.create (Update.store u) in
       let s_ref = Session.create (Update.store fresh) in
@@ -378,6 +401,9 @@ let prop_cluster_incremental_equals_reshred =
       Cluster.with_cluster ~pool_size:0 ~shards:4 schema [ tree ] (fun c ->
           let u = Cluster.full_update c in
           List.iter (apply_step ~pool ~u ~exec:(Cluster.update c)) steps;
+          Array.iteri
+            (fun i st -> check_store_partitions (Printf.sprintf "shard %d" i) st)
+            (Cluster.shard_stores c);
           let fresh = Update.create schema (Update.current_trees u) in
           let s_ref = Session.create (Update.store fresh) in
           let rk_inc = Update.ranks u and rk_ref = Update.ranks fresh in
