@@ -31,6 +31,11 @@
                 (fine-grained vs whole-epoch invalidation), and ORDPATH
                 label growth under adversarial front inserts (beyond
                 the paper)
+   - durability : lib/wal write-ahead logging — mutations/sec at each
+                append policy (volatile / off / batch / fsync) and
+                cold-start wall time from the data directory (WAL
+                replay and clean checkpoint) vs re-shredding from
+                source (beyond the paper)
 
    Usage: dune exec bench/main.exe -- [section ...] [options]
    Options: --small N (items/region, default 50)
@@ -1235,6 +1240,179 @@ let write_bench () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL append policies and cold start                      *)
+(* ------------------------------------------------------------------ *)
+
+module Wstore = Ppfx_wal.Store
+module Net_server = Ppfx_net.Server
+
+(* Two measurements of the lib/wal durability layer:
+   - mutations/sec with the log disabled (volatile baseline) and at the
+     three append policies — Off (never fsync), Batch 32 (group
+     commit), Fsync (fsync every ack): the price of each durability
+     guarantee on the same set-text workload as the write section;
+   - cold-start wall time: reopening a mutated store from its data
+     directory — replaying the WAL against the last checkpoint, and
+     from a clean-shutdown final checkpoint — vs re-shredding the
+     mutated documents from source. *)
+let durability_bench () =
+  current_section := "durability";
+  print_endline "\n== Durability: WAL append policies and cold start (XMark) ==";
+  let tree = Xmark.generate ~items_per_region:config.small () in
+  let schema = Xmark.schema () in
+  let dataset =
+    Printf.sprintf "XMark (%d elements)" (Xtree.count_elements tree)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let scratch name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppfx-bench-wal-%d-%s" (Unix.getpid ()) name)
+  in
+  let by_tag u tag =
+    Hashtbl.fold
+      (fun id _ acc ->
+        if String.equal (Update.node_tag u id) tag then id :: acc else acc)
+      (Update.ranks u) []
+  in
+  let n_ops = max 200 (config.reps * 100) in
+  (* (a) mutation throughput per append policy *)
+  let bench_policy name durability =
+    let u = Update.create schema [ tree ] in
+    let cities = Array.of_list (by_tag u "city") in
+    let w =
+      match durability with
+      | None -> None
+      | Some durability ->
+        let dir = scratch name in
+        rm_rf dir;
+        Some
+          (Wstore.init ~durability ~dir ~db:(Update.db u)
+             ~meta:(Net_server.store_meta u) ())
+    in
+    let exec op =
+      match w with
+      | None -> ignore (Update.exec u op)
+      | Some w ->
+        let cs = Update.stage u op in
+        ignore (Wstore.append w ~op cs : int);
+        Update.commit (Update.db u) cs
+    in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n_ops - 1 do
+      exec
+        (Update.Set_text
+           { target = cities.(i mod Array.length cities);
+             text = Printf.sprintf "d%d" i })
+    done;
+    Option.iter Wstore.flush w;
+    let dt = Unix.gettimeofday () -. t0 in
+    let rate = float_of_int n_ops /. dt in
+    Printf.printf "  %-30s %10.0f mutations/s\n" name rate;
+    record ~dataset ~query:"set-text" ~engine:name ~nodes:1
+      ~seconds:(dt /. float_of_int n_ops)
+      ~extra:(Printf.sprintf "\"ops\":%d,\"mutations_per_sec\":%.1f" n_ops rate)
+      ();
+    Option.iter
+      (fun w ->
+        let dir = Wstore.dir w in
+        Wstore.close w;
+        rm_rf dir)
+      w
+  in
+  bench_policy "volatile (no wal)" None;
+  bench_policy "wal durability=off" (Some Wstore.Off);
+  bench_policy "wal durability=batch:32" (Some (Wstore.Batch 32));
+  bench_policy "wal durability=fsync" (Some Wstore.Fsync);
+  (* (b) cold start from the data directory vs re-shred from source *)
+  let dir = scratch "cold" in
+  rm_rf dir;
+  let u = Update.create schema [ tree ] in
+  let w =
+    Wstore.init ~durability:Wstore.Off ~dir ~db:(Update.db u)
+      ~meta:(Net_server.store_meta u) ()
+  in
+  let cities = Array.of_list (by_tag u "city") in
+  let logged = max 200 (config.reps * 100) in
+  for i = 0 to logged - 1 do
+    let op =
+      Update.Set_text
+        { target = cities.(i mod Array.length cities);
+          text = Printf.sprintf "r%d" i }
+    in
+    let cs = Update.stage u op in
+    ignore (Wstore.append w ~op cs : int);
+    Update.commit (Update.db u) cs
+  done;
+  let mutated = Update.current_trees u in
+  let cold label =
+    (* recover clears the clean marker, so only the first timed run sees
+       a clean manifest — keep that one for reporting *)
+    let recovered = ref None in
+    let dt =
+      time_med (fun () ->
+          match Wstore.recover ~dir () with
+          | Error e -> failwith ("durability bench: recover: " ^ e)
+          | Ok r ->
+            (match
+               Wstore.rebuild_full ~db:r.Wstore.db ~meta:r.Wstore.meta
+                 r.Wstore.records
+             with
+             | Error e -> failwith ("durability bench: rebuild: " ^ e)
+             | Ok u' ->
+               if !recovered = None then recovered := Some (r, u'));
+            Wstore.close r.Wstore.store)
+    in
+    let r, u' = Option.get !recovered in
+    Printf.printf "  %-30s %10.4f s  (replayed %d records)\n" label dt
+      r.Wstore.recovery.Wstore.replayed;
+    record ~dataset ~query:"cold-start" ~engine:label ~nodes:(Update.size u')
+      ~seconds:dt
+      ~extra:
+        (Printf.sprintf "\"replayed\":%d,\"clean\":%b"
+           r.Wstore.recovery.Wstore.replayed r.Wstore.recovery.Wstore.clean)
+      ();
+    u'
+  in
+  Wstore.close w;
+  let u_replay = cold "recover (wal replay)" in
+  (* a clean shutdown rolls the log into a final checkpoint *)
+  let w =
+    match Wstore.recover ~dir () with
+    | Ok r ->
+      (match Wstore.rebuild_full ~db:r.Wstore.db ~meta:r.Wstore.meta r.Wstore.records with
+       | Ok u' -> Wstore.close_clean r.Wstore.store ~db:(Update.db u') ~meta:(Net_server.store_meta u')
+       | Error e -> failwith e);
+      r
+    | Error e -> failwith e
+  in
+  ignore w;
+  let u_clean = cold "recover (clean checkpoint)" in
+  let dt_shred = time_med (fun () -> Update.create schema mutated) in
+  Printf.printf "  %-30s %10.4f s\n" "re-shred from source" dt_shred;
+  record ~dataset ~query:"cold-start" ~engine:"re-shred" ~nodes:(Update.size u)
+    ~seconds:dt_shred ();
+  (* the recovered stores answer exactly like the live mutated store *)
+  let s_live = Session.create (Update.store u) in
+  List.iter
+    (fun u' ->
+      let s' = Session.create (Update.store u') in
+      List.iter
+        (fun (name, q) ->
+          if Session.run_ids s_live q <> Session.run_ids s' q then
+            failwith ("durability bench: " ^ name ^ " diverged after recovery"))
+        Xmark.queries)
+    [ u_replay; u_clean ];
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1334,6 +1512,7 @@ let () =
   if wants "cluster" then cluster_bench ();
   if wants "engine" then engine_bench ();
   if wants "write" then write_bench ();
+  if wants "durability" then durability_bench ();
   if wants "net" then net ();
   if wants "micro" then micro ();
   write_json ()

@@ -29,6 +29,8 @@ module Metrics = Ppfx_service.Metrics
 module Cluster = Ppfx_cluster.Cluster
 module Server = Ppfx_net.Server
 module Update = Ppfx_update.Update
+module Wstore = Ppfx_wal.Store
+module Client = Ppfx_client.Client
 
 let read_file path =
   let ic = open_in_bin path in
@@ -338,10 +340,11 @@ let sql_cmd =
     let db =
       match db_path, doc_path with
       | Some path, _ ->
-        (match Ppfx_minidb.Codec.load path with
-         | db -> db
-         | exception Ppfx_minidb.Codec.Corrupt msg ->
-           Printf.eprintf "corrupt store: %s\n" msg;
+        (match Ppfx_minidb.Codec.load_result path with
+         | Ok db -> db
+         | Error e ->
+           Printf.eprintf "cannot load store: %s\n"
+             (Ppfx_minidb.Codec.error_to_string e);
            exit 1)
       | None, Some doc_path ->
         build_store ~schema_path:None ~store (load_doc doc_path)
@@ -441,6 +444,28 @@ let serve_cmd =
            ~doc:"Server-side cap on rows per response frame; larger results \
                  stream through Fetch.")
   in
+  let data_dir_arg =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable store directory: every mutation is write-ahead \
+                 logged (appended and fsynced per --durability) before it is \
+                 acked, and the stores checkpoint periodically. When DIR \
+                 already holds a store, the server cold-starts from the \
+                 newest checkpoint plus the log — no --doc and no \
+                 re-shredding.")
+  in
+  let durability_arg =
+    Arg.(value & opt string "fsync" & info [ "durability" ] ~docv:"POLICY"
+           ~doc:"WAL fsync policy for --data-dir: off (never fsync — the OS \
+                 decides), fsync (every append — an acked mutation survives \
+                 any crash), or batch[:N] (group commit, fsync every N \
+                 appends; N defaults to 32).")
+  in
+  let doc_serve_arg =
+    Arg.(value & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE"
+           ~doc:"XML document to serve. Required unless --data-dir holds a \
+                 recoverable store (then it is ignored: the store already \
+                 contains the data).")
+  in
   let serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
       ~no_metrics ~tree doc =
     let queries =
@@ -484,17 +509,19 @@ let serve_cmd =
             (Cluster.shard_metrics cluster))
   in
   let serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
-      ~shards ~pool ~options ~schema ~no_metrics ~tree doc =
-    let config =
-      { Server.default_config with
-        host; port; workers;
-        max_connections = max_conns;
-        queue_depth;
-        fetch_window = window;
-        shards }
-    in
-    let start_and_wait factory =
+      ~shards ~pool ~options ~no_metrics ~data_dir ~durability ~load_source () =
+    let start_and_wait ?(attach = fun _ -> ()) ?(on_stop = fun () -> ())
+        ~shards factory =
+      let config =
+        { Server.default_config with
+          host; port; workers;
+          max_connections = max_conns;
+          queue_depth;
+          fetch_window = window;
+          shards }
+      in
       let server = Server.start ~config factory in
+      attach server;
       Printf.printf
         "ppfx serving on %s:%d (%d workers, %d shards) — Ctrl-C to stop\n%!"
         host (Server.port server) workers shards;
@@ -508,31 +535,115 @@ let serve_cmd =
       done;
       print_endline "shutting down — draining in-flight requests...";
       Server.stop server;
+      (* The drain finished: every acked mutation is appended and
+         committed. Flush, checkpoint and mark the durable stores clean
+         before exiting. *)
+      on_stop ();
       if not no_metrics then begin
         print_newline ();
         print_string (Metrics.dump (Server.metrics server))
       end
     in
     if shards = 1 then begin
-      let store = Loader.shred schema doc in
+      let store_dir dir = Filename.concat dir "store" in
       (* One shared write path (shadow forest + commit lock) behind the
          worker domains' private read sessions: Update requests stage
          through it, and the store's fine-grained commit log lets each
          session retain footprint-disjoint prepared plans. *)
-      let write_path = (Mutex.create (), Update.of_store store [ tree ]) in
-      start_and_wait (fun () ->
-          Server.session_executor ~update:write_path
-            (Session.create ~cache_capacity:cache ~options store))
+      let serve_single ?wal u store =
+        let write_path = (Mutex.create (), u) in
+        start_and_wait ~shards:1
+          ~attach:(fun server ->
+            Option.iter
+              (fun w -> Wstore.set_metrics w (Server.metrics server))
+              wal)
+          ~on_stop:(fun () ->
+            Option.iter
+              (fun w ->
+                Wstore.close_clean w ~db:(Update.db u)
+                  ~meta:(Server.store_meta u))
+              wal)
+          (fun () ->
+            Server.session_executor ~update:write_path ?wal
+              (Session.create ~cache_capacity:cache ~options store))
+      in
+      match data_dir with
+      | Some dir when Wstore.exists ~dir:(store_dir dir) ->
+        (match Wstore.recover ~durability ~dir:(store_dir dir) () with
+         | Error msg ->
+           Printf.eprintf "cannot recover %s: %s\n" (store_dir dir) msg;
+           exit 1
+         | Ok r ->
+           (match
+              Wstore.rebuild_full ~db:r.Wstore.db ~meta:r.Wstore.meta
+                r.Wstore.records
+            with
+            | Error msg ->
+              Printf.eprintf "cannot replay %s: %s\n" (store_dir dir) msg;
+              exit 1
+            | Ok u ->
+              let rv = r.Wstore.recovery in
+              if rv.Wstore.clean then
+                Printf.printf "clean start from %s (replay scan skipped)\n%!"
+                  (store_dir dir)
+              else
+                Printf.printf
+                  "recovered %s: %d records replayed, %d torn bytes truncated\n%!"
+                  (store_dir dir) rv.Wstore.replayed rv.Wstore.truncated_bytes;
+              serve_single ~wal:r.Wstore.store u (Update.store u)))
+      | Some dir ->
+        let tree, doc, schema = load_source () in
+        let store = Loader.shred schema doc in
+        let u = Update.of_store store [ tree ] in
+        let w =
+          Wstore.init ~durability ~dir:(store_dir dir) ~db:store.Loader.db
+            ~meta:(Server.store_meta u) ()
+        in
+        serve_single ~wal:w u store
+      | None ->
+        let tree, doc, schema = load_source () in
+        let store = Loader.shred schema doc in
+        serve_single (Update.of_store store [ tree ]) store
     end
-    else
-      Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options ~shards
-        schema [ tree ]
-        (fun cluster ->
-          let lock = Mutex.create () in
-          start_and_wait (fun () -> Server.cluster_executor lock cluster))
+    else begin
+      match data_dir with
+      | Some dir when Wstore.exists ~dir:(Filename.concat dir "full") ->
+        (match
+           Cluster.open_durable ~durability ?pool_size:pool
+             ~cache_capacity:cache ~options ~data_dir:dir ()
+         with
+         | Error msg ->
+           Printf.eprintf "cannot recover cluster %s: %s\n" dir msg;
+           exit 1
+         | Ok cluster ->
+           let n = Cluster.shards cluster in
+           if n <> shards then
+             Printf.printf "note: %s holds %d shards; ignoring --shards %d\n"
+               dir n shards;
+           Printf.printf "recovered cluster %s (%d shards)\n%!" dir n;
+           Fun.protect
+             ~finally:(fun () -> Cluster.close cluster)
+             (fun () ->
+               let lock = Mutex.create () in
+               start_and_wait ~shards:n (fun () ->
+                   Server.cluster_executor lock cluster)))
+      | _ ->
+        let tree, _doc, schema = load_source () in
+        Cluster.with_cluster ?pool_size:pool ~cache_capacity:cache ~options
+          ~shards schema [ tree ]
+          (fun cluster ->
+            (match data_dir with
+             | Some dir ->
+               Cluster.make_durable ~durability ~data_dir:dir cluster
+             | None -> ());
+            let lock = Mutex.create () in
+            start_and_wait ~shards (fun () ->
+                Server.cluster_executor lock cluster))
+    end
   in
   let run doc_path schema_path queries_path cache repeat shards pool no_opt
-      no_metrics stdio host port workers max_conns queue_depth window =
+      no_metrics stdio host port workers max_conns queue_depth window data_dir
+      durability =
     handle_errors @@ fun () ->
     if cache < 1 then (
       Printf.eprintf "--cache must be at least 1 (got %d)\n" cache;
@@ -546,26 +657,46 @@ let serve_cmd =
     if window < 1 then (
       Printf.eprintf "--window must be at least 1 (got %d)\n" window;
       exit 1);
-    let tree = Ppfx_xml.Parser.parse (read_file doc_path) in
-    let doc = Doc.of_tree tree in
-    let schema = schema_of ~schema_path doc in
+    let durability =
+      match Wstore.durability_of_string durability with
+      | Ok d -> d
+      | Error msg ->
+        Printf.eprintf "--durability: %s\n" msg;
+        exit 1
+    in
     let options =
       if no_opt then { Translate.default_options with omit_path_filters = false }
       else Translate.default_options
     in
-    if stdio then
+    let load_source () =
+      match doc_path with
+      | None ->
+        Printf.eprintf
+          "--doc is required (no recoverable store under --data-dir)\n";
+        exit 1
+      | Some path ->
+        let tree = Ppfx_xml.Parser.parse (read_file path) in
+        let doc = Doc.of_tree tree in
+        (tree, doc, schema_of ~schema_path doc)
+    in
+    if stdio then begin
+      if data_dir <> None then (
+        Printf.eprintf "--data-dir requires the TCP server (drop --stdio)\n";
+        exit 1);
+      let tree, doc, schema = load_source () in
       serve_stdio ~queries_path ~cache ~repeat ~shards ~pool ~options ~schema
         ~no_metrics ~tree doc
+    end
     else
       serve_tcp ~host ~port ~workers ~max_conns ~queue_depth ~window ~cache
-        ~shards ~pool ~options ~schema ~no_metrics ~tree doc
+        ~shards ~pool ~options ~no_metrics ~data_dir ~durability ~load_source ()
   in
   let term =
     Term.(
-      const run $ doc_arg $ schema_arg $ queries_arg $ cache_arg $ repeat_arg
-      $ shards_arg $ pool_arg $ no_opt_arg $ no_metrics_arg $ stdio_arg
-      $ host_arg $ port_arg $ workers_arg $ max_conns_arg $ queue_depth_arg
-      $ window_arg)
+      const run $ doc_serve_arg $ schema_arg $ queries_arg $ cache_arg
+      $ repeat_arg $ shards_arg $ pool_arg $ no_opt_arg $ no_metrics_arg
+      $ stdio_arg $ host_arg $ port_arg $ workers_arg $ max_conns_arg
+      $ queue_depth_arg $ window_arg $ data_dir_arg $ durability_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -637,8 +768,18 @@ let update_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the mutated document back out as XML.")
   in
+  let port_arg =
+    Arg.(value & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Send the mutation to a running ppfx server over the wire \
+                 protocol instead of mutating a local document (--doc is \
+                 not needed then).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Server address (with --port).")
+  in
   let run doc_path schema_path kind target parent before fragment name value
-      text query out =
+      text query out host port =
     handle_errors @@ fun () ->
     let need what = function
       | Some v -> v
@@ -646,6 +787,54 @@ let update_cmd =
         Printf.eprintf "--%s is required for this operation\n" what;
         exit 1
     in
+    match port with
+    | Some port ->
+      (match Client.connect ~host ~port () with
+       | exception Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "cannot connect to %s:%d: %s\n" host port
+           (Unix.error_message e);
+         exit 1
+       | c ->
+         Fun.protect
+           ~finally:(fun () -> Client.close c)
+           (fun () ->
+             try
+               let o =
+                 match kind with
+                 | `Insert ->
+                   Client.insert c ~parent:(need "parent" parent) ?before
+                     (need "fragment" fragment)
+                 | `Delete -> Client.delete c ~target:(need "target" target)
+                 | `Replace ->
+                   Client.replace c ~target:(need "target" target)
+                     (need "fragment" fragment)
+                 | `Set_attr ->
+                   Client.set_attribute c ~target:(need "target" target)
+                     ~name:(need "name" name) value
+                 | `Set_text ->
+                   Client.set_text c ~target:(need "target" target)
+                     (need "text" text)
+               in
+               Printf.printf
+                 "rows: +%d inserted, %d updated, -%d deleted; paths: +%d/-%d\n"
+                 o.Client.inserted o.Client.updated o.Client.deleted
+                 o.Client.new_paths o.Client.dead_paths;
+               match query with
+               | None -> ()
+               | Some q ->
+                 let ids = Client.run_ids c q in
+                 Printf.printf "%d nodes: %s\n" (List.length ids)
+                   (String.concat " " (List.map string_of_int ids))
+             with
+             | Client.Server_error { code; message } ->
+               Printf.eprintf "server error (%s): %s\n"
+                 (Ppfx_net.Wire.error_code_to_string code) message;
+               exit 1
+             | Client.Protocol_error msg ->
+               Printf.eprintf "protocol error: %s\n" msg;
+               exit 1))
+    | None ->
+    let doc_path = need "doc" doc_path in
     let frag () = Ppfx_xml.Parser.parse (need "fragment" fragment) in
     let op =
       match kind with
@@ -692,11 +881,15 @@ let update_cmd =
             (Update.current_trees u));
       Printf.printf "wrote %s\n" path
   in
+  let doc_update_arg =
+    Arg.(value & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE"
+           ~doc:"XML document to mutate locally (required without --port).")
+  in
   let term =
     Term.(
-      const run $ doc_arg $ schema_arg $ kind_arg $ target_arg $ parent_arg
-      $ before_arg $ fragment_arg $ name_arg $ value_arg $ text_arg
-      $ query_opt_arg $ out_arg)
+      const run $ doc_update_arg $ schema_arg $ kind_arg $ target_arg
+      $ parent_arg $ before_arg $ fragment_arg $ name_arg $ value_arg
+      $ text_arg $ query_opt_arg $ out_arg $ host_arg $ port_arg)
   in
   Cmd.v
     (Cmd.info "update"

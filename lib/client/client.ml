@@ -45,11 +45,32 @@ let request t req =
 let unexpected what = raise (Protocol_error ("unexpected response to " ^ what))
 
 let connect ?(host = "127.0.0.1") ?(client_name = "ppfx-client")
-    ?(max_frame = Wire.default_max_frame) ~port () =
+    ?(max_frame = Wire.default_max_frame) ?timeout ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
-     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+     let addr = Unix.ADDR_INET (resolve host, port) in
+     (match timeout with
+      | None -> Unix.connect fd addr
+      | Some dt ->
+        (* Bounded connect: nonblocking connect + select, then the socket
+           timeouts bound every later send/recv (a stalled server surfaces
+           as EAGAIN, a transport error for the caller's retry policy). *)
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr with
+         | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
+           (match Unix.select [] [ fd ] [] dt with
+            | _, [], _ ->
+              raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", host))
+            | _ ->
+              (match Unix.getsockopt_error fd with
+               | Some err -> raise (Unix.Unix_error (err, "connect", host))
+               | None -> ())));
+        Unix.clear_nonblock fd;
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO dt;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO dt
+         with Unix.Unix_error _ -> ()));
      Unix.setsockopt fd Unix.TCP_NODELAY true
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());

@@ -18,9 +18,19 @@ exception Protocol_error of string
 type t
 
 val connect :
-  ?host:string -> ?client_name:string -> ?max_frame:int -> port:int -> unit -> t
+  ?host:string ->
+  ?client_name:string ->
+  ?max_frame:int ->
+  ?timeout:float ->
+  port:int ->
+  unit ->
+  t
 (** TCP connect plus [Hello]/[Welcome] handshake. Raises {!Server_error}
-    when the server refuses admission or the protocol versions differ. *)
+    when the server refuses admission or the protocol versions differ.
+    [timeout] (seconds) bounds the connect itself (nonblocking +
+    select; [ETIMEDOUT] on expiry) and arms the socket send/receive
+    timeouts, so a stalled server surfaces as a [Unix_error] ([EAGAIN])
+    instead of blocking forever. *)
 
 val close : t -> unit
 (** Best-effort [Quit]/[Bye], then close the socket. Idempotent. *)

@@ -1,8 +1,25 @@
+module Wire = Ppfx_net.Wire
+
+exception Retries_exhausted of { attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Retries_exhausted { attempts; last } ->
+      Some
+        (Printf.sprintf "Pool.Retries_exhausted (%d attempts, last: %s)"
+           attempts (Printexc.to_string last))
+    | _ -> None)
+
 type t = {
   host : string;
   port : int;
   client_name : string;
   cap : int;
+  retries : int;
+  backoff : float;
+  max_backoff : float;
+  timeout : float option;
+  rng : Random.State.t;  (* jitter; guarded by [lock] *)
   lock : Mutex.t;
   cond : Condition.t;
   mutable idle : Client.t list;
@@ -10,13 +27,20 @@ type t = {
   mutable closed : bool;
 }
 
-let create ?(size = 4) ?(host = "127.0.0.1") ?(client_name = "ppfx-pool") ~port () =
+let create ?(size = 4) ?(host = "127.0.0.1") ?(client_name = "ppfx-pool")
+    ?(retries = 3) ?(backoff = 0.05) ?(max_backoff = 1.0) ?timeout ~port () =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  if retries < 1 then invalid_arg "Pool.create: retries must be >= 1";
   {
     host;
     port;
     client_name;
     cap = size;
+    retries;
+    backoff;
+    max_backoff;
+    timeout;
+    rng = Random.State.make_self_init ();
     lock = Mutex.create ();
     cond = Condition.create ();
     idle = [];
@@ -31,6 +55,52 @@ let size t = t.cap
 let broken = function
   | Client.Protocol_error _ | Unix.Unix_error _ | Ppfx_net.Wire.Codec _ -> true
   | _ -> false
+
+(* Worth another attempt: the peer may come (back) up, the overload may
+   clear. Anything else — version mismatch, query errors, resolver
+   failure on a bad name — repeats identically, so it is not retried. *)
+let transient = function
+  | Unix.Unix_error
+      ( ( ECONNREFUSED | ECONNRESET | ECONNABORTED | ETIMEDOUT | EHOSTUNREACH
+        | ENETUNREACH | ENETDOWN | EPIPE | EAGAIN | EWOULDBLOCK | EINTR ),
+        _,
+        _ ) ->
+    true
+  | Client.Protocol_error _ -> true
+  | Client.Server_error { code = Wire.Admission | Wire.Shutting_down; _ } ->
+    true
+  | _ -> false
+
+(* Exponential backoff, capped, with multiplicative jitter in
+   [0.5, 1.0) so simultaneous retriers spread out. *)
+let backoff_delay t attempt =
+  let d = Float.min t.max_backoff (t.backoff *. (2. ** float_of_int attempt)) in
+  let jitter =
+    Mutex.lock t.lock;
+    let j = 0.5 +. Random.State.float t.rng 0.5 in
+    Mutex.unlock t.lock;
+    j
+  in
+  d *. jitter
+
+let retrying t f =
+  let rec attempt k =
+    match f () with
+    | v -> v
+    | exception e when transient e ->
+      if k + 1 >= t.retries then
+        raise (Retries_exhausted { attempts = k + 1; last = e })
+      else begin
+        Unix.sleepf (backoff_delay t k);
+        attempt (k + 1)
+      end
+  in
+  attempt 0
+
+let connect_fresh t =
+  retrying t (fun () ->
+      Client.connect ~host:t.host ~client_name:t.client_name ?timeout:t.timeout
+        ~port:t.port ())
 
 let checkout t =
   Mutex.lock t.lock;
@@ -49,7 +119,7 @@ let checkout t =
         if t.live < t.cap then begin
           t.live <- t.live + 1;
           Mutex.unlock t.lock;
-          match Client.connect ~host:t.host ~client_name:t.client_name ~port:t.port () with
+          match connect_fresh t with
           | c -> c
           | exception e ->
             Mutex.lock t.lock;
@@ -87,7 +157,15 @@ let with_conn t f =
     checkin t c ~discard:(broken e);
     raise e
 
-let run_ids t query = with_conn t (fun c -> Client.run_ids c query)
+(* Retry the whole checkout + operation: a connection that died mid-use
+   was discarded by [with_conn], so the next attempt runs on a fresh
+   one. Only for idempotent operations. *)
+let with_retry t f = retrying t (fun () -> with_conn t f)
+(* connect-level exhaustion inside an attempt raises Retries_exhausted,
+   which is not transient: it propagates immediately rather than
+   multiplying the two retry loops. *)
+
+let run_ids t query = with_retry t (fun c -> Client.run_ids c query)
 
 let close t =
   Mutex.lock t.lock;

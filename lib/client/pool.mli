@@ -1,4 +1,4 @@
-(** A bounded pool of {!Client} connections.
+(** A bounded pool of {!Client} connections with retrying connects.
 
     Connections are opened lazily up to [size]; {!with_conn} checks one
     out (blocking while all are busy) and returns it afterwards. A
@@ -6,19 +6,56 @@
     [Unix_error], [Codec]) is discarded — the pool reopens a fresh one
     on a later checkout — while {!Client.Server_error} (a query-level
     failure on a healthy connection) returns it to the pool. Safe to
-    share across threads and domains. *)
+    share across threads and domains.
+
+    {b Retries.} Transient failures — connection refused/reset, timeouts,
+    unreachable hosts, server admission rejections and shutdowns — are
+    retried up to [retries] attempts with capped exponential backoff and
+    multiplicative jitter; each attempt is bounded by [timeout]. When
+    the attempts run out the pool raises the typed
+    {!Retries_exhausted} carrying the count and the last underlying
+    failure, instead of leaking whichever exception the final attempt
+    happened to die with. Non-transient failures (protocol version
+    mismatch, query errors, unresolvable names) are never retried. *)
+
+exception Retries_exhausted of { attempts : int; last : exn }
 
 type t
 
-val create : ?size:int -> ?host:string -> ?client_name:string -> port:int -> unit -> t
-(** [size] defaults to 4. No connection is opened until first use. *)
+val create :
+  ?size:int ->
+  ?host:string ->
+  ?client_name:string ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?max_backoff:float ->
+  ?timeout:float ->
+  port:int ->
+  unit ->
+  t
+(** [size] defaults to 4; no connection is opened until first use.
+    [retries] (default 3) is the total attempt budget per operation;
+    [backoff] (default 0.05 s) the base delay, doubled per attempt and
+    capped at [max_backoff] (default 1 s), each delay jittered into
+    [0.5×, 1×); [timeout] bounds each connect and arms the socket
+    send/receive timeouts ({!Client.connect}). *)
 
 val size : t -> int
 
 val with_conn : t -> (Client.t -> 'a) -> 'a
+(** Run [f] on a checked-out connection. Opening the connection retries
+    per the pool's policy ({!Retries_exhausted} when it runs out); [f]
+    itself is {e not} retried — use {!with_retry} for idempotent work. *)
+
+val with_retry : t -> (Client.t -> 'a) -> 'a
+(** {!with_conn}, additionally retrying [f] itself on transient
+    transport failures (each retry runs on a fresh connection — the
+    broken one was discarded). Only safe for idempotent operations:
+    queries yes, mutations no. *)
 
 val run_ids : t -> string -> int list
-(** {!Client.run_ids} on a pooled connection. *)
+(** {!Client.run_ids} on a pooled connection, retried per the policy
+    (queries are idempotent). *)
 
 val close : t -> unit
 (** Close every idle connection and refuse further checkouts; safe to

@@ -14,6 +14,8 @@ module Translate = Ppfx_translate.Translate
 module Session = Ppfx_service.Session
 module Metrics = Ppfx_service.Metrics
 module Lru = Ppfx_service.Lru
+module Wstore = Ppfx_wal.Store
+module Wrecord = Ppfx_wal.Record
 
 (* The scatter-gather coordinator.
 
@@ -69,6 +71,8 @@ type t = {
          instances; sibling joins on them cross shard boundaries *)
   nshards : int;
   mutable last : scatter_stats option;
+  mutable wal : Wstore.t option;  (* the full store's durability log *)
+  mutable shard_wals : Wstore.t array;  (* one per shard; [||] when volatile *)
 }
 
 type prepared = Session.prepared
@@ -149,12 +153,98 @@ let create ?pool_size ?(cache_capacity = 256) ?options ~shards:nshards schema tr
       boundary_fks = !bfks;
       nshards;
       last = None;
+      wal = None;
+      shard_wals = [||];
     }
   in
   refresh_shard_gauge t;
   t
 
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A durable cluster's data directory holds one WAL store per physical
+   store: [full/] for the coordinator (its checkpoints carry the shadow
+   forest and the routing extras) and [shard-<k>/] for each shard
+   (db-only: shard replay needs just the changesets and their routed
+   [inserts] flags). *)
+let full_dir data_dir = Filename.concat data_dir "full"
+let shard_dir data_dir s = Filename.concat data_dir (Printf.sprintf "shard-%d" s)
+
+let current_extras t =
+  {
+    Wrecord.partition_counts = Array.to_list t.partition_counts;
+    boundary_fks = t.boundary_fks;
+  }
+
+let full_meta t =
+  {
+    Wrecord.m_schema = Mapping.schema (Session.store t.session).Loader.mapping;
+    m_partitioned = true;
+    m_shadow = Some (Update.shadow t.update);
+    m_extras = Some (current_extras t);
+  }
+
+let shard_meta t =
+  {
+    Wrecord.m_schema = Mapping.schema (Session.store t.session).Loader.mapping;
+    m_partitioned = true;
+    m_shadow = None;
+    m_extras = None;
+  }
+
+let durable t = Option.is_some t.wal
+let wal_next_seq t = Option.map Wstore.next_seq t.wal
+
+let make_durable ?io ?durability ?checkpoint_bytes ?checkpoint_records
+    ~data_dir t =
+  if durable t then invalid_arg "Cluster.make_durable: cluster is already durable";
+  let w =
+    Wstore.init ?io ?durability ?checkpoint_bytes ?checkpoint_records
+      ~dir:(full_dir data_dir) ~db:(Update.db t.update) ~meta:(full_meta t) ()
+  in
+  Wstore.set_metrics w (Session.metrics t.session);
+  let sws =
+    Array.init t.nshards (fun s ->
+        let sw =
+          Wstore.init ?io ?durability ?checkpoint_bytes ?checkpoint_records
+            ~dir:(shard_dir data_dir s)
+            ~db:t.shard_stores.(s).Loader.db
+            ~meta:(shard_meta t) ()
+        in
+        Wstore.set_metrics sw t.shard_metrics.(s);
+        sw)
+  in
+  t.wal <- Some w;
+  t.shard_wals <- sws
+
+let flush_wal t =
+  Option.iter Wstore.flush t.wal;
+  Array.iter Wstore.flush t.shard_wals
+
+let dispose_wal t =
+  Option.iter Wstore.dispose t.wal;
+  t.wal <- None;
+  Array.iter Wstore.dispose t.shard_wals;
+  t.shard_wals <- [||]
+
+let maybe_checkpoint t =
+  (match t.wal with
+  | Some w when Wstore.should_checkpoint w ->
+    Wstore.checkpoint w ~db:(Update.db t.update) ~meta:(full_meta t)
+  | Some _ | None -> ());
+  Array.iteri
+    (fun s sw ->
+      if Wstore.should_checkpoint sw then
+        Wstore.checkpoint sw ~db:t.shard_stores.(s).Loader.db ~meta:(shard_meta t))
+    t.shard_wals
+
 let load t tree =
+  if durable t then
+    invalid_arg
+      "Cluster.load: bulk document loads are not WAL-logged; load documents \
+       before make_durable";
   let doc = Doc.of_tree tree in
   Session.load t.session doc;
   Update.extend t.update (Session.store t.session) tree;
@@ -256,6 +346,31 @@ let update t op =
     | Some rt when has_inserts -> Some (owner_shard t rt)
     | Some _ | None -> None
   in
+  (* Durable clusters log before they apply: the full record carries the
+     staged op (shadow replay) plus the routing state as it will stand
+     after this commit; each shard record carries its routed [inserts]
+     flag. An ack only ever follows the append (and its policy fsync), so
+     recovery can never miss an acked commit. *)
+  (match t.wal with
+  | None -> ()
+  | Some w ->
+    let extras =
+      let counts = Array.copy t.partition_counts in
+      (match owner with
+      | Some s ->
+        counts.(s) <- counts.(s) + (Update.outcome_of cs).Update.inserted
+      | None -> ());
+      {
+        Wrecord.partition_counts = Array.to_list counts;
+        boundary_fks = t.boundary_fks;
+      }
+    in
+    ignore (Wstore.append w ~op ~inserts:true ~extras cs : int);
+    Array.iteri
+      (fun s sw ->
+        let inserts = match owner with None -> true | Some o -> s = o in
+        ignore (Wstore.append sw ~inserts cs : int))
+      t.shard_wals);
   (* Coordinator first (it owns every row), then the shard replicas:
      updates/deletes apply where the row lives, inserts only on the
      owning shard. Each commit is logged fine-grained, so every store's
@@ -273,6 +388,7 @@ let update t op =
        t.partition_counts.(s) + outcome.Update.inserted
    | None -> ());
   refresh_shard_gauge t;
+  maybe_checkpoint t;
   outcome
 
 let prepare t text = Session.prepare t.session text
@@ -495,7 +611,143 @@ let verdict t text =
   | Scatter _ -> Some Analysis.Partitionable
   | Order_scatter oe -> Some (Analysis.Order_partitionable oe.oplan)
 
-let close t = Pool.shutdown t.pool
+let close t =
+  (* Drained shutdown for durable clusters: a final checkpoint per store
+     rotates each log to empty, then the clean-manifest marker lets the
+     next open skip the replay scan. *)
+  (match t.wal with
+  | Some w ->
+    Wstore.close_clean w ~db:(Update.db t.update) ~meta:(full_meta t);
+    t.wal <- None
+  | None -> ());
+  Array.iteri
+    (fun s sw ->
+      Wstore.close_clean sw ~db:t.shard_stores.(s).Loader.db ~meta:(shard_meta t))
+    t.shard_wals;
+  t.shard_wals <- [||];
+  Pool.shutdown t.pool
+
+let open_durable ?io ?durability ?checkpoint_bytes ?checkpoint_records
+    ?pool_size ?(cache_capacity = 256) ?options ~data_dir () =
+  let ( let* ) = Result.bind in
+  let* full_rec =
+    Wstore.recover ?io ?durability ?checkpoint_bytes ?checkpoint_records
+      ~dir:(full_dir data_dir) ()
+  in
+  let fail_full msg =
+    Wstore.dispose full_rec.Wstore.store;
+    Error msg
+  in
+  match
+    Wstore.rebuild_full ~db:full_rec.Wstore.db ~meta:full_rec.Wstore.meta
+      full_rec.Wstore.records
+  with
+  | Error e -> fail_full (Printf.sprintf "full store: %s" e)
+  | Ok u -> (
+    match Wstore.final_extras full_rec.Wstore.meta full_rec.Wstore.records with
+    | None ->
+      fail_full
+        "full store carries no routing extras: not a cluster data directory"
+    | Some extras ->
+      let nshards = List.length extras.Wrecord.partition_counts in
+      let rec recover_shards s acc =
+        if s = nshards then Ok (Array.of_list (List.rev acc))
+        else
+          match
+            Wstore.recover ?io ?durability ?checkpoint_bytes
+              ?checkpoint_records ~dir:(shard_dir data_dir s) ()
+          with
+          | Ok r -> recover_shards (s + 1) (r :: acc)
+          | Error e ->
+            List.iter (fun r -> Wstore.dispose r.Wstore.store) acc;
+            Error (Printf.sprintf "shard %d: %s" s e)
+      in
+      (match recover_shards 0 [] with
+      | Error e -> fail_full e
+      | Ok shard_recs -> (
+        match
+          Array.map
+            (fun (r : Wstore.recovered) ->
+              Wstore.rebuild_db ~db:r.Wstore.db ~meta:r.Wstore.meta
+                r.Wstore.records)
+            shard_recs
+        with
+        | stores ->
+          (* Reconcile shard lag. The coordinator's log is appended first
+             on every commit, so a crash mid-fan-out can leave a shard
+             one record behind (or with a torn frame for it). The
+             coordinator's records are authoritative: re-apply each
+             missing changeset to the lagging shard — deriving the
+             record's insert owner from the partition-count delta in its
+             extras — and re-append it so the shard's log and sequence
+             chain catch back up. *)
+          let fstore = full_rec.Wstore.store in
+          let swals =
+            Array.map (fun (r : Wstore.recovered) -> r.Wstore.store) shard_recs
+          in
+          let full_last = Wstore.next_seq fstore - 1 in
+          let prev_extras seq =
+            List.fold_left
+              (fun acc (r : Wrecord.t) ->
+                if r.Wrecord.r_seq < seq then
+                  match r.Wrecord.r_extras with Some e -> Some e | None -> acc
+                else acc)
+              full_rec.Wstore.meta.Wrecord.m_extras full_rec.Wstore.records
+          in
+          let owner_of (r : Wrecord.t) =
+            match (prev_extras r.Wrecord.r_seq, r.Wrecord.r_extras) with
+            | Some p, Some c ->
+              let pa = Array.of_list p.Wrecord.partition_counts in
+              let o = ref None in
+              List.iteri
+                (fun i v -> if i < Array.length pa && v > pa.(i) then o := Some i)
+                c.Wrecord.partition_counts;
+              !o
+            | _ -> None
+          in
+          Array.iteri
+            (fun s sw ->
+              let last = Wstore.next_seq sw - 1 in
+              List.iter
+                (fun (r : Wrecord.t) ->
+                  if r.Wrecord.r_seq > last && r.Wrecord.r_seq <= full_last
+                  then begin
+                    let inserts =
+                      match owner_of r with None -> true | Some o -> s = o
+                    in
+                    Update.commit ~inserts stores.(s).Loader.db r.Wrecord.r_cs;
+                    ignore (Wstore.append sw ~inserts r.Wrecord.r_cs : int)
+                  end)
+                full_rec.Wstore.records)
+            swals;
+          let pool_size =
+            match pool_size with Some n -> n | None -> nshards
+          in
+          let t =
+            {
+              session = Session.create ~cache_capacity ?options (Update.store u);
+              update = u;
+              shard_stores = stores;
+              shard_metrics = Array.init nshards (fun _ -> Metrics.create ());
+              partition_counts = Array.of_list extras.Wrecord.partition_counts;
+              pool = Pool.create pool_size;
+              cache = Lru.create ~capacity:cache_capacity;
+              boundary_fks = extras.Wrecord.boundary_fks;
+              nshards;
+              last = None;
+              wal = Some fstore;
+              shard_wals = swals;
+            }
+          in
+          Wstore.set_metrics fstore (Session.metrics t.session);
+          Array.iteri
+            (fun s sw -> Wstore.set_metrics sw t.shard_metrics.(s))
+            t.shard_wals;
+          refresh_shard_gauge t;
+          Ok t
+        | exception Update.Update_error msg ->
+          Array.iter (fun (r : Wstore.recovered) -> Wstore.dispose r.Wstore.store) shard_recs;
+          fail_full (Printf.sprintf "shard replay: %s" msg))))
 
 let with_cluster ?pool_size ?cache_capacity ?options ~shards schema trees f =
   let t = create ?pool_size ?cache_capacity ?options ~shards schema trees in

@@ -26,6 +26,7 @@ module Engine = Ppfx_minidb.Engine
 module Session = Ppfx_service.Session
 module Metrics = Ppfx_service.Metrics
 module Update = Ppfx_update.Update
+module Wstore = Ppfx_wal.Store
 
 type t
 
@@ -71,7 +72,69 @@ val shard_row_counts : t -> int list
     mutation). *)
 
 val close : t -> unit
-(** Shut the worker pool down (idempotent via {!Pool.shutdown}). *)
+(** Shut the worker pool down (idempotent via {!Pool.shutdown}). On a
+    durable cluster this is the drained clean shutdown: every store takes
+    a final checkpoint (rotating its log to empty) and marks its manifest
+    clean, so the next {!open_durable} skips the replay scans. *)
+
+(** {2 Durability}
+
+    A durable cluster keeps one {!Ppfx_wal.Store} per physical store
+    under a data directory: [full/] for the coordinator — whose
+    checkpoints carry the shadow forest and the routing extras
+    (partition counts + boundary fks) — and [shard-<k>/] per shard.
+    {!update} appends the commit record to every log ({e before}
+    applying and acking, fsynced per the durability policy), so at any
+    crash point recovery rebuilds exactly the acked prefix. *)
+
+val make_durable :
+  ?io:Ppfx_wal.Io.t ->
+  ?durability:Wstore.durability ->
+  ?checkpoint_bytes:int ->
+  ?checkpoint_records:int ->
+  data_dir:string ->
+  t ->
+  unit
+(** Attach write-ahead logging to a freshly built cluster: initializes
+    [data_dir/full] and [data_dir/shard-<k>] with generation-0 checkpoints
+    of the current stores. After this, {!load} refuses (bulk loads are
+    not WAL-logged — load documents first) and every {!update} is logged
+    before it commits. Raises [Invalid_argument] if already durable. *)
+
+val open_durable :
+  ?io:Ppfx_wal.Io.t ->
+  ?durability:Wstore.durability ->
+  ?checkpoint_bytes:int ->
+  ?checkpoint_records:int ->
+  ?pool_size:int ->
+  ?cache_capacity:int ->
+  ?options:Translate.options ->
+  data_dir:string ->
+  unit ->
+  (t, string) result
+(** Cold-start a cluster from its data directory, skipping shredding
+    entirely: recover the full store (checkpoint snapshot + WAL replay
+    through {!Wstore.rebuild_full}, re-validating the shadow against the
+    recovered relations), recover every shard named by the routing
+    extras, and reopen all logs for append. The shard count, partition
+    counts and boundary-fk set come from the last acked commit's extras.
+    Recovery statistics flow into {!metrics} / {!shard_metrics}. *)
+
+val durable : t -> bool
+
+val wal_next_seq : t -> int option
+(** The full store's next WAL sequence number ([None] when volatile) —
+    [n] means [n - 1] commits are acked-and-persisted. Test
+    introspection for the crash-recovery differential. *)
+
+val flush_wal : t -> unit
+(** Fsync unsynced group-commit appends on every store (no-op when
+    volatile or already synced). *)
+
+val dispose_wal : t -> unit
+(** Drop the WAL handles without flushing or checkpointing — the
+    post-crash path in fault-injection harnesses. The cluster reverts to
+    volatile; on-disk state is whatever the crash left. *)
 
 val with_cluster :
   ?pool_size:int ->

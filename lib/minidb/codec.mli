@@ -1,11 +1,16 @@
 (** Binary persistence for databases.
 
-    A compact, self-describing format (magic ["PPFXDB1"], then per table:
-    name, typed column list, row count, length-prefixed values, index
-    column lists). Indexes are rebuilt on load rather than serialized —
-    they are derived data. Tombstoned rows are compacted away, so row ids
-    are {e not} stable across a save/load cycle unless no deletions
-    happened. *)
+    A compact, self-describing format (magic ["PPFXDB2"], then per table:
+    name, typed column list, partition spec, row count, length-prefixed
+    values, index column lists). Indexes are rebuilt on load rather than
+    serialized — they are derived data. Tombstoned rows are compacted
+    away, so row ids are {e not} stable across a save/load cycle unless
+    no deletions happened.
+
+    Every structural reference inside an image (partition columns, index
+    columns, value tags, lengths) is validated on decode: malformed
+    input raises {!Corrupt} (or returns [Error] via the [_result]
+    readers), never a stray [Not_found]/[End_of_file]. *)
 
 exception Corrupt of string
 (** Raised on malformed input. *)
@@ -15,7 +20,30 @@ val write_database : out_channel -> Database.t -> unit
 val read_database : in_channel -> Database.t
 (** Raises {!Corrupt}. *)
 
+val database_to_string : Database.t -> string
+(** The full PPFXDB2 image as a string — byte-identical to what
+    {!write_database} emits. *)
+
+val database_of_string : string -> Database.t
+(** Raises {!Corrupt} on malformed input (including trailing
+    truncation). *)
+
 val save : string -> Database.t -> unit
 (** Write to a file path. *)
 
 val load : string -> Database.t
+(** Raises {!Corrupt} on malformed input, [Sys_error] on IO failure. *)
+
+(** {2 Typed (non-raising) loaders} *)
+
+type error =
+  | Io_error of string  (** the file could not be opened or read *)
+  | Corrupted of string  (** the bytes are not a valid PPFXDB2 image *)
+
+val error_to_string : error -> string
+
+val load_result : string -> (Database.t, error) result
+(** Like {!load} but never raises on bad input. *)
+
+val of_string_result : string -> (Database.t, error) result
+(** Like {!database_of_string} but never raises on bad input. *)

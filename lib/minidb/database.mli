@@ -56,6 +56,11 @@ val record_commit : t -> touched:(string * int * int) list -> pathids:int list -
 val commit_log : t -> commit list
 (** Oldest first. For diagnostics and tests. *)
 
+val log_capacity : int
+(** Bound on {!commit_log}: when more commits than this accumulate the
+    oldest drop off, and plans prepared before the log's horizon
+    conservatively invalidate ({!delta_pathids} returns [None]). *)
+
 val delta_pathids : t -> table:string -> from_version:int -> int list option
 (** [delta_pathids t ~table ~from_version] explains how [table] moved
     from [from_version] to its current version using only logged commits:

@@ -7,10 +7,13 @@ module Table = Ppfx_minidb.Table
 module Sql = Ppfx_minidb.Sql
 module Value = Ppfx_minidb.Value
 module Loader = Ppfx_shred.Loader
+module Mapping = Ppfx_shred.Mapping
 module Translate = Ppfx_translate.Translate
 module Update = Ppfx_update.Update
 module Xparser = Ppfx_xpath.Parser
 module Xmlparser = Ppfx_xml.Parser
+module Wstore = Ppfx_wal.Store
+module Wrecord = Ppfx_wal.Record
 
 type config = {
   host : string;
@@ -64,7 +67,18 @@ let op_of_wire (op : Wire.update_op) : Update.op =
 let no_write_path _ =
   raise (Update.Update_error "server has no write path (read-only store)")
 
-let session_executor ?update s =
+(* The checkpoint sidecar of a single updatable store: the schema, the
+   shadow forest (so recovery can re-validate and keep mutating), no
+   cluster extras. *)
+let store_meta u =
+  {
+    Wrecord.m_schema = Mapping.schema (Update.store u).Loader.mapping;
+    m_partitioned = true;
+    m_shadow = Some (Update.shadow u);
+    m_extras = None;
+  }
+
+let session_executor ?update ?wal s =
   {
     exec_prepare =
       (fun q ->
@@ -79,7 +93,19 @@ let session_executor ?update s =
            (* Staging mutates the shared shadow forest; one writer at a
               time. Readers keep running — the store-level snapshot lock
               serializes only the commit against plan execution. *)
-           Mutex.protect lock (fun () -> Update.exec u (op_of_wire op)));
+           Mutex.protect lock (fun () ->
+               match wal with
+               | None -> Update.exec u (op_of_wire op)
+               | Some w ->
+                 (* Log before apply: the ack (the [Updated] frame) only
+                    ever follows the append and its policy fsync. *)
+                 let op = op_of_wire op in
+                 let cs = Update.stage u op in
+                 ignore (Wstore.append w ~op ~inserts:true cs : int);
+                 Update.commit (Update.db u) cs;
+                 if Wstore.should_checkpoint w then
+                   Wstore.checkpoint w ~db:(Update.db u) ~meta:(store_meta u);
+                 Update.outcome_of cs));
     exec_db = Some (Session.store s).Loader.db;
   }
 

@@ -75,14 +75,27 @@ type executor = {
       (** catalog used to type the prepared-statement column metadata *)
 }
 
+val store_meta : Ppfx_update.Update.t -> Ppfx_wal.Record.meta
+(** The checkpoint sidecar of a single updatable store: current schema +
+    shadow forest, no cluster extras. What {!session_executor}'s WAL
+    checkpoints write, and what a clean shutdown should pass to
+    {!Ppfx_wal.Store.close_clean}. *)
+
 val session_executor :
-  ?update:Mutex.t * Ppfx_update.Update.t -> Session.t -> executor
+  ?update:Mutex.t * Ppfx_update.Update.t ->
+  ?wal:Ppfx_wal.Store.t ->
+  Session.t ->
+  executor
 (** Without [update] the server is read-only: [Update] requests are
     answered with a [Runtime] error. With [update], mutations stage
     through the shared updatable store, serialized by the mutex (worker
     domains each hold a private session but share one shadow forest;
     readers are serialized against commits by the store's own snapshot
-    lock, not this mutex). *)
+    lock, not this mutex). With [wal] too, every mutation is appended to
+    the log — and fsynced per the store's durability policy — {e before}
+    it commits in memory and the [Updated] ack is written; the mutex
+    also serializes the log, and checkpoints rotate it per the store's
+    size/record policy. *)
 
 val cluster_executor : Mutex.t -> Cluster.t -> executor
 (** Mutations route through {!Cluster.update} under the same mutex as

@@ -96,6 +96,17 @@ type t = {
   mutable bytes_in : int;
   mutable bytes_out : int;
   mutable queue_hwm : int;
+  (* durability counters (the WAL layer's sink) *)
+  mutable wal_appends : int;
+  mutable wal_bytes : int;
+  mutable wal_fsyncs : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;  (** starts that scanned + replayed the log *)
+  mutable clean_starts : int;  (** starts that skipped the scan (clean marker) *)
+  mutable replayed_records : int;
+  mutable truncated_tails : int;  (** recoveries that cut a torn/corrupt tail *)
+  mutable truncated_bytes : int;
+  mutable clean_shutdowns : int;
   (* The server records from several domains at once; every mutation is
      serialized here. Single-threaded users pay one uncontended lock. *)
   lock : Mutex.t;
@@ -127,6 +138,16 @@ let create () =
     bytes_in = 0;
     bytes_out = 0;
     queue_hwm = 0;
+    wal_appends = 0;
+    wal_bytes = 0;
+    wal_fsyncs = 0;
+    checkpoints = 0;
+    recoveries = 0;
+    clean_starts = 0;
+    replayed_records = 0;
+    truncated_tails = 0;
+    truncated_bytes = 0;
+    clean_shutdowns = 0;
     lock = Mutex.create ();
   }
 
@@ -154,7 +175,17 @@ let reset t =
   t.peak_active <- 0;
   t.bytes_in <- 0;
   t.bytes_out <- 0;
-  t.queue_hwm <- 0
+  t.queue_hwm <- 0;
+  t.wal_appends <- 0;
+  t.wal_bytes <- 0;
+  t.wal_fsyncs <- 0;
+  t.checkpoints <- 0;
+  t.recoveries <- 0;
+  t.clean_starts <- 0;
+  t.replayed_records <- 0;
+  t.truncated_tails <- 0;
+  t.truncated_bytes <- 0;
+  t.clean_shutdowns <- 0
 
 let acc t = function
   | Parse -> t.parse
@@ -221,6 +252,29 @@ let add_bytes_out t n = locked t @@ fun () -> t.bytes_out <- t.bytes_out + n
 let note_queue_depth t d =
   locked t @@ fun () -> if d > t.queue_hwm then t.queue_hwm <- d
 
+let add_wal_appends t ~count ~bytes =
+  locked t @@ fun () ->
+  t.wal_appends <- t.wal_appends + count;
+  t.wal_bytes <- t.wal_bytes + bytes
+
+let add_wal_fsyncs t n = locked t @@ fun () -> t.wal_fsyncs <- t.wal_fsyncs + n
+let add_checkpoints t n = locked t @@ fun () -> t.checkpoints <- t.checkpoints + n
+
+let add_recovery t ~replayed ~truncated_bytes ~clean =
+  locked t @@ fun () ->
+  if clean then t.clean_starts <- t.clean_starts + 1
+  else begin
+    t.recoveries <- t.recoveries + 1;
+    t.replayed_records <- t.replayed_records + replayed;
+    if truncated_bytes > 0 then begin
+      t.truncated_tails <- t.truncated_tails + 1;
+      t.truncated_bytes <- t.truncated_bytes + truncated_bytes
+    end
+  end
+
+let incr_clean_shutdowns t =
+  locked t @@ fun () -> t.clean_shutdowns <- t.clean_shutdowns + 1
+
 let queries t = t.queries
 let prepares t = t.prepares
 let hits t = t.hits
@@ -233,6 +287,17 @@ let rows t = t.rows
 let shard_rows t = Array.to_list t.shard_rows
 let shard_skew t = shard_skew_of t.shard_rows
 let engine_stats t = t.engine
+
+let wal_appends t = t.wal_appends
+let wal_bytes t = t.wal_bytes
+let wal_fsyncs t = t.wal_fsyncs
+let checkpoints t = t.checkpoints
+let recoveries t = t.recoveries
+let clean_starts t = t.clean_starts
+let replayed_records t = t.replayed_records
+let truncated_tails t = t.truncated_tails
+let truncated_bytes t = t.truncated_bytes
+let clean_shutdowns t = t.clean_shutdowns
 
 let accepted t = t.accepted
 let rejected t = t.rejected
@@ -287,6 +352,19 @@ let dump t =
           %d bytes out, queue depth hwm %d\n"
          t.accepted t.rejected t.active t.peak_active t.bytes_in t.bytes_out
          t.queue_hwm);
+  if
+    t.wal_appends > 0 || t.checkpoints > 0 || t.recoveries > 0 || t.clean_starts > 0
+    || t.clean_shutdowns > 0
+  then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  durability: %d wal appends (%d bytes), %d fsyncs, %d checkpoints, \
+          %d clean shutdowns\n\
+         \  durability: %d recoveries (%d records replayed, %d torn tails, %d \
+          bytes truncated), %d clean starts\n"
+         t.wal_appends t.wal_bytes t.wal_fsyncs t.checkpoints t.clean_shutdowns
+         t.recoveries t.replayed_records t.truncated_tails t.truncated_bytes
+         t.clean_starts);
   Buffer.add_string buf
     (Printf.sprintf "  %-10s %8s %12s %12s %10s %10s %10s %10s %10s\n" "stage" "count"
        "total ms" "mean ms" "min ms" "max ms" "p50 ms" "p95 ms" "p99 ms");
@@ -352,10 +430,21 @@ let to_json t =
       (let s = shard_skew_of t.shard_rows in
        if Float.is_nan s then "null" else Printf.sprintf "%.4f" s)
   in
+  let durability_json =
+    Printf.sprintf
+      "{\"wal_appends\":%d,\"wal_bytes\":%d,\"wal_fsyncs\":%d,\
+       \"checkpoints\":%d,\"recoveries\":%d,\"clean_starts\":%d,\
+       \"replayed_records\":%d,\"truncated_tails\":%d,\"truncated_bytes\":%d,\
+       \"clean_shutdowns\":%d}"
+      t.wal_appends t.wal_bytes t.wal_fsyncs t.checkpoints t.recoveries
+      t.clean_starts t.replayed_records t.truncated_tails t.truncated_bytes
+      t.clean_shutdowns
+  in
   Printf.sprintf
     "{\"queries\":%d,\"prepares\":%d,\"hits\":%d,\"misses\":%d,\
      \"invalidations\":%d,\"retained\":%d,\"evictions\":%d,\"fallbacks\":%d,\
-     \"rows\":%d,\"engine\":%s,\"net\":%s,\"shards\":%s,\"stages\":{%s}}"
+     \"rows\":%d,\"engine\":%s,\"net\":%s,\"shards\":%s,\"durability\":%s,\
+     \"stages\":{%s}}"
     t.queries t.prepares t.hits t.misses t.invalidations t.retained t.evictions
-    t.fallbacks t.rows engine_json net_json shards_json
+    t.fallbacks t.rows engine_json net_json shards_json durability_json
     (String.concat "," (List.map stage_json all_stages))

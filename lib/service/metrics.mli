@@ -86,6 +86,29 @@ val add_bytes_out : t -> int -> unit
 val note_queue_depth : t -> int -> unit
 (** Observe the dispatch-queue depth; keeps the high-water mark. *)
 
+(** {2 Durability counters}
+
+    Populated by the write-ahead-log layer ({!Ppfx_wal.Store}). *)
+
+val add_wal_appends : t -> count:int -> bytes:int -> unit
+(** Framed records appended to the log ([bytes] on the wire, headers
+    included). The WAL store batches counters until a sink is attached,
+    so mutators take counts rather than incrementing by one. *)
+
+val add_wal_fsyncs : t -> int -> unit
+val add_checkpoints : t -> int -> unit
+
+val add_recovery : t -> replayed:int -> truncated_bytes:int -> clean:bool -> unit
+(** Record one store start from disk. [clean] means the manifest carried
+    the clean-shutdown marker, so the WAL scan was skipped entirely
+    (counted under [clean_starts]); otherwise the start counts as a
+    recovery with [replayed] records applied and [truncated_bytes] of
+    torn/corrupt tail cut off (0 when the log ended cleanly). *)
+
+val incr_clean_shutdowns : t -> unit
+(** A clean close wrote the shutdown marker (checkpoint + clean
+    manifest). *)
+
 (** {2 Reading} *)
 
 val queries : t -> int
@@ -104,6 +127,17 @@ val shard_rows : t -> int list
 val shard_skew : t -> float
 (** Largest shard's row count over the mean (1.0 = perfectly balanced);
     [nan] when no shard counts were recorded or all shards are empty. *)
+
+val wal_appends : t -> int
+val wal_bytes : t -> int
+val wal_fsyncs : t -> int
+val checkpoints : t -> int
+val recoveries : t -> int
+val clean_starts : t -> int
+val replayed_records : t -> int
+val truncated_tails : t -> int
+val truncated_bytes : t -> int
+val clean_shutdowns : t -> int
 
 val accepted : t -> int
 val rejected : t -> int

@@ -761,3 +761,132 @@ let load u tree =
   let doc = Doc.of_tree tree in
   let store' = Database.with_write (db u) (fun () -> Loader.load u.store doc) in
   extend u store' tree
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(*                                                                     *)
+(* A [shadow] is the pure, store-independent image of the forest: ids, *)
+(* labels, attrs, and the text/element interleaving the relations      *)
+(* cannot answer from. The durability layer persists it next to the    *)
+(* database snapshot so a recovered store can keep staging mutations.  *)
+(* Schema defs and paths are NOT stored — [of_shadow] re-resolves them *)
+(* against the adopted store's mapping and Paths relation and fails    *)
+(* loudly on any disagreement, so a snapshot can never smuggle in a    *)
+(* shape the schema would have rejected.                               *)
+(* ------------------------------------------------------------------ *)
+
+type shadow_item = Sh_text of string | Sh_node of shadow_node
+
+and shadow_node = {
+  sn_id : int;
+  sn_doc : int;
+  sn_tag : string;
+  sn_label : string;  (** raw ORDPATH bytes, {!Ordpath.to_raw} *)
+  sn_path_id : int;
+  sn_attrs : (string * string) list;
+  sn_items : shadow_item list;
+}
+
+type shadow = {
+  sh_roots : shadow_node list;  (** document order *)
+  sh_next_id : int;
+  sh_next_path_id : int;
+}
+
+let shadow u =
+  let rec snap n =
+    {
+      sn_id = n.n_id;
+      sn_doc = n.n_doc;
+      sn_tag = tag n;
+      sn_label = Ordpath.to_raw n.n_label;
+      sn_path_id = n.n_path_id;
+      sn_attrs = n.n_attrs;
+      sn_items =
+        List.map (function I_text s -> Sh_text s | I_node c -> Sh_node (snap c)) n.n_items;
+    }
+  in
+  {
+    sh_roots = List.map snap u.roots;
+    sh_next_id = u.next_id;
+    sh_next_path_id = u.next_path_id;
+  }
+
+let of_shadow store sh =
+  let u =
+    {
+      store;
+      roots = [];
+      by_id = Hashtbl.create 1024;
+      path_ids = Hashtbl.create 64;
+      path_refs = Hashtbl.create 64;
+      next_id = sh.sh_next_id;
+      next_path_id = sh.sh_next_path_id;
+    }
+  in
+  (match Database.table_opt store.Loader.db Mapping.paths_table with
+   | Some paths ->
+     Table.iter_rows
+       (fun _ row ->
+         match row.(0), row.(1) with
+         | Value.Int id, Value.Str p -> Hashtbl.replace u.path_ids p id
+         | _ -> ())
+       paths
+   | None -> error "of_shadow: store has no %s relation" Mapping.paths_table);
+  let schema = Mapping.schema store.Loader.mapping in
+  let rec rebuild def path parent sn =
+    if not (String.equal def.Graph.name sn.sn_tag) then
+      error "of_shadow: snapshot node %d is a %s where the schema expects %s" sn.sn_id
+        sn.sn_tag def.Graph.name;
+    (match Hashtbl.find_opt u.path_ids path with
+     | Some pid when pid = sn.sn_path_id -> ()
+     | Some pid ->
+       error "of_shadow: node %d at %s carries path id %d but Paths says %d" sn.sn_id
+         path sn.sn_path_id pid
+     | None -> error "of_shadow: path %s of node %d is missing from Paths" path sn.sn_id);
+    if sn.sn_id <= 0 || sn.sn_id >= sh.sh_next_id then
+      error "of_shadow: element id %d outside the allocated id space" sn.sn_id;
+    if Hashtbl.mem u.by_id sn.sn_id then
+      error "of_shadow: duplicate element id %d" sn.sn_id;
+    let label =
+      try Ordpath.of_raw sn.sn_label
+      with Ordpath.Invalid m -> error "of_shadow: node %d label: %s" sn.sn_id m
+    in
+    let n =
+      {
+        n_id = sn.sn_id;
+        n_doc = sn.sn_doc;
+        n_def = def;
+        n_label = label;
+        n_path = path;
+        n_path_id = sn.sn_path_id;
+        n_attrs = List.filter (fun (a, _) -> List.mem a def.Graph.attrs) sn.sn_attrs;
+        n_items = [];
+        n_parent = parent;
+      }
+    in
+    n.n_items <-
+      List.map
+        (function
+          | Sh_text s -> I_text s
+          | Sh_node c ->
+            let cdef =
+              match child_def schema def c.sn_tag with
+              | Some d -> d
+              | None ->
+                error "of_shadow: element %s at %s does not match the schema" c.sn_tag
+                  path
+            in
+            I_node (rebuild cdef (path ^ "/" ^ c.sn_tag) (Some n) c))
+        sn.sn_items;
+    Hashtbl.replace u.by_id sn.sn_id n;
+    Hashtbl.replace u.path_refs sn.sn_path_id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt u.path_refs sn.sn_path_id));
+    n
+  in
+  let root_def = Graph.root schema in
+  u.roots <- List.map (fun sn -> rebuild root_def ("/" ^ root_def.Graph.name) None sn) sh.sh_roots;
+  (* Re-derive docs so size-based guards (extend's id-offset check) see
+     the recovered forest, not the pre-crash bulk-load history. *)
+  u.store <- { store with Loader.docs = List.map Doc.of_tree (current_trees u) };
+  u

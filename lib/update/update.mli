@@ -169,3 +169,41 @@ val ranks : t -> (int, int) Hashtbl.t
 (** Element id -> 1-based document-order rank over all live elements
     (label byte order). Incremental stores keep original ids while a
     re-shred renumbers; ranks are the id-independent comparison key. *)
+
+(** {1 Snapshots}
+
+    The store-independent image of the shadow forest, for durability:
+    ids, labels, attributes, and the text/element interleaving that the
+    relations do not retain. Schema definitions and path strings are
+    deliberately absent — {!of_shadow} re-resolves both against the
+    adopted store and raises on any disagreement. *)
+
+type shadow_item = Sh_text of string | Sh_node of shadow_node
+
+and shadow_node = {
+  sn_id : int;
+  sn_doc : int;
+  sn_tag : string;
+  sn_label : string;  (** raw ORDPATH bytes ({!node_label}) *)
+  sn_path_id : int;
+  sn_attrs : (string * string) list;
+  sn_items : shadow_item list;
+}
+
+type shadow = {
+  sh_roots : shadow_node list;  (** document order *)
+  sh_next_id : int;
+  sh_next_path_id : int;
+}
+
+val shadow : t -> shadow
+(** A deep, immutable copy of the current forest. *)
+
+val of_shadow : Loader.t -> shadow -> t
+(** Adopt [store] (typically a {!Ppfx_minidb.Codec} snapshot read back
+    from disk) and rebuild the shadow from its persisted image. Every
+    node's tag is re-checked against the schema, every path id against
+    the store's Paths relation, and every label re-validated; any
+    mismatch raises {!Update_error}. The adopted store's [docs] are
+    re-derived from the recovered forest, so {!load}'s id-offset guard
+    reflects the recovered state. *)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) over strings, the frame
+    checksum of the WAL and manifest formats. Values match every standard
+    implementation (e.g. [zlib]'s [crc32]). *)
+
+val digest : string -> int
+(** CRC of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running CRC over a substring;
+    [update 0 s 0 (String.length s) = digest s]. *)

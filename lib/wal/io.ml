@@ -1,0 +1,91 @@
+exception Crashed of string
+
+type fault = Drop | Short_write of int | Flip_bit of int
+
+type t = {
+  mutable ops : int;
+  mutable crash_at : int;  (* -1 = never *)
+  mutable fault : fault;
+}
+
+let live = { ops = 0; crash_at = -1; fault = Drop }
+
+let create ?(crash_at = -1) ?(fault = Drop) () = { ops = 0; crash_at; fault }
+
+let ops io = io.ops
+
+let arm io ?(fault = Drop) ~crash_at () =
+  io.crash_at <- crash_at;
+  io.fault <- fault
+
+let disarm io = io.crash_at <- -1
+
+let crashed fmt = Format.kasprintf (fun m -> raise (Crashed m)) fmt
+
+(* Advance the op counter; true iff this op is the crash point. *)
+let ticking io =
+  let n = io.ops in
+  io.ops <- n + 1;
+  n = io.crash_at
+
+let write_all fd s len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let flip_bit s k =
+  let b = Bytes.of_string s in
+  let nbits = 8 * Bytes.length b in
+  if nbits > 0 then begin
+    let k = ((k mod nbits) + nbits) mod nbits in
+    let i = k / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (k mod 8))))
+  end;
+  Bytes.to_string b
+
+let write io fd s =
+  if ticking io then begin
+    (match io.fault with
+     | Drop -> ()
+     | Short_write k -> write_all fd s (min (max k 0) (String.length s))
+     | Flip_bit k -> write_all fd (flip_bit s k) (String.length s));
+    crashed "injected crash during write (%d bytes)" (String.length s)
+  end
+  else write_all fd s (String.length s)
+
+let fsync io fd =
+  if ticking io then crashed "injected crash before fsync" else Unix.fsync fd
+
+let rename io src dst =
+  if ticking io then crashed "injected crash before rename %s -> %s" src dst
+  else Sys.rename src dst
+
+let unlink_if_exists io path =
+  if ticking io then crashed "injected crash before unlink %s" path
+  else try Sys.remove path with Sys_error _ -> ()
+
+let fsync_dir io dir =
+  if ticking io then crashed "injected crash before directory fsync %s" dir
+  else
+    (* Some filesystems refuse fsync on a directory fd; durability of the
+       rename is then up to the platform, as for every real database. *)
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+
+(* tmp + fsync + rename + dir fsync: the file at [path] is either the
+   old content or the complete new content, never a prefix. *)
+let atomic_write io ~path contents =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write io fd contents;
+      fsync io fd);
+  rename io tmp path;
+  fsync_dir io (Filename.dirname path)

@@ -1,0 +1,57 @@
+(** Deterministic fault injection under the durability layer.
+
+    Every durable side effect the WAL performs — frame writes, fsyncs,
+    renames, unlinks, directory fsyncs — goes through an {!t} and
+    advances its op counter. Arming [crash_at = k] makes op number [k]
+    (0-based) raise {!Crashed} instead of completing, optionally after
+    corrupting a write ({!fault}); the crash-recovery differential runs a
+    workload once to count ops, then re-runs it crashing at {e every}
+    [k], recovering, and comparing against the acked prefix.
+
+    The model: completed writes are durable (data goes straight to the
+    file), a crashed op performs nothing (or its declared corruption) and
+    nothing after it runs. A {!Short_write} is a torn frame, a
+    {!Flip_bit} is media corruption — both must be detected and cut by
+    recovery's CRC scan. *)
+
+exception Crashed of string
+(** The injected crash. Production code never catches this; test
+    harnesses do, then {!disarm} and recover. *)
+
+type fault =
+  | Drop  (** the op does nothing (default) *)
+  | Short_write of int  (** a write persists only its first [n] bytes *)
+  | Flip_bit of int  (** a write persists with bit [n mod bits] flipped *)
+
+type t
+
+val live : t
+(** The shared production instance: never crashes. *)
+
+val create : ?crash_at:int -> ?fault:fault -> unit -> t
+
+val ops : t -> int
+(** Durable ops performed (or crashed) so far. *)
+
+val arm : t -> ?fault:fault -> crash_at:int -> unit -> unit
+val disarm : t -> unit
+
+(** {2 Primitives} — each counts as one op and raises {!Crashed} at the
+    armed crash point. *)
+
+val write : t -> Unix.file_descr -> string -> unit
+(** Write the whole string at the descriptor's current offset. *)
+
+val fsync : t -> Unix.file_descr -> unit
+val rename : t -> string -> string -> unit
+val unlink_if_exists : t -> string -> unit
+(** Missing files are not an error (recovery re-runs cleanups). *)
+
+val fsync_dir : t -> string -> unit
+(** Fsync a directory (making renames/creates in it durable); platforms
+    that refuse directory fsync are tolerated silently. *)
+
+val atomic_write : t -> path:string -> string -> unit
+(** [tmp] + write + fsync + rename + dir-fsync (4 ops): the file at
+    [path] is either its previous content or the complete new content,
+    never a torn prefix. *)

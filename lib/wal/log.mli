@@ -1,0 +1,26 @@
+(** WAL segment framing: the file starts with the magic ["PPFXLOG1"],
+    followed by records framed as [u32le length][u32le crc32][payload] —
+    the same length-prefix discipline as the wire protocol, with a
+    checksum so a torn or bit-flipped tail is detected, not replayed. *)
+
+val magic : string
+
+val frame : string -> string
+(** The framed bytes of one payload: 8-byte header + payload. *)
+
+val max_frame : int
+(** Upper bound a frame length field may claim; larger is corruption. *)
+
+type scan = {
+  frames : (string * int) list;
+      (** payloads in order, each with the file offset just past its frame *)
+  valid_end : int;  (** end of the last whole, CRC-valid frame *)
+  file_len : int;  (** [file_len - valid_end] is the torn/corrupt tail *)
+}
+
+val scan_string : string -> scan
+(** Scan stops (without raising) at the first incomplete frame, bad
+    length, or CRC mismatch; a missing or bad magic yields no frames. *)
+
+val scan_file : string -> scan
+(** Raises [Sys_error] if the file cannot be read. *)

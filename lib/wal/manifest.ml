@@ -1,0 +1,50 @@
+let magic = "PPFXMAN1"
+let file = "MANIFEST"
+
+type t = {
+  gen : int;  (** current checkpoint generation *)
+  base_seq : int;  (** last commit seq included in the checkpoint *)
+  clean : bool;  (** the store was closed cleanly; the segment is empty *)
+}
+
+let path ~dir = Filename.concat dir file
+
+let encode m =
+  let b = Buffer.create 32 in
+  Buffer.add_string b (string_of_int m.gen);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int m.base_seq);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (if m.clean then "clean" else "open");
+  let payload = Buffer.contents b in
+  magic ^ Log.frame payload
+
+let write io ~dir m = Io.atomic_write io ~path:(path ~dir) (encode m)
+
+let decode s =
+  let mlen = String.length magic in
+  if String.length s < mlen || not (String.equal (String.sub s 0 mlen) magic) then
+    Error "manifest: bad magic"
+  else
+    match Log.scan_string (Log.magic ^ String.sub s mlen (String.length s - mlen)) with
+    | { frames = [ (payload, _) ]; valid_end; file_len } when valid_end = file_len -> (
+      match String.split_on_char ' ' payload with
+      | [ gen; base_seq; state ] -> (
+        match int_of_string_opt gen, int_of_string_opt base_seq, state with
+        | Some gen, Some base_seq, ("clean" | "open") ->
+          Ok { gen; base_seq; clean = String.equal state "clean" }
+        | _ -> Error "manifest: malformed fields")
+      | _ -> Error "manifest: malformed payload")
+    | _ -> Error "manifest: bad frame or trailing bytes"
+
+let read ~dir =
+  let p = path ~dir in
+  if not (Sys.file_exists p) then Error "manifest: missing"
+  else
+    let ic = open_in_bin p in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    decode s

@@ -1,0 +1,20 @@
+(** The checkpoint manifest: one small, CRC-framed, atomically-replaced
+    file per store directory naming the current checkpoint generation.
+    Because it is only ever replaced via temp-file + rename {e after} the
+    generation's snapshot and fresh segment are durable, recovery can
+    trust it unconditionally: a crash mid-checkpoint leaves the previous
+    manifest (and the previous, still-complete generation) in place. *)
+
+val file : string
+(** ["MANIFEST"]. *)
+
+type t = {
+  gen : int;  (** current checkpoint generation *)
+  base_seq : int;  (** last commit seq included in the checkpoint *)
+  clean : bool;
+      (** written on clean shutdown, after a final checkpoint rotated the
+          log: the segment is empty and recovery skips the replay scan *)
+}
+
+val write : Io.t -> dir:string -> t -> unit
+val read : dir:string -> (t, string) result

@@ -201,6 +201,60 @@ let test_corrupt_rejected () =
          | exception Codec.Corrupt _ -> true
          | _ -> false))
 
+let test_load_result_typed () =
+  (match Codec.load_result "/nonexistent/ppfx/db" with
+   | Error (Codec.Io_error _) -> ()
+   | Error (Codec.Corrupted e) -> Alcotest.failf "expected Io_error, got Corrupted %s" e
+   | Ok _ -> Alcotest.fail "missing file loaded");
+  (match Codec.of_string_result "PPFXDB2 but then junk" with
+   | Error (Codec.Corrupted _) -> ()
+   | Error (Codec.Io_error e) -> Alcotest.failf "expected Corrupted, got Io_error %s" e
+   | Ok _ -> Alcotest.fail "junk image loaded");
+  Alcotest.(check bool) "errors render" true
+    (String.length (Codec.error_to_string (Codec.Corrupted "x")) > 0)
+
+(* Fuzz the decoder with mangled-but-plausible images: every truncation
+   and every byte flip of a valid image must come back as a typed
+   [Error] (or, for flips that happen to keep the image well-formed, an
+   [Ok] database) — never a stray [Not_found]/[End_of_file]/[Failure] or
+   a crash. *)
+let image =
+  lazy
+    (let db = build_codec_case ([ (1, 2, false); (3, 4, false); (0, 5, true) ], true) in
+     Codec.database_to_string db)
+
+let no_stray_exn what f =
+  match f () with
+  | Ok (_ : Database.t) | Error (_ : Codec.error) -> true
+  | exception e ->
+    QCheck.Test.fail_reportf "%s leaked exception %s" what (Printexc.to_string e)
+
+let prop_truncations_rejected =
+  QCheck.Test.make ~count:200 ~name:"every truncation of a valid image is typed"
+    QCheck.(int_bound 10000)
+    (fun n ->
+      let s = Lazy.force image in
+      let cut = n mod String.length s in
+      let sub = String.sub s 0 cut in
+      no_stray_exn (Printf.sprintf "truncation at %d" cut) (fun () ->
+          Codec.of_string_result sub)
+      && (* a strict prefix can never decode as complete *)
+      match Codec.of_string_result sub with
+      | Ok _ -> QCheck.Test.fail_reportf "truncation at %d decoded" cut
+      | Error _ -> true)
+
+let prop_bit_flips_contained =
+  QCheck.Test.make ~count:400 ~name:"every byte flip of a valid image is contained"
+    QCheck.(pair (int_bound 100000) (int_range 1 255))
+    (fun (pos, x) ->
+      let s = Lazy.force image in
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+      no_stray_exn
+        (Printf.sprintf "flip 0x%02x at %d" x pos)
+        (fun () -> Codec.of_string_result (Bytes.to_string b)))
+
 let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "codec"
@@ -213,7 +267,11 @@ let () =
             "compaction after deletes", test_compaction;
             "partitioned layout", test_partitioned_round_trip;
             "corrupt input", test_corrupt_rejected;
+            "typed load errors", test_load_result_typed;
           ] );
       ( "round-trip properties",
         [ QCheck_alcotest.to_alcotest prop_partitioned_codec_identity ] );
+      ( "corruption fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_truncations_rejected; prop_bit_flips_contained ] );
     ]

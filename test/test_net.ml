@@ -243,6 +243,79 @@ let request_admission () =
   Alcotest.(check bool) "request rejected" true (Metrics.rejected m >= 1)
 
 (* ------------------------------------------------------------------ *)
+(* Pool retries                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let retries_exhausted_typed () =
+  (* Nothing listens on the port: every attempt fails with ECONNREFUSED
+     and the pool surfaces the typed exhaustion, not the raw Unix error. *)
+  let pool =
+    Pool.create ~size:1 ~retries:3 ~backoff:0.002 ~max_backoff:0.01 ~timeout:0.5
+      ~port:(free_port ()) ()
+  in
+  (match Pool.run_ids pool "//person" with
+   | _ -> Alcotest.fail "connect to a dead port must fail"
+   | exception Pool.Retries_exhausted { attempts; last } ->
+     Alcotest.(check int) "whole attempt budget spent" 3 attempts;
+     (match last with
+      | Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+      | e -> Alcotest.failf "unexpected last error: %s" (Printexc.to_string e)));
+  Pool.close pool
+
+let retry_reaches_late_server () =
+  (* The server comes up only after the pool's first attempts have
+     failed: the capped backoff must carry the operation through to the
+     working connection instead of leaking the early refusals. *)
+  let port = free_port () in
+  let pool =
+    Pool.create ~size:1 ~retries:10 ~backoff:0.02 ~max_backoff:0.1 ~timeout:1.0
+      ~port ()
+  in
+  let server_cell = ref None in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.08;
+        server_cell := Some (Server.start ~config:{ Server.default_config with port } factory))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join starter;
+      Pool.close pool;
+      Option.iter Server.stop !server_cell)
+    (fun () ->
+      let session = Session.create store in
+      Alcotest.(check (list int)) "retried query equals in-process"
+        (Session.run_ids session (Xmark.query "Q1"))
+        (Pool.run_ids pool (Xmark.query "Q1")))
+
+let non_transient_not_retried () =
+  with_server @@ fun server ->
+  let pool = Pool.create ~size:1 ~retries:5 ~backoff:0.01 ~port:(Server.port server) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.close pool)
+    (fun () ->
+      (* a query error is not transient: it must surface immediately as
+         Server_error, not burn the retry budget *)
+      match Pool.run_ids pool "//a[" with
+      | _ -> Alcotest.fail "malformed XPath accepted"
+      | exception Client.Server_error { code = Wire.Parse_error; _ } -> ()
+      | exception Pool.Retries_exhausted _ ->
+        Alcotest.fail "non-transient failure was retried")
+
+(* ------------------------------------------------------------------ *)
 (* Shutdown drain                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -316,6 +389,15 @@ let () =
         [
           Alcotest.test_case "connection-level" `Quick connection_admission;
           Alcotest.test_case "request-level" `Quick request_admission;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "typed exhaustion on a dead port" `Quick
+            retries_exhausted_typed;
+          Alcotest.test_case "backoff reaches a late server" `Quick
+            retry_reaches_late_server;
+          Alcotest.test_case "non-transient errors surface at once" `Quick
+            non_transient_not_retried;
         ] );
       ( "shutdown",
         [

@@ -245,6 +245,65 @@ let test_plan_retained_on_disjoint_commit () =
   Alcotest.(check int) "and the re-planned query sees the new keyword"
     (List.length before + 1) (List.length grown)
 
+(* The commit log is bounded ([Database.log_capacity] entries, oldest
+   dropped): a plan prepared before the log's horizon can no longer
+   prove its footprint disjoint, so it must conservatively re-plan —
+   and still answer correctly. *)
+let test_plan_older_than_log_conservatively_invalidates () =
+  let tree = Xmark.generate ~seed:11 ~items_per_region:1 () in
+  let schema = Graph.infer (Doc.of_tree tree) in
+  let u = Update.create schema [ tree ] in
+  let session = Session.create (Update.store u) in
+  let m = Session.metrics session in
+  (* the [name] relation is shared by [person/name] and [item/name]: the
+     plan's footprint is the item pathids, the flood mutates a person
+     name — same table, disjoint pathids, so retention depends on the
+     per-table delta walk through the commit log *)
+  let p = Session.prepare session "//item[location]/name" in
+  let before = Session.execute_ids session p in
+  Alcotest.(check bool) "query matches something" true (before <> []);
+  let person_name =
+    List.find
+      (fun id ->
+        match Update.node_parent u id with
+        | Some par -> String.equal (Update.node_tag u par) "person"
+        | None -> false)
+      (find_by_tag u "name")
+  in
+  let flood n =
+    for i = 1 to n do
+      ignore
+        (Update.exec u
+           (Update.Set_text { target = person_name; text = Printf.sprintf "c%d" i }))
+    done
+  in
+  (* within the log's horizon the disjoint-pathid proof still works *)
+  flood 64;
+  let ret0 = Metrics.retained m and inv0 = Metrics.invalidations m in
+  Alcotest.(check (list int)) "retained plan answers identically" before
+    (Session.execute_ids session p);
+  Alcotest.(check int) "64 logged commits: plan retained" (ret0 + 1)
+    (Metrics.retained m);
+  Alcotest.(check int) "no invalidation inside the horizon" inv0
+    (Metrics.invalidations m);
+  (* past the bounded log's capacity the delta is unprovable *)
+  flood (Database.log_capacity + 8);
+  let ret1 = Metrics.retained m and inv1 = Metrics.invalidations m in
+  Alcotest.(check (list int)) "re-planned query still answers identically" before
+    (Session.execute_ids session p);
+  Alcotest.(check int) "plan fell off the log horizon: conservative re-plan"
+    (inv1 + 1) (Metrics.invalidations m);
+  Alcotest.(check int) "not counted as retained" ret1 (Metrics.retained m);
+  (* a plan prepared after the flood retains normally across a fresh
+     disjoint commit: the bound only costs staleness, not precision *)
+  let p2 = Session.prepare session "//item[location]/name" in
+  ignore (Session.execute_ids session p2);
+  ignore (Update.exec u (Update.Set_text { target = person_name; text = "last" }));
+  let ret2 = Metrics.retained m in
+  ignore (Session.execute_ids session p2);
+  Alcotest.(check int) "fresh plan retained through a disjoint commit" (ret2 + 1)
+    (Metrics.retained m)
+
 let test_whole_epoch_invalidation_when_disabled () =
   let tree = Xmark.generate ~seed:11 ~items_per_region:1 () in
   let schema = Graph.infer (Doc.of_tree tree) in
@@ -585,6 +644,8 @@ let () =
         List.map tc
           [
             "disjoint commit retains the plan", test_plan_retained_on_disjoint_commit;
+            "plan older than the commit log re-plans",
+            test_plan_older_than_log_conservatively_invalidates;
             "whole-epoch mode invalidates everything",
             test_whole_epoch_invalidation_when_disabled;
           ] );
