@@ -701,6 +701,7 @@ let engine_bench () =
       force_hash_join = false;
       merge_join = false;
       force_merge_join = false;
+      content_probe = false;
     }
   in
   let configs =
@@ -709,18 +710,22 @@ let engine_bench () =
       "reduce-only", { off with Engine.semijoin_reduction = true };
       "hash-only", { off with Engine.hash_join = true; force_hash_join = true };
       "merge-only", { off with Engine.merge_join = true };
+      "content-off", { Engine.default_opts with Engine.content_probe = false };
       "full", Engine.default_opts;
     ]
   in
   (* Q9/Q10/Q11 are the order-axis queries: preceding-sibling, following
-     and preceding — the shapes the Dewey merge join targets. *)
-  let queries = [ "Q2"; "Q3"; "Q4"; "Q6"; "Q9"; "Q10"; "Q11" ] in
+     and preceding — the shapes the Dewey merge join targets. Q6, XE1
+     (contains) and XE2 (starts-with) carry value/path regexes the
+     content indexes turn into probe-then-verify. *)
+  let queries = [ "Q2"; "Q3"; "Q4"; "Q6"; "Q9"; "Q10"; "Q11"; "XE1"; "XE2" ] in
   let reps = max 1 config.reps in
   Printf.printf "\n%s — warm prepared plans, median of %d executions\n" st.label reps;
   Printf.printf "%-5s %-12s %7s %10s %11s %12s %12s %10s\n" "query" "plan" "#nodes"
     "exec ms" "regex/exec" "scanned/exec" "probed/exec" "rx-cache";
   Regex.cache_clear ();
   let outcomes = ref [] in
+  let warm_dfa = ref 0 and warm_nfa = ref 0 in
   List.iter
     (fun qname ->
       let q = Xmark.query qname in
@@ -743,9 +748,16 @@ let engine_bench () =
             in
             let total = Engine.stats_diff (Engine.plan_stats plan) before in
             let per_exec n = float_of_int n /. float_of_int reps in
-            let regex_pe = per_exec total.Engine.regex_evals
+            (* Exec-time regex machine runs of either flavor: shared
+               frozen-DFA executions plus lazy NFA-backed fallbacks. *)
+            let regex_pe =
+              per_exec (total.Engine.regex_exec_evals + total.Engine.dfa_execs)
             and scanned_pe = per_exec total.Engine.rows_scanned
             and probed_pe = per_exec total.Engine.rows_probed in
+            if String.equal cname "full" then begin
+              warm_dfa := !warm_dfa + total.Engine.dfa_execs;
+              warm_nfa := !warm_nfa + total.Engine.regex_exec_evals
+            end;
             let hit_rate =
               if hits + misses = 0 then nan
               else float_of_int hits /. float_of_int (hits + misses)
@@ -758,13 +770,18 @@ let engine_bench () =
                     \"rows_probed_per_exec\":%.1f,\"plan_regex_evals\":%d,\
                     \"plan_reductions\":%d,\"hash_builds\":%d,\
                     \"merge_probes\":%d,\"merge_steps\":%d,\
-                    \"merge_backtracks\":%d,\"peak_bytes\":%d,\
+                    \"merge_backtracks\":%d,\"dfa_execs\":%d,\
+                    \"regex_exec_evals\":%d,\"content_probes\":%d,\
+                    \"content_candidates\":%d,\"content_verified\":%d,\
+                    \"peak_bytes\":%d,\
                     \"regex_cache_hits\":%d,\"regex_cache_misses\":%d,\
                     \"regex_cache_hit_rate\":%s"
-                   regex_pe scanned_pe probed_pe plan_cost.Engine.regex_evals
+                   regex_pe scanned_pe probed_pe plan_cost.Engine.regex_plan_evals
                    plan_cost.Engine.reductions total.Engine.hash_builds
                    total.Engine.merge_probes total.Engine.merge_steps
-                   total.Engine.merge_backtracks
+                   total.Engine.merge_backtracks total.Engine.dfa_execs
+                   total.Engine.regex_exec_evals total.Engine.content_probes
+                   total.Engine.content_candidates total.Engine.content_verified
                    (Engine.plan_stats plan).Engine.peak_bytes hits misses
                    (if Float.is_nan hit_rate then "null"
                     else Printf.sprintf "%.3f" hit_rate))
@@ -823,6 +840,25 @@ let engine_bench () =
      Printf.printf "best order-axis merge-join speedup: %.2fx (%s); > 1x: %b\n" s
        qname (s > 1.0)
    | None -> ());
+  (* Content-index acceptance: probe-then-verify vs exec-time regex
+     scans, everything else at defaults. *)
+  List.iter
+    (fun qname ->
+      match find qname "content-off", find qname "full" with
+      | Some (s0, r0), Some (s1, r1) when s1 > 0.0 ->
+        Printf.printf
+          "%-5s content probe vs regex scan: %4.2fx faster, regex evals/exec %.1f -> %.1f\n"
+          qname (s0 /. s1) r0 r1
+      | _ -> ())
+    [ "Q6"; "XE1"; "XE2" ];
+  (match find "Q6" "content-off", find "Q6" "full" with
+   | Some (_, r0), Some (_, r1) when r1 > 0.0 ->
+     Printf.printf
+       "Q6 exec-time regex reduction from content probe: %.1fx (>= 2x: %b)\n"
+       (r0 /. r1) (r0 /. r1 >= 2.0)
+   | _ -> ());
+  Printf.printf "warm full plans: dfa_execs > 0: %b; exec-time regex NFA simulations = 0: %b\n"
+    (!warm_dfa > 0) (!warm_nfa = 0);
   Printf.printf "regex compile cache: %d entries, %d hits, %d misses overall\n"
     (Regex.cache_size ()) (Regex.cache_hits ()) (Regex.cache_misses ());
   (* Layout: path-partitioned fact tables (the default) vs a plain heap.

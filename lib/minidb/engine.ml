@@ -25,6 +25,7 @@ type opts = {
   force_hash_join : bool;
   merge_join : bool;
   force_merge_join : bool;
+  content_probe : bool;
 }
 
 let default_opts =
@@ -34,6 +35,7 @@ let default_opts =
     force_hash_join = false;
     merge_join = true;
     force_merge_join = false;
+    content_probe = true;
   }
 
 (* Operator-level counters, shared by every operator compiled under one
@@ -45,7 +47,9 @@ type counters = {
   mutable c_scanned : int;
   mutable c_probed : int;
   mutable c_emitted : int;
-  mutable c_regex_evals : int;
+  mutable c_regex_plan_evals : int;
+  mutable c_regex_exec_evals : int;
+  mutable c_dfa_execs : int;
   mutable c_hash_builds : int;
   mutable c_reductions : int;
   mutable c_merge_probes : int;
@@ -53,6 +57,9 @@ type counters = {
   mutable c_merge_backtracks : int;
   mutable c_parts_scanned : int;
   mutable c_parts_pruned : int;
+  mutable c_content_probes : int;
+  mutable c_content_candidates : int;
+  mutable c_content_verified : int;
   mutable c_peak_bytes : int;
 }
 
@@ -61,7 +68,9 @@ let counters_create () =
     c_scanned = 0;
     c_probed = 0;
     c_emitted = 0;
-    c_regex_evals = 0;
+    c_regex_plan_evals = 0;
+    c_regex_exec_evals = 0;
+    c_dfa_execs = 0;
     c_hash_builds = 0;
     c_reductions = 0;
     c_merge_probes = 0;
@@ -69,6 +78,9 @@ let counters_create () =
     c_merge_backtracks = 0;
     c_parts_scanned = 0;
     c_parts_pruned = 0;
+    c_content_probes = 0;
+    c_content_candidates = 0;
+    c_content_verified = 0;
     c_peak_bytes = 0;
   }
 
@@ -76,7 +88,9 @@ type exec_stats = {
   rows_scanned : int;
   rows_probed : int;
   rows_emitted : int;
-  regex_evals : int;
+  regex_plan_evals : int;
+  regex_exec_evals : int;
+  dfa_execs : int;
   hash_builds : int;
   reductions : int;
   merge_probes : int;
@@ -84,6 +98,9 @@ type exec_stats = {
   merge_backtracks : int;
   partitions_scanned : int;
   partitions_pruned : int;
+  content_probes : int;
+  content_candidates : int;
+  content_verified : int;
   peak_bytes : int;
 }
 
@@ -92,7 +109,9 @@ let stats_of c =
     rows_scanned = c.c_scanned;
     rows_probed = c.c_probed;
     rows_emitted = c.c_emitted;
-    regex_evals = c.c_regex_evals;
+    regex_plan_evals = c.c_regex_plan_evals;
+    regex_exec_evals = c.c_regex_exec_evals;
+    dfa_execs = c.c_dfa_execs;
     hash_builds = c.c_hash_builds;
     reductions = c.c_reductions;
     merge_probes = c.c_merge_probes;
@@ -100,6 +119,9 @@ let stats_of c =
     merge_backtracks = c.c_merge_backtracks;
     partitions_scanned = c.c_parts_scanned;
     partitions_pruned = c.c_parts_pruned;
+    content_probes = c.c_content_probes;
+    content_candidates = c.c_content_candidates;
+    content_verified = c.c_content_verified;
     peak_bytes = c.c_peak_bytes;
   }
 
@@ -108,7 +130,9 @@ let stats_zero =
     rows_scanned = 0;
     rows_probed = 0;
     rows_emitted = 0;
-    regex_evals = 0;
+    regex_plan_evals = 0;
+    regex_exec_evals = 0;
+    dfa_execs = 0;
     hash_builds = 0;
     reductions = 0;
     merge_probes = 0;
@@ -116,6 +140,9 @@ let stats_zero =
     merge_backtracks = 0;
     partitions_scanned = 0;
     partitions_pruned = 0;
+    content_probes = 0;
+    content_candidates = 0;
+    content_verified = 0;
     peak_bytes = 0;
   }
 
@@ -124,7 +151,9 @@ let stats_add a b =
     rows_scanned = a.rows_scanned + b.rows_scanned;
     rows_probed = a.rows_probed + b.rows_probed;
     rows_emitted = a.rows_emitted + b.rows_emitted;
-    regex_evals = a.regex_evals + b.regex_evals;
+    regex_plan_evals = a.regex_plan_evals + b.regex_plan_evals;
+    regex_exec_evals = a.regex_exec_evals + b.regex_exec_evals;
+    dfa_execs = a.dfa_execs + b.dfa_execs;
     hash_builds = a.hash_builds + b.hash_builds;
     reductions = a.reductions + b.reductions;
     merge_probes = a.merge_probes + b.merge_probes;
@@ -132,6 +161,9 @@ let stats_add a b =
     merge_backtracks = a.merge_backtracks + b.merge_backtracks;
     partitions_scanned = a.partitions_scanned + b.partitions_scanned;
     partitions_pruned = a.partitions_pruned + b.partitions_pruned;
+    content_probes = a.content_probes + b.content_probes;
+    content_candidates = a.content_candidates + b.content_candidates;
+    content_verified = a.content_verified + b.content_verified;
     peak_bytes = a.peak_bytes + b.peak_bytes;
   }
 
@@ -140,7 +172,9 @@ let stats_diff a b =
     rows_scanned = a.rows_scanned - b.rows_scanned;
     rows_probed = a.rows_probed - b.rows_probed;
     rows_emitted = a.rows_emitted - b.rows_emitted;
-    regex_evals = a.regex_evals - b.regex_evals;
+    regex_plan_evals = a.regex_plan_evals - b.regex_plan_evals;
+    regex_exec_evals = a.regex_exec_evals - b.regex_exec_evals;
+    dfa_execs = a.dfa_execs - b.dfa_execs;
     hash_builds = a.hash_builds - b.hash_builds;
     reductions = a.reductions - b.reductions;
     merge_probes = a.merge_probes - b.merge_probes;
@@ -148,6 +182,9 @@ let stats_diff a b =
     merge_backtracks = a.merge_backtracks - b.merge_backtracks;
     partitions_scanned = a.partitions_scanned - b.partitions_scanned;
     partitions_pruned = a.partitions_pruned - b.partitions_pruned;
+    content_probes = a.content_probes - b.content_probes;
+    content_candidates = a.content_candidates - b.content_candidates;
+    content_verified = a.content_verified - b.content_verified;
     peak_bytes = a.peak_bytes - b.peak_bytes;
   }
 
@@ -298,16 +335,32 @@ type partition_scan = {
   ps_sort_idx : int;
 }
 
+(* A content-index probe: the REGEXP_LIKE conjuncts on this alias yielded
+   required-literal groups that the table's token/trigram indexes resolved
+   at plan time to a candidate row-id superset. The access emits only the
+   candidates; the regex conjuncts stay in [st_filters] as the verify
+   stage (through the shared frozen DFA). The candidate list is fixed at
+   plan time, which is sound only under a [Dep_all] footprint on the
+   table — any committed change to it invalidates the plan. *)
+type content_probe = {
+  cp_table : Table.t;
+  cp_col : string;
+  cp_kinds : string;  (* declared index kinds on the column, for EXPLAIN *)
+  cp_groups : int;  (* literal groups probed *)
+  cp_ids : int array;  (* candidate row ids, ascending *)
+}
+
 type access =
   [ `Scan
   | `Index_eq of Btree.t * value_fn array
   | `Index_range of
     Btree.t * value_fn array * (value_fn * bool) option * (value_fn * bool) option
   | `Index_order of Btree.t
-  | `Prefix_lookup of Btree.t * value_fn
+  | `Prefix_lookup of Btree.t * value_fn * int array Lazy.t
   | `Hash_probe of hash_probe
   | `Merge_join of merge_probe
-  | `Partition_scan of partition_scan ]
+  | `Partition_scan of partition_scan
+  | `Content_probe of content_probe ]
 
 type step = {
   st_slot : int;
@@ -317,6 +370,9 @@ type step = {
   st_probe_labels : string list;
       (* the trailing [List.length st_probe_labels] entries of
          [st_filters] are pathid set probes, not residual conjuncts *)
+  st_content : bool;
+      (* the step is a content probe: bindings surviving the filters are
+         verified candidates, counted in [c_content_verified] *)
 }
 
 (* One applied path-filter semi-join reduction (EXPLAIN reporting). *)
@@ -478,8 +534,8 @@ let reduce_path_filters ctx (sel : Sql.select) local_aliases conjuncts =
                             match Hashtbl.find_opt ctx.verdicts (pat, s) with
                             | Some v -> v
                             | None ->
-                              ctx.counters.c_regex_evals <-
-                                ctx.counters.c_regex_evals + 1;
+                              ctx.counters.c_regex_plan_evals <-
+                                ctx.counters.c_regex_plan_evals + 1;
                               let v = Ppfx_regex.Regex.search re s in
                               Hashtbl.add ctx.verdicts (pat, s) v;
                               v
@@ -535,6 +591,11 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
   in
   match access with
   | `Scan -> Table.iter_rows (fun id _ -> f id) table
+  | `Content_probe cp ->
+    counters.c_content_probes <- counters.c_content_probes + 1;
+    counters.c_content_candidates <-
+      counters.c_content_candidates + Array.length cp.cp_ids;
+    Array.iter f cp.cp_ids
   | `Partition_scan ps ->
     counters.c_parts_scanned <- counters.c_parts_scanned + Array.length ps.ps_keys;
     counters.c_parts_pruned <-
@@ -586,12 +647,23 @@ let iter_access counters table (access : access) (bind : binding) (f : int -> un
        row appears in every index exactly once), different order. Used
        to feed merge joins Dewey-ordered outer rows. *)
     Btree.iter (fun _ id -> f id) tree
-  | `Prefix_lookup (tree, fn) ->
+  | `Prefix_lookup (tree, fn, lengths) ->
+    (* One equality probe per candidate prefix length. Only lengths that
+       exist as first-column key lengths in the index are probed — Dewey
+       keys cluster on a handful of tree depths, so this turns
+       |outer key| descents per binding into a few. The length set is
+       collected once per plan; soundness under the fine-grained
+       invalidation protocol: a pathid-scoped footprint only admits
+       writes whose rows this alias's pathid probe would reject anyway,
+       and any other write invalidates the plan outright. *)
     (match fn bind with
      | Value.Bin v | Value.Str v ->
-       for k = 1 to String.length v do
-         List.iter f (Btree.find_equal tree [| Value.Bin (String.sub v 0 k) |])
-       done
+       let n = String.length v in
+       Array.iter
+         (fun k ->
+           if k <= n then
+             List.iter f (Btree.find_equal tree [| Value.Bin (String.sub v 0 k) |]))
+         (Lazy.force lengths)
      | Value.Null | Value.Int _ | Value.Float _ -> ())
   | `Index_eq (tree, fns) ->
     let key = Array.map (fun fn -> fn bind) fns in
@@ -754,9 +826,123 @@ let rec exec_steps counters steps bind emit =
            the tombstone is exact. *)
         if Array.length row > 0 then begin
           bind.(st.st_slot) <- row;
-          if List.for_all (fun p -> p bind = Some true) st.st_filters then
+          if List.for_all (fun p -> p bind = Some true) st.st_filters then begin
+            if st.st_content then
+              counters.c_content_verified <- counters.c_content_verified + 1;
             exec_steps counters rest bind emit
+          end
         end)
+
+(* ------------------------------------------------------------------ *)
+(* EXISTS shape analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify an EXISTS sub-select against the enclosing slot table.
+   [`Uncorrelated] — no conjunct references an outer alias: evaluate once,
+   cache the boolean. [`Semijoin (pairs, kinds, inner_sel)] — every
+   correlated conjunct is an outer-expr = inner-expr equality with
+   hash-compatible types: evaluate [inner_sel] (the sub-select projecting
+   the distinct inner key tuples) once and turn the EXISTS into hash-set
+   membership. [`Correlated] — anything else: execute per binding.
+   Shared by {!decorrelate_exists} (which compiles the result) and
+   {!explain} (which recurses into the sub-plan it implies), so the
+   describing and the executing path can never disagree on the shape. *)
+let exists_shape ctx (sel : Sql.select) :
+    [ `Uncorrelated of Sql.select
+    | `Semijoin of (Sql.expr * Sql.expr) list * [ `Str | `Num ] list * Sql.select
+    | `Correlated ] =
+  let outer_aliases = Array.to_list (Array.map fst ctx.slots) in
+  let local_names = List.map snd sel.Sql.from in
+  (* A name is outer if it is not bound by the inner FROM. *)
+  let is_outer a = (not (List.mem a local_names)) && List.mem a outer_aliases in
+  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
+  let correlated, uncorrelated =
+    List.partition (fun c -> List.exists is_outer (Sql.free_aliases c)) conjuncts
+  in
+  if correlated = [] then
+    `Uncorrelated
+      {
+        sel with
+        Sql.where =
+          (match conjuncts with
+           | [] -> None
+           | c :: cs ->
+             Some (List.fold_left (fun acc x -> Sql.And (acc, x)) c cs));
+      }
+  else begin
+    let split = function
+      | Sql.Cmp (Sql.Eq, a, b) ->
+        let a_outer = List.for_all is_outer (Sql.free_aliases a)
+        and b_outer = List.for_all is_outer (Sql.free_aliases b) in
+        let a_inner =
+          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases a)
+          && Sql.free_aliases a <> []
+        and b_inner =
+          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases b)
+          && Sql.free_aliases b <> []
+        in
+        if a_outer && b_inner then Some (a, b)
+        else if b_outer && a_inner then Some (b, a)
+        else None
+      | _ -> None
+    in
+    let pairs = List.map split correlated in
+    if List.exists (fun p -> p = None) pairs then `Correlated
+    else begin
+      let pairs = List.filter_map Fun.id pairs in
+      (* Check hash-compatible types for each pair. *)
+      let key_kind (outer_e, inner_e) =
+        (* Inner expression types must be derived with inner aliases in
+           scope; extend the slot table the same way plan_select will. *)
+        let inner_ctx =
+          {
+            ctx with
+            slots =
+              Array.append ctx.slots
+                (Array.of_list
+                   (List.map
+                      (fun (table, alias) ->
+                        match Database.table_opt ctx.db table with
+                        | Some t -> alias, t
+                        | None -> error "unknown table %s" table)
+                      sel.Sql.from));
+          }
+        in
+        match static_ty ctx outer_e, static_ty inner_ctx inner_e with
+        | Some (Value.Tstr | Value.Tbin), Some (Value.Tstr | Value.Tbin) -> Some `Str
+        | Some (Value.Tint | Value.Tfloat), Some (Value.Tint | Value.Tfloat) -> Some `Num
+        | _ -> None
+      in
+      let kinds = List.map key_kind pairs in
+      if List.exists (fun k -> k = None) kinds then `Correlated
+      else begin
+        let kinds = List.filter_map Fun.id kinds in
+        (* Build the uncorrelated inner query projecting the inner key
+           expressions. *)
+        let inner_sel =
+          {
+            sel with
+            Sql.where =
+              (match uncorrelated with
+               | [] -> None
+               | c :: cs -> Some (List.fold_left (fun acc x -> Sql.And (acc, x)) c cs));
+            Sql.projections =
+              List.mapi (fun i (_, inner_e) -> inner_e, Printf.sprintf "k%d" i) pairs;
+            Sql.distinct = true;
+            Sql.order_by = [];
+          }
+        in
+        (* The inner query must now be completely uncorrelated. *)
+        let still_correlated =
+          List.exists
+            (fun (e, _) -> List.exists is_outer (Sql.free_aliases e))
+            inner_sel.Sql.projections
+        in
+        if still_correlated then `Correlated
+        else `Semijoin (pairs, kinds, inner_sel)
+      end
+    end
+  end
 
 let rec compile_value ctx (e : Sql.expr) : value_fn =
   match e with
@@ -861,11 +1047,13 @@ and compile_pred ctx (e : Sql.expr) : pred_fn =
       with Ppfx_regex.Regex.Parse_error msg ->
         error "invalid regular expression %S: %s" pattern msg
     in
+    let frozen = Ppfx_regex.Regex.has_frozen re in
     fun bind ->
       (match Value.text (fe bind) with
        | None -> None
        | Some s ->
-         counters.c_regex_evals <- counters.c_regex_evals + 1;
+         if frozen then counters.c_dfa_execs <- counters.c_dfa_execs + 1
+         else counters.c_regex_exec_evals <- counters.c_regex_exec_evals + 1;
          Some (Ppfx_regex.Regex.search re s))
   | Sql.Exists sel -> compile_exists ctx sel
   | Sql.Is_not_null a ->
@@ -1147,12 +1335,20 @@ and plan_select ctx (sel : Sql.select) : planned =
             kept
           | _ -> my_probes
         in
+        (* The materialized candidate list is retained plan state. *)
+        (match accesses.(i) with
+         | `Content_probe cp ->
+           ctx.counters.c_peak_bytes <-
+             ctx.counters.c_peak_bytes + (8 * Array.length cp.cp_ids) + 48
+         | _ -> ());
         {
           st_slot = slot;
           st_table = table;
           st_access = accesses.(i);
           st_filters = List.map (compile_pred ctx) my_conjuncts @ List.map snd my_probes;
           st_probe_labels = List.map (fun (pb, _) -> pb.pb_label) my_probes;
+          st_content =
+            (match accesses.(i) with `Content_probe _ -> true | _ -> false);
         })
       order
   in
@@ -1183,9 +1379,18 @@ and plan_select ctx (sel : Sql.select) : planned =
   (* Record what this select depends on. An alias is pathid-guarded only
      when a reduction probe on its literal [path_id] column filters every
      row it binds; the reduction's dimension table was swept at plan time,
-     so any change to it (new or dropped pathids) invalidates. *)
+     so any change to it (new or dropped pathids) invalidates. A
+     content-probed alias is always [Dep_all]: its candidate list was
+     fixed by the rows' text at plan time, so even a commit confined to
+     allowed pathids could edit a text value out from under it. *)
   List.iter
     (fun (alias, table) ->
+      let content_probed =
+        List.exists
+          (fun st ->
+            st.st_content && String.equal (alias_of_slot st.st_slot) alias)
+          steps
+      in
       let dep =
         match
           List.find_opt
@@ -1193,8 +1398,8 @@ and plan_select ctx (sel : Sql.select) : planned =
               String.equal pb.pb_alias alias && String.equal pb.pb_col "path_id")
             probes
         with
-        | Some pb -> Dep_paths pb.pb_set
-        | None -> Dep_all
+        | Some pb when not content_probed -> Dep_paths pb.pb_set
+        | Some _ | None -> Dep_all
       in
       footprint_add ctx table dep)
     local_aliases;
@@ -1468,8 +1673,23 @@ and choose_access ctx ~table ~alias ~bound ~prev ~probes conjuncts :
     (Table.indexes table);
   (match prefix_lookup with
    | Some (tree, fn) ->
-     (* One probe per prefix length: bounded by the key depth. *)
-     consider 24.0 (`Prefix_lookup (tree, fn))
+     (* One probe per prefix length present in the index: bounded by the
+        tree's distinct key depths. The length set is forced on first
+        execution, not at plan time, so EXPLAIN stays cheap. *)
+     let lengths =
+       lazy
+         (let seen = Hashtbl.create 8 in
+          Btree.iter
+            (fun key _ ->
+              match key.(0) with
+              | Value.Bin s | Value.Str s ->
+                Hashtbl.replace seen (String.length s) ()
+              | Value.Null | Value.Int _ | Value.Float _ -> ())
+            tree;
+          let ls = Hashtbl.fold (fun l () acc -> l :: acc) seen [] in
+          Array.of_list (List.sort compare ls))
+     in
+     consider 24.0 (`Prefix_lookup (tree, fn, lengths))
    | None -> ());
   (* Partition-pruning candidate: the table is physically partitioned on
      a column carrying a plan-time pathid set probe for this alias, so
@@ -1512,6 +1732,64 @@ and choose_access ctx ~table ~alias ~bound ~prev ~probes conjuncts :
                ps_sort_col = spec.Table.part_sort;
                ps_sort_idx = sort_idx;
              })));
+  (* Content-probe candidate: REGEXP_LIKE conjuncts on one of this
+     alias's text columns whose patterns force literals a declared
+     token/trigram index can resolve. All patterns on the same column
+     contribute their groups to one conjunctive probe (Q6 intersects the
+     groups of both its path filters); the candidates are materialized
+     here, at plan time, so the cost is their exact count — beating a
+     full scan whenever the literals are selective, and losing to an
+     index probe that fetches fewer rows per binding. The regex conjuncts
+     are NOT consumed: they remain residual filters, the verify stage.
+     When no pattern yields usable literals, no candidate is offered and
+     the planner falls back to scanning. *)
+  (if ctx.opts.content_probe then begin
+     let by_col = Hashtbl.create 4 in
+     List.iter
+       (fun conj ->
+         match conj with
+         | Sql.Regexp_like (Sql.Col (a, col), pat) when String.equal a alias ->
+           (match Ppfx_regex.Regex.compile_cached pat with
+            | re ->
+              let groups = Ppfx_regex.Regex.required_literals re in
+              if groups <> [] then
+                Hashtbl.replace by_col col
+                  (groups
+                  @ Option.value ~default:[] (Hashtbl.find_opt by_col col))
+            | exception Ppfx_regex.Regex.Parse_error _ ->
+              (* compile_pred reports the error when filters compile *)
+              ())
+         | _ -> ())
+       conjuncts;
+     Hashtbl.iter
+       (fun col groups ->
+         match Table.content_candidates table ~col groups with
+         | None -> ()
+         | Some ids ->
+           let kinds =
+             List.filter_map
+               (fun (c, k) ->
+                 if String.equal c col then
+                   Some
+                     (match k with
+                      | Table.Token -> "token"
+                      | Table.Trigram -> "trigram")
+                 else None)
+               (Table.content_indexes table)
+             |> List.sort_uniq compare |> String.concat "+"
+           in
+           consider
+             (float_of_int (Array.length ids))
+             (`Content_probe
+                {
+                  cp_table = table;
+                  cp_col = col;
+                  cp_kinds = kinds;
+                  cp_groups = List.length groups;
+                  cp_ids = ids;
+                }))
+       by_col
+   end);
   (* Hash-join candidate: a true equijoin (the key references at least
      one already-bound alias — constant equalities are selections and
      gain nothing from a build) whose key types hash consistently (see
@@ -1638,21 +1916,11 @@ and compile_exists ctx (sel : Sql.select) : pred_fn =
    evaluate the inner query once, collect the distinct inner key tuples,
    and turn the EXISTS into a hash-set membership test. *)
 and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
-  let outer_aliases =
-    Array.to_list (Array.map fst ctx.slots)
-  in
-  let local_names = List.map snd sel.Sql.from in
-  (* A name is outer if it is not bound by the inner FROM. *)
-  let is_outer a = (not (List.mem a local_names)) && List.mem a outer_aliases in
-  let conjuncts = match sel.Sql.where with None -> [] | Some w -> Sql.conjuncts w in
-  let correlated, uncorrelated =
-    List.partition (fun c -> List.exists is_outer (Sql.free_aliases c)) conjuncts
-  in
-  if correlated = [] then begin
+  match exists_shape ctx sel with
+  | `Correlated -> None
+  | `Uncorrelated merged ->
     (* Fully uncorrelated: evaluate once, cache the boolean. *)
-    let p =
-      plan_select ctx { sel with Sql.where = (match conjuncts with [] -> None | c :: cs -> List.fold_left (fun acc x -> Some (Sql.And (Option.get acc, x))) (Some c) cs) }
-    in
+    let p = plan_select ctx merged in
     let counters = ctx.counters in
     let cache = ref None in
     let exception Found in
@@ -1673,108 +1941,33 @@ and decorrelate_exists ctx (sel : Sql.select) : pred_fn option =
           in
           cache := Some b;
           Some b)
-  end
-  else begin
-    let split = function
-      | Sql.Cmp (Sql.Eq, a, b) ->
-        let a_outer = List.for_all is_outer (Sql.free_aliases a)
-        and b_outer = List.for_all is_outer (Sql.free_aliases b) in
-        let a_inner =
-          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases a)
-          && Sql.free_aliases a <> []
-        and b_inner =
-          List.for_all (fun x -> not (is_outer x)) (Sql.free_aliases b)
-          && Sql.free_aliases b <> []
-        in
-        if a_outer && b_inner then Some (a, b)
-        else if b_outer && a_inner then Some (b, a)
-        else None
-      | _ -> None
+  | `Semijoin (pairs, kinds, inner_sel) ->
+    let outer_fns = List.map (fun (o, _) -> compile_value ctx o) pairs in
+    let table = ref None in
+    let build outer =
+      match !table with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 1024 in
+        (* The inner query sees no outer slots it depends on; pass
+           the current binding anyway (harmless). *)
+        iter_select_rows ctx inner_sel outer (fun row ->
+            let key =
+              List.map2 (fun kind v -> canon_key kind v) kinds (Array.to_list row)
+            in
+            if List.for_all Option.is_some key then
+              Hashtbl.replace t (List.map Option.get key) ());
+        table := Some t;
+        t
     in
-    let pairs = List.map split correlated in
-    if List.exists (fun p -> p = None) pairs then None
-    else begin
-      let pairs = List.filter_map Fun.id pairs in
-      (* Check hash-compatible types for each pair. *)
-      let key_kind (outer_e, inner_e) =
-        (* Inner expression types must be derived with inner aliases in
-           scope; extend the slot table the same way plan_select will. *)
-        let inner_ctx =
-          {
-            ctx with
-            slots =
-              Array.append ctx.slots
-                (Array.of_list
-                   (List.map
-                      (fun (table, alias) ->
-                        match Database.table_opt ctx.db table with
-                        | Some t -> alias, t
-                        | None -> error "unknown table %s" table)
-                      sel.Sql.from));
-          }
+    Some
+      (fun outer ->
+        let t = build outer in
+        let key =
+          List.map2 (fun kind fn -> canon_key kind (fn outer)) kinds outer_fns
         in
-        match static_ty ctx outer_e, static_ty inner_ctx inner_e with
-        | Some (Value.Tstr | Value.Tbin), Some (Value.Tstr | Value.Tbin) -> Some `Str
-        | Some (Value.Tint | Value.Tfloat), Some (Value.Tint | Value.Tfloat) -> Some `Num
-        | _ -> None
-      in
-      let kinds = List.map key_kind pairs in
-      if List.exists (fun k -> k = None) kinds then None
-      else begin
-        let kinds = List.filter_map Fun.id kinds in
-        (* Build the uncorrelated inner query projecting the inner key
-           expressions. *)
-        let inner_sel =
-          {
-            sel with
-            Sql.where =
-              (match uncorrelated with
-               | [] -> None
-               | c :: cs -> Some (List.fold_left (fun acc x -> Sql.And (acc, x)) c cs));
-            Sql.projections =
-              List.mapi (fun i (_, inner_e) -> inner_e, Printf.sprintf "k%d" i) pairs;
-            Sql.distinct = true;
-            Sql.order_by = [];
-          }
-        in
-        (* The inner query must now be completely uncorrelated. *)
-        let still_correlated =
-          List.exists
-            (fun (e, _) -> List.exists is_outer (Sql.free_aliases e))
-            inner_sel.Sql.projections
-        in
-        if still_correlated then None
-        else begin
-          let outer_fns = List.map (fun (o, _) -> compile_value ctx o) pairs in
-          let table = ref None in
-          let build outer =
-            match !table with
-            | Some t -> t
-            | None ->
-              let t = Hashtbl.create 1024 in
-              (* The inner query sees no outer slots it depends on; pass
-                 the current binding anyway (harmless). *)
-              iter_select_rows ctx inner_sel outer (fun row ->
-                  let key =
-                    List.map2 (fun kind v -> canon_key kind v) kinds (Array.to_list row)
-                  in
-                  if List.for_all Option.is_some key then
-                    Hashtbl.replace t (List.map Option.get key) ());
-              table := Some t;
-              t
-          in
-          Some
-            (fun outer ->
-              let t = build outer in
-              let key =
-                List.map2 (fun kind fn -> canon_key kind (fn outer)) kinds outer_fns
-              in
-              if List.exists Option.is_none key then Some false
-              else Some (Hashtbl.mem t (List.map Option.get key)))
-        end
-      end
-    end
-  end
+        if List.exists Option.is_none key then Some false
+        else Some (Hashtbl.mem t (List.map Option.get key)))
 
 (* Run a select and emit each projected row (no distinct/order). *)
 and iter_select_rows ctx sel outer emit_row =
@@ -2019,6 +2212,7 @@ let access_label : access -> string = function
   | `Hash_probe _ -> "hash join"
   | `Merge_join _ -> "merge join (dewey)"
   | `Partition_scan _ -> "partition scan"
+  | `Content_probe cp -> Printf.sprintf "content index probe (%s)" cp.cp_kinds
 
 (* EXPLAIN-ANALYZE style execution of one select: like the compiled
    pipeline with per-step row counters and inclusive per-step wall time
@@ -2060,6 +2254,8 @@ let run_select_profiled ~opts ~counters db (sel : Sql.select) =
             bind.(st.st_slot) <- row;
             if List.for_all (fun f -> f bind = Some true) st.st_filters then begin
               passed.(i) <- passed.(i) + 1;
+              if st.st_content then
+                counters.c_content_verified <- counters.c_content_verified + 1;
               exec (i + 1)
             end
           end);
@@ -2132,11 +2328,19 @@ let explain ?(opts = default_opts) db stmt =
   Database.with_read db @@ fun () ->
   let buf = Buffer.create 256 in
   let verdicts = Hashtbl.create 16 in
-  let describe_select prefix (sel : Sql.select) =
+  (* EXISTS sub-selects anywhere in a predicate tree, outermost first. *)
+  let rec exists_subs (e : Sql.expr) acc =
+    match e with
+    | Sql.Exists sub -> sub :: acc
+    | Sql.And (a, b) | Sql.Or (a, b) -> exists_subs a (exists_subs b acc)
+    | Sql.Not a -> exists_subs a acc
+    | _ -> acc
+  in
+  let rec describe_select ?(slots = [||]) prefix (sel : Sql.select) =
     let ctx =
       {
         db;
-        slots = [||];
+        slots;
         naive = false;
         opts;
         counters = counters_create ();
@@ -2173,7 +2377,7 @@ let explain ?(opts = default_opts) db stmt =
               (Btree.width tree)
           | `Index_order tree ->
             Printf.sprintf "index order scan (width %d)" (Btree.width tree)
-          | `Prefix_lookup (tree, _) ->
+          | `Prefix_lookup (tree, _, _) ->
             Printf.sprintf "prefix lookups (width %d)" (Btree.width tree)
           | `Hash_probe hp ->
             Printf.sprintf "hash join (build %s.%s)" (Table.name hp.hp_table) hp.hp_col
@@ -2189,6 +2393,10 @@ let explain ?(opts = default_opts) db stmt =
               ps.ps_sort_col (Array.length ps.ps_keys) ps.ps_total
               (ps.ps_total - Array.length ps.ps_keys)
               ps.ps_rows
+          | `Content_probe cp ->
+            Printf.sprintf
+              "content index probe (%s) on %s (%d literal groups -> %d candidates)"
+              cp.cp_kinds cp.cp_col cp.cp_groups (Array.length cp.cp_ids)
         in
         let probe_str =
           match st.st_probe_labels with
@@ -2208,7 +2416,34 @@ let explain ?(opts = default_opts) db stmt =
              (List.length p.pl_order_by))
       else
         Buffer.add_string buf
-          (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length p.pl_order_by))
+          (Printf.sprintf "%ssort (%d keys)\n" prefix (List.length p.pl_order_by));
+    (* Recurse into EXISTS sub-selects with this select's aliases in
+       scope, classified exactly as decorrelate_exists will classify
+       them at run time. *)
+    let subs =
+      match sel.Sql.where with None -> [] | Some w -> exists_subs w []
+    in
+    List.iter
+      (fun sub ->
+        match exists_shape p.pl_ctx sub with
+        | `Uncorrelated merged ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sexists subquery (uncorrelated, evaluated once):\n"
+               prefix);
+          describe_select ~slots:p.pl_ctx.slots (prefix ^ "  ") merged
+        | `Semijoin (pairs, _, inner_sel) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%sexists subquery (decorrelated semi-join, %d key%s):\n" prefix
+               (List.length pairs)
+               (if List.length pairs = 1 then "" else "s"));
+          describe_select ~slots:p.pl_ctx.slots (prefix ^ "  ") inner_sel
+        | `Correlated ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sexists subquery (correlated, per binding):\n"
+               prefix);
+          describe_select ~slots:p.pl_ctx.slots (prefix ^ "  ") sub)
+      subs
   in
   (match stmt with
    | Sql.Select sel | Sql.Select_count sel -> describe_select "" sel

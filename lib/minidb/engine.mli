@@ -55,10 +55,15 @@ type opts = {
   force_merge_join : bool;
       (** differential-testing hook: pick a merge join for every
           candidate order-axis predicate, ordered outer or not *)
+  content_probe : bool;
+      (** rewrite [REGEXP_LIKE(col, pat)] into a content-index probe of
+          the pattern's required literals followed by DFA verification of
+          the candidates, when the column has a usable content index *)
 }
 
 val default_opts : opts
-(** Reduction, hash joins and merge joins on, [force_*] off. *)
+(** Reduction, hash joins, merge joins and content probes on, [force_*]
+    off. *)
 
 (** {2 Execution statistics}
 
@@ -71,7 +76,16 @@ type exec_stats = {
   rows_scanned : int;  (** rows fetched through access paths (incl. hash and merge builds) *)
   rows_probed : int;  (** hash-join and pathid-set probe operations *)
   rows_emitted : int;  (** bindings surviving every join step *)
-  regex_evals : int;  (** REGEXP_LIKE DFA executions *)
+  regex_plan_evals : int;
+      (** plan-time regex executions: the semi-join reduction's sweep over
+          the dimension table on a verdict-cache miss *)
+  regex_exec_evals : int;
+      (** exec-time NFA-backed regex executions — REGEXP_LIKE predicates
+          whose pattern could not be frozen into a shared dense DFA. Zero
+          on every common path; the bench's regression gate. *)
+  dfa_execs : int;
+      (** exec-time executions of a shared frozen DFA (content-index
+          candidate verification and residual REGEXP_LIKE filters) *)
   hash_builds : int;  (** hash-join build tables materialized *)
   reductions : int;  (** path-filter semi-join reductions applied *)
   merge_probes : int;  (** merge-join probe operations (one per outer binding) *)
@@ -81,6 +95,15 @@ type exec_stats = {
       (** partitions a pruned partition scan touched (per execution) *)
   partitions_pruned : int;
       (** partitions a pruned partition scan skipped (per execution) *)
+  content_probes : int;
+      (** content-index probes: one per content-probe access per
+          execution *)
+  content_candidates : int;
+      (** candidate rows produced by content-index probes (the rows the
+          probe step scans instead of the whole table) *)
+  content_verified : int;
+      (** candidates that survived DFA verification (the probe step's
+          residual filters) *)
   peak_bytes : int;
       (** estimated peak resident bytes of plan-owned materializations:
           hash-join build tables, semi-join pathid sets, merge-join
@@ -158,8 +181,10 @@ val plan_stats : plan -> exec_stats
 
 val explain : ?opts:opts -> Database.t -> Sql.statement -> string
 (** Human-readable plan: applied semi-join reductions first, then one
-    line per step with its access path ([hash join] and pathid set
-    probes included). *)
+    line per step with its access path ([hash join], [content index
+    probe] and pathid set probes included). EXISTS sub-selects are
+    described recursively, annotated with how the executor will treat
+    them (uncorrelated / decorrelated semi-join / correlated). *)
 
 type step_profile = {
   table : string;

@@ -142,6 +142,73 @@ let step t state_id c =
     id
   end
 
+(* Frozen DFA: the lazy machine with every transition forced, copied into
+   dense immutable arrays. No mutation on the match path, so one frozen
+   automaton is domain-shareable and can live in the process-wide compile
+   cache. [freeze] walks states breadth-first forcing all 256 transitions
+   per state; patterns whose subset construction blows past [max_states]
+   (pathological alternation/counting) return [None] and keep the
+   per-handle lazy path. *)
+
+type frozen = {
+  f_trans : int array;  (** [(state lsl 8) lor byte] -> next state *)
+  f_accept_now : bool array;
+  f_accept_at_eol : bool array;
+  f_start : int;
+}
+
+let freeze nfa ~reseed ~max_states =
+  let t = create nfa ~reseed in
+  let exception Too_big in
+  try
+    (* [t.count] grows as [step] interns new states; the loop chases it. *)
+    let i = ref 0 in
+    while !i < t.count do
+      if t.count > max_states then raise Too_big;
+      for c = 0 to 255 do
+        ignore (step t !i (Char.chr c))
+      done;
+      incr i
+    done;
+    if t.count > max_states then raise Too_big;
+    let n = t.count in
+    let f_trans = Array.make (n * 256) 0 in
+    let f_accept_now = Array.make n false in
+    let f_accept_at_eol = Array.make n false in
+    for s = 0 to n - 1 do
+      let st = t.states.(s) in
+      Array.blit st.trans 0 f_trans (s lsl 8) 256;
+      f_accept_now.(s) <- st.accept_now;
+      f_accept_at_eol.(s) <- st.accept_at_eol
+    done;
+    Some { f_trans; f_accept_now; f_accept_at_eol; f_start = t.start_id }
+  with Too_big -> None
+
+let frozen_search f subject =
+  let n = String.length subject in
+  let trans = f.f_trans in
+  let rec go state i =
+    if Array.unsafe_get f.f_accept_now state then true
+    else if i >= n then Array.unsafe_get f.f_accept_at_eol state
+    else
+      go
+        (Array.unsafe_get trans ((state lsl 8) lor Char.code (String.unsafe_get subject i)))
+        (i + 1)
+  in
+  go f.f_start 0
+
+let frozen_matches f subject =
+  let n = String.length subject in
+  let trans = f.f_trans in
+  let rec go state i =
+    if i >= n then Array.unsafe_get f.f_accept_at_eol state
+    else
+      go
+        (Array.unsafe_get trans ((state lsl 8) lor Char.code (String.unsafe_get subject i)))
+        (i + 1)
+  in
+  go f.f_start 0
+
 (* Search semantics ([reseed = true]): accept as soon as any prefix of the
    remaining scan completes a match. *)
 let search t subject =

@@ -16,12 +16,30 @@ val compile : string -> t
 (** Compile a pattern. Raises {!Parse_error} on syntax errors. *)
 
 val compile_cached : string -> t
-(** Like {!compile}, but serves the parsed AST and Thompson NFA from a
-    process-wide, mutex-protected cache keyed on the pattern text — safe
-    to call from any domain; the immutable compiled core is shared, while
-    the returned handle carries its own lazily-built DFA (DFA state is
-    mutable and must not be shared across domains). Raises {!Parse_error}
-    on syntax errors (failures are not cached). *)
+(** Like {!compile}, but serves the parsed AST, Thompson NFA {e and
+    frozen DFAs} from a process-wide, mutex-protected cache keyed on the
+    pattern text — safe to call from any domain. The frozen DFAs (dense,
+    immutable subset constructions) are built once on first miss and
+    shared by every handle and every domain thereafter; executing through
+    them touches no mutable state. Patterns whose subset construction
+    exceeds an internal state cap skip freezing and fall back to a
+    per-handle lazy DFA. Raises {!Parse_error} on syntax errors (failures
+    are not cached). *)
+
+val has_frozen : t -> bool
+(** Whether this handle executes through a shared frozen DFA (true for
+    {!compile_cached} handles below the state cap; false for {!compile}
+    handles, which keep the lazy NFA-simulation path). *)
+
+val required_literals : t -> string list list
+(** A CNF of required substrings: each returned group is a list of
+    alternatives, at least one of which must occur as a substring of any
+    subject accepted by {!search}. Content indexes intersect posting
+    lists across groups (union within a group) to get candidate rows
+    before verifying with the DFA. Groups whose alternatives are shorter
+    than 3 bytes are dropped; an empty result means the pattern forces no
+    usable literal and callers must fall back to scanning. Conservative:
+    dropping any group is always sound. *)
 
 val cache_hits : unit -> int
 (** Number of {!compile_cached} calls served from the shared cache. *)

@@ -337,14 +337,18 @@ let dump t =
   Buffer.add_string buf
     (let e = t.engine in
      Printf.sprintf
-       "  engine: %d rows scanned, %d probes, %d rows emitted, %d regex evals, %d hash builds, %d reductions\n\
-       \  engine: %d merge probes, %d merge steps, %d merge backtracks, %d partitions scanned, %d partitions pruned, %d peak bytes\n"
+       "  engine: %d rows scanned, %d probes, %d rows emitted, %d plan regex evals, %d exec regex evals, %d dfa execs, %d hash builds, %d reductions\n\
+       \  engine: %d merge probes, %d merge steps, %d merge backtracks, %d partitions scanned, %d partitions pruned, %d peak bytes\n\
+       \  engine: %d content probes, %d content candidates, %d content verified\n"
        e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
-       e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
+       e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_plan_evals
+       e.Ppfx_minidb.Engine.regex_exec_evals e.Ppfx_minidb.Engine.dfa_execs
        e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
        e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
        e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.partitions_scanned
-       e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.peak_bytes);
+       e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.peak_bytes
+       e.Ppfx_minidb.Engine.content_probes e.Ppfx_minidb.Engine.content_candidates
+       e.Ppfx_minidb.Engine.content_verified);
   if t.accepted > 0 || t.rejected > 0 then
     Buffer.add_string buf
       (Printf.sprintf
@@ -406,16 +410,21 @@ let to_json t =
     let e = t.engine in
     Printf.sprintf
       "{\"rows_scanned\":%d,\"rows_probed\":%d,\"rows_emitted\":%d,\
-       \"regex_evals\":%d,\"hash_builds\":%d,\"reductions\":%d,\
+       \"regex_plan_evals\":%d,\"regex_exec_evals\":%d,\"dfa_execs\":%d,\
+       \"hash_builds\":%d,\"reductions\":%d,\
        \"merge_probes\":%d,\"merge_steps\":%d,\"merge_backtracks\":%d,\
        \"partitions_scanned\":%d,\"partitions_pruned\":%d,\
+       \"content_probes\":%d,\"content_candidates\":%d,\"content_verified\":%d,\
        \"peak_bytes\":%d}"
       e.Ppfx_minidb.Engine.rows_scanned e.Ppfx_minidb.Engine.rows_probed
-      e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_evals
+      e.Ppfx_minidb.Engine.rows_emitted e.Ppfx_minidb.Engine.regex_plan_evals
+      e.Ppfx_minidb.Engine.regex_exec_evals e.Ppfx_minidb.Engine.dfa_execs
       e.Ppfx_minidb.Engine.hash_builds e.Ppfx_minidb.Engine.reductions
       e.Ppfx_minidb.Engine.merge_probes e.Ppfx_minidb.Engine.merge_steps
       e.Ppfx_minidb.Engine.merge_backtracks e.Ppfx_minidb.Engine.partitions_scanned
-      e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.peak_bytes
+      e.Ppfx_minidb.Engine.partitions_pruned e.Ppfx_minidb.Engine.content_probes
+      e.Ppfx_minidb.Engine.content_candidates e.Ppfx_minidb.Engine.content_verified
+      e.Ppfx_minidb.Engine.peak_bytes
   in
   let net_json =
     Printf.sprintf

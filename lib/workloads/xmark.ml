@@ -374,8 +374,6 @@ let queries =
     "QA", "/site/open_auctions/open_auction[bidder/date = interval/start]";
   ]
 
-let query name = List.assoc name queries
-
 (* Extensions beyond the paper's subset (README "Supported XPath
    subset"): string functions and count() comparisons. *)
 let extension_queries =
@@ -387,6 +385,13 @@ let extension_queries =
     "XE5", "//keyword[string-length(.) > 10]";
     "XE6", "//parlist[count(listitem) >= 2]";
   ]
+
+(* Lookup across both sets, so benches can mix paper and extension
+   queries in one list. *)
+let query name =
+  match List.assoc_opt name queries with
+  | Some q -> q
+  | None -> List.assoc name extension_queries
 
 (* The benchmark queries inside the twig subset. *)
 let twig_queries =

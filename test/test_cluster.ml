@@ -572,6 +572,7 @@ let opts_off =
     force_hash_join = false;
     merge_join = false;
     force_merge_join = false;
+    content_probe = false;
   }
 
 let unopt_render (store : Loader.t) query =

@@ -63,7 +63,18 @@ let test_round_trip () =
               if Table.index_on t' cols = None then
                 Alcotest.failf "%s: index on %s not rebuilt" (Table.name t)
                   (String.concat "," cols))
-            (Table.indexes t))
+            (Table.indexes t);
+          (* Content-index specs survive and their postings are rebuilt
+             consistent with the loaded rows. *)
+          Alcotest.(check (list (pair string bool)))
+            (Table.name t ^ " content index spec")
+            (List.map (fun (c, k) -> c, k = Table.Trigram) (Table.content_indexes t))
+            (List.map (fun (c, k) -> c, k = Table.Trigram) (Table.content_indexes t'));
+          (match Table.check_content_indexes t' with
+           | Ok () -> ()
+           | Error e ->
+             Alcotest.failf "%s: rebuilt content index inconsistent: %s"
+               (Table.name t) e))
         (Database.tables st.Loader.db))
 
 let test_queries_agree () =
@@ -206,7 +217,7 @@ let test_load_result_typed () =
    | Error (Codec.Io_error _) -> ()
    | Error (Codec.Corrupted e) -> Alcotest.failf "expected Io_error, got Corrupted %s" e
    | Ok _ -> Alcotest.fail "missing file loaded");
-  (match Codec.of_string_result "PPFXDB2 but then junk" with
+  (match Codec.of_string_result "PPFXDB3 but then junk" with
    | Error (Codec.Corrupted _) -> ()
    | Error (Codec.Io_error e) -> Alcotest.failf "expected Corrupted, got Io_error %s" e
    | Ok _ -> Alcotest.fail "junk image loaded");
